@@ -1,0 +1,234 @@
+(* minjie: command-line driver for the platform.
+
+     minjie list                         workloads and configurations
+     minjie run sjeng_like --config nh   run under DiffTest verification
+     minjie engines mcf_like             compare the four interpreters
+     minjie checkpoint coremark_like     NEMU+SimPoint sampled evaluation
+     minjie debug --inject l2-race       the §IV-C debugging workflow *)
+
+open Cmdliner
+
+let configs =
+  List.map
+    (fun (c : Xiangshan.Config.t) -> (String.lowercase_ascii c.cfg_name, c))
+    Xiangshan.Config.all_presets
+
+let config_conv =
+  Arg.enum (("yqh", Xiangshan.Config.yqh) :: ("nh", Xiangshan.Config.nh) :: configs)
+
+let all_workloads () =
+  Workloads.Suite.all @ Workloads.Suite.llc_stress @ Workloads.Suite.system
+  @ Workloads.Suite.smp
+
+let find_workload name =
+  match
+    List.find_opt (fun w -> w.Workloads.Wl_common.wl_name = name) (all_workloads ())
+  with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown workload %s; try `minjie list`\n" name;
+      exit 2
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Xiangshan.Config.yqh
+    & info [ "config"; "c" ] ~docv:"CONFIG" ~doc:"Micro-architecture preset.")
+
+let scale_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "scale"; "s" ] ~docv:"N" ~doc:"Workload scale (default: small).")
+
+let max_cycles_arg =
+  Arg.(
+    value & opt int 200_000_000
+    & info [ "max-cycles" ] ~docv:"N" ~doc:"Cycle budget.")
+
+(* ---- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "workloads:\n";
+    List.iter
+      (fun (w : Workloads.Wl_common.t) ->
+        Printf.printf "  %-16s %-4s mimics %s\n" w.wl_name
+          (match w.group with `Int -> "int" | `Fp -> "fp")
+          w.mimics)
+      (all_workloads ());
+    Printf.printf "\nconfigurations:\n";
+    List.iter
+      (fun (c : Xiangshan.Config.t) ->
+        Printf.printf "  %-26s %d core(s), L2 %dKB, L3 %dKB, %s\n" c.cfg_name
+          c.n_cores c.l2_kb c.l3_kb
+          (Xiangshan.Config.show_dram_model c.dram))
+      Xiangshan.Config.all_presets
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and configurations.")
+    Term.(const run $ const ())
+
+(* ---- run (DiffTest-verified simulation) ------------------------------- *)
+
+let run_cmd =
+  let run name cfg scale max_cycles no_difftest =
+    let w = find_workload name in
+    let scale = Option.value scale ~default:w.Workloads.Wl_common.small in
+    let prog = w.Workloads.Wl_common.program ~scale in
+    let cfg =
+      if List.mem w (Workloads.Suite.smp) && cfg.Xiangshan.Config.n_cores < 2
+      then Xiangshan.Config.nh
+      else cfg
+    in
+    let soc = Xiangshan.Soc.create cfg in
+    Xiangshan.Soc.load_program soc prog;
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      if no_difftest then begin
+        let _ = Xiangshan.Soc.run ~max_cycles soc in
+        match Xiangshan.Soc.exit_code soc with
+        | Some c -> `Finished c
+        | None -> `Timeout
+      end
+      else begin
+        let dt = Minjie.Difftest.create ~prog soc in
+        match Minjie.Difftest.run ~max_cycles dt with
+        | Minjie.Difftest.Finished c -> `Finished c
+        | Minjie.Difftest.Failed f -> `Failed f
+        | Minjie.Difftest.Running -> `Timeout
+      end
+    in
+    let secs = Unix.gettimeofday () -. t0 in
+    (match outcome with
+    | `Finished c -> Printf.printf "exit code %d\n" c
+    | `Failed (f : Minjie.Rule.failure) ->
+        Printf.printf "DIFFTEST FAILURE at cycle %d (rule %s): %s\n"
+          f.Minjie.Rule.f_cycle f.Minjie.Rule.f_rule f.Minjie.Rule.f_msg
+    | `Timeout -> Printf.printf "cycle budget exhausted\n");
+    Array.iteri
+      (fun i (core : Xiangshan.Core.t) ->
+        let p = core.Xiangshan.Core.perf in
+        Printf.printf
+          "hart %d: %d instrs / %d cycles = IPC %.3f | MPKI %.1f | fused %d \
+           | moves elim. %d | traps %d | interrupts %d\n"
+          i p.Xiangshan.Core.p_instrs p.Xiangshan.Core.p_cycles
+          (Xiangshan.Core.ipc core)
+          (Xiangshan.Bpu.mpki core.Xiangshan.Core.bpu
+             ~instructions:p.Xiangshan.Core.p_instrs)
+          p.Xiangshan.Core.p_fused p.Xiangshan.Core.p_moves_eliminated
+          p.Xiangshan.Core.p_traps p.Xiangshan.Core.p_interrupts)
+      soc.Xiangshan.Soc.cores;
+    Printf.printf "simulated %d cycles in %.2fs (%.0f kHz)\n"
+      soc.Xiangshan.Soc.now secs
+      (float_of_int soc.Xiangshan.Soc.now /. secs /. 1e3)
+  in
+  let no_difftest =
+    Arg.(value & flag & info [ "no-difftest" ] ~doc:"Run without the REF.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload on the cycle-level model under \
+                          DiffTest.")
+    Term.(
+      const run $ workload_arg $ config_arg $ scale_arg $ max_cycles_arg
+      $ no_difftest)
+
+(* ---- engines ----------------------------------------------------------- *)
+
+let engines_cmd =
+  let run name scale =
+    let w = find_workload name in
+    let scale = Option.value scale ~default:w.Workloads.Wl_common.small in
+    let prog = w.Workloads.Wl_common.program ~scale in
+    List.iter
+      (fun kind ->
+        let n, secs = Nemu.Engine.run_program kind prog in
+        Printf.printf "%-14s %10d instrs in %6.2fs = %8.1f MIPS\n"
+          (Nemu.Engine.name kind) n secs (Nemu.Engine.mips n secs))
+      Nemu.Engine.all
+  in
+  Cmd.v
+    (Cmd.info "engines" ~doc:"Compare the interpreter engines (Figure 8).")
+    Term.(const run $ workload_arg $ scale_arg)
+
+(* ---- checkpoint --------------------------------------------------------- *)
+
+let checkpoint_cmd =
+  let run name scale cfg interval k =
+    let w = find_workload name in
+    let scale = Option.value scale ~default:w.Workloads.Wl_common.small in
+    let prog = w.Workloads.Wl_common.program ~scale in
+    let ipc, results, stats =
+      Checkpoint.Sampled.estimate ~interval ~max_k:k cfg prog
+    in
+    Printf.printf
+      "%d instructions profiled, %d intervals, %d checkpoints (%.1f MIPS)\n"
+      stats.gen_instructions stats.gen_intervals stats.gen_selected
+      (float_of_int stats.gen_instructions /. stats.gen_seconds /. 1e6);
+    List.iter
+      (fun (r : Checkpoint.Sampled.sample_result) ->
+        Printf.printf "  checkpoint @%-4d weight %.2f ipc %.3f\n" r.sr_index
+          r.sr_weight r.sr_ipc)
+      results;
+    Printf.printf "weighted IPC estimate on %s: %.3f\n"
+      cfg.Xiangshan.Config.cfg_name ipc
+  in
+  let interval =
+    Arg.(value & opt int 50_000 & info [ "interval" ] ~docv:"N")
+  in
+  let k = Arg.(value & opt int 8 & info [ "clusters"; "k" ] ~docv:"K") in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Sampled performance evaluation with NEMU + SimPoint (§III-D3).")
+    Term.(const run $ workload_arg $ scale_arg $ config_arg $ interval $ k)
+
+(* ---- debug (the §IV-C workflow) ----------------------------------------- *)
+
+let debug_cmd =
+  let run inject =
+    let prog = Workloads.Smp.lrsc_contend ~scale:8 in
+    let inject_fn soc =
+      match inject with
+      | Some "l2-race" -> Xiangshan.Soc.inject_l2_race_bug soc ~core:0
+      | Some "skip-probe" -> Xiangshan.Soc.inject_skip_probe_bug soc
+      | Some other ->
+          Printf.eprintf "unknown fault %s (l2-race | skip-probe)\n" other;
+          exit 2
+      | None -> ()
+    in
+    match
+      Minjie.Workflow.run_verified ~prog ~inject:inject_fn Xiangshan.Config.nh
+    with
+    | Minjie.Workflow.Verified code -> Printf.printf "verified; exit %d\n" code
+    | Minjie.Workflow.Debugged r ->
+        Printf.printf "failure: %s (rule %s) at cycle %d\n"
+          r.first_failure.f_msg r.first_failure.f_rule r.first_failure.f_cycle;
+        Printf.printf "replayed %d cycles from cycle %d; reproduced: %b\n"
+          r.replay_cycles r.replay_from_cycle
+          (r.replay_failure <> None);
+        Format.printf "%a@." Minjie.Archdb.pp_summary r.db;
+        List.iteri
+          (fun i (o : Minjie.Archdb.overlap) ->
+            if i < 6 then
+              Printf.printf "overlap: block 0x%Lx %s acquire@%d probe@%d\n"
+                o.ov_addr o.ov_node o.ov_acquire_cycle o.ov_probe_cycle)
+          r.overlaps
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"FAULT" ~doc:"Inject l2-race or skip-probe.")
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:"Run the DiffTest + LightSSS + ArchDB workflow (§IV-C).")
+    Term.(const run $ inject)
+
+let () =
+  let doc = "MINJIE: agile RISC-V processor development platform (OCaml)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "minjie" ~doc)
+          [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; debug_cmd ]))

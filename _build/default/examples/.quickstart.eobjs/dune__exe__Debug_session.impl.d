@@ -1,0 +1,1 @@
+examples/debug_session.ml: Format List Minjie Printf Softmem Workloads Xiangshan

@@ -1,0 +1,1 @@
+examples/feature_exploration.ml: Array Printf Workloads Xiangshan

@@ -1,0 +1,1 @@
+examples/perf_eval.ml: Array Checkpoint List Printf Unix Workloads Xiangshan

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Insn Iss List Minjie Nemu Printf Riscv Workloads Xiangshan

@@ -1,0 +1,67 @@
+(* The §IV-C debugging case study, end to end:
+
+   a dual-core NH SoC with an injected L2 MSHR arbitration bug runs a
+   contended lock-free workload in fast mode under DiffTest +
+   LightSSS.  DiffTest reports a data mismatch against the Global
+   Memory; LightSSS restores the second-to-last snapshot and replays
+   the region of interest in debug mode with ArchDB recording; the
+   ArchDB queries then localise the overlapping Acquire/Probe
+   transactions on the corrupted cache block -- the same diagnosis
+   path the paper describes for the real XiangShan L2 bug.
+
+     dune exec examples/debug_session.exe *)
+
+let () =
+  let prog = Workloads.Smp.lrsc_contend ~scale:8 in
+  Printf.printf "running dual-core NH with an injected L2 Probe/Acquire race \
+                 bug on core 0...\n%!";
+  match
+    Minjie.Workflow.run_verified ~snapshot_interval:2000 ~prog
+      ~inject:(fun soc -> Xiangshan.Soc.inject_l2_race_bug soc ~core:0)
+      Xiangshan.Config.nh
+  with
+  | Minjie.Workflow.Verified code ->
+      Printf.printf "unexpected: the bug escaped (exit %d)\n" code
+  | Minjie.Workflow.Debugged r ->
+      let f = r.first_failure in
+      Printf.printf "\nDiffTest aborts the fast-mode run:\n";
+      Printf.printf "  cycle %d, hart %d, rule %-22s\n  %s\n" f.f_cycle
+        f.f_hart f.f_rule f.f_msg;
+      Printf.printf
+        "\nLightSSS: %d snapshots taken (%.1f ms total); restoring the \
+         snapshot at cycle %d and replaying %d cycles in debug mode...\n"
+        r.snapshots_taken
+        (1000. *. r.snapshot_seconds)
+        r.replay_from_cycle r.replay_cycles;
+      (match r.replay_failure with
+      | Some f' ->
+          Printf.printf "  bug reproduced at cycle %d under full recording\n"
+            f'.f_cycle
+      | None -> Printf.printf "  (bug did not reproduce in the window)\n");
+      Format.printf "\n%a@." Minjie.Archdb.pp_summary r.db;
+      Printf.printf
+        "\nArchDB: Acquire/Probe windows overlapping on the same block \
+         (the race signature):\n";
+      List.iteri
+        (fun i (o : Minjie.Archdb.overlap) ->
+          if i < 8 then
+            Printf.printf
+              "  block 0x%Lx at %-6s: Acquire @%d overlapped by Probe @%d \
+               (%d cycles apart)\n"
+              o.ov_addr o.ov_node o.ov_acquire_cycle o.ov_probe_cycle
+              (o.ov_probe_cycle - o.ov_acquire_cycle))
+        r.overlaps;
+      (* transaction history of the first overlapping block *)
+      (match r.overlaps with
+      | o :: _ ->
+          Printf.printf "\ntransaction history of block 0x%Lx:\n" o.ov_addr;
+          List.iteri
+            (fun i ev ->
+              if i < 14 then
+                Format.printf "  %a@." Softmem.Event.pp ev)
+            (Minjie.Archdb.transactions_for_line r.db ~addr:o.ov_addr)
+      | [] -> ());
+      Printf.printf
+        "\ndiagnosis: the L2 MSHR mishandles a Probe arriving while an \
+         Acquire is in flight on the same block\nand later grants stale \
+         data upward -- the injected §IV-C bug.\n"

@@ -1,0 +1,1 @@
+lib/checkpoint/arch_checkpoint.ml: Arch_state Array Bytes Char Csr Int64 Iss List Marshal Memory Nemu Platform Riscv Xiangshan

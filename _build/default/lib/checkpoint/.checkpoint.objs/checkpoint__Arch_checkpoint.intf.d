@@ -1,0 +1,1 @@
+lib/checkpoint/arch_checkpoint.mli: Bytes Iss Nemu Riscv Xiangshan

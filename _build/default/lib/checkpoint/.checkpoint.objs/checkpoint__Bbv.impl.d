@@ -1,0 +1,1 @@
+lib/checkpoint/bbv.ml: Array Hashtbl List Nemu Option

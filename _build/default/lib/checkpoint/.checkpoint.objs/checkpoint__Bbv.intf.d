@@ -1,0 +1,1 @@
+lib/checkpoint/bbv.mli: Hashtbl Nemu

@@ -1,0 +1,1 @@
+lib/checkpoint/sampled.ml: Arch_checkpoint Array Bbv List Nemu Riscv Simpoint Unix Xiangshan

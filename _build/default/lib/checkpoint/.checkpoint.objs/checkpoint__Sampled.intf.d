@@ -1,0 +1,1 @@
+lib/checkpoint/sampled.mli: Arch_checkpoint Riscv Xiangshan

@@ -1,0 +1,1 @@
+lib/checkpoint/simpoint.ml: Array Bbv Fun Int64 List Seq

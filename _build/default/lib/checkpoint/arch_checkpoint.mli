@@ -1,0 +1,41 @@
+(** RISC-V architectural checkpoints (paper §III-D3, Figure 9).
+
+    A checkpoint captures pc, integer and FP registers, the
+    restorable CSRs and the sparse physical-memory image, using only
+    basic RV64 state -- independent of the debug-mode extension, as
+    the paper emphasises for early-stage processors.  Checkpoints are
+    generated at NEMU speed and restored into any of the three
+    execution substrates. *)
+
+type t = {
+  ck_pc : int64;
+  ck_regs : int64 array;
+  ck_fregs : int64 array;
+  ck_priv : Riscv.Csr.priv;
+  ck_csrs : (int * int64) list;
+  ck_pages : (int * Bytes.t) list; (** sparse: only allocated pages *)
+  ck_page_bits : int;
+  ck_mem_base : int64;
+  ck_mem_size : int;
+  ck_instret : int64; (** position in the program *)
+}
+
+val restorable_csrs : int list
+
+val capture_mach : Nemu.Mach.t -> t
+
+val restore_arch : t -> Riscv.Arch_state.t -> Riscv.Platform.t -> unit
+
+val restore_soc : t -> Xiangshan.Soc.t -> unit
+(** Restore into hart 0 of a freshly created SoC, including syncing
+    the physical register file with the restored architectural
+    values. *)
+
+val restore_interp : t -> Iss.Interp.t -> unit
+
+val save : t -> path:string -> unit
+
+val load : path:string -> t
+
+val size_bytes : t -> int
+(** Bytes of captured memory pages. *)

@@ -1,0 +1,58 @@
+(* Basic-block-vector collection (paper §III-D3: "it is easy to
+   compute the Basic Block Vector in NEMU, since it is straightforward
+   to collect information about instructions in an interpreter").
+
+   The NEMU fast engine reports control-flow edges; each edge source
+   identifies the basic block that just ended.  Per fixed-size
+   instruction interval we accumulate a sparse block-frequency vector. *)
+
+type vector = (int64 * float) list (* block id -> normalised frequency *)
+
+type t = {
+  interval : int; (* instructions per interval *)
+  counts : (int64, int) Hashtbl.t;
+  mutable vectors : vector list; (* reverse order *)
+  mutable intervals_done : int;
+  mutable last_boundary : int; (* instret at last boundary *)
+}
+
+let create ~interval =
+  {
+    interval;
+    counts = Hashtbl.create 1024;
+    vectors = [];
+    intervals_done = 0;
+    last_boundary = 0;
+  }
+
+let snapshot_vector (t : t) =
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) t.counts 0 in
+  if total > 0 then begin
+    let v =
+      Hashtbl.fold
+        (fun pc c acc -> (pc, float_of_int c /. float_of_int total) :: acc)
+        t.counts []
+    in
+    t.vectors <- v :: t.vectors;
+    t.intervals_done <- t.intervals_done + 1;
+    Hashtbl.reset t.counts
+  end
+
+(* Attach to a NEMU fast engine: the engine's instret drives interval
+   boundaries. *)
+let attach (t : t) (engine : Nemu.Fast.t) =
+  engine.Nemu.Fast.prof_on <- true;
+  engine.Nemu.Fast.prof_edge <-
+    (fun src _dst ->
+      Hashtbl.replace t.counts src
+        (1 + Option.value (Hashtbl.find_opt t.counts src) ~default:0);
+      let m = engine.Nemu.Fast.m in
+      if m.Nemu.Mach.instret - t.last_boundary >= t.interval then begin
+        t.last_boundary <- m.Nemu.Mach.instret;
+        snapshot_vector t
+      end)
+
+let finish (t : t) =
+  if Hashtbl.length t.counts > 0 then snapshot_vector t
+
+let vectors (t : t) : vector array = Array.of_list (List.rev t.vectors)

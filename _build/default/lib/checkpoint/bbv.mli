@@ -1,0 +1,30 @@
+(** Basic-block-vector collection inside NEMU (paper §III-D3).
+
+    The fast engine reports control-flow edges; each edge source
+    identifies the basic block that just ended.  Per fixed-size
+    instruction interval a sparse, normalised block-frequency vector
+    is accumulated for SimPoint clustering. *)
+
+type vector = (int64 * float) list
+(** Sparse (block id, frequency) pairs; frequencies sum to 1 within an
+    interval. *)
+
+type t = {
+  interval : int;
+  counts : (int64, int) Hashtbl.t;
+  mutable vectors : vector list;
+  mutable intervals_done : int;
+  mutable last_boundary : int;
+}
+
+val create : interval:int -> t
+
+val attach : t -> Nemu.Fast.t -> unit
+(** Enable profiling on the engine and route its control-flow edges
+    here; interval boundaries follow the engine's [instret]. *)
+
+val finish : t -> unit
+(** Flush the partial last interval. *)
+
+val vectors : t -> vector array
+(** Vectors in execution order. *)

@@ -1,0 +1,154 @@
+(* SimPoint-style interval selection [70]: random-project the sparse
+   basic-block vectors to a small dense space, cluster with k-means,
+   and pick one representative interval per cluster, weighted by
+   cluster population.
+
+   Deterministic throughout: the projection and the k-means
+   initialisation use a seeded xorshift generator (simulator rule: no
+   wall-clock randomness). *)
+
+type selection = { sp_interval : int (* index *); sp_weight : float }
+
+let dims = 15
+
+(* deterministic per-key pseudo-random projection coefficient *)
+let proj_coeff (block : int64) (dim : int) : float =
+  let x =
+    ref
+      (Int64.logxor
+         (Int64.mul block 0x9E3779B97F4A7C15L)
+         (Int64.of_int ((dim * 0x85EBCA6B) + 1)))
+  in
+  x := Int64.logxor !x (Int64.shift_left !x 13);
+  x := Int64.logxor !x (Int64.shift_right_logical !x 7);
+  x := Int64.logxor !x (Int64.shift_left !x 17);
+  (* map to [-1, 1] *)
+  Int64.to_float !x /. 9.223372036854775808e18
+
+let project (v : Bbv.vector) : float array =
+  let out = Array.make dims 0.0 in
+  List.iter
+    (fun (block, freq) ->
+      for d = 0 to dims - 1 do
+        out.(d) <- out.(d) +. (freq *. proj_coeff block d)
+      done)
+    v;
+  out
+
+let dist2 a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+(* Plain Lloyd k-means with deterministic farthest-point seeding. *)
+let kmeans (points : float array array) ~k : int array =
+  let n = Array.length points in
+  let k = min k n in
+  let centroids = Array.make k points.(0) in
+  (* farthest-point init *)
+  for c = 1 to k - 1 do
+    let best = ref 0 and best_d = ref neg_infinity in
+    Array.iteri
+      (fun i p ->
+        let d =
+          Array.fold_left
+            (fun acc j -> min acc (dist2 p j))
+            infinity
+            (Array.sub centroids 0 c)
+        in
+        if d > !best_d then begin
+          best_d := d;
+          best := i
+        end)
+      points;
+    centroids.(c) <- points.(!best)
+  done;
+  let assign = Array.make n 0 in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters < 50 do
+    incr iters;
+    changed := false;
+    (* assignment *)
+    Array.iteri
+      (fun i p ->
+        let best = ref 0 and best_d = ref infinity in
+        Array.iteri
+          (fun c cent ->
+            let d = dist2 p cent in
+            if d < !best_d then begin
+              best_d := d;
+              best := c
+            end)
+          centroids;
+        if assign.(i) <> !best then begin
+          assign.(i) <- !best;
+          changed := true
+        end)
+      points;
+    (* update *)
+    for c = 0 to k - 1 do
+      let members = ref 0 in
+      let acc = Array.make dims 0.0 in
+      Array.iteri
+        (fun i p ->
+          if assign.(i) = c then begin
+            incr members;
+            Array.iteri (fun d x -> acc.(d) <- acc.(d) +. x) p
+          end)
+        points;
+      if !members > 0 then
+        centroids.(c) <-
+          Array.map (fun x -> x /. float_of_int !members) acc
+    done
+  done;
+  assign
+
+(* Select representative intervals with weights (fractions of the
+   total instruction count they stand for). *)
+let select (vectors : Bbv.vector array) ~(max_k : int) : selection list =
+  let n = Array.length vectors in
+  if n = 0 then []
+  else begin
+    let points = Array.map project vectors in
+    let k = max 1 (min max_k n) in
+    let assign = kmeans points ~k in
+    (* centroid of each cluster, then the member closest to it *)
+    let selections = ref [] in
+    for c = 0 to k - 1 do
+      let members =
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun i -> if assign.(i) = c then Some i else None)
+                (Seq.init n Fun.id)))
+      in
+      match members with
+      | [] -> ()
+      | _ ->
+          let m = List.length members in
+          let cent = Array.make dims 0.0 in
+          List.iter
+            (fun i -> Array.iteri (fun d x -> cent.(d) <- cent.(d) +. x) points.(i))
+            members;
+          let cent = Array.map (fun x -> x /. float_of_int m) cent in
+          let best =
+            List.fold_left
+              (fun (bi, bd) i ->
+                let d = dist2 points.(i) cent in
+                if d < bd then (i, d) else (bi, bd))
+              (List.hd members, infinity)
+              members
+          in
+          selections :=
+            {
+              sp_interval = fst best;
+              sp_weight = float_of_int m /. float_of_int n;
+            }
+            :: !selections
+    done;
+    List.sort (fun a b -> compare a.sp_interval b.sp_interval) !selections
+  end

@@ -1,0 +1,24 @@
+(** SimPoint-style interval selection [Sherwood et al.]: project the
+    sparse basic-block vectors to a small dense space, cluster with
+    k-means, and pick one representative interval per cluster,
+    weighted by cluster population.
+
+    Fully deterministic (seeded hashing for the projection,
+    farthest-point initialisation for k-means), as a simulation tool
+    must be: the same profile always selects the same checkpoints. *)
+
+type selection = {
+  sp_interval : int; (** index of the representative interval *)
+  sp_weight : float; (** fraction of execution this cluster covers *)
+}
+
+val dims : int
+(** Dimensionality of the random projection (15, as in SimPoint). *)
+
+val project : Bbv.vector -> float array
+
+val kmeans : float array array -> k:int -> int array
+(** Cluster assignment for each point. *)
+
+val select : Bbv.vector array -> max_k:int -> selection list
+(** Representatives sorted by interval index; weights sum to 1. *)

@@ -1,0 +1,1 @@
+lib/core/archdb.pp.ml: Array Format Hashtbl Int64 List Queue Softmem Xiangshan

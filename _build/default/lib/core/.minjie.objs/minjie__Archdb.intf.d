@@ -1,0 +1,1 @@
+lib/core/archdb.pp.mli: Format Queue Softmem Xiangshan

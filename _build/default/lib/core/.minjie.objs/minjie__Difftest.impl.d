@@ -1,0 +1,1 @@
+lib/core/difftest.pp.ml: Arch_state Array Asm Global_memory Hashtbl Iss List Option Platform Printf Queue Riscv Rule Rules Softmem Xiangshan

@@ -1,0 +1,1 @@
+lib/core/difftest.pp.mli: Queue Riscv Rule Softmem Xiangshan

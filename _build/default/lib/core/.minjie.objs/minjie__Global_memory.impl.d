@@ -1,0 +1,1 @@
+lib/core/global_memory.pp.ml: Array Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/core/rule.pp.ml: Global_memory Hashtbl Iss Option Printf Xiangshan

@@ -1,0 +1,1 @@
+lib/core/rule.pp.mli: Global_memory Hashtbl Iss Xiangshan

@@ -1,0 +1,1 @@
+lib/core/rules.pp.ml: Array Csr Global_memory Insn Iss List Printf Riscv Rule Trap Xiangshan

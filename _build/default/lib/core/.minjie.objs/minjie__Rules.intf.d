@@ -1,0 +1,1 @@
+lib/core/rules.pp.mli: Rule

@@ -1,0 +1,1 @@
+lib/core/workflow.pp.ml: Archdb Array Difftest Global_memory Hashtbl Iss Lightsss Riscv Rule Xiangshan

@@ -1,0 +1,1 @@
+lib/core/workflow.pp.mli: Archdb Difftest Lightsss Riscv Rule Xiangshan

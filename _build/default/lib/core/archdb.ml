@@ -1,0 +1,129 @@
+(* ArchDB (§III-B3): a typed in-memory event database fed by the
+   information probes.
+
+   The paper's version is SQLite-backed with tables auto-generated
+   from probe definitions; here each probe type gets a typed table
+   with filtering and query helpers, and the analyses the §IV-C
+   debugging session needs -- transaction histories per cache block,
+   overlapping Acquire/Probe windows -- are provided as queries. *)
+
+type commit_row = Xiangshan.Probe.commit
+
+type drain_row = Xiangshan.Probe.store_drain
+
+type cache_row = Softmem.Event.t
+
+type 'a table = { t_name : string; rows : 'a Queue.t; mutable capacity : int }
+
+let make_table name ?(capacity = 1_000_000) () =
+  { t_name = name; rows = Queue.create (); capacity }
+
+let insert tbl row =
+  Queue.add row tbl.rows;
+  if Queue.length tbl.rows > tbl.capacity then ignore (Queue.pop tbl.rows)
+
+let to_list tbl = List.of_seq (Queue.to_seq tbl.rows)
+
+let filter tbl p = List.filter p (to_list tbl)
+
+let count tbl = Queue.length tbl.rows
+
+type t = {
+  commits : commit_row table;
+  drains : drain_row table;
+  cache_events : cache_row table;
+}
+
+let create ?(capacity = 1_000_000) () =
+  {
+    commits = make_table "commits" ~capacity ();
+    drains = make_table "store_drains" ~capacity ();
+    cache_events = make_table "cache_transactions" ~capacity ();
+  }
+
+(* Attach to a SoC: tees every probe stream into the database while
+   preserving previously installed sinks (e.g. DiffTest's). *)
+let attach (db : t) (soc : Xiangshan.Soc.t) =
+  Array.iter
+    (fun (core : Xiangshan.Core.t) ->
+      let p = core.Xiangshan.Core.probes in
+      let old_commit = p.Xiangshan.Probe.on_commit in
+      p.Xiangshan.Probe.on_commit <-
+        (fun c ->
+          insert db.commits c;
+          old_commit c);
+      let old_drain = p.Xiangshan.Probe.on_drain in
+      p.Xiangshan.Probe.on_drain <-
+        (fun d ->
+          insert db.drains d;
+          old_drain d))
+    soc.Xiangshan.Soc.cores;
+  let old_sink = soc.Xiangshan.Soc.event_sink in
+  Xiangshan.Soc.set_event_sink soc (fun ev ->
+      insert db.cache_events ev;
+      old_sink ev)
+
+(* ---- queries ---------------------------------------------------------- *)
+
+(* All coherence transactions touching the line of [addr], in time
+   order. *)
+let transactions_for_line (db : t) ~(addr : int64) : cache_row list =
+  let line = Int64.shift_right_logical addr 6 in
+  filter db.cache_events (fun (e : cache_row) ->
+      Int64.shift_right_logical e.Softmem.Event.addr 6 = line)
+
+(* Find blocks where a Probe arrived at a node within [window] cycles
+   after an Acquire on the same block -- the §IV-C race signature. *)
+type overlap = {
+  ov_addr : int64;
+  ov_node : string;
+  ov_acquire_cycle : int;
+  ov_probe_cycle : int;
+}
+
+let acquire_probe_overlaps (db : t) ~(window : int) : overlap list =
+  let acquires = Hashtbl.create 64 in
+  let result = ref [] in
+  List.iter
+    (fun (e : cache_row) ->
+      match e.Softmem.Event.xact with
+      | Softmem.Perm.Acquire _ ->
+          Hashtbl.replace acquires
+            (e.Softmem.Event.node, e.Softmem.Event.addr)
+            e.Softmem.Event.cycle
+      | Softmem.Perm.Probe _ -> (
+          match
+            Hashtbl.find_opt acquires (e.Softmem.Event.node, e.Softmem.Event.addr)
+          with
+          | Some acq when e.Softmem.Event.cycle - acq <= window ->
+              result :=
+                {
+                  ov_addr = e.Softmem.Event.addr;
+                  ov_node = e.Softmem.Event.node;
+                  ov_acquire_cycle = acq;
+                  ov_probe_cycle = e.Softmem.Event.cycle;
+                }
+                :: !result
+          | Some _ | None -> ())
+      | Softmem.Perm.Grant _ | Softmem.Perm.Probe_ack _ | Softmem.Perm.Release
+        ->
+          ())
+    (to_list db.cache_events);
+  List.rev !result
+
+(* Commits in a cycle range (the LightSSS region of interest). *)
+let commits_between (db : t) ~from_cycle ~to_cycle : commit_row list =
+  filter db.commits (fun (c : commit_row) ->
+      c.Xiangshan.Probe.p_cycle >= from_cycle
+      && c.Xiangshan.Probe.p_cycle <= to_cycle)
+
+(* The last stores that drained to the line of [addr]. *)
+let drains_for_line (db : t) ~(addr : int64) : drain_row list =
+  let line = Int64.shift_right_logical addr 6 in
+  filter db.drains (fun (d : drain_row) ->
+      Int64.shift_right_logical d.Xiangshan.Probe.d_paddr 6 = line)
+
+let pp_summary fmt (db : t) =
+  Format.fprintf fmt
+    "ArchDB: %d commits, %d store drains, %d cache transactions"
+    (count db.commits) (count db.drains) (count db.cache_events)

@@ -1,0 +1,59 @@
+(** ArchDB (paper §III-B3): a typed in-memory event database fed by
+    the information probes.
+
+    The paper's ArchDB is SQLite-backed with tables auto-generated
+    from probe definitions; here each probe type has a typed, bounded
+    table plus the queries the §IV-C debugging session needs. *)
+
+type commit_row = Xiangshan.Probe.commit
+
+type drain_row = Xiangshan.Probe.store_drain
+
+type cache_row = Softmem.Event.t
+
+type 'a table = { t_name : string; rows : 'a Queue.t; mutable capacity : int }
+
+val make_table : string -> ?capacity:int -> unit -> 'a table
+
+val insert : 'a table -> 'a -> unit
+(** Bounded: the oldest row is dropped beyond [capacity]. *)
+
+val to_list : 'a table -> 'a list
+
+val filter : 'a table -> ('a -> bool) -> 'a list
+
+val count : 'a table -> int
+
+type t = {
+  commits : commit_row table;
+  drains : drain_row table;
+  cache_events : cache_row table;
+}
+
+val create : ?capacity:int -> unit -> t
+
+val attach : t -> Xiangshan.Soc.t -> unit
+(** Tee every probe stream of the SoC into the database, preserving
+    previously installed sinks (DiffTest's, for instance). *)
+
+(** {1 Queries} *)
+
+val transactions_for_line : t -> addr:int64 -> cache_row list
+(** All coherence transactions touching the 64-byte line of [addr]. *)
+
+type overlap = {
+  ov_addr : int64;
+  ov_node : string;
+  ov_acquire_cycle : int;
+  ov_probe_cycle : int;
+}
+
+val acquire_probe_overlaps : t -> window:int -> overlap list
+(** Blocks where a Probe reached a node within [window] cycles of an
+    Acquire on the same block -- the §IV-C race signature. *)
+
+val commits_between : t -> from_cycle:int -> to_cycle:int -> commit_row list
+
+val drains_for_line : t -> addr:int64 -> drain_row list
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,274 @@
+(* DiffTest: the DRAV co-simulation framework for RISC-V processors
+   (§III-B, Figure 4).
+
+   The DUT (a Xiangshan.Soc) and one single-core REF per hart run
+   simultaneously; the DUT's commit stream, extracted by the
+   information probes, drives the REFs instruction by instruction.
+   Diff-rules reconcile legal micro-architecture-dependent divergence;
+   anything they cannot justify aborts the simulation with a located
+   failure, which the LightSSS workflow can then replay in debug
+   mode. *)
+
+open Riscv
+
+type status =
+  | Running
+  | Finished of int (* exit code *)
+  | Failed of Rule.failure
+
+type t = {
+  soc : Xiangshan.Soc.t;
+  ctx : Rule.ctx;
+  rules : Rule.t list;
+  queues : Xiangshan.Probe.commit Queue.t array;
+  scoreboard : Softmem.Scoreboard.t option;
+  mutable status : status;
+  mutable commits_checked : int;
+  mutable debug_log : (int * string) list; (* debug mode only *)
+  mutable debug : bool;
+  last_commit_cycle : int array; (* per-hart watchdog *)
+  mutable commit_timeout : int;
+}
+
+let fail_now (t : t) ~hart ~pc ~rule msg =
+  if
+    match t.status with
+    | Running -> true
+    | Finished _ | Failed _ -> false
+  then
+    t.status <-
+      Failed
+        {
+          Rule.f_cycle = t.soc.Xiangshan.Soc.now;
+          f_hart = hart;
+          f_pc = pc;
+          f_rule = rule;
+          f_msg = msg;
+        }
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.debug then t.debug_log <- (t.soc.Xiangshan.Soc.now, s) :: t.debug_log)
+    fmt
+
+(* Attach probes to the SoC and build REFs mirroring the program. *)
+let create ?rules ?(with_scoreboard = true)
+    ~(prog : Asm.program) (soc : Xiangshan.Soc.t) : t =
+  let rules = match rules with Some r -> r | None -> Rules.standard () in
+  let n = Array.length soc.Xiangshan.Soc.cores in
+  let refs =
+    Array.init n (fun hartid ->
+        let r = Iss.Interp.create ~autonomous:false ~hartid () in
+        Iss.Interp.load_program r prog;
+        r)
+  in
+  let ctx =
+    {
+      Rule.refs;
+      global_mem = Global_memory.create ();
+      soc;
+      failure = None;
+      forced_history = Hashtbl.create 64;
+    }
+  in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let scoreboard =
+    if not with_scoreboard then None
+    else begin
+      let parent, children =
+        match soc.Xiangshan.Soc.l3 with
+        | Some _ ->
+            ( "l3",
+              Array.init n (fun i -> Printf.sprintf "l2.%d" i) )
+        | None ->
+            ( "l2.0",
+              [| "l1i.0"; "l1d.0"; "ptw.0" |] )
+      in
+      Some (Softmem.Scoreboard.create ~node:parent ~children)
+    end
+  in
+  let t =
+    {
+      soc;
+      ctx;
+      rules;
+      queues;
+      scoreboard;
+      status = Running;
+      commits_checked = 0;
+      debug_log = [];
+      debug = false;
+      last_commit_cycle = Array.make n 0;
+      commit_timeout = 20_000;
+    }
+  in
+  Array.iteri
+    (fun i core ->
+      core.Xiangshan.Core.probes.Xiangshan.Probe.on_commit <-
+        (fun p -> Queue.add p t.queues.(i));
+      core.Xiangshan.Core.probes.Xiangshan.Probe.on_drain <-
+        (fun d ->
+          Global_memory.record ctx.Rule.global_mem
+            ~cycle:d.Xiangshan.Probe.d_cycle ~paddr:d.Xiangshan.Probe.d_paddr
+            ~size:d.Xiangshan.Probe.d_size ~value:d.Xiangshan.Probe.d_value))
+    soc.Xiangshan.Soc.cores;
+  (match scoreboard with
+  | Some sb ->
+      Xiangshan.Soc.set_event_sink soc (fun ev ->
+          Softmem.Scoreboard.observe sb ev)
+  | None -> ());
+  t
+
+let apply_pre t ~hart (p : Xiangshan.Probe.commit) =
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.Rule.pre with
+      | Some f -> if f t.ctx ~hart p then r.Rule.fires <- r.Rule.fires + 1
+      | None -> ())
+    t.rules
+
+let apply_post t ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) =
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.Rule.post with
+      | Some f -> (
+          match f t.ctx ~hart p c with
+          | Rule.Pass -> ()
+          | Rule.Patched ->
+              r.Rule.fires <- r.Rule.fires + 1;
+              log t "rule %s patched REF at pc=0x%Lx" r.Rule.name p.p_pc
+          | Rule.Fail msg ->
+              r.Rule.fires <- r.Rule.fires + 1;
+              fail_now t ~hart ~pc:p.p_pc ~rule:r.Rule.name msg)
+      | None -> ())
+    t.rules
+
+let process_commit t ~hart (p : Xiangshan.Probe.commit) =
+  let r = t.ctx.Rule.refs.(hart) in
+  t.commits_checked <- t.commits_checked + 1;
+  t.last_commit_cycle.(hart) <- p.p_cycle;
+  apply_pre t ~hart p;
+  (match t.ctx.Rule.failure with
+  | Some f ->
+      t.status <- Failed f;
+      t.ctx.Rule.failure <- None
+  | None -> ());
+  match t.status with
+  | Failed _ | Finished _ -> ()
+  | Running -> (
+      match Iss.Interp.step r with
+      | Iss.Interp.Exited -> ()
+      | Iss.Interp.Committed c -> (
+          if c.Iss.Interp.pc <> p.p_pc then
+            fail_now t ~hart ~pc:p.p_pc ~rule:"pc-check"
+              (Printf.sprintf "pc mismatch: DUT commits 0x%Lx, REF at 0x%Lx"
+                 p.p_pc c.Iss.Interp.pc);
+          (* fused second instruction: the REF executes both *)
+          let final_c =
+            match p.p_second with
+            | Some _ -> (
+                match Iss.Interp.step r with
+                | Iss.Interp.Committed c2 -> c2
+                | Iss.Interp.Exited -> c)
+            | None -> c
+          in
+          apply_post t ~hart p c;
+          match t.status with
+          | Failed _ | Finished _ -> ()
+          | Running ->
+              if
+                final_c.Iss.Interp.next_pc <> p.p_next_pc
+                && p.p_trap = None && p.p_interrupt = None
+              then
+                fail_now t ~hart ~pc:p.p_pc ~rule:"next-pc-check"
+                  (Printf.sprintf
+                     "next pc mismatch at 0x%Lx: DUT 0x%Lx, REF 0x%Lx" p.p_pc
+                     p.p_next_pc final_c.Iss.Interp.next_pc)))
+
+(* End-of-cycle architectural comparison (after the commit queue of
+   each hart has been drained). *)
+let compare_states t =
+  Array.iteri
+    (fun hart (core : Xiangshan.Core.t) ->
+      if not (Queue.is_empty t.queues.(hart)) then ()
+      else
+        let r = t.ctx.Rule.refs.(hart) in
+        match Arch_state.diff core.Xiangshan.Core.arch r.Iss.Interp.st with
+        | Some msg ->
+            fail_now t ~hart ~pc:core.Xiangshan.Core.arch.Arch_state.pc
+              ~rule:"state-compare" msg
+        | None -> ())
+    t.soc.Xiangshan.Soc.cores
+
+let check_scoreboard t =
+  match t.scoreboard with
+  | Some sb when not (Softmem.Scoreboard.ok sb) ->
+      let v = List.hd (Softmem.Scoreboard.violations sb) in
+      fail_now t ~hart:(-1) ~pc:0L ~rule:"cache-permission-scoreboard"
+        (Printf.sprintf "block 0x%Lx at cycle %d: %s"
+           v.Softmem.Scoreboard.v_addr v.Softmem.Scoreboard.v_cycle
+           v.Softmem.Scoreboard.v_msg)
+  | Some _ | None -> ()
+
+(* One co-simulated cycle. *)
+let tick t =
+  match t.status with
+  | Failed _ | Finished _ -> ()
+  | Running ->
+      Xiangshan.Soc.tick t.soc;
+      (* keep REF wall-clock in sync (part of the time diff-rule) *)
+      Array.iter
+        (fun r ->
+          Iss.Interp.set_time r
+            t.soc.Xiangshan.Soc.plat.Platform.clint.Platform.Clint.mtime)
+        t.ctx.Rule.refs;
+      Array.iteri
+        (fun hart q ->
+          while
+            (not (Queue.is_empty q))
+            && match t.status with Running -> true | _ -> false
+          do
+            process_commit t ~hart (Queue.pop q)
+          done)
+        t.queues;
+      (match t.status with
+      | Running ->
+          compare_states t;
+          check_scoreboard t;
+          (* watchdog: a hart that stops committing is hung (the way
+             the injected L2 bug shows up when a core spins on its own
+             poisoned lock line) *)
+          Array.iteri
+            (fun hart last ->
+              if
+                t.soc.Xiangshan.Soc.now - last > t.commit_timeout
+                && not (Xiangshan.Soc.exited t.soc)
+              then
+                fail_now t ~hart
+                  ~pc:t.soc.Xiangshan.Soc.cores.(hart)
+                        .Xiangshan.Core.arch.Arch_state.pc
+                  ~rule:"commit-watchdog"
+                  (Printf.sprintf "hart %d committed nothing for %d cycles"
+                     hart t.commit_timeout))
+            t.last_commit_cycle;
+          if Xiangshan.Soc.exited t.soc then
+            t.status <-
+              Finished (Option.value (Xiangshan.Soc.exit_code t.soc) ~default:(-1))
+      | Failed _ | Finished _ -> ())
+
+let run ?(max_cycles = 50_000_000) t : status =
+  let start = t.soc.Xiangshan.Soc.now in
+  while
+    (match t.status with Running -> true | Failed _ | Finished _ -> false)
+    && t.soc.Xiangshan.Soc.now - start < max_cycles
+  do
+    tick t
+  done;
+  t.status
+
+let rule_fire_counts t =
+  List.map (fun (r : Rule.t) -> (r.Rule.name, r.Rule.fires)) t.rules
+
+let enable_debug t = t.debug <- true
+
+let debug_log t = List.rev t.debug_log

@@ -1,0 +1,57 @@
+(** DiffTest: the DRAV co-simulation framework for RISC-V processors
+    (paper §III-B, Figure 4).
+
+    A DUT ({!Xiangshan.Soc}) and one single-core REF per hart run
+    simultaneously; the DUT's commit stream, extracted by the
+    information probes, drives the REFs instruction by instruction.
+    Diff-rules reconcile legal micro-architecture-dependent
+    divergence; anything they cannot justify aborts the co-simulation
+    with a located failure, which the LightSSS workflow can replay in
+    debug mode.
+
+    Always-on checks beyond the rules: per-commit pc and next-pc
+    agreement, full architectural-state comparison at every cycle
+    boundary, the permission scoreboard on the shared cache level,
+    and a per-hart commit watchdog (a hart that stops committing is a
+    hang). *)
+
+type status = Running | Finished of int | Failed of Rule.failure
+
+type t = {
+  soc : Xiangshan.Soc.t;
+  ctx : Rule.ctx;
+  rules : Rule.t list;
+  queues : Xiangshan.Probe.commit Queue.t array;
+  scoreboard : Softmem.Scoreboard.t option;
+  mutable status : status;
+  mutable commits_checked : int;
+  mutable debug_log : (int * string) list;
+  mutable debug : bool;
+  last_commit_cycle : int array;
+  mutable commit_timeout : int;
+}
+
+val create :
+  ?rules:Rule.t list ->
+  ?with_scoreboard:bool ->
+  prog:Riscv.Asm.program ->
+  Xiangshan.Soc.t ->
+  t
+(** Wire probes into the SoC (which must already have the program
+    loaded) and build one REF per hart running the same [prog].
+    [rules] defaults to a fresh {!Rules.standard} set. *)
+
+val tick : t -> unit
+(** One co-simulated cycle: advance the SoC, drain and check each
+    hart's commit queue, compare architectural states, check the
+    scoreboard and the watchdog. *)
+
+val run : ?max_cycles:int -> t -> status
+
+val rule_fire_counts : t -> (string * int) list
+
+val enable_debug : t -> unit
+(** Record rule-patch events into the debug log (used on the LightSSS
+    replay instance). *)
+
+val debug_log : t -> (int * string) list

@@ -1,0 +1,145 @@
+(* The Global Memory of the multi-core diff-rule (§III-B2b).
+
+   Records every store that enters the cache hierarchy of the DUT
+   (store-buffer drains, SC and AMO writes, from all harts), with the
+   drain cycle -- the "additional historical information" the paper's
+   checker keeps.
+
+   When a single-core REF's load disagrees with the DUT, DiffTest
+   consults this history: the DUT value is legal if, byte by byte, it
+   matches either the currently drained value or a value that was only
+   overwritten within the load's read window.  A value overwritten
+   long before the load read memory can no longer legally be observed
+   -- that is how the injected §IV-C stale-grant bug is reported as a
+   "data mismatch between DUT and the Global Memory".
+
+   Storage is word-granular (8-byte aligned) with per-entry byte
+   masks, so the table stays proportional to the stored footprint in
+   words, not bytes. *)
+
+type entry = {
+  e_mask : int; (* which bytes of the word this store wrote *)
+  e_value : int64; (* value positioned within the word *)
+  e_cycle : int;
+}
+
+type t = {
+  mutable words : (int64, entry list) Hashtbl.t; (* word index -> newest first *)
+  mutable stores_recorded : int;
+}
+
+(* Loads are judged at the cycle they read memory; the slack covers
+   drain/check ordering inside one simulator tick. *)
+let slack = 8
+
+(* A superseded value must be retained while any load that read it can
+   still be awaiting its commit-time check. *)
+let retention = 8192
+
+let create () = { words = Hashtbl.create (1 lsl 14); stores_recorded = 0 }
+
+(* Prune fully shadowed entries that can no longer matter: an entry is
+   dead once every byte it covers was overwritten by entries all older
+   than the retention horizon. *)
+let prune ~(now : int) (history : entry list) : entry list =
+  let cutoff = now - retention in
+  let shadow = Array.make 8 max_int (* max_int = byte still current *) in
+  let keep e =
+    let useful = ref false in
+    for b = 0 to 7 do
+      if e.e_mask land (1 lsl b) <> 0 then begin
+        if shadow.(b) = max_int || shadow.(b) >= cutoff then useful := true;
+        shadow.(b) <- e.e_cycle
+      end
+    done;
+    !useful
+  in
+  List.filter keep history
+
+let record (t : t) ~(cycle : int) ~(paddr : int64) ~(size : int)
+    ~(value : int64) =
+  t.stores_recorded <- t.stores_recorded + 1;
+  (* split into the (one or two) aligned words the store touches *)
+  let rec go i =
+    if i < size then begin
+      let a = Int64.add paddr (Int64.of_int i) in
+      let word = Int64.shift_right_logical a 3 in
+      let lane = Int64.to_int (Int64.logand a 7L) in
+      (* bytes of this store landing in this word *)
+      let n = min (size - i) (8 - lane) in
+      let mask = ((1 lsl n) - 1) lsl lane in
+      let chunk =
+        Int64.shift_left
+          (Int64.logand
+             (Int64.shift_right_logical value (8 * i))
+             (if n >= 8 then -1L else Int64.sub (Int64.shift_left 1L (8 * n)) 1L))
+          (8 * lane)
+      in
+      let prev = Option.value (Hashtbl.find_opt t.words word) ~default:[] in
+      Hashtbl.replace t.words word
+        ({ e_mask = mask; e_value = chunk; e_cycle = cycle }
+        :: prune ~now:cycle prev);
+      go (i + n)
+    end
+  in
+  go 0
+
+let byte_of v lane = Int64.to_int (Int64.shift_right_logical v (8 * lane)) land 0xFF
+
+(* Legality of one byte (word index + lane) holding [b] for a load
+   that read memory at cycle [at]. *)
+let byte_ok (t : t) ~(at : int) ~(word : int64) ~(lane : int) (b : int) :
+    [ `Ok | `Stale | `Unrecorded ] =
+  match Hashtbl.find_opt t.words word with
+  | None -> `Unrecorded
+  | Some history ->
+      let rec go ~overwrite = function
+        | [] -> if overwrite = max_int then `Unrecorded else `Stale
+        | e :: rest ->
+            if e.e_mask land (1 lsl lane) <> 0 then
+              if byte_of e.e_value lane = b && overwrite >= at - slack then `Ok
+              else go ~overwrite:e.e_cycle rest
+            else go ~overwrite rest
+      in
+      go ~overwrite:max_int history
+
+(* Is [value], read from memory at cycle [at], justifiable from the
+   drained-store history?  Bytes never stored come from the initial
+   image and are unconstrained. *)
+let compatible (t : t) ~(at : int) ~(paddr : int64) ~(size : int)
+    ~(value : int64) : bool =
+  let ok = ref true in
+  for i = 0 to size - 1 do
+    let a = Int64.add paddr (Int64.of_int i) in
+    let word = Int64.shift_right_logical a 3 in
+    let lane = Int64.to_int (Int64.logand a 7L) in
+    match byte_ok t ~at ~word ~lane (byte_of value i) with
+    | `Ok | `Unrecorded -> ()
+    | `Stale -> ok := false
+  done;
+  !ok
+
+(* The currently drained value, if every byte has been stored. *)
+let lookup (t : t) ~(paddr : int64) ~(size : int) : int64 option =
+  let v = ref 0L in
+  let all = ref true in
+  for i = size - 1 downto 0 do
+    let a = Int64.add paddr (Int64.of_int i) in
+    let word = Int64.shift_right_logical a 3 in
+    let lane = Int64.to_int (Int64.logand a 7L) in
+    let byte =
+      match Hashtbl.find_opt t.words word with
+      | None -> None
+      | Some history ->
+          List.find_map
+            (fun e ->
+              if e.e_mask land (1 lsl lane) <> 0 then
+                Some (byte_of e.e_value lane)
+              else None)
+            history
+    in
+    match byte with
+    | Some b -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+    | None -> all := false
+  done;
+  if !all then Some !v else None

@@ -1,0 +1,74 @@
+(** Diff-rules: the DRAV abstraction of paper §III-A.
+
+    A rule reconciles one class of legal micro-architecture-dependent
+    divergence between the DUT and the REF.  [pre] rules inspect a DUT
+    commit before the REF steps and may force an event onto it
+    (exception / interrupt / SC failure); [post] rules run after the
+    REF stepped and may patch it (non-deterministic CSR reads,
+    Global-Memory load values) or reject the commit as a real
+    mismatch.
+
+    Rules are data: {!Rules.standard} builds the RISC-V set, and
+    verification code can pass its own list to {!Difftest.create} --
+    which is what lets one REF serve many DUTs (the N-to-1
+    correspondence of Figure 1c). *)
+
+(** Shared state the rules operate on. *)
+type ctx = {
+  refs : Iss.Interp.t array; (** one single-core REF per hart *)
+  global_mem : Global_memory.t;
+  soc : Xiangshan.Soc.t;
+  mutable failure : failure option;
+  forced_history : (int * int64, int) Hashtbl.t;
+      (** per (hart, pc) counts guarding against forced-event
+          livelock (paper: forced events are "tracked and asserted
+          not to repeatedly occur") *)
+}
+
+and failure = {
+  f_cycle : int;
+  f_hart : int;
+  f_pc : int64;
+  f_rule : string;
+  f_msg : string;
+}
+
+type verdict = Pass | Patched | Fail of string
+
+type t = {
+  name : string;
+  descr : string;
+  mutable fires : int;
+  pre : (ctx -> hart:int -> Xiangshan.Probe.commit -> bool) option;
+      (** returns whether the rule fired (forced an event) *)
+  post :
+    (ctx ->
+    hart:int ->
+    Xiangshan.Probe.commit ->
+    Iss.Interp.commit ->
+    verdict)
+    option;
+}
+
+val make :
+  ?pre:(ctx -> hart:int -> Xiangshan.Probe.commit -> bool) ->
+  ?post:
+    (ctx ->
+    hart:int ->
+    Xiangshan.Probe.commit ->
+    Iss.Interp.commit ->
+    verdict) ->
+  name:string ->
+  descr:string ->
+  unit ->
+  t
+
+val fail :
+  ctx -> hart:int -> probe:Xiangshan.Probe.commit -> rule:string -> string -> unit
+
+val max_consecutive_forces : int
+
+val bump_force_guard :
+  ctx -> hart:int -> probe:Xiangshan.Probe.commit -> rule:string -> unit
+
+val clear_force_guard : ctx -> hart:int -> probe:Xiangshan.Probe.commit -> unit

@@ -1,0 +1,200 @@
+(* The standard diff-rule set for RISC-V processors (§III-B2).
+
+   Each rule abstracts one source of legal non-determinism.  Beyond
+   these, the machine-mode CSR rules of the paper (the "at least 120"
+   simple value rules) are generated programmatically in
+   [csr_read_rules]. *)
+
+open Riscv
+
+(* --- 1. speculative page faults (Figure 3) --------------------------- *)
+
+(* The DUT may take a page fault the REF would not take (speculative
+   TLB walk raced a PTE store still in the store buffer, or a cached
+   invalid PTE before sfence.vma).  The REF is forced to take the same
+   trap.  Identical architectural state afterwards is still required
+   (checked by the post-step state comparison). *)
+let page_fault_forcing () =
+  Rule.make ~name:"page-fault-forcing"
+    ~descr:
+      "DUT may fault on speculative/stale translations; REF is forced to \
+       take the same trap"
+    ~pre:(fun ctx ~hart (p : Xiangshan.Probe.commit) ->
+      match p.p_trap with
+      | Some (exc, tval) ->
+          Rule.bump_force_guard ctx ~hart ~probe:p ~rule:"page-fault-forcing";
+          Iss.Interp.force_exception ctx.Rule.refs.(hart) exc tval;
+          true
+      | None ->
+          Rule.clear_force_guard ctx ~hart ~probe:p;
+          false)
+    ()
+
+(* --- 2. asynchronous interrupts -------------------------------------- *)
+
+let interrupt_forcing () =
+  Rule.make ~name:"interrupt-forcing"
+    ~descr:
+      "interrupt arrival cycles are micro-architectural; REF takes the \
+       interrupt exactly when the DUT does"
+    ~pre:(fun ctx ~hart (p : Xiangshan.Probe.commit) ->
+      match p.p_interrupt with
+      | Some irq ->
+          (* mirror the pending bit so mip-dependent behaviour matches *)
+          Iss.Interp.set_mip_bit ctx.Rule.refs.(hart)
+            (Trap.irq_code irq) true;
+          Iss.Interp.force_interrupt ctx.Rule.refs.(hart) irq;
+          true
+      | None -> false)
+    ()
+
+(* --- 3. SC failures (LR/SC timeout, §III-B2c) ------------------------- *)
+
+let sc_failure_forcing () =
+  Rule.make ~name:"sc-failure-forcing"
+    ~descr:
+      "SC may fail on reservation timeout or eviction; the DUT failure is \
+       trusted and the REF SC is forced to fail too"
+    ~pre:(fun ctx ~hart (p : Xiangshan.Probe.commit) ->
+      if p.p_sc_failed then begin
+        Rule.bump_force_guard ctx ~hart ~probe:p ~rule:"sc-failure-forcing";
+        Iss.Interp.force_sc_failure ctx.Rule.refs.(hart);
+        true
+      end
+      else false)
+    ()
+
+(* --- 4. non-deterministic CSR reads ----------------------------------- *)
+
+(* Reads of counters and asynchronous status are micro-architecture
+   dependent: the DUT value is copied into the REF's destination
+   register and counter state.  This family stands in for the paper's
+   ~120 machine-mode CSR value rules. *)
+let nondet_csrs =
+  [ Csr.cycle; Csr.mcycle; Csr.time; Csr.instret; Csr.minstret; Csr.mip ]
+
+let csr_read_rule () =
+  Rule.make ~name:"csr-nondet-read"
+    ~descr:
+      "cycle/time/instret/mip reads depend on timing; the DUT value is \
+       propagated to the REF"
+    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) ->
+      match (p.p_csr_read, c.Iss.Interp.csr_read) with
+      | Some (addr, dut_v), Some (raddr, ref_v)
+        when addr = raddr && List.mem addr nondet_csrs ->
+          if dut_v <> ref_v then begin
+            let rd =
+              match p.p_insn with Insn.Csr (_, rd, _, _) -> rd | _ -> 0
+            in
+            Iss.Interp.patch_reg ctx.Rule.refs.(hart) rd dut_v;
+            (* keep the REF counters loosely in sync going forward *)
+            (if addr = Csr.cycle || addr = Csr.mcycle then
+               let r = ctx.Rule.refs.(hart) in
+               r.Iss.Interp.st.Riscv.Arch_state.csr.Csr.reg_mcycle <- dut_v);
+            (if addr = Csr.time then
+               Iss.Interp.set_time ctx.Rule.refs.(hart) dut_v);
+            Rule.Patched
+          end
+          else Rule.Pass
+      | _ -> Rule.Pass)
+    ()
+
+(* --- 5. MMIO loads ----------------------------------------------------- *)
+
+let mmio_load_trust () =
+  Rule.make ~name:"mmio-load-trust"
+    ~descr:
+      "memory-mapped IO devices are not modelled in the REF in detail; the \
+       DUT's MMIO load value is trusted and copied to the REF"
+    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) ->
+      if p.p_mmio then begin
+        match (p.p_load, c.Iss.Interp.load) with
+        | Some dut, Some _ ->
+            let rd =
+              match p.p_insn with
+              | Insn.Load (_, rd, _, _) -> rd
+              | _ -> 0
+            in
+            let extended =
+              match p.p_insn with
+              | Insn.Load (op, _, _, _) ->
+                  Iss.Alu.extend_load op dut.Xiangshan.Probe.m_value
+              | _ -> dut.Xiangshan.Probe.m_value
+            in
+            Iss.Interp.patch_reg ctx.Rule.refs.(hart) rd extended;
+            Rule.Patched
+        | _ -> Rule.Pass
+      end
+      else Rule.Pass)
+    ()
+
+(* --- 6. the Global Memory rule (multi-core, §III-B2b) ------------------ *)
+
+let global_memory_load () =
+  Rule.make ~name:"global-memory-load"
+    ~descr:
+      "a load value differing from the single-core REF is legal if it \
+       matches a store another hart drained into the cache hierarchy; the \
+       REF's local memory and destination register are updated"
+    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) ->
+      match (p.p_load, c.Iss.Interp.load) with
+      | Some dut, Some ref_acc when not p.p_mmio ->
+          if dut.Xiangshan.Probe.m_value = ref_acc.Iss.Interp.value then
+            Rule.Pass
+          else if
+            Global_memory.compatible ctx.Rule.global_mem
+              ~at:dut.Xiangshan.Probe.m_cycle ~paddr:dut.Xiangshan.Probe.m_paddr
+              ~size:dut.Xiangshan.Probe.m_size
+              ~value:dut.Xiangshan.Probe.m_value
+          then begin
+            (* legal cross-thread value: patch REF memory and rd *)
+            let r = ctx.Rule.refs.(hart) in
+            Iss.Interp.patch_mem r ~paddr:dut.Xiangshan.Probe.m_paddr
+              ~size:dut.Xiangshan.Probe.m_size
+              ~value:dut.Xiangshan.Probe.m_value;
+            (match p.p_insn with
+            | Insn.Load (op, rd, _, _) ->
+                Iss.Interp.patch_reg r rd
+                  (Iss.Alu.extend_load op dut.Xiangshan.Probe.m_value)
+            | Insn.Lr (w, rd, _) | Insn.Amo (_, w, rd, _, _) ->
+                let v =
+                  match w with
+                  | Insn.Width_w -> Iss.Alu.sext32 dut.Xiangshan.Probe.m_value
+                  | Insn.Width_d -> dut.Xiangshan.Probe.m_value
+                in
+                (* AMO rd gets the loaded (old) value; redo the AMO
+                   store on the REF with the patched old value *)
+                Iss.Interp.patch_reg r rd v;
+                (match p.p_insn with
+                | Insn.Amo (op, w, _, _, rs2) ->
+                    let src = Riscv.Arch_state.get_reg r.Iss.Interp.st rs2 in
+                    let nv = Iss.Alu.eval_amo op w v src in
+                    Iss.Interp.patch_mem r ~paddr:dut.Xiangshan.Probe.m_paddr
+                      ~size:dut.Xiangshan.Probe.m_size ~value:nv
+                | _ -> ())
+            | Insn.Fld (frd, _, _) ->
+                Riscv.Arch_state.set_freg r.Iss.Interp.st frd
+                  dut.Xiangshan.Probe.m_value
+            | _ -> ());
+            Rule.Patched
+          end
+          else
+            Rule.Fail
+              (Printf.sprintf
+                 "load @0x%Lx: DUT=0x%Lx REF=0x%Lx and Global Memory cannot \
+                  justify the DUT value"
+                 dut.Xiangshan.Probe.m_paddr dut.Xiangshan.Probe.m_value
+                 ref_acc.Iss.Interp.value)
+      | _ -> Rule.Pass)
+    ()
+
+(* Fresh rule instances (fire counters are per-DiffTest). *)
+let standard () : Rule.t list =
+  [
+    page_fault_forcing ();
+    interrupt_forcing ();
+    sc_failure_forcing ();
+    csr_read_rule ();
+    mmio_load_trust ();
+    global_memory_load ();
+  ]

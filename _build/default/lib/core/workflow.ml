@@ -1,0 +1,151 @@
+(* "Put it all together" (§III-E, §IV-C): the MINJIE verification
+   workflow.
+
+   A DUT runs in fast mode under DiffTest with LightSSS taking
+   periodic snapshots.  When DiffTest reports a mismatch, the older of
+   the two retained snapshots is restored and the last <= 2N cycles
+   are replayed with debugging enabled -- ArchDB capturing every
+   commit, store drain and coherence transaction -- and the report
+   localises the bug (for the §IV-C case study: the Acquire/Probe
+   overlap on the corrupted block). *)
+
+type debug_report = {
+  first_failure : Rule.failure;
+  replay_failure : Rule.failure option;
+  replay_from_cycle : int;
+  replay_cycles : int;
+  db : Archdb.t;
+  overlaps : Archdb.overlap list; (* §IV-C race signature *)
+  drains_near_failure : Xiangshan.Probe.store_drain list;
+  snapshots_taken : int;
+  snapshot_seconds : float;
+}
+
+type outcome =
+  | Verified of int (* exit code; no mismatch found *)
+  | Debugged of debug_report
+
+let memories_of (dt : Difftest.t) : Riscv.Memory.t list =
+  dt.Difftest.soc.Xiangshan.Soc.plat.Riscv.Platform.mem
+  :: Array.to_list
+       (Array.map
+          (fun (r : Iss.Interp.t) -> r.Iss.Interp.plat.Riscv.Platform.mem)
+          dt.Difftest.ctx.Rule.refs)
+
+(* The Global Memory grows with the stored footprint; like fork-shared
+   pages it is shared with the replayed instance instead of being
+   copied into every snapshot image. *)
+let subject_of (dt : Difftest.t) : Difftest.t Lightsss.subject =
+  let gm = dt.Difftest.ctx.Rule.global_mem in
+  let stash = ref None in
+  {
+    Lightsss.memories = memories_of dt;
+    roots = dt;
+    detach_heavy =
+      (fun () ->
+        stash := Some gm.Global_memory.words;
+        gm.Global_memory.words <- Hashtbl.create 1);
+    reattach_heavy =
+      (fun () ->
+        match !stash with
+        | Some w ->
+            gm.Global_memory.words <- w;
+            stash := None
+        | None -> ());
+  }
+
+(* Restore a snapshot of [dt], sharing the live Global Memory (a
+   superset of its state at snapshot time, which only makes the legal
+   set larger in the replayed window). *)
+let restore_shared (dt : Difftest.t) (snap : Lightsss.snapshot) : Difftest.t =
+  let dt' : Difftest.t = Lightsss.restore_with snap ~memories_of in
+  dt'.Difftest.ctx.Rule.global_mem.Global_memory.words <-
+    dt.Difftest.ctx.Rule.global_mem.Global_memory.words;
+  dt'
+
+(* Run [prog] on a SoC built from [cfg] under DiffTest + LightSSS.
+   [inject] can plant a fault after construction (used by the tests
+   and the debugging example). *)
+let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
+    ?(inject = fun (_ : Xiangshan.Soc.t) -> ()) ~(prog : Riscv.Asm.program)
+    (cfg : Xiangshan.Config.t) : outcome =
+  let soc = Xiangshan.Soc.create cfg in
+  Xiangshan.Soc.load_program soc prog;
+  inject soc;
+  let dt = Difftest.create ~prog soc in
+  let subject = subject_of dt in
+  let mgr = Lightsss.manager ~interval:snapshot_interval subject in
+  let start = soc.Xiangshan.Soc.now in
+  let running () =
+    match dt.Difftest.status with
+    | Difftest.Running -> soc.Xiangshan.Soc.now - start < max_cycles
+    | Difftest.Finished _ | Difftest.Failed _ -> false
+  in
+  while running () do
+    Lightsss.tick mgr ~cycle:soc.Xiangshan.Soc.now;
+    Difftest.tick dt
+  done;
+  match dt.Difftest.status with
+  | Difftest.Running | Difftest.Finished _ ->
+      Verified
+        (match dt.Difftest.status with
+        | Difftest.Finished c -> c
+        | Difftest.Running | Difftest.Failed _ -> -1)
+  | Difftest.Failed first_failure -> (
+      (* restore the older snapshot and replay in debug mode *)
+      match Lightsss.replay_point mgr with
+      | None ->
+          Debugged
+            {
+              first_failure;
+              replay_failure = None;
+              replay_from_cycle = 0;
+              replay_cycles = 0;
+              db = Archdb.create ();
+              overlaps = [];
+              drains_near_failure = [];
+              snapshots_taken = mgr.Lightsss.snapshots_taken;
+              snapshot_seconds = mgr.Lightsss.total_snapshot_seconds;
+            }
+      | Some snap ->
+          let dt' : Difftest.t = restore_shared dt snap in
+          (* debug mode: ArchDB + debug log on the replayed instance *)
+          let db = Archdb.create () in
+          Archdb.attach db dt'.Difftest.soc;
+          Difftest.enable_debug dt';
+          let replay_start = dt'.Difftest.soc.Xiangshan.Soc.now in
+          let budget = (2 * snapshot_interval) + 10_000 in
+          let rec go () =
+            match dt'.Difftest.status with
+            | Difftest.Running
+              when dt'.Difftest.soc.Xiangshan.Soc.now - replay_start < budget
+              ->
+                Difftest.tick dt';
+                go ()
+            | Difftest.Running | Difftest.Finished _ | Difftest.Failed _ -> ()
+          in
+          go ();
+          let replay_failure =
+            match dt'.Difftest.status with
+            | Difftest.Failed f -> Some f
+            | Difftest.Running | Difftest.Finished _ -> None
+          in
+          let overlaps = Archdb.acquire_probe_overlaps db ~window:60 in
+          let drains_near_failure =
+            match replay_failure with
+            | Some f when f.Rule.f_pc <> 0L ->
+                Archdb.drains_for_line db ~addr:f.Rule.f_pc
+            | Some _ | None -> []
+          in
+          Debugged
+            {
+              first_failure;
+              replay_failure;
+              replay_from_cycle = snap.Lightsss.snap_cycle;
+              replay_cycles = dt'.Difftest.soc.Xiangshan.Soc.now - replay_start;
+              db;
+              overlaps;
+              drains_near_failure;
+              snapshots_taken = mgr.Lightsss.snapshots_taken;
+              snapshot_seconds = mgr.Lightsss.total_snapshot_seconds;
+            })

@@ -1,0 +1,1 @@
+lib/iss/alu.pp.ml: Int64 Riscv Softfloat

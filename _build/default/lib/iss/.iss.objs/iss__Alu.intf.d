@@ -1,0 +1,1 @@
+lib/iss/alu.pp.mli: Riscv

@@ -1,0 +1,1 @@
+lib/iss/fpu.pp.ml: Float Int64 Riscv

@@ -1,0 +1,1 @@
+lib/iss/fpu.pp.mli: Riscv

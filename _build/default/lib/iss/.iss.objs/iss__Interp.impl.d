@@ -1,0 +1,1 @@
+lib/iss/interp.pp.ml: Alu Arch_state Asm Csr Decode Fpu Insn Int64 Mmu Platform Riscv Trap

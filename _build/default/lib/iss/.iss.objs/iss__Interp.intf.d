@@ -1,0 +1,1 @@
+lib/iss/interp.pp.mli: Arch_state Asm Insn Platform Riscv Trap

@@ -1,0 +1,1 @@
+lib/iss/mmu.pp.ml: Csr Int64 Memory Platform Pte Riscv Trap

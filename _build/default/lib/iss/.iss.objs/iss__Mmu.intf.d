@@ -1,0 +1,1 @@
+lib/iss/mmu.pp.mli: Riscv

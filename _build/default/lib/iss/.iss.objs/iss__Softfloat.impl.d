@@ -1,0 +1,1 @@
+lib/iss/softfloat.pp.ml: Float Int64

@@ -1,0 +1,137 @@
+(* Double-precision FP semantics on raw IEEE-754 bit patterns using the
+   host FPU -- the strategy NEMU uses (paper §III-D1d).  Results are
+   NaN-canonicalised as RISC-V requires.  The softfloat module provides
+   the slow bit-exact alternative used by the spike_like baseline. *)
+
+let canonical_nan = 0x7FF8_0000_0000_0000L
+
+let of_bits = Int64.float_of_bits
+
+let to_bits f =
+  if Float.is_nan f then canonical_nan else Int64.bits_of_float f
+
+let add a b = to_bits (of_bits a +. of_bits b)
+
+let sub a b = to_bits (of_bits a -. of_bits b)
+
+let mul a b = to_bits (of_bits a *. of_bits b)
+
+let div a b = to_bits (of_bits a /. of_bits b)
+
+let sqrt a = to_bits (Float.sqrt (of_bits a))
+
+let fma a b c = to_bits (Float.fma (of_bits a) (of_bits b) (of_bits c))
+
+let fused op a b c =
+  match op with
+  | Riscv.Insn.FMADD -> fma a b c
+  | FMSUB -> fma a b (Int64.logxor c Int64.min_int)
+  | FNMSUB -> fma (Int64.logxor a Int64.min_int) b c
+  | FNMADD ->
+      fma (Int64.logxor a Int64.min_int) b (Int64.logxor c Int64.min_int)
+
+let sign_inject op a b =
+  let sign_mask = Int64.min_int in
+  let mag = Int64.logand a (Int64.lognot sign_mask) in
+  let sb = Int64.logand b sign_mask in
+  let sa = Int64.logand a sign_mask in
+  match op with
+  | Riscv.Insn.FSGNJ -> Int64.logor mag sb
+  | FSGNJN -> Int64.logor mag (Int64.logxor sb sign_mask)
+  | FSGNJX -> Int64.logor mag (Int64.logxor sa sb)
+
+let is_nan bits =
+  let exp = Int64.logand (Int64.shift_right_logical bits 52) 0x7FFL in
+  let frac = Int64.logand bits 0xF_FFFF_FFFF_FFFFL in
+  exp = 0x7FFL && frac <> 0L
+
+let cmp op a b =
+  if is_nan a || is_nan b then 0L
+  else
+    let fa = of_bits a and fb = of_bits b in
+    let r =
+      match op with
+      | Riscv.Insn.FEQ -> fa = fb
+      | FLT -> fa < fb
+      | FLE -> fa <= fb
+    in
+    if r then 1L else 0L
+
+let minmax op a b =
+  if is_nan a && is_nan b then canonical_nan
+  else if is_nan a then b
+  else if is_nan b then a
+  else
+    let fa = of_bits a and fb = of_bits b in
+    let both_zero = fa = 0.0 && fb = 0.0 in
+    match op with
+    | Riscv.Insn.FMIN ->
+        (* RISC-V: fmin(-0, +0) = -0 *)
+        if both_zero then
+          if a = Int64.min_int || b = Int64.min_int then Int64.min_int else 0L
+        else if fa <= fb then a
+        else b
+    | FMAX ->
+        if both_zero then
+          if a = 0L || b = 0L then 0L else Int64.min_int
+        else if fa >= fb then a
+        else b
+
+let cvt_d_l v = to_bits (Int64.to_float v)
+
+let cvt_d_lu v =
+  (* unsigned int64 -> float *)
+  if v >= 0L then to_bits (Int64.to_float v)
+  else
+    let f =
+      Int64.to_float (Int64.shift_right_logical v 1) *. 2.0
+      +. Int64.to_float (Int64.logand v 1L)
+    in
+    to_bits f
+
+let cvt_d_w v =
+  to_bits (Int64.to_float (Int64.shift_right (Int64.shift_left v 32) 32))
+
+(* Conversions to integer use round-towards-zero (RTZ is the common rm
+   emitted by compilers for fcvt.l.d). Out-of-range saturates. *)
+let cvt_l_d bits =
+  if is_nan bits then Int64.max_int
+  else
+    let f = Float.trunc (of_bits bits) in
+    if f >= 9.2233720368547758e18 then Int64.max_int
+    else if f <= -9.2233720368547758e18 then Int64.min_int
+    else Int64.of_float f
+
+let cvt_lu_d bits =
+  if is_nan bits then -1L
+  else
+    let f = Float.trunc (of_bits bits) in
+    if f <= -1.0 then 0L
+    else if f >= 1.8446744073709552e19 then -1L
+    else if f < 9.2233720368547758e18 then Int64.of_float f
+    else
+      Int64.add Int64.min_int (Int64.of_float (f -. 9.223372036854775808e18))
+
+let cvt_w_d bits =
+  if is_nan bits then 0x7FFFFFFFL
+  else
+    let f = Float.trunc (of_bits bits) in
+    if f >= 2147483647.0 then 0x7FFFFFFFL
+    else if f <= -2147483648.0 then 0xFFFFFFFF80000000L
+    else Int64.of_float f
+
+let classify bits =
+  let sign = Int64.shift_right_logical bits 63 = 1L in
+  let exp = Int64.to_int (Int64.logand (Int64.shift_right_logical bits 52) 0x7FFL) in
+  let frac = Int64.logand bits 0xF_FFFF_FFFF_FFFFL in
+  let b n = Int64.of_int (1 lsl n) in
+  if exp = 0x7FF then
+    if frac = 0L then if sign then b 0 else b 7
+    else if Int64.logand frac 0x8_0000_0000_0000L <> 0L then b 9
+    else b 8
+  else if exp = 0 then
+    if frac = 0L then if sign then b 3 else b 4
+    else if sign then b 2
+    else b 5
+  else if sign then b 1
+  else b 6

@@ -1,0 +1,45 @@
+(** Double-precision FP semantics on raw IEEE-754 bit patterns using
+    the host FPU -- the strategy NEMU uses to be fast on floating
+    point (paper §III-D1d).  Results are NaN-canonicalised as RISC-V
+    requires; integer conversions round towards zero and saturate. *)
+
+val canonical_nan : int64
+
+val of_bits : int64 -> float
+
+val to_bits : float -> int64
+(** NaN-canonicalising. *)
+
+val is_nan : int64 -> bool
+
+val add : int64 -> int64 -> int64
+val sub : int64 -> int64 -> int64
+val mul : int64 -> int64 -> int64
+val div : int64 -> int64 -> int64
+val sqrt : int64 -> int64
+
+val fma : int64 -> int64 -> int64 -> int64
+(** Fused multiply-add via the host [Float.fma] -- exactly the
+    paper's "implement the fused multiply-add instruction by calling
+    the library function fma()". *)
+
+val fused : Riscv.Insn.fp_fused_op -> int64 -> int64 -> int64 -> int64
+
+val sign_inject : Riscv.Insn.fp_sign_op -> int64 -> int64 -> int64
+
+val cmp : Riscv.Insn.fp_cmp_op -> int64 -> int64 -> int64
+(** 1L / 0L; comparisons with NaN are false. *)
+
+val minmax : Riscv.Insn.fp_minmax_op -> int64 -> int64 -> int64
+(** RISC-V NaN and signed-zero handling: one NaN operand yields the
+    other operand; fmin(-0,+0) = -0. *)
+
+val cvt_d_l : int64 -> int64
+val cvt_d_lu : int64 -> int64
+val cvt_d_w : int64 -> int64
+val cvt_l_d : int64 -> int64
+val cvt_lu_d : int64 -> int64
+val cvt_w_d : int64 -> int64
+
+val classify : int64 -> int64
+(** The fclass.d result bit. *)

@@ -1,0 +1,317 @@
+(* Bit-exact IEEE-754 double arithmetic implemented in integer
+   operations (round-to-nearest-even), in the style of Berkeley
+   SoftFloat.
+
+   Spike interprets floating-point instructions by calling SoftFloat,
+   which the paper identifies as the reason Spike is slower on SPECfp
+   than on SPECint (§III-D2).  Our `spike_like` interpreter baseline
+   uses this module so that the FP/INT performance gap of Figure 8 is
+   reproduced for the same underlying reason, not by an artificial
+   delay.
+
+   Division and square root are bit-serial, as in small softfloat
+   implementations. *)
+
+let qnan = 0x7FF8_0000_0000_0000L
+
+let ( &$ ) = Int64.logand
+let ( |$ ) = Int64.logor
+let ( <<$ ) = Int64.shift_left
+let ( >>$ ) = Int64.shift_right_logical
+
+type unpacked = {
+  sign : bool;
+  exp : int; (* unbiased exponent of 1.frac form; meaningless for specials *)
+  frac : int64; (* 53-bit significand with explicit leading bit, or raw *)
+  kind : kind;
+}
+
+and kind = Zero | Subnormal_or_normal | Inf | Nan
+
+let unpack bits =
+  let sign = bits >>$ 63 = 1L in
+  let e = Int64.to_int ((bits >>$ 52) &$ 0x7FFL) in
+  let f = bits &$ 0xF_FFFF_FFFF_FFFFL in
+  if e = 0x7FF then
+    if f = 0L then { sign; exp = 0; frac = 0L; kind = Inf }
+    else { sign; exp = 0; frac = f; kind = Nan }
+  else if e = 0 then
+    if f = 0L then { sign; exp = 0; frac = 0L; kind = Zero }
+    else begin
+      (* normalise the subnormal *)
+      let rec norm exp frac =
+        if frac &$ (1L <<$ 52) <> 0L then (exp, frac)
+        else norm (exp - 1) (frac <<$ 1)
+      in
+      let exp, frac = norm (-1022) f in
+      { sign; exp; frac; kind = Subnormal_or_normal }
+    end
+  else
+    {
+      sign;
+      exp = e - 1023;
+      frac = f |$ (1L <<$ 52);
+      kind = Subnormal_or_normal;
+    }
+
+let pack_inf sign = (if sign then 0x8000_0000_0000_0000L else 0L) |$ 0x7FF0_0000_0000_0000L
+
+let pack_zero sign = if sign then 0x8000_0000_0000_0000L else 0L
+
+(* Round and pack a result given sign, unbiased exponent and a
+   significand with the binary point after bit 55, i.e. the value is
+   sig54 * 2^(exp-55+... ).  Concretely: [sig_] holds the 53-bit
+   significand in bits [55:3] with guard/round/sticky in bits [2:0],
+   normalised so that bit 55 is the leading 1. *)
+let round_pack sign exp sig_ =
+  (* normalise: caller guarantees bit 56 may be set after carry *)
+  let exp, sig_ =
+    if sig_ &$ (1L <<$ 56) <> 0L then
+      (exp + 1, (sig_ >>$ 1) |$ (sig_ &$ 1L))
+    else (exp, sig_)
+  in
+  assert (sig_ = 0L || sig_ &$ (1L <<$ 55) <> 0L);
+  if sig_ = 0L then pack_zero sign
+  else begin
+    let biased = exp + 1023 in
+    if biased >= 0x7FF then pack_inf sign
+    else if biased <= 0 then begin
+      (* subnormal: shift right by 1 - biased, keeping sticky *)
+      let shift = 1 - biased in
+      if shift > 60 then pack_zero sign
+      else begin
+        let kept = sig_ >>$ shift in
+        let lost = sig_ &$ (Int64.sub (1L <<$ shift) 1L) in
+        let kept = kept |$ (if lost <> 0L then 1L else 0L) in
+        let g = kept &$ 4L <> 0L in
+        let r = kept &$ 2L <> 0L in
+        let s = kept &$ 1L <> 0L in
+        let mant = kept >>$ 3 in
+        let round_up = g && (r || s || mant &$ 1L <> 0L) in
+        let mant = if round_up then Int64.add mant 1L else mant in
+        (* mant may have grown into the implicit-one position: that is
+           exactly the subnormal->normal rounding transition and the
+           representation works out because exponent field becomes 1 *)
+        (if sign then 0x8000_0000_0000_0000L else 0L) |$ mant
+      end
+    end
+    else begin
+      let g = sig_ &$ 4L <> 0L in
+      let r = sig_ &$ 2L <> 0L in
+      let s = sig_ &$ 1L <> 0L in
+      let mant = sig_ >>$ 3 in
+      let round_up = g && (r || s || mant &$ 1L <> 0L) in
+      let mant = if round_up then Int64.add mant 1L else mant in
+      let biased, mant =
+        if mant &$ (1L <<$ 53) <> 0L then (biased + 1, mant >>$ 1)
+        else (biased, mant)
+      in
+      if biased >= 0x7FF then pack_inf sign
+      else
+        (if sign then 0x8000_0000_0000_0000L else 0L)
+        |$ (Int64.of_int biased <<$ 52)
+        |$ (mant &$ 0xF_FFFF_FFFF_FFFFL)
+    end
+  end
+
+(* Addition of magnitudes; a.exp >= b.exp assumed, both normal. *)
+let add_mags sign ea fa eb fb =
+  let d = ea - eb in
+  (* work with 3 grs bits *)
+  let fa = fa <<$ 3 and fb = fb <<$ 3 in
+  let fb =
+    if d = 0 then fb
+    else if d > 58 then if fb <> 0L then 1L else 0L
+    else
+      let kept = fb >>$ d in
+      let lost = fb &$ Int64.sub (1L <<$ d) 1L in
+      kept |$ (if lost <> 0L then 1L else 0L)
+  in
+  let sum = Int64.add fa fb in
+  (* sum has leading bit at 55 or 56 *)
+  round_pack sign ea sum
+
+(* Subtraction of magnitudes |a| - |b| with |a| >= |b| (as (ea,fa) vs
+   (eb,fb)); result sign given. *)
+let sub_mags sign ea fa eb fb =
+  let d = ea - eb in
+  let fa = fa <<$ 3 and fb = fb <<$ 3 in
+  let fb =
+    if d = 0 then fb
+    else if d > 58 then if fb <> 0L then 1L else 0L
+    else
+      let kept = fb >>$ d in
+      let lost = fb &$ Int64.sub (1L <<$ d) 1L in
+      kept |$ (if lost <> 0L then 1L else 0L)
+  in
+  let diff = Int64.sub fa fb in
+  if diff = 0L then pack_zero false
+  else begin
+    (* renormalise: shift left until bit 55 set *)
+    let rec norm exp v =
+      if v &$ (1L <<$ 55) <> 0L then (exp, v) else norm (exp - 1) (v <<$ 1)
+    in
+    let exp, v = norm ea diff in
+    round_pack sign exp v
+  end
+
+let cmp_mag ea fa eb fb =
+  if ea <> eb then compare ea eb else Int64.unsigned_compare fa fb
+
+let add_signed a b ~negate_b =
+  let ua = unpack a and ub0 = unpack b in
+  let ub = { ub0 with sign = (if negate_b then not ub0.sign else ub0.sign) } in
+  match (ua.kind, ub.kind) with
+  | Nan, _ | _, Nan -> qnan
+  | Inf, Inf -> if ua.sign = ub.sign then pack_inf ua.sign else qnan
+  | Inf, _ -> pack_inf ua.sign
+  | _, Inf -> pack_inf ub.sign
+  | Zero, Zero ->
+      (* +0 + -0 = +0 under RNE *)
+      if ua.sign && ub.sign then pack_zero true else pack_zero false
+  | Zero, _ -> round_pack ub.sign ub.exp (ub.frac <<$ 3)
+  | _, Zero -> round_pack ua.sign ua.exp (ua.frac <<$ 3)
+  | Subnormal_or_normal, Subnormal_or_normal ->
+      if ua.sign = ub.sign then
+        if cmp_mag ua.exp ua.frac ub.exp ub.frac >= 0 then
+          add_mags ua.sign ua.exp ua.frac ub.exp ub.frac
+        else add_mags ua.sign ub.exp ub.frac ua.exp ua.frac
+      else begin
+        let c = cmp_mag ua.exp ua.frac ub.exp ub.frac in
+        if c = 0 then pack_zero false
+        else if c > 0 then sub_mags ua.sign ua.exp ua.frac ub.exp ub.frac
+        else sub_mags ub.sign ub.exp ub.frac ua.exp ua.frac
+      end
+
+let add a b = add_signed a b ~negate_b:false
+
+let sub a b = add_signed a b ~negate_b:true
+
+(* 64x64 -> 128-bit unsigned multiply via 32-bit limbs *)
+let mul_u128 x y =
+  let mask = 0xFFFFFFFFL in
+  let xl = x &$ mask and xh = x >>$ 32 in
+  let yl = y &$ mask and yh = y >>$ 32 in
+  let ll = Int64.mul xl yl in
+  let lh = Int64.mul xl yh in
+  let hl = Int64.mul xh yl in
+  let hh = Int64.mul xh yh in
+  let s1 = Int64.add lh hl in
+  let c1 = if Int64.unsigned_compare s1 lh < 0 then 1L else 0L in
+  let mid = Int64.add s1 (ll >>$ 32) in
+  let c2 = if Int64.unsigned_compare mid s1 < 0 then 1L else 0L in
+  let lo = (ll &$ mask) |$ (mid <<$ 32) in
+  let hi =
+    Int64.add
+      (Int64.add hh (mid >>$ 32))
+      ((Int64.add c1 c2) <<$ 32)
+  in
+  (hi, lo)
+
+let mul a b =
+  let ua = unpack a and ub = unpack b in
+  let sign = ua.sign <> ub.sign in
+  match (ua.kind, ub.kind) with
+  | Nan, _ | _, Nan -> qnan
+  | Inf, Zero | Zero, Inf -> qnan
+  | Inf, _ | _, Inf -> pack_inf sign
+  | Zero, _ | _, Zero -> pack_zero sign
+  | Subnormal_or_normal, Subnormal_or_normal ->
+      (* Product of two 53-bit significands: 105 or 106 bits, value
+         fa * fb * 2^(ea+eb-104).  Reduce to a 56-bit significand with
+         the leading one at bit 55 plus a sticky bit, then round. *)
+      let hi, lo = mul_u128 ua.frac ub.frac in
+      let exp = ua.exp + ub.exp in
+      if hi &$ (1L <<$ 41) <> 0L then begin
+        (* leading one at product bit 105 *)
+        let s56 = ((hi <<$ 14) |$ (lo >>$ 50)) &$ Int64.sub (1L <<$ 56) 1L in
+        let sticky = lo &$ Int64.sub (1L <<$ 50) 1L in
+        let s56 = s56 |$ (if sticky <> 0L then 1L else 0L) in
+        round_pack sign (exp + 1) s56
+      end
+      else begin
+        (* leading one at product bit 104 *)
+        let s56 = ((hi <<$ 15) |$ (lo >>$ 49)) &$ Int64.sub (1L <<$ 56) 1L in
+        let sticky = lo &$ Int64.sub (1L <<$ 49) 1L in
+        let s56 = s56 |$ (if sticky <> 0L then 1L else 0L) in
+        round_pack sign exp s56
+      end
+
+let div a b =
+  let ua = unpack a and ub = unpack b in
+  let sign = ua.sign <> ub.sign in
+  match (ua.kind, ub.kind) with
+  | Nan, _ | _, Nan -> qnan
+  | Inf, Inf -> qnan
+  | Inf, _ -> pack_inf sign
+  | _, Inf -> pack_zero sign
+  | Zero, Zero -> qnan
+  | Zero, _ -> pack_zero sign
+  | _, Zero -> pack_inf sign
+  | Subnormal_or_normal, Subnormal_or_normal ->
+      (* bit-serial restoring division producing 56 quotient bits *)
+      let exp = ua.exp - ub.exp in
+      let rem = ref ua.frac in
+      let q = ref 0L in
+      let exp = ref exp in
+      (* ensure first quotient bit is 1: if fa < fb, shift *)
+      if Int64.unsigned_compare !rem ub.frac < 0 then begin
+        rem := !rem <<$ 1;
+        decr exp
+      end;
+      for _ = 0 to 55 do
+        q := !q <<$ 1;
+        if Int64.unsigned_compare !rem ub.frac >= 0 then begin
+          rem := Int64.sub !rem ub.frac;
+          q := !q |$ 1L
+        end;
+        rem := !rem <<$ 1
+      done;
+      let q = !q |$ (if !rem <> 0L then 1L else 0L) in
+      round_pack sign !exp q
+
+let sqrt a =
+  let ua = unpack a in
+  match ua.kind with
+  | Nan -> qnan
+  | Zero -> pack_zero ua.sign
+  | Inf -> if ua.sign then qnan else pack_inf false
+  | Subnormal_or_normal ->
+      if ua.sign then qnan
+      else begin
+        (* Make the exponent even so sqrt(2^exp) is exact; significand
+           then lies in [1, 4). *)
+        let exp, frac =
+          if ua.exp land 1 <> 0 then (ua.exp - 1, ua.frac <<$ 1)
+          else (ua.exp, ua.frac)
+        in
+        (* Radicand R = frac << 58 (a 111..112-bit number).  Its
+           integer square root r = floor(sqrt(R)) has its leading one
+           at bit 55.  Start from a host-FP estimate and correct it
+           exactly using 128-bit multiplication:
+           r^2 <= R < (r+1)^2. *)
+        let r_hi = frac >>$ 6 and r_lo = frac <<$ 58 in
+        let le128 (h1, l1) (h2, l2) =
+          let c = Int64.unsigned_compare h1 h2 in
+          c < 0 || (c = 0 && Int64.unsigned_compare l1 l2 <= 0)
+        in
+        let estimate =
+          Int64.of_float
+            (Float.sqrt (Int64.to_float frac *. 288230376151711744.0 (* 2^58 *)))
+        in
+        let r = ref estimate in
+        while not (le128 (mul_u128 !r !r) (r_hi, r_lo)) do
+          r := Int64.sub !r 1L
+        done;
+        while
+          le128 (mul_u128 (Int64.add !r 1L) (Int64.add !r 1L)) (r_hi, r_lo)
+        do
+          r := Int64.add !r 1L
+        done;
+        let exact =
+          let h, l = mul_u128 !r !r in
+          h = r_hi && l = r_lo
+        in
+        let sticky = if exact then 0L else 1L in
+        round_pack false (exp asr 1) (!r |$ sticky)
+      end

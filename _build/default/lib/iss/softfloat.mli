@@ -1,0 +1,30 @@
+(** Bit-exact IEEE-754 double arithmetic in integer operations
+    (round-to-nearest-even), in the style of Berkeley SoftFloat.
+
+    The [Spike_like] interpreter baseline uses this module for
+    floating point, reproducing for the same underlying reason the
+    paper's observation that Spike is much slower on SPECfp than
+    SPECint (§III-D2).  All operations take and return raw IEEE-754
+    bit patterns; NaN results are canonicalised to the RISC-V
+    canonical quiet NaN.  The property tests check bit-exact agreement
+    with the host FPU, including subnormals and specials. *)
+
+val qnan : int64
+(** The RISC-V canonical NaN (0x7ff8000000000000). *)
+
+val add : int64 -> int64 -> int64
+
+val sub : int64 -> int64 -> int64
+
+val mul : int64 -> int64 -> int64
+
+val div : int64 -> int64 -> int64
+(** Bit-serial restoring division (56 quotient bits + sticky). *)
+
+val sqrt : int64 -> int64
+(** Exact integer square root via a host-FP estimate corrected with
+    128-bit multiplication. *)
+
+val mul_u128 : int64 -> int64 -> int64 * int64
+(** [(hi, lo)] of the full unsigned 128-bit product; also used by the
+    integer [mulh*] semantics. *)

@@ -1,0 +1,182 @@
+(* LightSSS: lightweight simulation snapshots (paper §III-C).
+
+   The paper's implementation forks the RTL-simulation process and
+   lets the kernel's copy-on-write give an in-memory, incremental,
+   circuit-agnostic snapshot.  The OCaml analogue implemented here:
+
+   - the big state (every simulated physical memory) lives in
+     Riscv.Memory's paged COW store: a snapshot copies only the page
+     table, exactly like fork duplicating page tables, and later
+     writes pay lazy per-page copies (the COW faults measured in
+     Figure 6);
+   - the remaining simulator state (cores, caches, reference models)
+     is captured with Marshal including closures -- the analogue of
+     the fork'd process image -- after detaching the page arrays so
+     the marshalled image stays O(metadata), not O(memory).
+
+   The manager keeps only the two most recent snapshots (paper
+   §III-C3): when the verification layer reports an error, the older
+   one is restored and the last <= 2N cycles are replayed in debug
+   mode.
+
+   The SSS and LiveSim baselines of Table I are provided for
+   comparison: both copy the full image (memory included); SSS
+   additionally round-trips it through a file. *)
+
+type snapshot = {
+  snap_cycle : int;
+  mem_snaps : Riscv.Memory.snapshot list;
+  image : bytes; (* marshalled simulator graph, memories detached *)
+  image_bytes : int;
+}
+
+(* A subject couples the COW-able memories with the root of the
+   mutable object graph to capture.  [detach_heavy]/[reattach_heavy]
+   bracket the marshalling step: verification state that is shared
+   with the replayed instance rather than copied (the analogue of
+   fork-shared pages, e.g. DiffTest's Global Memory) is unhooked there
+   so the image stays O(simulator metadata). *)
+type 'a subject = {
+  memories : Riscv.Memory.t list;
+  roots : 'a;
+  detach_heavy : unit -> unit;
+  reattach_heavy : unit -> unit;
+}
+
+let plain_subject ~memories ~roots =
+  {
+    memories;
+    roots;
+    detach_heavy = (fun () -> ());
+    reattach_heavy = (fun () -> ());
+  }
+
+let detach_pages (m : Riscv.Memory.t) =
+  let p = m.Riscv.Memory.pages in
+  m.Riscv.Memory.pages <- [||];
+  p
+
+let reattach_pages (m : Riscv.Memory.t) p = m.Riscv.Memory.pages <- p
+
+(* Take a lightweight snapshot at [cycle]. *)
+let snapshot (s : 'a subject) ~cycle : snapshot =
+  let mem_snaps = List.map Riscv.Memory.snapshot s.memories in
+  let saved = List.map detach_pages s.memories in
+  s.detach_heavy ();
+  let image =
+    Fun.protect
+      ~finally:(fun () ->
+        s.reattach_heavy ();
+        List.iter2 reattach_pages s.memories saved)
+      (fun () -> Marshal.to_bytes s.roots [ Marshal.Closures ])
+  in
+  { snap_cycle = cycle; mem_snaps; image; image_bytes = Bytes.length image }
+
+(* Restore with an explicit memory enumeration function applied to the
+   fresh roots. *)
+let restore_with (snap : snapshot) ~(memories_of : 'a -> Riscv.Memory.t list) :
+    'a =
+  let roots : 'a = Marshal.from_bytes snap.image 0 in
+  let mems = memories_of roots in
+  List.iter2
+    (fun m ms -> Riscv.Memory.restore m ms)
+    mems snap.mem_snaps;
+  roots
+
+let release (snap : snapshot) =
+  List.iter Riscv.Memory.release_snapshot snap.mem_snaps
+
+(* ---- the two-slot snapshot manager ---------------------------------- *)
+
+type 'a manager = {
+  subject : 'a subject;
+  interval : int; (* cycles between snapshots *)
+  mutable slots : snapshot list; (* at most 2, newest first *)
+  mutable last_snap_cycle : int;
+  mutable snapshots_taken : int;
+  mutable total_snapshot_seconds : float;
+}
+
+let manager ~interval subject =
+  {
+    subject;
+    interval;
+    slots = [];
+    last_snap_cycle = -(2 * interval);
+    snapshots_taken = 0;
+    total_snapshot_seconds = 0.0;
+  }
+
+(* Called every cycle; takes a snapshot when the interval elapses,
+   keeping only the most recent two. *)
+let tick (m : 'a manager) ~cycle =
+  if cycle - m.last_snap_cycle >= m.interval then begin
+    let t0 = Unix.gettimeofday () in
+    let s = snapshot m.subject ~cycle in
+    m.total_snapshot_seconds <-
+      m.total_snapshot_seconds +. (Unix.gettimeofday () -. t0);
+    m.snapshots_taken <- m.snapshots_taken + 1;
+    m.last_snap_cycle <- cycle;
+    (match m.slots with
+    | a :: b :: _ ->
+        release b;
+        m.slots <- [ s; a ]
+    | rest -> m.slots <- s :: rest)
+  end
+
+(* The snapshot to replay from on an error: the *older* of the two
+   retained (so the region of interest, <= 2 intervals, is covered). *)
+let replay_point (m : 'a manager) : snapshot option =
+  match m.slots with [ _; b ] -> Some b | [ a ] -> Some a | _ -> None
+
+(* ---- SSS / LiveSim baselines (Table I) ------------------------------- *)
+
+(* Full-image snapshot: marshals everything *including* the memory
+   pages -- O(simulated memory).  [to_file] additionally round-trips
+   through the filesystem, like the Verilator save/restore flow. *)
+let full_image_snapshot ?(to_file = false) (s : 'a subject) : int =
+  let image = Marshal.to_bytes s.roots [ Marshal.Closures ] in
+  if to_file then begin
+    let f = Filename.temp_file "sss" ".img" in
+    let oc = open_out_bin f in
+    output_bytes oc image;
+    close_out oc;
+    Sys.remove f
+  end;
+  Bytes.length image
+
+type scheme = {
+  scheme_name : string;
+  in_memory : bool;
+  incremental : bool;
+  circuit_agnostic : bool;
+}
+
+(* Table I. *)
+let schemes =
+  [
+    {
+      scheme_name = "CRIU-like";
+      in_memory = false;
+      incremental = true;
+      circuit_agnostic = true;
+    };
+    {
+      scheme_name = "Verilator save/restore (SSS)";
+      in_memory = false;
+      incremental = false;
+      circuit_agnostic = false;
+    };
+    {
+      scheme_name = "LiveSim-like";
+      in_memory = true;
+      incremental = false;
+      circuit_agnostic = false;
+    };
+    {
+      scheme_name = "LightSSS";
+      in_memory = true;
+      incremental = true;
+      circuit_agnostic = true;
+    };
+  ]

@@ -1,0 +1,1 @@
+lib/nemu/dromajo_like.pp.ml: Exec_generic Mach

@@ -1,0 +1,1 @@
+lib/nemu/engine.pp.ml: Dromajo_like Fast Mach Qemu_tci_like Riscv Spike_like Unix

@@ -1,0 +1,1 @@
+lib/nemu/engine.pp.mli: Riscv

@@ -1,0 +1,1 @@
+lib/nemu/exec_generic.pp.ml: Array Csr Decode Insn Int64 Iss Mach Memory Platform Riscv Trap

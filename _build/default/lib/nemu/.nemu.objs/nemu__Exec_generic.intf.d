@@ -1,0 +1,1 @@
+lib/nemu/exec_generic.pp.mli: Insn Mach Riscv

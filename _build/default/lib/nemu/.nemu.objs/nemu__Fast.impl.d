@@ -1,0 +1,1 @@
+lib/nemu/fast.pp.ml: Array Csr Exec_generic Hashtbl Insn Int64 Iss Mach Memory Platform Riscv Trap

@@ -1,0 +1,1 @@
+lib/nemu/fast.pp.mli: Hashtbl Mach

@@ -1,0 +1,1 @@
+lib/nemu/mach.pp.ml: Array Asm Csr Iss Platform Pte Riscv

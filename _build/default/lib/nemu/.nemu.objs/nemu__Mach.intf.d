@@ -1,0 +1,1 @@
+lib/nemu/mach.pp.mli: Asm Csr Iss Platform Riscv

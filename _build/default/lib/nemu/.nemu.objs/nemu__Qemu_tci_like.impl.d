@@ -1,0 +1,1 @@
+lib/nemu/qemu_tci_like.pp.ml: Array Exec_generic Hashtbl Insn Int64 Iss List Mach Riscv Trap

@@ -1,0 +1,1 @@
+lib/nemu/qemu_tci_like.pp.mli: Hashtbl Mach

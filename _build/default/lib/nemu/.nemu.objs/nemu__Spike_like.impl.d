@@ -1,0 +1,1 @@
+lib/nemu/spike_like.pp.ml: Array Exec_generic Int64 Mach Riscv

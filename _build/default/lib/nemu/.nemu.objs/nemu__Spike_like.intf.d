@@ -1,0 +1,1 @@
+lib/nemu/spike_like.pp.mli: Mach Riscv

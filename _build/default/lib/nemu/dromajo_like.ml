@@ -1,0 +1,16 @@
+(* Baseline engine modelled on Dromajo's interpreter structure: fetch
+   and decode every instruction from memory on every step, with no
+   decode cache of any kind (the paper notes "there is no cache in
+   Dromajo", §III-D2). *)
+
+let name = "dromajo-like"
+
+let run (m : Mach.t) ~max_insns : int =
+  let start = m.Mach.instret in
+  let fp = Exec_generic.host_fp in
+  while m.Mach.running && m.Mach.instret - start < max_insns do
+    Exec_generic.step fp m;
+    if m.Mach.instret land 0xFFF = 0 then Mach.check_running m
+  done;
+  Mach.check_running m;
+  m.Mach.instret - start

@@ -1,0 +1,8 @@
+(** Baseline engine modelled on Dromajo's interpreter: fetch and
+    decode every instruction from memory on every step, with no decode
+    cache of any kind (the paper notes "there is no cache in Dromajo",
+    §III-D2). *)
+
+val name : string
+
+val run : Mach.t -> max_insns:int -> int

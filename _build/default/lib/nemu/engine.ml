@@ -1,0 +1,32 @@
+(* Common driver interface over the four interpreter engines compared
+   in Figure 8. *)
+
+type kind = Nemu | Spike_like | Qemu_tci_like | Dromajo_like
+
+let all = [ Nemu; Spike_like; Qemu_tci_like; Dromajo_like ]
+
+let name = function
+  | Nemu -> "NEMU"
+  | Spike_like -> "Spike-like"
+  | Qemu_tci_like -> "QEMU-TCI-like"
+  | Dromajo_like -> "Dromajo-like"
+
+(* Run [prog] on a fresh machine; returns (instructions, seconds). *)
+let run_program ?(max_insns = 2_000_000_000) ?(dram_size = 64 * 1024 * 1024)
+    (kind : kind) (prog : Riscv.Asm.program) : int * float =
+  let m = Mach.create ~dram_size () in
+  Mach.load_program m prog;
+  let t0 = Unix.gettimeofday () in
+  let n =
+    match kind with
+    | Nemu ->
+        let t = Fast.create m in
+        Fast.run t ~max_insns
+    | Spike_like -> Spike_like.run m ~max_insns
+    | Qemu_tci_like -> Qemu_tci_like.run m ~max_insns
+    | Dromajo_like -> Dromajo_like.run m ~max_insns
+  in
+  let t1 = Unix.gettimeofday () in
+  (n, t1 -. t0)
+
+let mips n secs = if secs <= 0.0 then 0.0 else float_of_int n /. secs /. 1e6

@@ -1,0 +1,29 @@
+(** Common driver over the four interpreter engines compared in the
+    paper's Figure 8:
+
+    - [Nemu]: the fast threaded-code engine with a trace-organised uop
+      cache ({!Fast});
+    - [Spike_like]: direct-mapped decode cache + generic dispatch +
+      SoftFloat arithmetic ({!Spike_like});
+    - [Qemu_tci_like]: per-block bytecode of TCG-granularity micro-ops
+      interpreted by a second-level dispatch loop ({!Qemu_tci_like});
+    - [Dromajo_like]: fetch + decode on every step, no cache
+      ({!Dromajo_like}). *)
+
+type kind = Nemu | Spike_like | Qemu_tci_like | Dromajo_like
+
+val all : kind list
+
+val name : kind -> string
+
+val run_program :
+  ?max_insns:int ->
+  ?dram_size:int ->
+  kind ->
+  Riscv.Asm.program ->
+  int * float
+(** [run_program kind prog] runs [prog] to completion (or the budget)
+    on a fresh machine; returns (instructions retired, seconds). *)
+
+val mips : int -> float -> float
+(** Million instructions per second. *)

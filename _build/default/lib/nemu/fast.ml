@@ -1,0 +1,460 @@
+(* NEMU: the fast threaded-code interpreter (paper §III-D1).
+
+   Every guest instruction is compiled once into a specialised OCaml
+   closure (the "execution routine") whose operands -- register
+   indices, immediates, even the pc -- are inlined at compile time.
+   The closures live in uop-cache entries that are chained to each
+   other:
+
+   - [seq]: the fall-through successor (the paper's "add 1 to upc",
+     yielding trace locality);
+   - [tgt]: the taken target of a direct branch or jump (block
+     chaining);
+   - indirect jumps query the hash list (❺ in Figure 7) in their
+     execution routine.
+
+   On the fast path an executed uop returns the next entry directly;
+   no fetch, no decode, no pc maintenance.  Only on a chain miss does
+   the engine fall back to the slow path (fetch + decode + allocate +
+   patch the chain).  Writes to x0 are redirected at compile time to
+   the sink register slot (§III-D1b), and common pseudo-instruction
+   forms (li / mv / nop / ret / beqz / bnez) get dedicated routines
+   with their constant operands inlined (§III-D1c). *)
+
+open Riscv
+
+type entry = {
+  e_pc : int64;
+  mutable exec : exec_fn;
+  mutable seq : entry option;
+  mutable tgt : entry option;
+}
+
+and exec_fn = entry -> entry option
+
+type patch_slot = Patch_seq | Patch_tgt | Patch_none
+
+type t = {
+  m : Mach.t;
+  cache : (int64, entry) Hashtbl.t; (* the hash list *)
+  capacity : int;
+  mutable patch : entry option;
+  mutable patch_slot : patch_slot;
+  mutable flushes : int;
+  mutable slow_lookups : int;
+  mutable compiled : int;
+  (* BBV profiling hooks (§III-D3): record control-flow edges *)
+  mutable prof_on : bool;
+  mutable prof_edge : int64 -> int64 -> unit; (* src block pc -> dst pc *)
+}
+
+let create ?(capacity = 16384) (m : Mach.t) : t =
+  {
+    m;
+    cache = Hashtbl.create (2 * capacity);
+    capacity;
+    patch = None;
+    patch_slot = Patch_none;
+    flushes = 0;
+    slow_lookups = 0;
+    compiled = 0;
+    prof_on = false;
+    prof_edge = (fun _ _ -> ());
+  }
+
+let flush (t : t) =
+  Hashtbl.reset t.cache;
+  t.patch <- None;
+  t.patch_slot <- Patch_none;
+  t.flushes <- t.flushes + 1
+
+(* Compile one instruction at [pc] into a uop-cache entry. *)
+let compile (t : t) (pc : int64) (insn : Insn.t) : entry =
+  let m = t.m in
+  let regs = m.Mach.regs in
+  let fregs = m.Mach.fregs in
+  let next = Int64.add pc 4L in
+  let rdx rd = if rd = 0 then Mach.sink else rd in
+  t.compiled <- t.compiled + 1;
+  (* helpers shared by the routines *)
+  let rec e =
+    { e_pc = pc; exec = (fun _ -> None); seq = None; tgt = None }
+  and seq_or_miss () =
+    match e.seq with
+    | Some _ as n -> n
+    | None ->
+        m.Mach.pc <- next;
+        t.patch <- Some e;
+        t.patch_slot <- Patch_seq;
+        None
+  and tgt_or_miss target =
+    match e.tgt with
+    | Some _ as n -> n
+    | None ->
+        m.Mach.pc <- target;
+        t.patch <- Some e;
+        t.patch_slot <- Patch_tgt;
+        None
+  and indirect target =
+    if t.prof_on then t.prof_edge pc target;
+    match Hashtbl.find_opt t.cache target with
+    | Some _ as n -> n
+    | None ->
+        m.Mach.pc <- target;
+        t.patch <- None;
+        t.patch_slot <- Patch_none;
+        None
+  in
+  (* the slow generic routine for rare instructions *)
+  let generic insn _ =
+    let before_priv = m.Mach.csr.Csr.priv in
+    (try Exec_generic.exec Exec_generic.host_fp m pc insn
+     with Trap.Exception (exc, tval) ->
+       m.Mach.pc <- Trap.take_exception m.Mach.csr exc tval ~epc:pc);
+    (* a privilege change is a system event: flush the uop cache *)
+    if m.Mach.csr.Csr.priv <> before_priv then flush t;
+    t.patch <- None;
+    t.patch_slot <- Patch_none;
+    None
+  in
+  let exec : exec_fn =
+    match insn with
+    (* --- pseudo-instruction specialisations --- *)
+    | Op_imm (ADD, 0, 0, _) -> fun _ -> seq_or_miss () (* nop *)
+    | Op_imm (ADD, rd, 0, imm) ->
+        (* li *)
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- imm;
+          seq_or_miss ()
+    | Op_imm (ADD, rd, rs1, 0L) ->
+        (* mv *)
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- regs.(rs1);
+          seq_or_miss ()
+    | Op_imm (op, rd, rs1, imm) ->
+        let rd = rdx rd in
+        let f =
+          match op with
+          | ADD -> fun a -> Int64.add a imm
+          | SUB -> fun a -> Int64.sub a imm
+          | SLL ->
+              let sh = Int64.to_int imm land 0x3F in
+              fun a -> Int64.shift_left a sh
+          | SLT -> fun a -> if Int64.compare a imm < 0 then 1L else 0L
+          | SLTU ->
+              fun a -> if Int64.unsigned_compare a imm < 0 then 1L else 0L
+          | XOR -> fun a -> Int64.logxor a imm
+          | SRL ->
+              let sh = Int64.to_int imm land 0x3F in
+              fun a -> Int64.shift_right_logical a sh
+          | SRA ->
+              let sh = Int64.to_int imm land 0x3F in
+              fun a -> Int64.shift_right a sh
+          | OR -> fun a -> Int64.logor a imm
+          | AND -> fun a -> Int64.logand a imm
+        in
+        fun _ ->
+          regs.(rd) <- f regs.(rs1);
+          seq_or_miss ()
+    | Op_imm_w (op, rd, rs1, imm) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- Iss.Alu.eval_alu_w op regs.(rs1) imm;
+          seq_or_miss ()
+    | Op (op, rd, rs1, rs2) ->
+        let rd = rdx rd in
+        let f =
+          match op with
+          | ADD -> Int64.add
+          | SUB -> Int64.sub
+          | XOR -> Int64.logxor
+          | OR -> Int64.logor
+          | AND -> Int64.logand
+          | SLL | SLT | SLTU | SRL | SRA -> Iss.Alu.eval_alu op
+        in
+        fun _ ->
+          regs.(rd) <- f regs.(rs1) regs.(rs2);
+          seq_or_miss ()
+    | Op_w (op, rd, rs1, rs2) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- Iss.Alu.eval_alu_w op regs.(rs1) regs.(rs2);
+          seq_or_miss ()
+    | Mul (op, rd, rs1, rs2) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- Iss.Alu.eval_mul op regs.(rs1) regs.(rs2);
+          seq_or_miss ()
+    | Mul_w (op, rd, rs1, rs2) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- Iss.Alu.eval_mul_w op regs.(rs1) regs.(rs2);
+          seq_or_miss ()
+    | Lui (rd, imm) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- imm;
+          seq_or_miss ()
+    | Auipc (rd, imm) ->
+        let rd = rdx rd in
+        let v = Int64.add pc imm in
+        fun _ ->
+          regs.(rd) <- v;
+          seq_or_miss ()
+    | Load (op, rd, rs1, imm) ->
+        let rd = rdx rd in
+        let width = Iss.Alu.load_width op in
+        let mem = m.Mach.plat.Platform.mem in
+        fun _ -> (
+          let vaddr = Int64.add regs.(rs1) imm in
+          (* fast path: aligned DRAM access, no paging *)
+          if
+            (not (Mach.paging_on m))
+            && Memory.in_range mem vaddr
+            && Int64.rem vaddr (Int64.of_int width) = 0L
+          then begin
+            regs.(rd) <-
+              Iss.Alu.extend_load op (Memory.read_bytes_le mem vaddr width);
+            seq_or_miss ()
+          end
+          else
+            try
+              regs.(rd) <-
+                Iss.Alu.extend_load op (Exec_generic.load m vaddr width);
+              seq_or_miss ()
+            with Trap.Exception (exc, tval) ->
+              m.Mach.pc <- Trap.take_exception m.Mach.csr exc tval ~epc:pc;
+              flush t;
+              None)
+    | Store (op, rs2, rs1, imm) ->
+        let width = Iss.Alu.store_width op in
+        let mem = m.Mach.plat.Platform.mem in
+        fun _ -> (
+          let vaddr = Int64.add regs.(rs1) imm in
+          if
+            (not (Mach.paging_on m))
+            && Memory.in_range mem vaddr
+            && Int64.rem vaddr (Int64.of_int width) = 0L
+          then begin
+            Memory.write_bytes_le mem vaddr width regs.(rs2);
+            seq_or_miss ()
+          end
+          else
+            try
+              Exec_generic.store m vaddr width regs.(rs2);
+              if not m.Mach.running then None else seq_or_miss ()
+            with Trap.Exception (exc, tval) ->
+              m.Mach.pc <- Trap.take_exception m.Mach.csr exc tval ~epc:pc;
+              flush t;
+              None)
+    | Branch (op, rs1, 0, off) ->
+        (* beqz / bnez / ... specialisation: single operand read *)
+        let target = Int64.add pc off in
+        let cond =
+          match op with
+          | BEQ -> fun a -> a = 0L
+          | BNE -> fun a -> a <> 0L
+          | BLT -> fun a -> a < 0L
+          | BGE -> fun a -> a >= 0L
+          | BLTU -> fun _ -> false
+          | BGEU -> fun _ -> true
+        in
+        fun _ ->
+          if t.prof_on then
+            t.prof_edge pc (if cond regs.(rs1) then target else next);
+          if cond regs.(rs1) then tgt_or_miss target else seq_or_miss ()
+    | Branch (op, rs1, rs2, off) ->
+        let target = Int64.add pc off in
+        fun _ ->
+          let taken = Iss.Alu.eval_branch op regs.(rs1) regs.(rs2) in
+          if t.prof_on then t.prof_edge pc (if taken then target else next);
+          if taken then tgt_or_miss target else seq_or_miss ()
+    | Jal (rd, off) ->
+        let rd = rdx rd in
+        let target = Int64.add pc off in
+        fun _ ->
+          regs.(rd) <- next;
+          if t.prof_on then t.prof_edge pc target;
+          tgt_or_miss target
+    | Jalr (0, rs1, 0L) ->
+        (* ret-style: no link write *)
+        fun _ ->
+          indirect (Int64.logand regs.(rs1) (Int64.lognot 1L))
+    | Jalr (rd, rs1, imm) ->
+        let rd = rdx rd in
+        fun _ ->
+          let target =
+            Int64.logand (Int64.add regs.(rs1) imm) (Int64.lognot 1L)
+          in
+          regs.(rd) <- next;
+          indirect target
+    | Fld (frd, rs1, imm) ->
+        let mem = m.Mach.plat.Platform.mem in
+        fun _ -> (
+          let vaddr = Int64.add regs.(rs1) imm in
+          if
+            (not (Mach.paging_on m))
+            && Memory.in_range mem vaddr
+            && Int64.rem vaddr 8L = 0L
+          then begin
+            fregs.(frd) <- Memory.read_u64 mem vaddr;
+            seq_or_miss ()
+          end
+          else
+            try
+              fregs.(frd) <- Exec_generic.load m vaddr 8;
+              seq_or_miss ()
+            with Trap.Exception (exc, tval) ->
+              m.Mach.pc <- Trap.take_exception m.Mach.csr exc tval ~epc:pc;
+              flush t;
+              None)
+    | Fsd (frs2, rs1, imm) ->
+        let mem = m.Mach.plat.Platform.mem in
+        fun _ -> (
+          let vaddr = Int64.add regs.(rs1) imm in
+          if
+            (not (Mach.paging_on m))
+            && Memory.in_range mem vaddr
+            && Int64.rem vaddr 8L = 0L
+          then begin
+            Memory.write_u64 mem vaddr fregs.(frs2);
+            seq_or_miss ()
+          end
+          else
+            try
+              Exec_generic.store m vaddr 8 fregs.(frs2);
+              seq_or_miss ()
+            with Trap.Exception (exc, tval) ->
+              m.Mach.pc <- Trap.take_exception m.Mach.csr exc tval ~epc:pc;
+              flush t;
+              None)
+    | Fp_rrr (op, frd, f1, f2) ->
+        let f =
+          match op with
+          | FADD -> Iss.Fpu.add
+          | FSUB -> Iss.Fpu.sub
+          | FMUL -> Iss.Fpu.mul
+          | FDIV -> Iss.Fpu.div
+        in
+        fun _ ->
+          fregs.(frd) <- f fregs.(f1) fregs.(f2);
+          seq_or_miss ()
+    | Fp_fused (op, frd, f1, f2, f3) ->
+        fun _ ->
+          fregs.(frd) <- Iss.Fpu.fused op fregs.(f1) fregs.(f2) fregs.(f3);
+          seq_or_miss ()
+    | Fp_sign (op, frd, f1, f2) ->
+        fun _ ->
+          fregs.(frd) <- Iss.Fpu.sign_inject op fregs.(f1) fregs.(f2);
+          seq_or_miss ()
+    | Fp_minmax (op, frd, f1, f2) ->
+        fun _ ->
+          fregs.(frd) <- Iss.Fpu.minmax op fregs.(f1) fregs.(f2);
+          seq_or_miss ()
+    | Fp_cmp (op, rd, f1, f2) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- Iss.Fpu.cmp op fregs.(f1) fregs.(f2);
+          seq_or_miss ()
+    | Fsqrt_d (frd, f1) ->
+        fun _ ->
+          fregs.(frd) <- Iss.Fpu.sqrt fregs.(f1);
+          seq_or_miss ()
+    | Fcvt_d_l (frd, rs1) ->
+        fun _ ->
+          fregs.(frd) <- Iss.Fpu.cvt_d_l regs.(rs1);
+          seq_or_miss ()
+    | Fcvt_l_d (rd, f1) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- Iss.Fpu.cvt_l_d fregs.(f1);
+          seq_or_miss ()
+    | Fmv_x_d (rd, f1) ->
+        let rd = rdx rd in
+        fun _ ->
+          regs.(rd) <- fregs.(f1);
+          seq_or_miss ()
+    | Fmv_d_x (frd, rs1) ->
+        fun _ ->
+          fregs.(frd) <- regs.(rs1);
+          seq_or_miss ()
+    | Lr _ | Sc _ | Amo _ | Csr _ | Ecall | Ebreak | Mret | Sret | Wfi
+    | Fence | Fence_i | Sfence_vma _ | Fcvt_d_lu _ | Fcvt_d_w _
+    | Fcvt_lu_d _ | Fcvt_w_d _ | Fclass_d _ | Illegal _ ->
+        generic insn
+  in
+  e.exec <- exec;
+  e
+
+(* Slow path: resolve the entry for m.pc, compiling if needed, and
+   patch the chain slot of the entry that missed. *)
+let rec lookup_or_compile (t : t) : entry option =
+  if not t.m.Mach.running then None
+  else begin
+    t.slow_lookups <- t.slow_lookups + 1;
+    if Hashtbl.length t.cache >= t.capacity then flush t;
+    let pc = t.m.Mach.pc in
+    match Hashtbl.find_opt t.cache pc with
+    | Some entry ->
+        patch_chain t entry;
+        Some entry
+    | None -> (
+        match Exec_generic.fetch_decode t.m with
+        | insn ->
+            let entry = compile t pc insn in
+            Hashtbl.replace t.cache pc entry;
+            patch_chain t entry;
+            Some entry
+        | exception Trap.Exception (exc, tval) ->
+            (* fetch fault: take the trap (a system event, so flush)
+               and resolve the handler address instead *)
+            t.m.Mach.pc <- Trap.take_exception t.m.Mach.csr exc tval ~epc:pc;
+            flush t;
+            lookup_or_compile t)
+  end
+
+and patch_chain (t : t) (entry : entry) =
+  (match (t.patch, t.patch_slot) with
+  | Some p, Patch_seq -> p.seq <- Some entry
+  | Some p, Patch_tgt -> p.tgt <- Some entry
+  | Some _, Patch_none | None, _ -> ());
+  t.patch <- None;
+  t.patch_slot <- Patch_none
+
+exception Budget_exhausted
+
+(* Run at most [max_insns] instructions (or to exit). *)
+let run (t : t) ~max_insns : int =
+  let m = t.m in
+  let start = m.Mach.instret in
+  let budget = ref max_insns in
+  let cur = ref None in
+  (try
+     while m.Mach.running do
+       match !cur with
+       | Some e ->
+           (* fast path: execute, count, advance *)
+           cur := e.exec e;
+           m.Mach.instret <- m.Mach.instret + 1;
+           decr budget;
+           if !budget <= 0 then raise Budget_exhausted
+       | None ->
+           Mach.check_running m;
+           (match Riscv.Trap.pending_interrupt m.Mach.csr with
+           | Some irq ->
+               m.Mach.pc <-
+                 Riscv.Trap.take_interrupt m.Mach.csr irq ~epc:m.Mach.pc;
+               flush t
+           | None -> ());
+           (match lookup_or_compile t with
+           | Some _ as e -> cur := e
+           | None -> raise Budget_exhausted (* machine exited *))
+     done
+   with Budget_exhausted -> ());
+  (* make m.pc coherent if we stopped on a fast-path boundary *)
+  (match !cur with Some e -> m.Mach.pc <- e.e_pc | None -> ());
+  m.Mach.instret - start
+
+let name = "nemu"

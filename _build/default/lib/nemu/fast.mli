@@ -1,0 +1,59 @@
+(** NEMU: the fast threaded-code interpreter (paper §III-D1,
+    Figure 7).
+
+    Every guest instruction is compiled once into a specialised
+    closure whose operands -- register indices, immediates, the pc --
+    are inlined at compile time.  The closures live in uop-cache
+    entries chained to each other: [seq] is the fall-through successor
+    (the paper's "add 1 to upc"), [tgt] the taken target of a direct
+    branch or jump (block chaining), and indirect jumps query the hash
+    list in their execution routine.  On the fast path an executed uop
+    returns the next entry directly -- no fetch, no decode, no pc
+    maintenance; only a chain miss falls back to the slow path
+    (fetch + decode + allocate + patch).
+
+    Writes to x0 are redirected at compile time to the sink register
+    slot (§III-D1b); common pseudo-instruction forms (li / mv / nop /
+    ret / beqz ...) get dedicated routines with constants inlined
+    (§III-D1c); floating point uses the host FPU (§III-D1d).
+
+    The cache is flushed when full or on a system event (privilege
+    change, fetch fault), as in the paper. *)
+
+type entry = {
+  e_pc : int64;
+  mutable exec : exec_fn;
+  mutable seq : entry option;
+  mutable tgt : entry option;
+}
+
+and exec_fn = entry -> entry option
+
+type patch_slot = Patch_seq | Patch_tgt | Patch_none
+
+type t = {
+  m : Mach.t;
+  cache : (int64, entry) Hashtbl.t; (** the hash list *)
+  capacity : int;
+  mutable patch : entry option;
+  mutable patch_slot : patch_slot;
+  mutable flushes : int;
+  mutable slow_lookups : int;
+  mutable compiled : int;
+  mutable prof_on : bool;
+  mutable prof_edge : int64 -> int64 -> unit;
+      (** BBV profiling hook: called with (source pc, target pc) of
+          every executed control-flow edge when [prof_on] *)
+}
+
+val create : ?capacity:int -> Mach.t -> t
+(** [capacity] defaults to 16384 entries, the size the paper selects
+    for both Spike's cache and NEMU's uop cache. *)
+
+val flush : t -> unit
+
+val run : t -> max_insns:int -> int
+(** Run to machine exit or the instruction budget; returns
+    instructions retired. *)
+
+val name : string

@@ -1,0 +1,65 @@
+(* Lightweight machine state shared by all interpreter engines
+   (NEMU and the Spike / QEMU-TCI / Dromajo baselines).
+
+   The integer register file has 33 slots: slot 32 is an unused sink
+   variable.  NEMU's decoder redirects writes whose destination is x0
+   to slot 32 so that execution routines never need an `if rd <> 0`
+   check (paper §III-D1b); the baseline engines use the same register
+   file but perform the traditional check. *)
+
+open Riscv
+
+type t = {
+  regs : int64 array; (* 33 entries; [32] is the x0 write sink *)
+  fregs : int64 array;
+  mutable pc : int64;
+  csr : Csr.t;
+  plat : Platform.t;
+  mutable reservation : int64 option;
+  mutable instret : int;
+  mutable running : bool;
+}
+
+let sink = 32
+
+let create ?(dram_size = 64 * 1024 * 1024) () =
+  let plat = Platform.create ~dram_size () in
+  let csr = Csr.create ~hartid:0 in
+  csr.Csr.time_source <-
+    (fun () -> plat.Platform.clint.Platform.Clint.mtime);
+  {
+    regs = Array.make 33 0L;
+    fregs = Array.make 32 0L;
+    pc = Platform.dram_base;
+    csr;
+    plat;
+    reservation = None;
+    instret = 0;
+    running = true;
+  }
+
+let load_program t (p : Asm.program) =
+  Asm.load p t.plat.Platform.mem;
+  t.pc <- p.Asm.entry
+
+let get_reg t r = if r = 0 then 0L else t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+let exited t = Platform.exited t.plat
+
+let exit_code t = Platform.exit_code t.plat
+
+(* Fast memory path: physical addresses only (engines run the Figure 8
+   workloads in M mode with translation off; when satp is enabled the
+   generic executor falls back to the full walker). *)
+let paging_on t = Pte.satp_mode t.csr.Csr.reg_satp = 8 && t.csr.Csr.priv <> Csr.M
+
+let translate t va (access : Iss.Mmu.access) =
+  if paging_on t then Iss.Mmu.translate t.plat t.csr va access else va
+
+let check_running t = if Platform.exited t.plat then t.running <- false
+
+let arch_state_digest t =
+  (* for checkpoint tests: (pc, xregs, fregs) *)
+  (t.pc, Array.sub t.regs 0 32, Array.copy t.fregs)

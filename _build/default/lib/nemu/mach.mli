@@ -1,0 +1,44 @@
+(** Lightweight machine state shared by all interpreter engines (NEMU
+    and the Spike / QEMU-TCI / Dromajo baselines).
+
+    The integer register file has 33 slots: slot 32 ({!sink}) is an
+    unused variable.  NEMU's compiler redirects writes whose
+    destination is x0 to the sink so execution routines never need an
+    [if rd <> 0] check (paper §III-D1b); the baseline engines use the
+    same register file with the traditional check. *)
+
+open Riscv
+
+type t = {
+  regs : int64 array; (** 33 entries; slot 32 is the x0 write sink *)
+  fregs : int64 array;
+  mutable pc : int64;
+  csr : Csr.t;
+  plat : Platform.t;
+  mutable reservation : int64 option;
+  mutable instret : int;
+  mutable running : bool;
+}
+
+val sink : int
+
+val create : ?dram_size:int -> unit -> t
+
+val load_program : t -> Asm.program -> unit
+
+val get_reg : t -> int -> int64
+
+val set_reg : t -> int -> int64 -> unit
+
+val exited : t -> bool
+
+val exit_code : t -> int option
+
+val paging_on : t -> bool
+
+val translate : t -> int64 -> Iss.Mmu.access -> int64
+
+val check_running : t -> unit
+(** Fold the platform's exit flag into [running]. *)
+
+val arch_state_digest : t -> int64 * int64 array * int64 array

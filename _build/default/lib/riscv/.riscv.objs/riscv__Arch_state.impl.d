@@ -1,0 +1,1 @@
+lib/riscv/arch_state.pp.ml: Array Csr Insn List Platform Printf

@@ -1,0 +1,1 @@
+lib/riscv/arch_state.pp.mli: Csr

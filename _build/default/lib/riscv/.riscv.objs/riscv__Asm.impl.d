@@ -1,0 +1,1 @@
+lib/riscv/asm.pp.ml: Array Decode Encode Hashtbl Insn Int64 List Memory Platform Printf

@@ -1,0 +1,1 @@
+lib/riscv/csr.pp.ml: Int64 List Ppx_deriving_runtime

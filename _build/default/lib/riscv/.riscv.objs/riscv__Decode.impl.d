@@ -1,0 +1,1 @@
+lib/riscv/decode.pp.ml: Insn Int32 Int64

@@ -1,0 +1,1 @@
+lib/riscv/encode.pp.ml: Insn Int32 Int64

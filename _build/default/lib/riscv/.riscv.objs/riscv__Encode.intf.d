@@ -1,0 +1,1 @@
+lib/riscv/encode.pp.mli: Insn

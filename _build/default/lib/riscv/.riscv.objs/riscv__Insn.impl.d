@@ -1,0 +1,1 @@
+lib/riscv/insn.pp.ml: Ppx_deriving_runtime Printf

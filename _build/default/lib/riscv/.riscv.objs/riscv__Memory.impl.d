@@ -1,0 +1,1 @@
+lib/riscv/memory.pp.ml: Array Bytes Char Int32 Int64 Printf

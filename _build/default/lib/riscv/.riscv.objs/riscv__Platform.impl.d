@@ -1,0 +1,1 @@
+lib/riscv/platform.pp.ml: Array Buffer Char Int64 Memory

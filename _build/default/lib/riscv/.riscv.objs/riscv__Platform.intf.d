@@ -1,0 +1,1 @@
+lib/riscv/platform.pp.mli: Buffer Memory

@@ -1,0 +1,1 @@
+lib/riscv/pte.pp.ml: Csr Int64 List

@@ -1,0 +1,1 @@
+lib/riscv/pte.pp.mli:

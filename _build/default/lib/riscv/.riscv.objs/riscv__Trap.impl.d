@@ -1,0 +1,1 @@
+lib/riscv/trap.pp.ml: Csr Int64 List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/riscv/trap.pp.mli: Csr Format

@@ -1,0 +1,95 @@
+(* Architectural state of one hart: the state space S_P of the paper's
+   formal model.  Both the REF and the DUT's commit stage maintain one
+   of these; DiffTest compares them under the active diff-rules. *)
+
+type t = {
+  regs : int64 array; (* x0..x31; x0 pinned to zero *)
+  fregs : int64 array; (* f0..f31, raw IEEE-754 bits *)
+  mutable pc : int64;
+  csr : Csr.t;
+  mutable reservation : int64 option; (* LR/SC reservation address *)
+  hartid : int;
+}
+
+let create ?(pc = Platform.dram_base) ~hartid () =
+  {
+    regs = Array.make 32 0L;
+    fregs = Array.make 32 0L;
+    pc;
+    csr = Csr.create ~hartid;
+    reservation = None;
+    hartid;
+  }
+
+let get_reg t r = if r = 0 then 0L else t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+let get_freg t r = t.fregs.(r)
+
+let set_freg t r v = t.fregs.(r) <- v
+
+let copy t =
+  {
+    regs = Array.copy t.regs;
+    fregs = Array.copy t.fregs;
+    pc = t.pc;
+    csr = Csr.copy t.csr;
+    reservation = t.reservation;
+    hartid = t.hartid;
+  }
+
+let restore_from t ~src =
+  Array.blit src.regs 0 t.regs 0 32;
+  Array.blit src.fregs 0 t.fregs 0 32;
+  t.pc <- src.pc;
+  t.reservation <- src.reservation;
+  let c = t.csr and s = src.csr in
+  c.Csr.priv <- s.Csr.priv;
+  c.reg_mstatus <- s.reg_mstatus;
+  c.reg_medeleg <- s.reg_medeleg;
+  c.reg_mideleg <- s.reg_mideleg;
+  c.reg_mie <- s.reg_mie;
+  c.reg_mtvec <- s.reg_mtvec;
+  c.reg_mscratch <- s.reg_mscratch;
+  c.reg_mepc <- s.reg_mepc;
+  c.reg_mcause <- s.reg_mcause;
+  c.reg_mtval <- s.reg_mtval;
+  c.reg_mip <- s.reg_mip;
+  c.reg_mcycle <- s.reg_mcycle;
+  c.reg_minstret <- s.reg_minstret;
+  c.reg_stvec <- s.reg_stvec;
+  c.reg_sscratch <- s.reg_sscratch;
+  c.reg_sepc <- s.reg_sepc;
+  c.reg_scause <- s.reg_scause;
+  c.reg_stval <- s.reg_stval;
+  c.reg_satp <- s.reg_satp;
+  c.reg_fflags <- s.reg_fflags;
+  c.reg_frm <- s.reg_frm
+
+(* First difference between two states, for DiffTest reports. *)
+let diff a b : string option =
+  let buf = ref None in
+  let note msg = if !buf = None then buf := Some msg in
+  if a.pc <> b.pc then note (Printf.sprintf "pc: 0x%Lx vs 0x%Lx" a.pc b.pc);
+  for i = 1 to 31 do
+    if !buf = None && a.regs.(i) <> b.regs.(i) then
+      note
+        (Printf.sprintf "x%d(%s): 0x%Lx vs 0x%Lx" i (Insn.reg_name i)
+           a.regs.(i) b.regs.(i))
+  done;
+  for i = 0 to 31 do
+    if !buf = None && a.fregs.(i) <> b.fregs.(i) then
+      note (Printf.sprintf "f%d: 0x%Lx vs 0x%Lx" i a.fregs.(i) b.fregs.(i))
+  done;
+  if !buf = None then begin
+    let da = Csr.compare_digest a.csr and db = Csr.compare_digest b.csr in
+    List.iter2
+      (fun (name, va) (_, vb) ->
+        if !buf = None && va <> vb then
+          note (Printf.sprintf "csr %s: 0x%Lx vs 0x%Lx" name va vb))
+      da db
+  end;
+  !buf
+
+let equal a b = diff a b = None

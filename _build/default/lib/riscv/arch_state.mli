@@ -1,0 +1,36 @@
+(** Architectural state of one hart: the state space S_P of the
+    paper's formal verification model (§III-A).  Both the REF and the
+    DUT's commit stage maintain one; DiffTest compares them under the
+    active diff-rules. *)
+
+type t = {
+  regs : int64 array; (** x0..x31; x0 pinned to zero *)
+  fregs : int64 array; (** raw IEEE-754 bits *)
+  mutable pc : int64;
+  csr : Csr.t;
+  mutable reservation : int64 option; (** LR/SC reservation address *)
+  hartid : int;
+}
+
+val create : ?pc:int64 -> hartid:int -> unit -> t
+
+val get_reg : t -> int -> int64
+
+val set_reg : t -> int -> int64 -> unit
+(** Writes to x0 are discarded. *)
+
+val get_freg : t -> int -> int64
+
+val set_freg : t -> int -> int64 -> unit
+
+val copy : t -> t
+
+val restore_from : t -> src:t -> unit
+(** Overwrite [t] with [src]'s architectural contents in place. *)
+
+val diff : t -> t -> string option
+(** First difference between two states (pc, integer and FP registers,
+    then the comparable CSR digest), rendered for DiffTest reports;
+    [None] if architecturally equal. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,264 @@
+(* A small two-pass assembler DSL.
+
+   Programs are lists of items; labels are resolved in a first pass
+   (every item has a size that is known without label values), and
+   instructions are materialised in a second pass.  All items occupy a
+   whole number of 32-bit words.
+
+   The synthetic SPEC-like workloads and the micro-kernel are written
+   directly in this DSL (see lib/workloads). *)
+
+type resolved = Insn.t list
+
+type item =
+  | Label of string
+  | Insns of Insn.t list
+  | Deferred of int * (pc:int64 -> lookup:(string -> int64) -> resolved)
+      (* word count, generator *)
+  | Raw_words of int32 list
+
+type program = {
+  base : int64;
+  words : int32 array;
+  labels : (string * int64) list;
+  entry : int64;
+}
+
+exception Asm_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Asm_error s)) fmt
+
+(* --- register mnemonics -------------------------------------------- *)
+
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let tp = 4
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let s0 = 8
+let fp = 8
+let s1 = 9
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let s8 = 24
+let s9 = 25
+let s10 = 26
+let s11 = 27
+let t3 = 28
+let t4 = 29
+let t5 = 30
+let t6 = 31
+
+let ft0 = 0
+let ft1 = 1
+let ft2 = 2
+let ft3 = 3
+let ft4 = 4
+let ft5 = 5
+let ft6 = 6
+let ft7 = 7
+let fs0 = 8
+let fs1 = 9
+let fa0 = 10
+let fa1 = 11
+let fa2 = 12
+let fa3 = 13
+let fa4 = 14
+let fa5 = 15
+
+(* --- items ---------------------------------------------------------- *)
+
+let label name = Label name
+
+let i insn = Insns [ insn ]
+
+let seq insns = Insns insns
+
+(* fits in a signed immediate of [bits] bits *)
+let fits v bits =
+  let lo = Int64.neg (Int64.shift_left 1L (bits - 1)) in
+  let hi = Int64.sub (Int64.shift_left 1L (bits - 1)) 1L in
+  v >= lo && v <= hi
+
+(* Expansion of li: value is known at construction time so the length
+   is fixed. *)
+let rec li_insns rd (v : int64) : Insn.t list =
+  if fits v 12 then [ Insn.Op_imm (ADD, rd, 0, v) ]
+  else if fits v 32 then begin
+    let lo = Int64.shift_right (Int64.shift_left v 52) 52 in
+    let hi = Int64.sub v lo in
+    (* hi is a multiple of 0x1000 fitting in 32 bits (sign-extended) *)
+    let hi32 = Int64.shift_right (Int64.shift_left hi 32) 32 in
+    if lo = 0L then [ Insn.Lui (rd, hi32) ]
+    else [ Insn.Lui (rd, hi32); Insn.Op_imm_w (ADDW, rd, rd, lo) ]
+  end
+  else begin
+    let lo = Int64.shift_right (Int64.shift_left v 52) 52 in
+    let rest = Int64.shift_right (Int64.sub v lo) 12 in
+    li_insns rd rest
+    @ [ Insn.Op_imm (SLL, rd, rd, 12L) ]
+    @ if lo = 0L then [] else [ Insn.Op_imm (ADD, rd, rd, lo) ]
+  end
+
+let li rd v = Insns (li_insns rd v)
+
+let nop = i (Insn.Op_imm (ADD, 0, 0, 0L))
+
+let mv rd rs = i (Insn.Op_imm (ADD, rd, rs, 0L))
+
+let not_ rd rs = i (Insn.Op_imm (XOR, rd, rs, -1L))
+
+let neg rd rs = i (Insn.Op (SUB, rd, 0, rs))
+
+let ret = i (Insn.Jalr (0, ra, 0L))
+
+(* --- label-relative items ------------------------------------------ *)
+
+let branch_to op rs1 rs2 target =
+  Deferred
+    ( 1,
+      fun ~pc ~lookup ->
+        let off = Int64.sub (lookup target) pc in
+        if not (fits off 13) then
+          err "branch to %s out of range (%Ld)" target off;
+        [ Insn.Branch (op, rs1, rs2, off) ] )
+
+let beq rs1 rs2 t = branch_to Insn.BEQ rs1 rs2 t
+let bne rs1 rs2 t = branch_to Insn.BNE rs1 rs2 t
+let blt rs1 rs2 t = branch_to Insn.BLT rs1 rs2 t
+let bge rs1 rs2 t = branch_to Insn.BGE rs1 rs2 t
+let bltu rs1 rs2 t = branch_to Insn.BLTU rs1 rs2 t
+let bgeu rs1 rs2 t = branch_to Insn.BGEU rs1 rs2 t
+let beqz rs t = beq rs 0 t
+let bnez rs t = bne rs 0 t
+let blez rs t = bge 0 rs t
+let bgtz rs t = blt 0 rs t
+let bgt rs1 rs2 t = blt rs2 rs1 t
+let ble rs1 rs2 t = bge rs2 rs1 t
+
+let jal_to rd target =
+  Deferred
+    ( 1,
+      fun ~pc ~lookup ->
+        let off = Int64.sub (lookup target) pc in
+        if not (fits off 21) then err "jal to %s out of range" target;
+        [ Insn.Jal (rd, off) ] )
+
+let j target = jal_to 0 target
+
+let call target = jal_to ra target
+
+(* Load a label's absolute address: auipc + addi (2 words). *)
+let la rd target =
+  Deferred
+    ( 2,
+      fun ~pc ~lookup ->
+        let off = Int64.sub (lookup target) pc in
+        let lo = Int64.shift_right (Int64.shift_left off 52) 52 in
+        let hi = Int64.sub off lo in
+        let hi32 = Int64.shift_right (Int64.shift_left hi 32) 32 in
+        if not (fits off 32) then err "la %s out of range" target;
+        [ Insn.Auipc (rd, hi32); Insn.Op_imm (ADD, rd, rd, lo) ] )
+
+(* --- data ----------------------------------------------------------- *)
+
+let word (w : int32) = Raw_words [ w ]
+
+let dword (v : int64) =
+  Raw_words
+    [
+      Int64.to_int32 (Int64.logand v 0xFFFFFFFFL);
+      Int64.to_int32 (Int64.shift_right_logical v 32);
+    ]
+
+let double (f : float) = dword (Int64.bits_of_float f)
+
+let space_words n = Raw_words (List.init n (fun _ -> 0l))
+
+(* --- assembly -------------------------------------------------------- *)
+
+let item_size = function
+  | Label _ -> 0
+  | Insns l -> List.length l
+  | Deferred (n, _) -> n
+  | Raw_words l -> List.length l
+
+let assemble ?(base = Platform.dram_base) (items : item list) : program =
+  (* pass 1: label addresses *)
+  let labels = Hashtbl.create 64 in
+  let pos = ref base in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label name ->
+          if Hashtbl.mem labels name then err "duplicate label %s" name;
+          Hashtbl.replace labels name !pos
+      | Insns _ | Deferred _ | Raw_words _ -> ());
+      pos := Int64.add !pos (Int64.of_int (4 * item_size item)))
+    items;
+  let lookup name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> err "undefined label %s" name
+  in
+  (* pass 2: emit words *)
+  let out = ref [] in
+  let pos = ref base in
+  let emit_insn insn =
+    let w = Encode.encode insn in
+    (* catch out-of-range immediates and other unencodable forms at
+       assembly time rather than as silent truncation *)
+    if not (Insn.equal (Decode.decode w) insn) then
+      err "instruction does not round-trip (immediate out of range?): %s"
+        (Insn.show insn);
+    out := w :: !out;
+    pos := Int64.add !pos 4L
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | Insns l -> List.iter emit_insn l
+      | Deferred (n, gen) ->
+          let insns = gen ~pc:!pos ~lookup in
+          if List.length insns <> n then
+            err "deferred item size mismatch: declared %d, got %d" n
+              (List.length insns);
+          List.iter emit_insn insns
+      | Raw_words l ->
+          List.iter
+            (fun w ->
+              out := w :: !out;
+              pos := Int64.add !pos 4L)
+            l)
+    items;
+  {
+    base;
+    words = Array.of_list (List.rev !out);
+    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
+    entry = base;
+  }
+
+let label_addr p name =
+  match List.assoc_opt name p.labels with
+  | Some a -> a
+  | None -> err "program has no label %s" name
+
+let size_bytes p = 4 * Array.length p.words
+
+let load p (mem : Memory.t) = Memory.load_program mem ~addr:p.base p.words

@@ -1,0 +1,150 @@
+(** A small two-pass assembler DSL.
+
+    Programs are lists of items; labels are resolved in a first pass,
+    instructions materialised in a second.  Every item occupies a
+    whole number of 32-bit words, and every emitted instruction is
+    checked to round-trip through the encoder (catching out-of-range
+    immediates at assembly time).
+
+    The synthetic SPEC-like workloads and the Sv39 micro-kernel are
+    written directly in this DSL (see lib/workloads). *)
+
+type item
+
+type program = {
+  base : int64;
+  words : int32 array;
+  labels : (string * int64) list;
+  entry : int64;
+}
+
+exception Asm_error of string
+
+(** {1 Register mnemonics (ABI names)} *)
+
+val zero : int
+val ra : int
+val sp : int
+val gp : int
+val tp : int
+val t0 : int
+val t1 : int
+val t2 : int
+val s0 : int
+val fp : int
+val s1 : int
+val a0 : int
+val a1 : int
+val a2 : int
+val a3 : int
+val a4 : int
+val a5 : int
+val a6 : int
+val a7 : int
+val s2 : int
+val s3 : int
+val s4 : int
+val s5 : int
+val s6 : int
+val s7 : int
+val s8 : int
+val s9 : int
+val s10 : int
+val s11 : int
+val t3 : int
+val t4 : int
+val t5 : int
+val t6 : int
+
+val ft0 : int
+val ft1 : int
+val ft2 : int
+val ft3 : int
+val ft4 : int
+val ft5 : int
+val ft6 : int
+val ft7 : int
+val fs0 : int
+val fs1 : int
+val fa0 : int
+val fa1 : int
+val fa2 : int
+val fa3 : int
+val fa4 : int
+val fa5 : int
+
+(** {1 Items} *)
+
+val label : string -> item
+(** Define a label at the current position. *)
+
+val i : Insn.t -> item
+(** A single concrete instruction. *)
+
+val seq : Insn.t list -> item
+
+val li : int -> int64 -> item
+(** Load any 64-bit constant (fixed-length expansion chosen from the
+    value). *)
+
+val nop : item
+
+val mv : int -> int -> item
+
+val not_ : int -> int -> item
+
+val neg : int -> int -> item
+
+val ret : item
+
+(** {1 Label-relative items} *)
+
+val branch_to : Insn.branch_op -> int -> int -> string -> item
+(** Generic conditional branch to a label. *)
+
+val beq : int -> int -> string -> item
+val bne : int -> int -> string -> item
+val blt : int -> int -> string -> item
+val bge : int -> int -> string -> item
+val bltu : int -> int -> string -> item
+val bgeu : int -> int -> string -> item
+val beqz : int -> string -> item
+val bnez : int -> string -> item
+val blez : int -> string -> item
+val bgtz : int -> string -> item
+val bgt : int -> int -> string -> item
+val ble : int -> int -> string -> item
+
+val jal_to : int -> string -> item
+
+val j : string -> item
+
+val call : string -> item
+(** jal ra, label. *)
+
+val la : int -> string -> item
+(** Load a label's absolute address (auipc + addi, 2 words). *)
+
+(** {1 Data} *)
+
+val word : int32 -> item
+
+val dword : int64 -> item
+
+val double : float -> item
+
+val space_words : int -> item
+
+(** {1 Assembly} *)
+
+val assemble : ?base:int64 -> item list -> program
+(** Two-pass assembly at [base] (default: DRAM base).
+    @raise Asm_error on undefined/duplicate labels, out-of-range
+    branches, or unencodable instructions. *)
+
+val label_addr : program -> string -> int64
+
+val size_bytes : program -> int
+
+val load : program -> Memory.t -> unit
+(** Write the program image into physical memory. *)

@@ -1,0 +1,275 @@
+(* Instruction decoder: 32-bit machine word -> AST.
+
+   Unknown encodings decode to [Insn.Illegal w]; executing one raises
+   an illegal-instruction exception in the interpreters. *)
+
+let bits w hi lo = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let sext v width =
+  let shift = 64 - width in
+  Int64.shift_right (Int64.shift_left (Int64.of_int v) shift) shift
+
+let imm_i w = sext (bits w 31 20) 12
+
+let imm_s w = sext ((bits w 31 25 lsl 5) lor bits w 11 7) 12
+
+let imm_b w =
+  sext
+    ((bits w 31 31 lsl 12)
+    lor (bits w 7 7 lsl 11)
+    lor (bits w 30 25 lsl 5)
+    lor (bits w 11 8 lsl 1))
+    13
+
+let imm_u w = sext (bits w 31 12 lsl 12) 32
+
+let imm_j w =
+  sext
+    ((bits w 31 31 lsl 20)
+    lor (bits w 19 12 lsl 12)
+    lor (bits w 20 20 lsl 11)
+    lor (bits w 30 21 lsl 1))
+    21
+
+let alu_of_funct f7 f3 =
+  match (f7, f3) with
+  | 0x00, 0 -> Some Insn.ADD
+  | 0x20, 0 -> Some SUB
+  | 0x00, 1 -> Some SLL
+  | 0x00, 2 -> Some SLT
+  | 0x00, 3 -> Some SLTU
+  | 0x00, 4 -> Some XOR
+  | 0x00, 5 -> Some SRL
+  | 0x20, 5 -> Some SRA
+  | 0x00, 6 -> Some OR
+  | 0x00, 7 -> Some AND
+  | _ -> None
+
+let alu_w_of_funct f7 f3 =
+  match (f7, f3) with
+  | 0x00, 0 -> Some Insn.ADDW
+  | 0x20, 0 -> Some SUBW
+  | 0x00, 1 -> Some SLLW
+  | 0x00, 5 -> Some SRLW
+  | 0x20, 5 -> Some SRAW
+  | _ -> None
+
+let mul_of_funct3 = function
+  | 0 -> Insn.MUL
+  | 1 -> MULH
+  | 2 -> MULHSU
+  | 3 -> MULHU
+  | 4 -> DIV
+  | 5 -> DIVU
+  | 6 -> REM
+  | _ -> REMU
+
+let mul_w_of_funct3 = function
+  | 0 -> Some Insn.MULW
+  | 4 -> Some DIVW
+  | 5 -> Some DIVUW
+  | 6 -> Some REMW
+  | 7 -> Some REMUW
+  | _ -> None
+
+let decode_int (w : int) : Insn.t =
+  let illegal () = Insn.Illegal (Int32.of_int w) in
+  let opcode = bits w 6 0 in
+  let rd = bits w 11 7 in
+  let rs1 = bits w 19 15 in
+  let rs2 = bits w 24 20 in
+  let funct3 = bits w 14 12 in
+  let funct7 = bits w 31 25 in
+  match opcode with
+  | 0x37 -> Lui (rd, imm_u w)
+  | 0x17 -> Auipc (rd, imm_u w)
+  | 0x6F -> Jal (rd, imm_j w)
+  | 0x67 -> if funct3 = 0 then Jalr (rd, rs1, imm_i w) else illegal ()
+  | 0x63 -> (
+      let op =
+        match funct3 with
+        | 0 -> Some Insn.BEQ
+        | 1 -> Some BNE
+        | 4 -> Some BLT
+        | 5 -> Some BGE
+        | 6 -> Some BLTU
+        | 7 -> Some BGEU
+        | _ -> None
+      in
+      match op with
+      | Some op -> Branch (op, rs1, rs2, imm_b w)
+      | None -> illegal ())
+  | 0x03 -> (
+      let op =
+        match funct3 with
+        | 0 -> Some Insn.LB
+        | 1 -> Some LH
+        | 2 -> Some LW
+        | 3 -> Some LD
+        | 4 -> Some LBU
+        | 5 -> Some LHU
+        | 6 -> Some LWU
+        | _ -> None
+      in
+      match op with
+      | Some op -> Load (op, rd, rs1, imm_i w)
+      | None -> illegal ())
+  | 0x23 -> (
+      let op =
+        match funct3 with
+        | 0 -> Some Insn.SB
+        | 1 -> Some SH
+        | 2 -> Some SW
+        | 3 -> Some SD
+        | _ -> None
+      in
+      match op with
+      | Some op -> Store (op, rs2, rs1, imm_s w)
+      | None -> illegal ())
+  | 0x13 -> (
+      match funct3 with
+      | 1 ->
+          if bits w 31 26 = 0 then
+            Op_imm (SLL, rd, rs1, Int64.of_int (bits w 25 20))
+          else illegal ()
+      | 5 -> (
+          match bits w 31 26 with
+          | 0x00 -> Op_imm (SRL, rd, rs1, Int64.of_int (bits w 25 20))
+          | 0x10 -> Op_imm (SRA, rd, rs1, Int64.of_int (bits w 25 20))
+          | _ -> illegal ())
+      | 0 -> Op_imm (ADD, rd, rs1, imm_i w)
+      | 2 -> Op_imm (SLT, rd, rs1, imm_i w)
+      | 3 -> Op_imm (SLTU, rd, rs1, imm_i w)
+      | 4 -> Op_imm (XOR, rd, rs1, imm_i w)
+      | 6 -> Op_imm (OR, rd, rs1, imm_i w)
+      | _ -> Op_imm (AND, rd, rs1, imm_i w))
+  | 0x1B -> (
+      match funct3 with
+      | 0 -> Op_imm_w (ADDW, rd, rs1, imm_i w)
+      | 1 ->
+          if funct7 = 0 then Op_imm_w (SLLW, rd, rs1, Int64.of_int rs2)
+          else illegal ()
+      | 5 -> (
+          match funct7 with
+          | 0x00 -> Op_imm_w (SRLW, rd, rs1, Int64.of_int rs2)
+          | 0x20 -> Op_imm_w (SRAW, rd, rs1, Int64.of_int rs2)
+          | _ -> illegal ())
+      | _ -> illegal ())
+  | 0x33 -> (
+      if funct7 = 0x01 then Mul (mul_of_funct3 funct3, rd, rs1, rs2)
+      else
+        match alu_of_funct funct7 funct3 with
+        | Some op -> Op (op, rd, rs1, rs2)
+        | None -> illegal ())
+  | 0x3B -> (
+      if funct7 = 0x01 then
+        match mul_w_of_funct3 funct3 with
+        | Some op -> Mul_w (op, rd, rs1, rs2)
+        | None -> illegal ()
+      else
+        match alu_w_of_funct funct7 funct3 with
+        | Some op -> Op_w (op, rd, rs1, rs2)
+        | None -> illegal ())
+  | 0x2F -> (
+      let width =
+        match funct3 with
+        | 2 -> Some Insn.Width_w
+        | 3 -> Some Width_d
+        | _ -> None
+      in
+      match width with
+      | None -> illegal ()
+      | Some width -> (
+          match bits w 31 27 with
+          | 0x02 -> if rs2 = 0 then Lr (width, rd, rs1) else illegal ()
+          | 0x03 -> Sc (width, rd, rs1, rs2)
+          | 0x01 -> Amo (AMOSWAP, width, rd, rs1, rs2)
+          | 0x00 -> Amo (AMOADD, width, rd, rs1, rs2)
+          | 0x04 -> Amo (AMOXOR, width, rd, rs1, rs2)
+          | 0x0C -> Amo (AMOAND, width, rd, rs1, rs2)
+          | 0x08 -> Amo (AMOOR, width, rd, rs1, rs2)
+          | 0x10 -> Amo (AMOMIN, width, rd, rs1, rs2)
+          | 0x14 -> Amo (AMOMAX, width, rd, rs1, rs2)
+          | 0x18 -> Amo (AMOMINU, width, rd, rs1, rs2)
+          | 0x1C -> Amo (AMOMAXU, width, rd, rs1, rs2)
+          | _ -> illegal ()))
+  | 0x73 -> (
+      match funct3 with
+      | 0 -> (
+          match bits w 31 20 with
+          | 0x000 when rs1 = 0 && rd = 0 -> Ecall
+          | 0x001 when rs1 = 0 && rd = 0 -> Ebreak
+          | 0x302 when rs1 = 0 && rd = 0 -> Mret
+          | 0x102 when rs1 = 0 && rd = 0 -> Sret
+          | 0x105 when rs1 = 0 && rd = 0 -> Wfi
+          | _ ->
+              if funct7 = 0x09 && rd = 0 then Sfence_vma (rs1, rs2)
+              else illegal ())
+      | 1 -> Csr (CSRRW, rd, rs1, bits w 31 20)
+      | 2 -> Csr (CSRRS, rd, rs1, bits w 31 20)
+      | 3 -> Csr (CSRRC, rd, rs1, bits w 31 20)
+      | 5 -> Csr (CSRRWI, rd, rs1, bits w 31 20)
+      | 6 -> Csr (CSRRSI, rd, rs1, bits w 31 20)
+      | 7 -> Csr (CSRRCI, rd, rs1, bits w 31 20)
+      | _ -> illegal ())
+  | 0x0F -> (
+      match funct3 with 0 -> Fence | 1 -> Fence_i | _ -> illegal ())
+  | 0x07 -> if funct3 = 3 then Fld (rd, rs1, imm_i w) else illegal ()
+  | 0x27 -> if funct3 = 3 then Fsd (rs2, rs1, imm_s w) else illegal ()
+  | 0x43 | 0x47 | 0x4B | 0x4F ->
+      if bits w 26 25 <> 1 then illegal ()
+      else
+        let op =
+          match opcode with
+          | 0x43 -> Insn.FMADD
+          | 0x47 -> FMSUB
+          | 0x4B -> FNMSUB
+          | _ -> FNMADD
+        in
+        Fp_fused (op, rd, rs1, rs2, bits w 31 27)
+  | 0x53 -> (
+      match funct7 with
+      | 0x01 -> Fp_rrr (FADD, rd, rs1, rs2)
+      | 0x05 -> Fp_rrr (FSUB, rd, rs1, rs2)
+      | 0x09 -> Fp_rrr (FMUL, rd, rs1, rs2)
+      | 0x0D -> Fp_rrr (FDIV, rd, rs1, rs2)
+      | 0x11 -> (
+          match funct3 with
+          | 0 -> Fp_sign (FSGNJ, rd, rs1, rs2)
+          | 1 -> Fp_sign (FSGNJN, rd, rs1, rs2)
+          | 2 -> Fp_sign (FSGNJX, rd, rs1, rs2)
+          | _ -> illegal ())
+      | 0x15 -> (
+          match funct3 with
+          | 0 -> Fp_minmax (FMIN, rd, rs1, rs2)
+          | 1 -> Fp_minmax (FMAX, rd, rs1, rs2)
+          | _ -> illegal ())
+      | 0x51 -> (
+          match funct3 with
+          | 2 -> Fp_cmp (FEQ, rd, rs1, rs2)
+          | 1 -> Fp_cmp (FLT, rd, rs1, rs2)
+          | 0 -> Fp_cmp (FLE, rd, rs1, rs2)
+          | _ -> illegal ())
+      | 0x2D -> if rs2 = 0 then Fsqrt_d (rd, rs1) else illegal ()
+      | 0x69 -> (
+          match rs2 with
+          | 0 -> Fcvt_d_w (rd, rs1)
+          | 2 -> Fcvt_d_l (rd, rs1)
+          | 3 -> Fcvt_d_lu (rd, rs1)
+          | _ -> illegal ())
+      | 0x61 -> (
+          match rs2 with
+          | 0 -> Fcvt_w_d (rd, rs1)
+          | 2 -> Fcvt_l_d (rd, rs1)
+          | 3 -> Fcvt_lu_d (rd, rs1)
+          | _ -> illegal ())
+      | 0x71 -> (
+          match funct3 with
+          | 0 when rs2 = 0 -> Fmv_x_d (rd, rs1)
+          | 1 when rs2 = 0 -> Fclass_d (rd, rs1)
+          | _ -> illegal ())
+      | 0x79 -> if funct3 = 0 && rs2 = 0 then Fmv_d_x (rd, rs1) else illegal ()
+      | _ -> illegal ())
+  | _ -> illegal ()
+
+let decode (w : int32) : Insn.t = decode_int (Int32.to_int w land 0xFFFFFFFF)

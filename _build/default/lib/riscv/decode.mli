@@ -1,0 +1,10 @@
+(** Instruction decoder: 32-bit machine word -> AST.
+
+    Unknown encodings decode to [Insn.Illegal w]; executing one raises
+    an illegal-instruction exception in the interpreters. *)
+
+val decode : int32 -> Insn.t
+(** [decode w] is the instruction encoded by [w]. *)
+
+val decode_int : int -> Insn.t
+(** [decode_int w] decodes the low 32 bits of the native int [w]. *)

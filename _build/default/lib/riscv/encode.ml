@@ -1,0 +1,269 @@
+(* Instruction encoder: AST -> 32-bit RISC-V machine word.
+
+   Words are built in a native int (all 32 bits fit) and converted to
+   int32 at the end.  Immediates in the AST are full sign-extended
+   int64 values; the encoder masks them down to their field widths, so
+   [Decode.decode (encode i) = i] holds whenever the immediate is
+   representable (checked by the round-trip property tests). *)
+
+let opc_load = 0x03
+let opc_load_fp = 0x07
+let opc_misc_mem = 0x0F
+let opc_op_imm = 0x13
+let opc_auipc = 0x17
+let opc_op_imm_32 = 0x1B
+let opc_store = 0x23
+let opc_store_fp = 0x27
+let opc_amo = 0x2F
+let opc_op = 0x33
+let opc_lui = 0x37
+let opc_op_32 = 0x3B
+let opc_madd = 0x43
+let opc_msub = 0x47
+let opc_nmsub = 0x4B
+let opc_nmadd = 0x4F
+let opc_op_fp = 0x53
+let opc_branch = 0x63
+let opc_jalr = 0x67
+let opc_jal = 0x6F
+let opc_system = 0x73
+
+let imm_lo imm bits = Int64.to_int imm land ((1 lsl bits) - 1)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd opcode =
+  (imm_lo imm 12 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 opcode =
+  let i = imm_lo imm 12 in
+  ((i lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((i land 0x1F) lsl 7)
+  lor opcode
+
+let b_type ~imm ~rs2 ~rs1 ~funct3 opcode =
+  let i = imm_lo imm 13 in
+  (((i lsr 12) land 1) lsl 31)
+  lor (((i lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((i lsr 1) land 0xF) lsl 8)
+  lor (((i lsr 11) land 1) lsl 7)
+  lor opcode
+
+let u_type ~imm ~rd opcode =
+  (* imm is the sign-extended (imm20 << 12) value *)
+  let i = Int64.to_int (Int64.shift_right_logical imm 12) land 0xFFFFF in
+  (i lsl 12) lor (rd lsl 7) lor opcode
+
+let j_type ~imm ~rd opcode =
+  let i = imm_lo imm 21 in
+  (((i lsr 20) land 1) lsl 31)
+  lor (((i lsr 1) land 0x3FF) lsl 21)
+  lor (((i lsr 11) land 1) lsl 20)
+  lor (((i lsr 12) land 0xFF) lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let alu_funct = function
+  | Insn.ADD -> (0x00, 0)
+  | SUB -> (0x20, 0)
+  | SLL -> (0x00, 1)
+  | SLT -> (0x00, 2)
+  | SLTU -> (0x00, 3)
+  | XOR -> (0x00, 4)
+  | SRL -> (0x00, 5)
+  | SRA -> (0x20, 5)
+  | OR -> (0x00, 6)
+  | AND -> (0x00, 7)
+
+let alu_w_funct = function
+  | Insn.ADDW -> (0x00, 0)
+  | SUBW -> (0x20, 0)
+  | SLLW -> (0x00, 1)
+  | SRLW -> (0x00, 5)
+  | SRAW -> (0x20, 5)
+
+let mul_funct = function
+  | Insn.MUL -> 0
+  | MULH -> 1
+  | MULHSU -> 2
+  | MULHU -> 3
+  | DIV -> 4
+  | DIVU -> 5
+  | REM -> 6
+  | REMU -> 7
+
+let mul_w_funct = function
+  | Insn.MULW -> 0
+  | DIVW -> 4
+  | DIVUW -> 5
+  | REMW -> 6
+  | REMUW -> 7
+
+let branch_funct = function
+  | Insn.BEQ -> 0
+  | BNE -> 1
+  | BLT -> 4
+  | BGE -> 5
+  | BLTU -> 6
+  | BGEU -> 7
+
+let load_funct = function
+  | Insn.LB -> 0
+  | LH -> 1
+  | LW -> 2
+  | LD -> 3
+  | LBU -> 4
+  | LHU -> 5
+  | LWU -> 6
+
+let store_funct = function Insn.SB -> 0 | SH -> 1 | SW -> 2 | SD -> 3
+
+let csr_funct = function
+  | Insn.CSRRW -> 1
+  | CSRRS -> 2
+  | CSRRC -> 3
+  | CSRRWI -> 5
+  | CSRRSI -> 6
+  | CSRRCI -> 7
+
+let amo_funct5 = function
+  | Insn.AMOSWAP -> 0x01
+  | AMOADD -> 0x00
+  | AMOXOR -> 0x04
+  | AMOAND -> 0x0C
+  | AMOOR -> 0x08
+  | AMOMIN -> 0x10
+  | AMOMAX -> 0x14
+  | AMOMINU -> 0x18
+  | AMOMAXU -> 0x1C
+
+let amo_width_funct3 = function Insn.Width_w -> 2 | Width_d -> 3
+
+let fp_rrr_funct7 = function
+  | Insn.FADD -> 0x01
+  | FSUB -> 0x05
+  | FMUL -> 0x09
+  | FDIV -> 0x0D
+
+let fp_fused_opcode = function
+  | Insn.FMADD -> opc_madd
+  | FMSUB -> opc_msub
+  | FNMSUB -> opc_nmsub
+  | FNMADD -> opc_nmadd
+
+let fp_sign_funct3 = function Insn.FSGNJ -> 0 | FSGNJN -> 1 | FSGNJX -> 2
+
+let fp_cmp_funct3 = function Insn.FEQ -> 2 | FLT -> 1 | FLE -> 0
+
+let encode_int (insn : Insn.t) : int =
+  match insn with
+  | Lui (rd, imm) -> u_type ~imm ~rd opc_lui
+  | Auipc (rd, imm) -> u_type ~imm ~rd opc_auipc
+  | Jal (rd, imm) -> j_type ~imm ~rd opc_jal
+  | Jalr (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0 ~rd opc_jalr
+  | Branch (op, rs1, rs2, imm) ->
+      b_type ~imm ~rs2 ~rs1 ~funct3:(branch_funct op) opc_branch
+  | Load (op, rd, rs1, imm) ->
+      i_type ~imm ~rs1 ~funct3:(load_funct op) ~rd opc_load
+  | Store (op, rs2, rs1, imm) ->
+      s_type ~imm ~rs2 ~rs1 ~funct3:(store_funct op) opc_store
+  | Op_imm (op, rd, rs1, imm) -> (
+      match op with
+      | SLL -> i_type ~imm:(Int64.logand imm 0x3FL) ~rs1 ~funct3:1 ~rd opc_op_imm
+      | SRL ->
+          (* shamt occupies 6 bits in RV64; funct7 is effectively funct6 *)
+          i_type ~imm:(Int64.logand imm 0x3FL) ~rs1 ~funct3:5 ~rd opc_op_imm
+      | SRA ->
+          i_type
+            ~imm:(Int64.logor 0x400L (Int64.logand imm 0x3FL))
+            ~rs1 ~funct3:5 ~rd opc_op_imm
+      | SUB -> invalid_arg "Encode: subi does not exist (use addi -imm)"
+      | ADD | SLT | SLTU | XOR | OR | AND ->
+          let _, f3 = alu_funct op in
+          i_type ~imm ~rs1 ~funct3:f3 ~rd opc_op_imm)
+  | Op_imm_w (op, rd, rs1, imm) -> (
+      match op with
+      | SLLW -> i_type ~imm:(Int64.logand imm 0x1FL) ~rs1 ~funct3:1 ~rd opc_op_imm_32
+      | SRLW -> i_type ~imm:(Int64.logand imm 0x1FL) ~rs1 ~funct3:5 ~rd opc_op_imm_32
+      | SRAW ->
+          i_type
+            ~imm:(Int64.logor 0x400L (Int64.logand imm 0x1FL))
+            ~rs1 ~funct3:5 ~rd opc_op_imm_32
+      | SUBW -> invalid_arg "Encode: subiw does not exist"
+      | ADDW ->
+          i_type ~imm ~rs1 ~funct3:0 ~rd opc_op_imm_32)
+  | Op (op, rd, rs1, rs2) ->
+      let f7, f3 = alu_funct op in
+      r_type ~funct7:f7 ~rs2 ~rs1 ~funct3:f3 ~rd opc_op
+  | Op_w (op, rd, rs1, rs2) ->
+      let f7, f3 = alu_w_funct op in
+      r_type ~funct7:f7 ~rs2 ~rs1 ~funct3:f3 ~rd opc_op_32
+  | Mul (op, rd, rs1, rs2) ->
+      r_type ~funct7:0x01 ~rs2 ~rs1 ~funct3:(mul_funct op) ~rd opc_op
+  | Mul_w (op, rd, rs1, rs2) ->
+      r_type ~funct7:0x01 ~rs2 ~rs1 ~funct3:(mul_w_funct op) ~rd opc_op_32
+  | Lr (w, rd, rs1) ->
+      r_type ~funct7:(0x02 lsl 2) ~rs2:0 ~rs1
+        ~funct3:(amo_width_funct3 w) ~rd opc_amo
+  | Sc (w, rd, rs1, rs2) ->
+      r_type ~funct7:(0x03 lsl 2) ~rs2 ~rs1 ~funct3:(amo_width_funct3 w) ~rd
+        opc_amo
+  | Amo (op, w, rd, rs1, rs2) ->
+      r_type
+        ~funct7:(amo_funct5 op lsl 2)
+        ~rs2 ~rs1 ~funct3:(amo_width_funct3 w) ~rd opc_amo
+  | Csr (op, rd, rs1, csr) ->
+      i_type ~imm:(Int64.of_int csr) ~rs1 ~funct3:(csr_funct op) ~rd opc_system
+  | Ecall -> i_type ~imm:0L ~rs1:0 ~funct3:0 ~rd:0 opc_system
+  | Ebreak -> i_type ~imm:1L ~rs1:0 ~funct3:0 ~rd:0 opc_system
+  | Mret -> i_type ~imm:0x302L ~rs1:0 ~funct3:0 ~rd:0 opc_system
+  | Sret -> i_type ~imm:0x102L ~rs1:0 ~funct3:0 ~rd:0 opc_system
+  | Wfi -> i_type ~imm:0x105L ~rs1:0 ~funct3:0 ~rd:0 opc_system
+  | Fence -> i_type ~imm:0x0FFL ~rs1:0 ~funct3:0 ~rd:0 opc_misc_mem
+  | Fence_i -> i_type ~imm:0L ~rs1:0 ~funct3:1 ~rd:0 opc_misc_mem
+  | Sfence_vma (rs1, rs2) ->
+      r_type ~funct7:0x09 ~rs2 ~rs1 ~funct3:0 ~rd:0 opc_system
+  | Fld (frd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:3 ~rd:frd opc_load_fp
+  | Fsd (frs2, rs1, imm) -> s_type ~imm ~rs2:frs2 ~rs1 ~funct3:3 opc_store_fp
+  | Fp_rrr (op, frd, f1, f2) ->
+      r_type ~funct7:(fp_rrr_funct7 op) ~rs2:f2 ~rs1:f1 ~funct3:7 ~rd:frd
+        opc_op_fp
+  | Fp_fused (op, frd, f1, f2, f3) ->
+      (f3 lsl 27) lor (0x1 lsl 25) lor (f2 lsl 20) lor (f1 lsl 15)
+      lor (7 lsl 12) lor (frd lsl 7)
+      lor fp_fused_opcode op
+  | Fp_sign (op, frd, f1, f2) ->
+      r_type ~funct7:0x11 ~rs2:f2 ~rs1:f1 ~funct3:(fp_sign_funct3 op) ~rd:frd
+        opc_op_fp
+  | Fp_minmax (op, frd, f1, f2) ->
+      let f3 = match op with FMIN -> 0 | FMAX -> 1 in
+      r_type ~funct7:0x15 ~rs2:f2 ~rs1:f1 ~funct3:f3 ~rd:frd opc_op_fp
+  | Fp_cmp (op, rd, f1, f2) ->
+      r_type ~funct7:0x51 ~rs2:f2 ~rs1:f1 ~funct3:(fp_cmp_funct3 op) ~rd
+        opc_op_fp
+  | Fsqrt_d (frd, f1) ->
+      r_type ~funct7:0x2D ~rs2:0 ~rs1:f1 ~funct3:7 ~rd:frd opc_op_fp
+  | Fcvt_d_l (frd, rs1) ->
+      r_type ~funct7:0x69 ~rs2:2 ~rs1 ~funct3:7 ~rd:frd opc_op_fp
+  | Fcvt_d_lu (frd, rs1) ->
+      r_type ~funct7:0x69 ~rs2:3 ~rs1 ~funct3:7 ~rd:frd opc_op_fp
+  | Fcvt_d_w (frd, rs1) ->
+      r_type ~funct7:0x69 ~rs2:0 ~rs1 ~funct3:7 ~rd:frd opc_op_fp
+  | Fcvt_l_d (rd, f1) ->
+      r_type ~funct7:0x61 ~rs2:2 ~rs1:f1 ~funct3:1 ~rd opc_op_fp
+  | Fcvt_lu_d (rd, f1) ->
+      r_type ~funct7:0x61 ~rs2:3 ~rs1:f1 ~funct3:1 ~rd opc_op_fp
+  | Fcvt_w_d (rd, f1) ->
+      r_type ~funct7:0x61 ~rs2:0 ~rs1:f1 ~funct3:1 ~rd opc_op_fp
+  | Fmv_x_d (rd, f1) ->
+      r_type ~funct7:0x71 ~rs2:0 ~rs1:f1 ~funct3:0 ~rd opc_op_fp
+  | Fmv_d_x (frd, rs1) ->
+      r_type ~funct7:0x79 ~rs2:0 ~rs1 ~funct3:0 ~rd:frd opc_op_fp
+  | Fclass_d (rd, f1) ->
+      r_type ~funct7:0x71 ~rs2:0 ~rs1:f1 ~funct3:1 ~rd opc_op_fp
+  | Illegal w -> Int32.to_int w land 0xFFFFFFFF
+
+let encode insn = Int32.of_int (encode_int insn)

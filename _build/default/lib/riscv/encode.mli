@@ -1,0 +1,15 @@
+(** Instruction encoder: AST -> 32-bit RISC-V machine word.
+
+    Immediates in the AST are full sign-extended [int64] values; the
+    encoder masks them to their field widths, so
+    [Decode.decode (encode i) = i] holds whenever the immediate is
+    representable (the assembler checks this at emission time).
+
+    @raise Invalid_argument for forms that do not exist in the ISA
+    (e.g. an immediate [SUB]). *)
+
+val encode : Insn.t -> int32
+(** [encode insn] is the 32-bit encoding of [insn]. *)
+
+val encode_int : Insn.t -> int
+(** [encode_int insn] is [encode insn] as a non-negative native int. *)

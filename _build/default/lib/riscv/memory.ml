@@ -1,0 +1,207 @@
+(* Paged physical memory with copy-on-write snapshots.
+
+   This is the software analogue of a Linux process address space: a
+   snapshot copies only the page table (like [fork] copying the PCB and
+   page tables) and marks every page shared; the first write to a
+   shared page copies it (a COW fault).  LightSSS builds its
+   fork()-style snapshots on top of this module, and the SSS baseline
+   deliberately bypasses it with a full image copy.
+
+   Pages are allocated lazily: a page that has never been written reads
+   as zero and costs nothing to snapshot. *)
+
+type page = { mutable data : Bytes.t; mutable rc : int }
+
+type t = {
+  base : int64; (* physical base address *)
+  page_bits : int;
+  n_pages : int;
+  mutable pages : page option array;
+  (* statistics *)
+  mutable stat_cow_faults : int;
+  mutable stat_pages_allocated : int;
+  mutable stat_snapshots : int;
+}
+
+type snapshot = { snap_pages : page option array }
+
+let page_size t = 1 lsl t.page_bits
+
+let create ?(page_bits = 12) ~base ~size () =
+  let psz = 1 lsl page_bits in
+  let n_pages = (size + psz - 1) / psz in
+  {
+    base;
+    page_bits;
+    n_pages;
+    pages = Array.make n_pages None;
+    stat_cow_faults = 0;
+    stat_pages_allocated = 0;
+    stat_snapshots = 0;
+  }
+
+let size t = t.n_pages * page_size t
+
+let base t = t.base
+
+let in_range t addr =
+  let off = Int64.sub addr t.base in
+  off >= 0L && off < Int64.of_int (size t)
+
+let offset_exn t addr =
+  let off = Int64.to_int (Int64.sub addr t.base) in
+  if off < 0 || off >= size t then
+    invalid_arg
+      (Printf.sprintf "Memory: physical address 0x%Lx out of range" addr);
+  off
+
+(* Read path: never allocates. *)
+let page_ro t idx = t.pages.(idx)
+
+(* Write path: allocate on demand and resolve COW sharing. *)
+let page_rw t idx =
+  match t.pages.(idx) with
+  | None ->
+      let p = { data = Bytes.make (page_size t) '\000'; rc = 1 } in
+      t.pages.(idx) <- Some p;
+      t.stat_pages_allocated <- t.stat_pages_allocated + 1;
+      p
+  | Some p ->
+      if p.rc > 1 then begin
+        let fresh = { data = Bytes.copy p.data; rc = 1 } in
+        p.rc <- p.rc - 1;
+        t.pages.(idx) <- Some fresh;
+        t.stat_cow_faults <- t.stat_cow_faults + 1;
+        fresh
+      end
+      else p
+
+let read_u8 t addr =
+  let off = offset_exn t addr in
+  match page_ro t (off lsr t.page_bits) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p.data (off land (page_size t - 1)))
+
+let write_u8 t addr v =
+  let off = offset_exn t addr in
+  let p = page_rw t (off lsr t.page_bits) in
+  Bytes.unsafe_set p.data (off land (page_size t - 1)) (Char.chr (v land 0xFF))
+
+(* Fast aligned-in-page paths for the common widths; accesses that
+   straddle a page boundary fall back to byte-by-byte. *)
+let read_bytes_le t addr n =
+  let off = offset_exn t addr in
+  let psz = page_size t in
+  let pidx = off lsr t.page_bits in
+  let poff = off land (psz - 1) in
+  if poff + n <= psz then
+    match page_ro t pidx with
+    | None -> 0L
+    | Some p ->
+        let rec go acc i =
+          if i < 0 then acc
+          else
+            go
+              (Int64.logor
+                 (Int64.shift_left acc 8)
+                 (Int64.of_int (Char.code (Bytes.unsafe_get p.data (poff + i)))))
+              (i - 1)
+        in
+        go 0L (n - 1)
+  else
+    let rec go acc i =
+      if i < 0 then acc
+      else
+        go
+          (Int64.logor
+             (Int64.shift_left acc 8)
+             (Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i)))))
+          (i - 1)
+    in
+    go 0L (n - 1)
+
+let write_bytes_le t addr n v =
+  let off = offset_exn t addr in
+  let psz = page_size t in
+  let pidx = off lsr t.page_bits in
+  let poff = off land (psz - 1) in
+  if poff + n <= psz then begin
+    let p = page_rw t pidx in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set p.data (poff + i)
+        (Char.unsafe_chr
+           (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+    done
+  end
+  else
+    for i = 0 to n - 1 do
+      write_u8 t
+        (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+let read_u16 t addr = Int64.to_int (read_bytes_le t addr 2)
+
+let read_u32 t addr = Int64.to_int (read_bytes_le t addr 4)
+
+let read_u64 t addr = read_bytes_le t addr 8
+
+let write_u16 t addr v = write_bytes_le t addr 2 (Int64.of_int (v land 0xFFFF))
+
+let write_u32 t addr v =
+  write_bytes_le t addr 4 (Int64.of_int (v land 0xFFFFFFFF))
+
+let write_u64 t addr v = write_bytes_le t addr 8 v
+
+let load_program t ~addr (words : int32 array) =
+  Array.iteri
+    (fun i w ->
+      write_u32 t
+        (Int64.add addr (Int64.of_int (4 * i)))
+        (Int32.to_int w land 0xFFFFFFFF))
+    words
+
+(* --- Snapshots ------------------------------------------------------ *)
+
+let snapshot t =
+  Array.iter (function Some p -> p.rc <- p.rc + 1 | None -> ()) t.pages;
+  t.stat_snapshots <- t.stat_snapshots + 1;
+  { snap_pages = Array.copy t.pages }
+
+let release_snapshot (s : snapshot) =
+  Array.iter (function Some p -> p.rc <- p.rc - 1 | None -> ()) s.snap_pages
+
+let restore t (s : snapshot) =
+  (* The snapshot keeps its reference so it can be restored again. *)
+  Array.iter (function Some p -> p.rc <- p.rc - 1 | None -> ()) t.pages;
+  Array.iter (function Some p -> p.rc <- p.rc + 1 | None -> ()) s.snap_pages;
+  t.pages <- Array.copy s.snap_pages
+
+(* Full deep copy: the SSS baseline. O(memory) rather than O(page table). *)
+let deep_copy t =
+  {
+    t with
+    pages =
+      Array.map
+        (function
+          | None -> None
+          | Some p -> Some { data = Bytes.copy p.data; rc = 1 })
+        t.pages;
+  }
+
+let allocated_pages t =
+  Array.fold_left (fun n p -> match p with Some _ -> n + 1 | None -> n) 0 t.pages
+
+type stats = { cow_faults : int; pages_allocated : int; snapshots : int }
+
+let stats t =
+  {
+    cow_faults = t.stat_cow_faults;
+    pages_allocated = t.stat_pages_allocated;
+    snapshots = t.stat_snapshots;
+  }
+
+let reset_stats t =
+  t.stat_cow_faults <- 0;
+  t.stat_pages_allocated <- 0;
+  t.stat_snapshots <- 0

@@ -1,0 +1,86 @@
+(** Paged physical memory with copy-on-write snapshots.
+
+    The software analogue of a Linux process address space: a snapshot
+    copies only the page table (like [fork] copying the PCB and page
+    tables) and marks every page shared; the first write to a shared
+    page performs a lazy copy (a COW fault, counted in {!stats}).
+    LightSSS builds its fork-style snapshots on this module; the SSS
+    baseline deliberately deep-copies instead.
+
+    Pages are allocated lazily: memory that has never been written
+    reads as zero and costs nothing to snapshot.
+
+    The representation is exposed because LightSSS detaches/reattaches
+    the page array around marshalling; treat the fields as read-only
+    elsewhere. *)
+
+type page = { mutable data : Bytes.t; mutable rc : int }
+
+type t = {
+  base : int64;
+  page_bits : int;
+  n_pages : int;
+  mutable pages : page option array;
+  mutable stat_cow_faults : int;
+  mutable stat_pages_allocated : int;
+  mutable stat_snapshots : int;
+}
+
+type snapshot
+
+val create : ?page_bits:int -> base:int64 -> size:int -> unit -> t
+(** [page_bits] defaults to 12 (4 KiB pages). *)
+
+val size : t -> int
+
+val base : t -> int64
+
+val in_range : t -> int64 -> bool
+
+val page_size : t -> int
+
+(** {1 Access}
+
+    Multi-byte accessors are little-endian and may straddle page
+    boundaries.  All raise [Invalid_argument] out of range. *)
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u16 : t -> int64 -> int
+val write_u16 : t -> int64 -> int -> unit
+val read_u32 : t -> int64 -> int
+val write_u32 : t -> int64 -> int -> unit
+val read_u64 : t -> int64 -> int64
+val write_u64 : t -> int64 -> int64 -> unit
+
+val read_bytes_le : t -> int64 -> int -> int64
+(** [read_bytes_le t addr n] reads [n] (<= 8) bytes. *)
+
+val write_bytes_le : t -> int64 -> int -> int64 -> unit
+
+val load_program : t -> addr:int64 -> int32 array -> unit
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> snapshot
+(** O(page-table): copies the page array and bumps refcounts. *)
+
+val restore : t -> snapshot -> unit
+(** Point [t] back at the snapshot's pages.  The snapshot remains
+    valid and can be restored again. *)
+
+val release_snapshot : snapshot -> unit
+(** Drop the snapshot's page references. *)
+
+val deep_copy : t -> t
+(** O(memory): the SSS baseline. *)
+
+(** {1 Statistics} *)
+
+val allocated_pages : t -> int
+
+type stats = { cow_faults : int; pages_allocated : int; snapshots : int }
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/softmem/cache.pp.ml: Array Bytes Char Dram Event Hashtbl Int64 Perm Riscv

@@ -1,0 +1,1 @@
+lib/softmem/cache.pp.mli: Bytes Dram Event Hashtbl Perm Riscv

@@ -1,0 +1,1 @@
+lib/softmem/dram.pp.mli:

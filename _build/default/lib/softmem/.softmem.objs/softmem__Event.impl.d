@@ -1,0 +1,1 @@
+lib/softmem/event.pp.ml: Format Perm

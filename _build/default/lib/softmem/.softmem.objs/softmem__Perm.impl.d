@@ -1,0 +1,1 @@
+lib/softmem/perm.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/softmem/perm.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/softmem/scoreboard.pp.ml: Array Event Hashtbl List Perm Printf

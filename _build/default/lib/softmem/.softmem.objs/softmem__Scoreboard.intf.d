@@ -1,0 +1,1 @@
+lib/softmem/scoreboard.pp.mli: Event

@@ -1,0 +1,342 @@
+(* Coherent cache hierarchy, transaction-level.
+
+   Abstraction (documented in DESIGN.md): data is write-through to the
+   single backing physical memory, while each cache level runs a real
+   coherence *metadata* state machine -- tags, permissions, an
+   inclusive sharers directory, probes and grants -- and computes
+   latencies.  This preserves everything the experiments observe:
+   hit/miss and capacity behaviour (Figure 12's LLC sweep), coherence
+   transactions for the diff-rules and the permission scoreboard
+   (§III-B2b), probe traffic between cores, and the Acquire/Probe race
+   window used to reproduce the §IV-C debugging case study (the
+   injected bug captures the pre-write line image and serves it to the
+   requesting core, exactly "L2 grants the wrong data upward to L1").
+
+   Timing is accumulated along the recursive resolution of each
+   transaction; concurrency across misses is modelled by the LSU,
+   which keeps several transactions in flight (MSHR-style) with
+   independent completion times. *)
+
+type line = {
+  mutable tag : int64; (* line index (addr >> line_shift); -1L invalid *)
+  mutable perm : Perm.t;
+  mutable sharers : int; (* bitmask of children holding >= Branch *)
+  mutable owner : int; (* child holding Trunk, -1 if none *)
+  mutable last_use : int;
+  mutable inflight_until : int; (* fill outstanding until this cycle *)
+}
+
+type parent = Dram of Dram.t | Cache of t
+
+and t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_shift : int;
+  hit_latency : int;
+  lines : line array; (* sets * ways, row-major by set *)
+  mutable parent : parent;
+  mutable children : t array;
+  mutable child_id : int; (* index of this node among parent's children *)
+  backing : Riscv.Memory.t;
+  mutable sink : Event.sink;
+  mutable now : int; (* advanced by the owner SoC every cycle *)
+  (* fault injection for the §IV-C case study *)
+  mutable bug_probe_race : bool;
+  (* fault injection for the permission-scoreboard rules: grant Trunk
+     without probing the other sharers first *)
+  mutable bug_skip_probe : bool;
+  poisoned : (int64, Bytes.t) Hashtbl.t;
+  (* statistics *)
+  mutable s_accesses : int;
+  mutable s_misses : int;
+  mutable s_probes : int;
+  mutable s_evictions : int;
+}
+
+let line_bytes t = 1 lsl t.line_shift
+
+let line_addr t addr = Int64.shift_right_logical addr t.line_shift
+
+let base_of_la t la = Int64.shift_left la t.line_shift
+
+let create ~name ~size_bytes ~ways ~line_shift ~hit_latency ~backing () =
+  let line_b = 1 lsl line_shift in
+  let sets = max 1 (size_bytes / line_b / ways) in
+  {
+    name;
+    sets;
+    ways;
+    line_shift;
+    hit_latency;
+    lines =
+      Array.init (sets * ways) (fun _ ->
+          {
+            tag = -1L;
+            perm = Perm.Nothing;
+            sharers = 0;
+            owner = -1;
+            last_use = 0;
+            inflight_until = 0;
+          });
+    parent = Dram (Dram.create (Dram.Fixed_amat 100));
+    children = [||];
+    child_id = 0;
+    backing;
+    sink = Event.null_sink;
+    now = 0;
+    bug_probe_race = false;
+    bug_skip_probe = false;
+    poisoned = Hashtbl.create 8;
+    s_accesses = 0;
+    s_misses = 0;
+    s_probes = 0;
+    s_evictions = 0;
+  }
+
+let set_parent child parent =
+  child.parent <- Cache parent;
+  parent.children <- Array.append parent.children [| child |];
+  child.child_id <- Array.length parent.children - 1
+
+let set_dram node dram = node.parent <- Dram dram
+
+(* Propagate the event sink and clock down a hierarchy. *)
+let rec iter_tree node f =
+  f node;
+  Array.iter (fun c -> iter_tree c f) node.children
+
+let emit t xact ~child ~la =
+  t.sink { Event.cycle = t.now; node = t.name; child; xact; addr = base_of_la t la }
+
+let set_index t la = Int64.to_int (Int64.rem la (Int64.of_int t.sets))
+
+let lookup t la : line option =
+  let s = set_index t la in
+  let rec go w =
+    if w >= t.ways then None
+    else
+      let l = t.lines.((s * t.ways) + w) in
+      if l.tag = la && l.perm <> Perm.Nothing then Some l else go (w + 1)
+  in
+  go 0
+
+let victim t la : line =
+  let s = set_index t la in
+  let best = ref t.lines.(s * t.ways) in
+  (try
+     for w = 0 to t.ways - 1 do
+       let l = t.lines.((s * t.ways) + w) in
+       if l.perm = Perm.Nothing then begin
+         best := l;
+         raise Exit
+       end;
+       if l.last_use < !best.last_use then best := l
+     done
+   with Exit -> ());
+  !best
+
+(* Downgrade [t]'s copy (and its whole subtree) to [to_perm].
+   Returns the latency of the probe. *)
+let rec probe (t : t) ~la ~(to_perm : Perm.t) : int =
+  t.s_probes <- t.s_probes + 1;
+  emit t (Perm.Probe to_perm) ~child:(-1) ~la;
+  match lookup t la with
+  | None ->
+      emit t (Perm.Probe_ack to_perm) ~child:(-1) ~la;
+      1
+  | Some line ->
+      (* forward to children first (inclusive hierarchy) *)
+      let child_lat = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if line.sharers land (1 lsl i) <> 0 then
+            child_lat := max !child_lat (probe c ~la ~to_perm))
+        t.children;
+      (* the injected L2 MSHR arbitration bug: a Probe overlapping an
+         in-flight Acquire on the same block captures the pre-write
+         data image, which later Grants serve upward *)
+      if t.bug_probe_race && line.inflight_until > t.now then begin
+        let buf = Bytes.create (line_bytes t) in
+        let base = base_of_la t la in
+        for i = 0 to line_bytes t - 1 do
+          Bytes.set buf i
+            (Char.chr
+               (Riscv.Memory.read_u8 t.backing (Int64.add base (Int64.of_int i))))
+        done;
+        Hashtbl.replace t.poisoned la buf
+      end;
+      (match to_perm with
+      | Perm.Nothing ->
+          line.tag <- -1L;
+          line.perm <- Perm.Nothing;
+          line.sharers <- 0;
+          line.owner <- -1
+      | Perm.Branch ->
+          if Perm.rank line.perm > Perm.rank Perm.Branch then
+            line.perm <- Perm.Branch;
+          line.owner <- -1
+      | Perm.Trunk -> invalid_arg "probe to Trunk");
+      emit t (Perm.Probe_ack to_perm) ~child:(-1) ~la;
+      !child_lat + 1
+
+(* Notify the parent that [t] no longer holds [la] (eviction). *)
+let release_to_parent (t : t) ~la =
+  emit t Perm.Release ~child:(-1) ~la;
+  match t.parent with
+  | Dram _ -> ()
+  | Cache p -> (
+      match lookup p la with
+      | Some pl ->
+          pl.sharers <- pl.sharers land lnot (1 lsl t.child_id);
+          if pl.owner = t.child_id then pl.owner <- -1
+      | None -> ())
+
+(* Make this node itself hold [la] with at least [want].
+   Returns latency. *)
+let rec ensure (t : t) ~la ~(want : Perm.t) : int =
+  t.s_accesses <- t.s_accesses + 1;
+  match lookup t la with
+  | Some line when Perm.at_least line.perm want ->
+      line.last_use <- t.now;
+      t.hit_latency
+  | Some line ->
+      (* permission upgrade *)
+      t.s_misses <- t.s_misses + 1;
+      let pl = acquire_from_parent t ~la ~want in
+      line.perm <- want;
+      line.last_use <- t.now;
+      line.inflight_until <- t.now + t.hit_latency + pl;
+      t.hit_latency + pl
+  | None ->
+      t.s_misses <- t.s_misses + 1;
+      let v = victim t la in
+      if v.perm <> Perm.Nothing then begin
+        t.s_evictions <- t.s_evictions + 1;
+        (* inclusive eviction: purge the subtree, tell the parent *)
+        Array.iteri
+          (fun i c ->
+            if v.sharers land (1 lsl i) <> 0 then
+              ignore (probe c ~la:v.tag ~to_perm:Perm.Nothing))
+          t.children;
+        release_to_parent t ~la:v.tag
+      end;
+      let pl = acquire_from_parent t ~la ~want in
+      v.tag <- la;
+      v.perm <- want;
+      v.sharers <- 0;
+      v.owner <- -1;
+      v.last_use <- t.now;
+      v.inflight_until <- t.now + t.hit_latency + pl;
+      t.hit_latency + pl
+
+and acquire_from_parent (t : t) ~la ~want : int =
+  emit t (Perm.Acquire want) ~child:(-1) ~la;
+  match t.parent with
+  | Dram d -> Dram.access d ~now:t.now ~addr:(base_of_la t la)
+  | Cache p -> acquire p ~la ~want ~child:t.child_id
+
+(* A child requests [want] on [la] from [p]. Returns latency. *)
+and acquire (p : t) ~la ~want ~child : int =
+  let self_lat = ensure p ~la ~want in
+  let probe_lat = ref 0 in
+  (match lookup p la with
+  | None -> assert false (* ensure just installed it *)
+  | Some line ->
+      (match want with
+      | Perm.Trunk ->
+          if not p.bug_skip_probe then
+            Array.iteri
+              (fun i c ->
+                if i <> child && line.sharers land (1 lsl i) <> 0 then begin
+                  probe_lat :=
+                    max !probe_lat (probe c ~la ~to_perm:Perm.Nothing);
+                  line.sharers <- line.sharers land lnot (1 lsl i)
+                end)
+              p.children;
+          line.owner <- child
+      | Perm.Branch ->
+          if line.owner >= 0 && line.owner <> child then begin
+            probe_lat :=
+              max !probe_lat
+                (probe p.children.(line.owner) ~la ~to_perm:Perm.Branch);
+            line.owner <- -1
+          end
+      | Perm.Nothing -> ());
+      line.sharers <- line.sharers lor (1 lsl child));
+  emit p (Perm.Grant want) ~child ~la;
+  (* the buggy grant path: serve poisoned data to the child *)
+  (if Hashtbl.mem p.poisoned la then
+     match Hashtbl.find_opt p.poisoned la with
+     | Some buf ->
+         Hashtbl.replace p.children.(child).poisoned la (Bytes.copy buf)
+     | None -> ());
+  self_lat + !probe_lat
+
+(* ---- core-facing interface (called on an L1 node) ------------------- *)
+
+let poisoned_value t ~la ~addr ~size : int64 option =
+  match Hashtbl.find_opt t.poisoned la with
+  | None -> None
+  | Some buf ->
+      let off = Int64.to_int (Int64.sub addr (base_of_la t la)) in
+      if off + size > Bytes.length buf then None
+      else begin
+        let v = ref 0L in
+        for i = size - 1 downto 0 do
+          v :=
+            Int64.logor
+              (Int64.shift_left !v 8)
+              (Int64.of_int (Char.code (Bytes.get buf (off + i))))
+        done;
+        Some !v
+      end
+
+(* Read [size] bytes; returns (value, latency). *)
+let read (t : t) ~addr ~size : int64 * int =
+  let la = line_addr t addr in
+  let lat = ensure t ~la ~want:Perm.Branch in
+  let v =
+    match poisoned_value t ~la ~addr ~size with
+    | Some v -> v
+    | None -> Riscv.Memory.read_bytes_le t.backing addr size
+  in
+  (v, lat)
+
+(* Write [size] bytes; returns latency.  Write-through to backing. *)
+let write (t : t) ~addr ~size v : int =
+  let la = line_addr t addr in
+  let lat = ensure t ~la ~want:Perm.Trunk in
+  Hashtbl.remove t.poisoned la;
+  Riscv.Memory.write_bytes_le t.backing addr size v;
+  lat
+
+(* Read-only probe of latency without a data value (instruction fetch). *)
+let fetch (t : t) ~addr : int =
+  let la = line_addr t addr in
+  ensure t ~la ~want:Perm.Branch
+
+let invalidate_all (t : t) =
+  iter_tree t (fun n ->
+      Array.iter
+        (fun l ->
+          l.tag <- -1L;
+          l.perm <- Perm.Nothing;
+          l.sharers <- 0;
+          l.owner <- -1)
+        n.lines;
+      Hashtbl.reset n.poisoned)
+
+let tick (t : t) = t.now <- t.now + 1
+
+let set_now (t : t) n = t.now <- n
+
+type stats = { accesses : int; misses : int; probes : int; evictions : int }
+
+let stats t =
+  {
+    accesses = t.s_accesses;
+    misses = t.s_misses;
+    probes = t.s_probes;
+    evictions = t.s_evictions;
+  }

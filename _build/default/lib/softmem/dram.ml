@@ -1,0 +1,64 @@
+(* DRAM timing models.
+
+   Two models, matching the platforms of Figure 12:
+   - [Fixed_amat]: every access costs the same number of cycles (the
+     paper's FPGA configurations with 90 / 250 padded cycles);
+   - [Ddr]: a banked model with row-buffer hits and per-bank queueing
+     (the ASIC / RTL-simulation configurations, DDR4-1600/2400-like).
+
+   Data itself lives in the backing Riscv.Memory store; this module
+   only computes latency. *)
+
+type model =
+  | Fixed_amat of int
+  | Ddr of { base : int; row_hit : int; row_miss : int; banks : int }
+
+type t = {
+  model : model;
+  (* per-bank state for the Ddr model *)
+  mutable open_rows : int64 array;
+  mutable bank_ready : int array;
+  mutable accesses : int;
+  mutable row_hits : int;
+}
+
+let ddr4_1600 = Ddr { base = 40; row_hit = 30; row_miss = 80; banks = 16 }
+
+let ddr4_2400 = Ddr { base = 30; row_hit = 20; row_miss = 60; banks = 16 }
+
+let create model =
+  let banks = match model with Fixed_amat _ -> 1 | Ddr d -> d.banks in
+  {
+    model;
+    open_rows = Array.make banks (-1L);
+    bank_ready = Array.make banks 0;
+    accesses = 0;
+    row_hits = 0;
+  }
+
+(* Latency of a line access starting at [now]. *)
+let access (t : t) ~now ~(addr : int64) : int =
+  t.accesses <- t.accesses + 1;
+  match t.model with
+  | Fixed_amat n -> n
+  | Ddr { base; row_hit; row_miss; banks } ->
+      let bank =
+        Int64.to_int (Int64.shift_right_logical addr 6) land (banks - 1)
+      in
+      let row = Int64.shift_right_logical addr 13 in
+      let service_start = max now t.bank_ready.(bank) in
+      let queue_delay = service_start - now in
+      let access_lat =
+        if t.open_rows.(bank) = row then begin
+          t.row_hits <- t.row_hits + 1;
+          row_hit
+        end
+        else begin
+          t.open_rows.(bank) <- row;
+          row_miss
+        end
+      in
+      t.bank_ready.(bank) <- service_start + access_lat;
+      base + queue_delay + access_lat
+
+let stats t = (t.accesses, t.row_hits)

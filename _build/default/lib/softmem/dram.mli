@@ -1,0 +1,27 @@
+(** DRAM timing models for the two platform families of Figure 12:
+    fixed average memory access time ("FPGA" configurations with 90 /
+    250 padded cycles) and a banked DDR-like model with row-buffer
+    hits and per-bank queueing (ASIC / RTL-simulation
+    configurations).  Data lives in the backing [Riscv.Memory]; this
+    module only computes latency. *)
+
+type model =
+  | Fixed_amat of int
+  | Ddr of { base : int; row_hit : int; row_miss : int; banks : int }
+
+type t
+
+val ddr4_1600 : model
+(** The YQH evaluation memory. *)
+
+val ddr4_2400 : model
+(** The NH evaluation memory. *)
+
+val create : model -> t
+
+val access : t -> now:int -> addr:int64 -> int
+(** Latency in cycles of a line access issued at [now]; updates open
+    rows and bank occupancy. *)
+
+val stats : t -> int * int
+(** (total accesses, row-buffer hits). *)

@@ -1,0 +1,22 @@
+(* Coherence transaction events.
+
+   Every Acquire / Grant / Probe / ProbeAck / Release between cache
+   levels is reported through an event sink; DiffTest's cache
+   diff-rules (the permission scoreboard) and ArchDB both subscribe
+   to this stream. *)
+
+type t = {
+  cycle : int;
+  node : string; (* reporting cache level, e.g. "l2" *)
+  child : int; (* child index the transaction concerns; -1 for parent *)
+  xact : Perm.xact;
+  addr : int64; (* line-aligned *)
+}
+
+let pp fmt (e : t) =
+  Format.fprintf fmt "@[%8d %-6s child=%d %-18s 0x%Lx@]" e.cycle e.node e.child
+    (Perm.show_xact e.xact) e.addr
+
+type sink = t -> unit
+
+let null_sink : sink = fun _ -> ()

@@ -1,0 +1,20 @@
+(** Coherence transaction events.
+
+    Every Acquire / Grant / Probe / Probe_ack / Release between cache
+    levels is reported through an event sink; DiffTest's permission
+    scoreboard and ArchDB both subscribe to this stream (the cache
+    diff-rules of paper §III-B2b). *)
+
+type t = {
+  cycle : int;
+  node : string; (** reporting cache level, e.g. "l2.0" *)
+  child : int; (** child index the transaction concerns; -1 = parent-ward *)
+  xact : Perm.xact;
+  addr : int64; (** line-aligned *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+type sink = t -> unit
+
+val null_sink : sink

@@ -1,0 +1,22 @@
+(* TileLink-style coherence permissions.
+
+   Nothing < Branch (shared, read-only) < Trunk (exclusive,
+   read-write), following the TileLink naming used by XiangShan's
+   cache hierarchy. *)
+
+type t = Nothing | Branch | Trunk
+[@@deriving show { with_path = false }, eq, ord]
+
+let rank = function Nothing -> 0 | Branch -> 1 | Trunk -> 2
+
+let at_least have want = rank have >= rank want
+
+(* Transaction kinds exchanged between cache levels; these are the
+   events the cache diff-rules and the permission scoreboard check. *)
+type xact =
+  | Acquire of t (* child requests permission *)
+  | Grant of t (* parent grants permission (with data) *)
+  | Probe of t (* parent demands child downgrade to t *)
+  | Probe_ack of t (* child acknowledges downgrade (maybe with data) *)
+  | Release (* child voluntarily writes back / evicts *)
+[@@deriving show { with_path = false }, eq]

@@ -1,0 +1,30 @@
+(** TileLink-style coherence permissions and transactions.
+
+    [Nothing < Branch (shared, read-only) < Trunk (exclusive,
+    read-write)], following the TileLink naming XiangShan's cache
+    hierarchy uses.  The transaction constructors are the events the
+    cache diff-rules and the permission scoreboard observe. *)
+
+type t = Nothing | Branch | Trunk
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val rank : t -> int
+
+val at_least : t -> t -> bool
+(** [at_least have want]: does [have] grant everything [want] does? *)
+
+(** Transactions exchanged between cache levels. *)
+type xact =
+  | Acquire of t (** child requests permission *)
+  | Grant of t (** parent grants permission *)
+  | Probe of t (** parent demands the child downgrade to [t] *)
+  | Probe_ack of t (** child acknowledges the downgrade *)
+  | Release (** child voluntarily gives the block up *)
+
+val pp_xact : Format.formatter -> xact -> unit
+val show_xact : xact -> string
+val equal_xact : xact -> xact -> bool

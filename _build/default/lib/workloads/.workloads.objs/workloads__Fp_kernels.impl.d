@@ -1,0 +1,1 @@
+lib/workloads/fp_kernels.ml: Asm Int64 List Riscv Wl_common

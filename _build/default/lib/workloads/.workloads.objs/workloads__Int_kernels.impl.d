@@ -1,0 +1,1 @@
+lib/workloads/int_kernels.ml: Asm Int64 List Printf Riscv Wl_common

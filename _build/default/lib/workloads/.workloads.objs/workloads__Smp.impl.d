@@ -1,0 +1,1 @@
+lib/workloads/smp.ml: Asm Csr Insn Int64 List Riscv Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Fp_kernels Int_kernels List Printf Smp Timer User_mode Vm_kernel Wl_common

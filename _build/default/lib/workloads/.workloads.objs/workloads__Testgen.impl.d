@@ -1,0 +1,1 @@
+lib/workloads/testgen.ml: Array Asm Insn Int64 List Printf Riscv Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/timer.ml: Asm Csr Insn Int64 List Platform Riscv Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/user_mode.ml: Asm Csr Insn Int64 List Platform Pte Riscv Vm_kernel Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/vm_kernel.ml: Asm Csr Insn Int64 List Platform Pte Riscv Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_common.ml: Asm Insn Int64 Platform Printf Riscv

@@ -1,0 +1,275 @@
+(* Synthetic floating-point workloads (the "SPECfp side" of Figures 8
+   and 12).  All use double precision via the D-subset instructions. *)
+
+open Riscv
+open Wl_common.Ops
+
+let ( @. ) = List.append
+
+(* --- bwaves_like: regular axpy-style vector loops -------------------- *)
+
+let bwaves_like ~scale =
+  let open Asm in
+  let n = 4096 in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s2 Wl_common.data_base; (* X *)
+       li s3 (Int64.add Wl_common.data_base (Int64.of_int (8 * n))); (* Y *)
+       li s5 (Int64.of_int n);
+       (* init X[i] = i * 0.5, Y[i] = i *)
+       li t0 0L;
+       label "init";
+       fcvt_d_l ft0 t0;
+       li t2 2L;
+       fcvt_d_l ft1 t2;
+       fdiv ft2 ft0 ft1;
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fsd ft2 t4 0;
+       add t4 t3 s3;
+       fsd ft0 t4 0;
+       addi t0 t0 1;
+       blt t0 s5 "init";
+       (* a = 1.0009765625 (exactly representable) *)
+       li t2 1025L;
+       fcvt_d_l fa0 t2;
+       li t2 1024L;
+       fcvt_d_l fa1 t2;
+       fdiv fa0 fa0 fa1;
+       label "outer";
+       (* y[i] = y[i] * a + x[i], then reduce *)
+       li t0 0L;
+       label "axpy";
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fld ft0 t4 0;
+       add t4 t3 s3;
+       fld ft1 t4 0;
+       fmadd ft1 ft1 fa0 ft0;
+       fsd ft1 t4 0;
+       addi t0 t0 1;
+       blt t0 s5 "axpy";
+       (* reduction over a slice *)
+       li t0 0L;
+       li t2 256L;
+       fcvt_d_l fa2 zero;
+       label "red";
+       slli t3 t0 3;
+       add t4 t3 s3;
+       fld ft1 t4 0;
+       fadd fa2 fa2 ft1;
+       addi t0 t0 1;
+       blt t0 t2 "red";
+       addi s0 s0 (-1);
+       bnez s0 "outer";
+       fcvt_l_d s1 fa2;
+     ]
+    @. Wl_common.exit_with Asm.s1)
+
+(* --- namd_like: fma-dense force-style computation -------------------- *)
+
+let namd_like ~scale =
+  let open Asm in
+  let n = 1024 in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s2 Wl_common.data_base; (* positions: 3 doubles per particle *)
+       li s5 (Int64.of_int n);
+       (* init positions from integers *)
+       li t0 0L;
+       label "init";
+       slli t3 t0 3;
+       add t4 t3 s2;
+       andi t5 t0 63;
+       addi t5 t5 1;
+       fcvt_d_l ft0 t5;
+       fsd ft0 t4 0;
+       addi t0 t0 1;
+       slli t6 s5 1;
+       add t6 t6 s5; (* 3n doubles *)
+       blt t0 t6 "init";
+       label "outer";
+       li t0 0L;
+       li t2 (Int64.of_int (n - 2));
+       fcvt_d_l fa3 zero; (* energy accumulator *)
+       label "force";
+       (* dx,dy,dz between particle i and i+1 *)
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fld ft0 t4 0;
+       fld ft1 t4 8;
+       fld ft2 t4 16;
+       fld ft3 t4 24;
+       fld ft4 t4 32;
+       fld ft5 t4 40;
+       fsub ft0 ft0 ft3;
+       fsub ft1 ft1 ft4;
+       fsub ft2 ft2 ft5;
+       (* r2 = dx*dx + dy*dy + dz*dz + 1 *)
+       li t5 1L;
+       fcvt_d_l ft6 t5;
+       fmadd ft6 ft0 ft0 ft6;
+       fmadd ft6 ft1 ft1 ft6;
+       fmadd ft6 ft2 ft2 ft6;
+       (* inv = 1 / r2 ; e += inv * r2' via fma chain *)
+       li t5 1L;
+       fcvt_d_l ft7 t5;
+       fdiv ft7 ft7 ft6;
+       fmadd fa3 ft7 ft6 fa3;
+       fmadd fa3 ft7 ft7 fa3;
+       addi t0 t0 1;
+       blt t0 t2 "force";
+       addi s0 s0 (-1);
+       bnez s0 "outer";
+       fcvt_l_d s1 fa3;
+     ]
+    @. Wl_common.exit_with Asm.s1)
+
+(* --- lbm_like: stencil streaming over a grid -------------------------- *)
+
+let lbm_like ~scale =
+  let open Asm in
+  let n = 8192 in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s2 Wl_common.data_base; (* grid *)
+       li s3 Wl_common.data2_base; (* next grid *)
+       li s5 (Int64.of_int n);
+       li t0 0L;
+       label "init";
+       andi t5 t0 127;
+       fcvt_d_l ft0 t5;
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fsd ft0 t4 0;
+       addi t0 t0 1;
+       blt t0 s5 "init";
+       (* weights 0.25 / 0.5 *)
+       li t5 1L;
+       fcvt_d_l fa0 t5;
+       li t5 4L;
+       fcvt_d_l fa1 t5;
+       fdiv fa0 fa0 fa1; (* 0.25 *)
+       fadd fa2 fa0 fa0; (* 0.5 *)
+       label "outer";
+       li t0 1L;
+       addi t2 zero (-1);
+       add t2 t2 s5; (* n-1 *)
+       label "stencil";
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fld ft0 t4 (-8);
+       fld ft1 t4 0;
+       fld ft2 t4 8;
+       fmul ft3 ft1 fa2;
+       fmadd ft3 ft0 fa0 ft3;
+       fmadd ft3 ft2 fa0 ft3;
+       add t4 t3 s3;
+       fsd ft3 t4 0;
+       addi t0 t0 1;
+       blt t0 t2 "stencil";
+       (* swap grids *)
+       mv t3 s2;
+       mv s2 s3;
+       mv s3 t3;
+       addi s0 s0 (-1);
+       bnez s0 "outer";
+       (* checksum a few cells *)
+       fld ft0 s2 800;
+       fld ft1 s2 1600;
+       fadd ft0 ft0 ft1;
+       fcvt_l_d s1 ft0;
+     ]
+    @. Wl_common.exit_with Asm.s1)
+
+(* --- lbm_llc: FP stencil whose two grids (~3 MB total) straddle the
+   Figure 12 LLC sizes --------------------------------------------------- *)
+
+let lbm_llc ~scale =
+  let open Asm in
+  let n = 196_608 (* 1.5 MB per grid, two grids *) in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s2 Wl_common.data_base;
+       li s3 Wl_common.data2_base;
+       li s5 (Int64.of_int n);
+       li t0 0L;
+       label "init";
+       andi t5 t0 127;
+       fcvt_d_l ft0 t5;
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fsd ft0 t4 0;
+       addi t0 t0 1;
+       blt t0 s5 "init";
+       li t5 1L;
+       fcvt_d_l fa0 t5;
+       li t5 4L;
+       fcvt_d_l fa1 t5;
+       fdiv fa0 fa0 fa1;
+       fadd fa2 fa0 fa0;
+       label "outer";
+       li t0 1L;
+       addi t2 zero (-1);
+       add t2 t2 s5;
+       label "stencil";
+       slli t3 t0 3;
+       add t4 t3 s2;
+       fld ft0 t4 (-8);
+       fld ft1 t4 0;
+       fld ft2 t4 8;
+       fmul ft3 ft1 fa2;
+       fmadd ft3 ft0 fa0 ft3;
+       fmadd ft3 ft2 fa0 ft3;
+       add t4 t3 s3;
+       fsd ft3 t4 0;
+       addi t0 t0 1;
+       blt t0 t2 "stencil";
+       mv t3 s2;
+       mv s2 s3;
+       mv s3 t3;
+       addi s0 s0 (-1);
+       bnez s0 "outer";
+       fld ft0 s2 800;
+       fld ft1 s2 1600;
+       fadd ft0 ft0 ft1;
+       fcvt_l_d s1 ft0;
+     ]
+    @. Wl_common.exit_with Asm.s1)
+
+(* --- fpmix_like: division and square-root latency --------------------- *)
+
+let fpmix_like ~scale =
+  let open Asm in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li t5 3L;
+       fcvt_d_l fa0 t5;
+       li t5 7L;
+       fcvt_d_l fa1 t5;
+       fcvt_d_l fa2 zero;
+       label "outer";
+       li t0 0L;
+       li t2 200L;
+       label "loop";
+       fdiv ft0 fa1 fa0;
+       fsqrt ft1 ft0;
+       fmadd fa2 ft1 ft0 fa2;
+       fadd fa0 fa0 ft1;
+       addi t0 t0 1;
+       blt t0 t2 "loop";
+       addi s0 s0 (-1);
+       bnez s0 "outer";
+       fcvt_l_d s1 fa2;
+     ]
+    @. Wl_common.exit_with Asm.s1)

@@ -1,0 +1,461 @@
+(* Synthetic integer workloads.
+
+   Each kernel is named for the bottleneck class it exercises and notes
+   the SPEC CPU2006 program whose dominant behaviour it mimics (the
+   real SPEC binaries and checkpoints are proprietary; see DESIGN.md).
+   All kernels finish by exiting with a data-dependent checksum so that
+   every engine and the DUT can be checked for architectural
+   agreement. *)
+
+open Riscv
+open Wl_common.Ops
+
+let ( @. ) = List.append
+
+(* --- coremark_like: mixed list walk / CRC / state machine ----------- *)
+
+let coremark_like ~scale =
+  let open Asm in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s1 0L; (* checksum *)
+       li s2 Wl_common.data_base;
+       li s4 256L;
+       li s5 0xC96C5795D7870F42L; (* CRC-64 polynomial *)
+       (* init D[0..255] with xorshift values *)
+       li t0 0L;
+       li t1 88172645463325252L;
+       label "init";
+     ]
+    @. xorshift t1 t2
+    @. [
+         slli t3 t0 3;
+         add t3 t3 s2;
+         sd t1 t3 0;
+         addi t0 t0 1;
+         blt t0 s4 "init";
+         label "outer";
+         (* (a) list walk: 256 dependent loads *)
+         li t0 0L;
+         li t2 0L;
+         label "walk";
+         slli t3 t0 3;
+         add t3 t3 s2;
+         ld t4 t3 0;
+         andi t0 t4 255;
+         add s1 s1 t0;
+         addi t2 t2 1;
+         blt t2 s4 "walk";
+         (* (b) CRC over D, 4 bit-steps per word *)
+         li t0 0L;
+         li t1 (-1L);
+         label "crc";
+         slli t3 t0 3;
+         add t3 t3 s2;
+         ld t4 t3 0;
+       ]
+    @. List.concat
+         (List.init 4 (fun k ->
+              let skip = Printf.sprintf "crc_skip%d" k in
+              [
+                xor t5 t1 t4;
+                andi t5 t5 1;
+                srli t1 t1 1;
+                srli t4 t4 1;
+                beqz t5 skip;
+                xor t1 t1 s5;
+                label skip;
+              ]))
+    @. [
+         addi t0 t0 1;
+         blt t0 s4 "crc";
+         add s1 s1 t1;
+         (* (c) state machine over D values *)
+         li t0 0L;
+         li s6 0L; (* state *)
+         label "fsm";
+         slli t3 t0 3;
+         add t3 t3 s2;
+         ld t4 t3 0;
+         andi t4 t4 7;
+         li t5 0L;
+         beq t4 t5 "fsm_a";
+         li t5 1L;
+         beq t4 t5 "fsm_b";
+         li t5 2L;
+         beq t4 t5 "fsm_c";
+         li t5 3L;
+         beq t4 t5 "fsm_d";
+         (* default *)
+         addi s6 s6 1;
+         j "fsm_next";
+         label "fsm_a";
+         slli s6 s6 1;
+         j "fsm_next";
+         label "fsm_b";
+         xori s6 s6 0x55;
+         j "fsm_next";
+         label "fsm_c";
+         addi s6 s6 7;
+         j "fsm_next";
+         label "fsm_d";
+         srli s6 s6 1;
+         label "fsm_next";
+         addi t0 t0 1;
+         blt t0 s4 "fsm";
+         add s1 s1 s6;
+         addi s0 s0 (-1);
+         bnez s0 "outer";
+       ]
+    @. Wl_common.exit_with s1)
+
+(* --- sjeng_like: hard-to-predict branches (high MPKI) --------------- *)
+
+let sjeng_like ~scale =
+  let open Asm in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s1 0L; (* checksum *)
+       li s2 Wl_common.data_base; (* 4KB history table *)
+       li t1 2463534242L; (* PRNG state *)
+       (* clear table *)
+       li t0 0L;
+       li s4 512L;
+       label "clr";
+       slli t3 t0 3;
+       add t3 t3 s2;
+       sd zero t3 0;
+       addi t0 t0 1;
+       blt t0 s4 "clr";
+       label "outer";
+       li t2 0L; (* inner counter *)
+       li s5 400L;
+       label "inner";
+     ]
+    @. xorshift t1 t3
+    @. [
+         (* branch pattern driven by random bits: roughly 50% taken *)
+         andi t4 t1 1;
+         beqz t4 "b1_else";
+         addi s1 s1 3;
+         j "b1_done";
+         label "b1_else";
+         addi s1 s1 (-1);
+         label "b1_done";
+         (* periodic (learnable) branch: alternates with the loop
+            counter, so TAGE gains confidence on it *)
+         andi t4 t2 3;
+         li t5 2L;
+         blt t4 t5 "b2_taken";
+         xori s1 s1 0x0F;
+         j "b2_done";
+         label "b2_taken";
+         slli t6 t4 4;
+         add s1 s1 t6;
+         label "b2_done";
+         (* table update at a random slot (like history heuristics) *)
+         srli t4 t1 11;
+         andi t4 t4 511;
+         slli t4 t4 3;
+         add t4 t4 s2;
+         ld t5 t4 0;
+         srli t6 t1 23;
+         andi t6 t6 7;
+         beqz t6 "no_upd";
+         add t5 t5 t6;
+         sd t5 t4 0;
+         label "no_upd";
+         add s1 s1 t5;
+         (* evaluation-style arithmetic block (positional scoring):
+            keeps the branch density closer to real sjeng while the
+            hard-to-predict branches still dominate MPKI *)
+         xor t6 t5 t1;
+         slli t4 t6 3;
+         add t6 t6 t4;
+         srli t4 t6 7;
+         xor t6 t6 t4;
+         mul t4 t6 s5;
+         add s1 s1 t4;
+         srli t4 t1 13;
+         and_ t4 t4 t6;
+         or_ t6 t4 t5;
+         sub t6 t6 t5;
+         slli t4 t6 1;
+         add s1 s1 t4;
+         xori t6 t6 0x2A;
+         add s1 s1 t6;
+         (* nested random branch *)
+         srli t4 t1 33;
+         andi t4 t4 1;
+         beqz t4 "n_else";
+         srli t4 t1 34;
+         andi t4 t4 1;
+         beqz t4 "n_inner_else";
+         addi s1 s1 5;
+         j "n_done";
+         label "n_inner_else";
+         addi s1 s1 9;
+         j "n_done";
+         label "n_else";
+         xori s1 s1 0x33;
+         label "n_done";
+         addi t2 t2 1;
+         blt t2 s5 "inner";
+         addi s0 s0 (-1);
+         bnez s0 "outer";
+       ]
+    @. Wl_common.exit_with s1)
+
+(* --- mcf_like: pointer chasing / cache misses ------------------------ *)
+
+let mcf_sized ~logn ~scale =
+  let open Asm in
+  (* table of (1 << logn) dwords; 2^16 = 512 KB already exceeds every
+     L1; 2^19 = 4 MB exceeds the 2 MB LLC variant of Figure 12 *)
+  let n = 1 lsl logn in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s1 0L;
+       li s2 Wl_common.data_base;
+       li s4 (Int64.of_int n);
+       (* init: T[i] = lcg(i) *)
+       li t0 0L;
+       li t1 1442695040888963407L;
+       li s5 6364136223846793005L;
+       li s8 1013904223L;
+       label "init";
+       mul t1 t1 s5;
+       add t1 t1 s8;
+       slli t3 t0 3;
+       add t3 t3 s2;
+       sd t1 t3 0;
+       addi t0 t0 1;
+       blt t0 s4 "init";
+       li s7 (Int64.of_int (n - 1)); (* index mask *)
+       label "outer";
+       li t2 0L;
+       li s6 4096L; (* chases per outer iteration *)
+       li t0 7L; (* current index *)
+       label "chase";
+       slli t3 t0 3;
+       add t3 t3 s2;
+       ld t4 t3 0;
+       add s1 s1 t4;
+       (* next index from loaded value: random-ish *)
+       srli t0 t4 17;
+     ]
+    @. [
+         and_ t0 t0 s7;
+         (* occasional store back *)
+         andi t5 t4 15;
+         bnez t5 "no_store";
+         xor t4 t4 s1;
+         sd t4 t3 0;
+         label "no_store";
+         addi t2 t2 1;
+         blt t2 s6 "chase";
+         addi s0 s0 (-1);
+         bnez s0 "outer";
+       ]
+    @. Wl_common.exit_with s1)
+
+let mcf_like ~scale = mcf_sized ~logn:16 ~scale
+
+(* LLC-scale pointer chasing: one dword per 64B cache line over a
+   4 MB region (so the *cache* footprint is 4 MB while only every 8th
+   dword is initialised, keeping the init phase cheap).  Thrashes the
+   2 MB LLC variant of Figure 12 and YQH's L2-only hierarchy while
+   mostly fitting the 4 MB and 6 MB LLCs. *)
+let mcf_llc ~scale =
+  let open Asm in
+  let logn = 19 in
+  let n = 1 lsl logn in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s1 0L;
+       li s2 Wl_common.data_base;
+       li s4 (Int64.of_int n);
+       li t0 0L;
+       li t1 1442695040888963407L;
+       li s5 6364136223846793005L;
+       li s8 1013904223L;
+       (* initialise one dword per 64B line *)
+       label "init";
+       mul t1 t1 s5;
+       add t1 t1 s8;
+       slli t3 t0 3;
+       add t3 t3 s2;
+       sd t1 t3 0;
+       addi t0 t0 8;
+       blt t0 s4 "init";
+       li s7 (Int64.of_int (n - 1));
+       li t0 8L;
+       label "outer";
+       li t2 0L;
+       li s6 4096L;
+       (* each next index mixes the loaded value with a register LCG:
+          the walk stays load-serialised but never collapses into the
+          short cycle of a fixed functional graph *)
+       label "chase";
+       slli t3 t0 3;
+       add t3 t3 s2;
+       ld t4 t3 0;
+       add s1 s1 t4;
+       mul t1 t1 s5;
+       add t1 t1 s8;
+       add t4 t4 t1;
+       srli t0 t4 17;
+     ]
+    @. [
+         and_ t0 t0 s7;
+         andi t0 t0 (-8) (* land on an initialised, line-aligned slot *);
+         addi t2 t2 1;
+         blt t2 s6 "chase";
+         addi s0 s0 (-1);
+         bnez s0 "outer";
+       ]
+    @. Wl_common.exit_with s1)
+
+(* --- stream_like: sequential bandwidth (triad) ----------------------- *)
+
+let stream_like ~scale =
+  let open Asm in
+  let n = 1 lsl 14 in
+  (* 16K dwords per array *)
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s1 0L;
+       li s2 Wl_common.data_base; (* A *)
+       li s3 (Int64.add Wl_common.data_base (Int64.of_int (8 * n))); (* B *)
+       li s4 (Int64.add Wl_common.data_base (Int64.of_int (16 * n))); (* C *)
+       li s5 (Int64.of_int n);
+       (* init A and B *)
+       li t0 0L;
+       label "init";
+       slli t3 t0 3;
+       add t4 t3 s2;
+       sd t0 t4 0;
+       add t4 t3 s3;
+       slli t5 t0 1;
+       sd t5 t4 0;
+       addi t0 t0 1;
+       blt t0 s5 "init";
+       label "outer";
+       (* triad: C[i] = A[i] + 3*B[i] *)
+       li t0 0L;
+       label "triad";
+       slli t3 t0 3;
+       add t4 t3 s2;
+       ld t5 t4 0;
+       add t4 t3 s3;
+       ld t6 t4 0;
+       slli t2 t6 1;
+       add t6 t6 t2;
+       add t5 t5 t6;
+       add t4 t3 s4;
+       sd t5 t4 0;
+       addi t0 t0 1;
+       blt t0 s5 "triad";
+       (* fold a few C values into the checksum *)
+       ld t5 s4 0;
+       add s1 s1 t5;
+       ld t5 s4 8;
+       add s1 s1 t5;
+       addi s0 s0 (-1);
+       bnez s0 "outer";
+     ]
+    @. Wl_common.exit_with s1)
+
+(* --- sort_like: shell sort (compare/branch + strided memory) --------- *)
+
+let sort_like ~scale =
+  let open Asm in
+  let n = 2048 in
+  Asm.assemble
+    ([
+       label "start";
+       li s0 (Int64.of_int scale);
+       li s1 0L;
+       li s2 Wl_common.data_base;
+       li s5 (Int64.of_int n);
+       li s8 8191L; (* value mask *)
+       label "outer";
+       (* (re)fill with pseudo-random values *)
+       li t0 0L;
+       li t1 123456789L;
+       label "fill";
+     ]
+    @. xorshift t1 t2
+    @. [
+         slli t3 t0 3;
+         add t3 t3 s2;
+         and_ t4 t1 s8;
+         sd t4 t3 0;
+         addi t0 t0 1;
+         blt t0 s5 "fill";
+         (* shell sort with gap sequence n/2, n/4, ..., 1 *)
+         srli s6 s5 1; (* gap *)
+         label "gap_loop";
+         beqz s6 "sorted";
+         mv t0 s6; (* i = gap *)
+         label "i_loop";
+         bge t0 s5 "i_done";
+         (* tmp = a[i] *)
+         slli t3 t0 3;
+         add t3 t3 s2;
+         ld s7 t3 0;
+         mv t2 t0; (* j *)
+         label "j_loop";
+         blt t2 s6 "j_done";
+         (* a[j-gap] *)
+         sub t4 t2 s6;
+         slli t5 t4 3;
+         add t5 t5 s2;
+         ld t6 t5 0;
+         ble t6 s7 "j_done";
+         (* a[j] = a[j-gap] *)
+         slli t5 t2 3;
+         add t5 t5 s2;
+         sd t6 t5 0;
+         sub t2 t2 s6;
+         j "j_loop";
+         label "j_done";
+         (* a[j] = tmp *)
+         slli t5 t2 3;
+         add t5 t5 s2;
+         sd s7 t5 0;
+         addi t0 t0 1;
+         j "i_loop";
+         label "i_done";
+         srli s6 s6 1;
+         j "gap_loop";
+         label "sorted";
+         (* verify order, accumulate into checksum *)
+         li t0 1L;
+         label "verify";
+         slli t3 t0 3;
+         add t3 t3 s2;
+         ld t4 t3 0;
+         ld t5 t3 (-8);
+         bgt t5 t4 "unsorted";
+         add s1 s1 t4;
+         addi t0 t0 1;
+         blt t0 s5 "verify";
+         j "ver_done";
+         label "unsorted";
+         li s1 0xDEADL;
+         label "ver_done";
+         addi s0 s0 (-1);
+         bnez s0 "outer";
+       ]
+    @. Wl_common.exit_with s1)

@@ -1,0 +1,126 @@
+(* Dual-core workloads: a spinlock + shared-counter test and a
+   lock-free atomics test.  These exercise the multi-core diff-rules:
+   the Global Memory load rule, SC-failure forcing, and the coherence
+   probe traffic between the private L2 caches.
+
+   Both harts enter at the same pc; mhartid steers them. *)
+
+open Riscv
+open Wl_common.Ops
+
+let ( @. ) = List.append
+
+let lock_addr = Wl_common.data_base
+
+let counter_addr = Int64.add Wl_common.data_base 64L (* separate lines *)
+
+let done_addr = Int64.add Wl_common.data_base 128L
+
+let result_addr = Int64.add Wl_common.data_base 192L
+
+(* Spinlock via LR/SC, shared counter increments under the lock. *)
+let spinlock ~scale =
+  let open Asm in
+  let iters = 50 * scale in
+  Asm.assemble
+    ([
+       label "start";
+       i (Insn.Csr (CSRRS, s0, 0, Csr.mhartid));
+       li s2 lock_addr;
+       li s3 counter_addr;
+       li s4 done_addr;
+       li s5 (Int64.of_int iters);
+       li t2 0L;
+       label "loop";
+       (* acquire: amoswap.d t0, 1, (s2); retry while t0 != 0 *)
+       label "acq";
+       li t0 1L;
+       i (Insn.Amo (AMOSWAP, Width_d, t0, s2, t0));
+       bnez t0 "acq";
+       (* critical section: counter++ *)
+       ld t1 s3 0;
+       addi t1 t1 1;
+       sd t1 s3 0;
+       (* release *)
+       i Insn.Fence;
+       sd zero s2 0;
+       addi t2 t2 1;
+       blt t2 s5 "loop";
+       (* signal completion *)
+       li t0 1L;
+       i (Insn.Amo (AMOADD, Width_d, 0, s4, t0));
+       (* hart 1 parks; hart 0 waits for both then checks *)
+       bnez s0 "park";
+       label "wait";
+       ld t0 s4 0;
+       li t1 2L;
+       blt t0 t1 "wait";
+       ld t0 s3 0;
+       (* expected 2*iters; exit with low bits of the counter *)
+       mv a0 t0;
+     ]
+    @. Wl_common.exit_with Asm.a0
+    @. [ label "park"; j "park" ])
+
+(* Lock-free: both harts hammer a shared cell with LR/SC increments
+   (provoking SC failures) and exchange values through a mailbox. *)
+let lrsc_contend ~scale =
+  let open Asm in
+  let iters = 40 * scale in
+  Asm.assemble
+    ([
+       label "start";
+       i (Insn.Csr (CSRRS, s0, 0, Csr.mhartid));
+       li s3 counter_addr;
+       li s4 done_addr;
+       li s6 result_addr;
+       li s5 (Int64.of_int iters);
+       li t2 0L;
+       label "loop";
+       (* lr/sc increment; sc may fail -> retry *)
+       label "retry";
+       i (Insn.Lr (Width_d, t0, s3));
+       addi t0 t0 1;
+       i (Insn.Sc (Width_d, t1, s3, t0));
+       bnez t1 "retry";
+       (* mailbox: write my progress, read sibling's *)
+       slli t3 s0 3;
+       add t3 t3 s6;
+       sd t2 t3 0;
+       xori t4 s0 1;
+       slli t4 t4 3;
+       add t4 t4 s6;
+       ld t5 t4 0; (* may see any legal value: Global Memory rule *)
+       addi t2 t2 1;
+       blt t2 s5 "loop";
+       li t0 1L;
+       i (Insn.Amo (AMOADD, Width_d, 0, s4, t0));
+       bnez s0 "park";
+       label "wait";
+       ld t0 s4 0;
+       li t1 2L;
+       blt t0 t1 "wait";
+       ld a0 s3 0;
+     ]
+    @. Wl_common.exit_with Asm.a0
+    @. [ label "park"; j "park" ])
+
+let spinlock_spec : Wl_common.t =
+  {
+    wl_name = "smp_spinlock";
+    group = `Int;
+    mimics = "SMP kernel lock contention";
+    program = (fun ~scale -> spinlock ~scale);
+    small = 2;
+    big = 20;
+  }
+
+let lrsc_spec : Wl_common.t =
+  {
+    wl_name = "smp_lrsc";
+    group = `Int;
+    mimics = "lock-free shared counters (RVWMO)";
+    program = (fun ~scale -> lrsc_contend ~scale);
+    small = 2;
+    big = 20;
+  }

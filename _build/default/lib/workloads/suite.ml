@@ -1,0 +1,117 @@
+(* The workload suite: the synthetic stand-in for SPEC CPU2006 (see
+   DESIGN.md for the substitution rationale).  [small] scales are used
+   by tests, [big] scales by the benchmark harness. *)
+
+let all : Wl_common.t list =
+  [
+    {
+      wl_name = "coremark_like";
+      group = `Int;
+      mimics = "perlbench/gcc (mixed int)";
+      program = (fun ~scale -> Int_kernels.coremark_like ~scale);
+      small = 2;
+      big = 40;
+    };
+    {
+      wl_name = "sjeng_like";
+      group = `Int;
+      mimics = "458.sjeng (branch MPKI > 3)";
+      program = (fun ~scale -> Int_kernels.sjeng_like ~scale);
+      small = 3;
+      big = 60;
+    };
+    {
+      wl_name = "mcf_like";
+      group = `Int;
+      mimics = "429.mcf (pointer chasing)";
+      program = (fun ~scale -> Int_kernels.mcf_like ~scale);
+      small = 2;
+      big = 30;
+    };
+    {
+      wl_name = "stream_like";
+      group = `Int;
+      mimics = "470.lbm-int / libquantum (bandwidth)";
+      program = (fun ~scale -> Int_kernels.stream_like ~scale);
+      small = 2;
+      big = 40;
+    };
+    {
+      wl_name = "sort_like";
+      group = `Int;
+      mimics = "403.gcc / 445.gobmk (data-dependent control)";
+      program = (fun ~scale -> Int_kernels.sort_like ~scale);
+      small = 1;
+      big = 20;
+    };
+    {
+      wl_name = "bwaves_like";
+      group = `Fp;
+      mimics = "410.bwaves (regular FP loops)";
+      program = (fun ~scale -> Fp_kernels.bwaves_like ~scale);
+      small = 2;
+      big = 50;
+    };
+    {
+      wl_name = "namd_like";
+      group = `Fp;
+      mimics = "444.namd (FMA-dense)";
+      program = (fun ~scale -> Fp_kernels.namd_like ~scale);
+      small = 2;
+      big = 50;
+    };
+    {
+      wl_name = "lbm_like";
+      group = `Fp;
+      mimics = "470.lbm (FP stencil streaming)";
+      program = (fun ~scale -> Fp_kernels.lbm_like ~scale);
+      small = 2;
+      big = 40;
+    };
+    {
+      wl_name = "fpmix_like";
+      group = `Fp;
+      mimics = "416.gamess (div/sqrt latency)";
+      program = (fun ~scale -> Fp_kernels.fpmix_like ~scale);
+      small = 4;
+      big = 80;
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun w -> w.Wl_common.wl_name = name) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "unknown workload %s" name)
+
+let ints = List.filter (fun w -> w.Wl_common.group = `Int) all
+
+let fps = List.filter (fun w -> w.Wl_common.group = `Fp) all
+
+(* LLC-sensitive additions used by the Figure 12 score sweep: their
+   footprints exceed the smaller last-level-cache variants. *)
+let llc_stress : Wl_common.t list =
+  [
+    {
+      wl_name = "mcf_llc";
+      group = `Int;
+      mimics = "429.mcf ref-size footprint (2MB, random)";
+      program = (fun ~scale -> Int_kernels.mcf_llc ~scale);
+      small = 24;
+      big = 120;
+    };
+    {
+      wl_name = "lbm_llc";
+      group = `Fp;
+      mimics = "470.lbm ref-size grids (3MB, streaming)";
+      program = (fun ~scale -> Fp_kernels.lbm_llc ~scale);
+      small = 2;
+      big = 8;
+    };
+  ]
+
+(* Workloads that exercise the system-level diff-rules (not part of
+   the SPEC-like performance suite). *)
+let system = [ Vm_kernel.spec; Timer.spec; User_mode.spec ]
+
+(* Dual-core workloads (require n_cores >= 2). *)
+let smp = [ Smp.spinlock_spec; Smp.lrsc_spec ]

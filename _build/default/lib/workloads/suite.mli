@@ -1,0 +1,23 @@
+(** The workload suite: the synthetic stand-in for SPEC CPU2006 (see
+    DESIGN.md for the substitution rationale), plus the system-level
+    and dual-core workloads that exercise the diff-rules. *)
+
+val all : Wl_common.t list
+(** The SPEC-like performance suite (five int + four fp kernels). *)
+
+val find : string -> Wl_common.t
+(** @raise Invalid_argument on an unknown name. *)
+
+val ints : Wl_common.t list
+
+val fps : Wl_common.t list
+
+val llc_stress : Wl_common.t list
+(** Kernels whose footprints straddle the Figure 12 LLC sizes. *)
+
+val system : Wl_common.t list
+(** Sv39 lazy-paging micro-kernel (Figure 3), timer interrupts, and
+    the U/S/M privilege stack. *)
+
+val smp : Wl_common.t list
+(** Dual-core spinlock and lock-free LR/SC workloads. *)

@@ -1,0 +1,110 @@
+(* Constrained-random test generation (the paper uses existing
+   open-source generators like riscv-dv / riscv-torture with MINJIE,
+   §V-B; this is the equivalent in-repo generator).
+
+   Programs are seeded and deterministic: a xorshift PRNG drives the
+   selection of instruction classes, registers and immediates.
+   Constraints keeping every program architecturally well-defined and
+   terminating:
+
+   - memory accesses are naturally aligned inside a private scratch
+     region (base register s2 is reserved and never clobbered);
+   - control flow is structured as a fixed number of straight-line
+     "blocks" whose terminating branches only jump forward to the
+     next block label, so execution always reaches the exit;
+   - division corner cases (by zero, overflow) are *allowed* -- their
+     semantics are defined and make good test cases;
+   - a final checksum folds every written register into the exit
+     code. *)
+
+open Riscv
+
+let ( @. ) = List.append
+
+type rng = { mutable s : int64 }
+
+let rand (r : rng) (bound : int) : int =
+  r.s <- Int64.logxor r.s (Int64.shift_left r.s 13);
+  r.s <- Int64.logxor r.s (Int64.shift_right_logical r.s 7);
+  r.s <- Int64.logxor r.s (Int64.shift_left r.s 17);
+  Int64.to_int (Int64.unsigned_rem r.s (Int64.of_int bound))
+
+let rand64 (r : rng) : int64 =
+  ignore (rand r 2);
+  r.s
+
+(* registers the generator may use: avoid x0 (sink semantics tested
+   separately), s2 (scratch base), t5/t6 (exit helper) and sp/gp/tp *)
+let usable_regs =
+  [| 1; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 28; 29 |]
+
+let reg r = usable_regs.(rand r (Array.length usable_regs))
+
+let alu_ops =
+  [| Insn.ADD; SUB; SLL; SLT; SLTU; XOR; SRL; SRA; OR; AND |]
+
+let alu_w_ops = [| Insn.ADDW; SUBW; SLLW; SRLW; SRAW |]
+
+let mul_ops =
+  [| Insn.MUL; MULH; MULHSU; MULHU; DIV; DIVU; REM; REMU |]
+
+let branch_ops = [| Insn.BEQ; BNE; BLT; BGE; BLTU; BGEU |]
+
+let gen_insn (r : rng) : Insn.t =
+  match rand r 100 with
+  | n when n < 30 ->
+      let op = alu_ops.(rand r 10) in
+      Insn.Op (op, reg r, reg r, reg r)
+  | n when n < 50 -> (
+      let op = alu_ops.(rand r 10) in
+      match op with
+      | Insn.SUB -> Insn.Op (SUB, reg r, reg r, reg r)
+      | Insn.SLL | Insn.SRL | Insn.SRA ->
+          Insn.Op_imm (op, reg r, reg r, Int64.of_int (rand r 64))
+      | _ ->
+          Insn.Op_imm (op, reg r, reg r, Int64.of_int (rand r 4096 - 2048)))
+  | n when n < 60 ->
+      let op = alu_w_ops.(rand r 5) in
+      Insn.Op_w (op, reg r, reg r, reg r)
+  | n when n < 72 -> Insn.Mul (mul_ops.(rand r 8), reg r, reg r, reg r)
+  | n when n < 76 ->
+      Insn.Lui (reg r, Int64.shift_left (Int64.of_int (rand r 4096 - 2048)) 12)
+  | n when n < 88 ->
+      (* aligned load from the scratch region *)
+      let ops = [| Insn.LB; LH; LW; LD; LBU; LHU; LWU |] in
+      let op = ops.(rand r 7) in
+      let w = match op with Insn.LB | LBU -> 1 | LH | LHU -> 2 | LW | LWU -> 4 | LD -> 8 in
+      let off = rand r (2048 / w) * w in
+      Insn.Load (op, reg r, Asm.s2, Int64.of_int off)
+  | _ ->
+      let ops = [| Insn.SB; SH; SW; SD |] in
+      let op = ops.(rand r 4) in
+      let w = match op with Insn.SB -> 1 | SH -> 2 | SW -> 4 | SD -> 8 in
+      let off = rand r (2048 / w) * w in
+      Insn.Store (op, reg r, Asm.s2, Int64.of_int off)
+
+(* A random program: [blocks] straight-line blocks of [block_len]
+   instructions, each ended by a random forward conditional branch to
+   the next block (taken or not, both paths land on the next block). *)
+let program ~seed ?(blocks = 24) ?(block_len = 18) () : Asm.program =
+  let r = { s = Int64.logor (Int64.of_int seed) 1L } in
+  let items = ref [ Asm.label "start"; Asm.li Asm.s2 Wl_common.data_base ] in
+  let emit it = items := it :: !items in
+  (* seed registers with random values *)
+  Array.iter (fun x -> emit (Asm.li x (rand64 r))) usable_regs;
+  for b = 0 to blocks - 1 do
+    emit (Asm.label (Printf.sprintf "blk%d" b));
+    for _ = 1 to block_len do
+      emit (Asm.i (gen_insn r))
+    done;
+    let next = Printf.sprintf "blk%d" (b + 1) in
+    let op = branch_ops.(rand r 6) in
+    emit (Asm.branch_to op (reg r) (reg r) next);
+    (* fall-through also reaches [next] *)
+  done;
+  emit (Asm.label (Printf.sprintf "blk%d" blocks));
+  (* checksum every usable register *)
+  emit (Asm.li Asm.a0 0L);
+  Array.iter (fun x -> emit (Wl_common.Ops.xor Asm.a0 Asm.a0 x)) usable_regs;
+  let tail = Wl_common.exit_with Asm.a0 in
+  Asm.assemble (List.rev !items @. tail)

@@ -1,0 +1,14 @@
+(** Constrained-random test generation (the in-repo equivalent of the
+    riscv-dv / riscv-torture generators the paper drives MINJIE with,
+    §V-B).
+
+    Generated programs are seeded and deterministic, architecturally
+    well-defined (aligned accesses in a private scratch region,
+    division corner cases allowed), and always terminate: control flow
+    is a chain of blocks whose conditional branches only jump forward
+    to the next block.  Each program ends by exiting with a checksum
+    of every working register, so differential runs compare both the
+    exit code and the full register file. *)
+
+val program :
+  seed:int -> ?blocks:int -> ?block_len:int -> unit -> Riscv.Asm.program

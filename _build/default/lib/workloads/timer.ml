@@ -1,0 +1,63 @@
+(* Timer-interrupt workload: arms the CLINT timer and counts machine
+   timer interrupts while spinning.  The cycle at which an interrupt
+   is taken is micro-architectural, so this exercises the
+   interrupt-forcing diff-rule and the time/mip CSR-read rules. *)
+
+open Riscv
+open Wl_common.Ops
+
+let ( @. ) = List.append
+
+let mtimecmp_addr = Int64.add Platform.clint_base Platform.clint_mtimecmp_offset
+
+let mtime_addr = Int64.add Platform.clint_base Platform.clint_mtime_offset
+
+let program ~scale =
+  let open Asm in
+  let n_interrupts = 3 * scale in
+  Asm.assemble
+    ([
+       label "start";
+       la t0 "handler";
+       i (Insn.Csr (CSRRW, 0, t0, Csr.mtvec));
+       li s1 0L; (* interrupt count, updated by the handler *)
+       li s5 (Int64.of_int n_interrupts);
+       (* arm: mtimecmp = mtime + 500 *)
+       li s2 mtime_addr;
+       li s3 mtimecmp_addr;
+       ld t0 s2 0;
+       addi t0 t0 500;
+       sd t0 s3 0;
+       (* enable MTIE + MIE *)
+       li t0 128L;
+       i (Insn.Csr (CSRRS, 0, t0, Csr.mie));
+       li t0 8L;
+       i (Insn.Csr (CSRRS, 0, t0, Csr.mstatus));
+       (* spin, accumulating work, until the handler has fired enough *)
+       li s4 0L;
+       label "spin";
+       addi s4 s4 1;
+       blt s1 s5 "spin";
+       (* done: exit with the interrupt count *)
+       mv a0 s1;
+     ]
+    @. Wl_common.exit_with Asm.a0
+    @. [
+         label "handler";
+         (* count it and re-arm further in the future *)
+         addi s1 s1 1;
+         ld t5 s2 0;
+         addi t5 t5 700;
+         sd t5 s3 0;
+         i Insn.Mret;
+       ])
+
+let spec : Wl_common.t =
+  {
+    wl_name = "timer_interrupts";
+    group = `Int;
+    mimics = "asynchronous timer interrupts";
+    program = (fun ~scale -> program ~scale);
+    small = 2;
+    big = 10;
+  }

@@ -1,0 +1,228 @@
+(* Three-privilege micro-kernel: M-mode boots and delegates, S-mode
+   acts as a kernel with its own trap vector, U-mode runs the payload
+   under Sv39 with user pages, requesting services via ecall.
+
+   Exercised architecture: medeleg (U-ecalls and page faults delegated
+   to S), sret/mret transitions, stvec/sepc/scause/sstatus.SPP, user
+   pages (PTE.U) with S-mode access denied without SUM, and lazy
+   allocation handled by the *S-mode* handler this time.
+
+   Layout (offsets from DRAM base):
+     +0        code (identity-mapped, kernel, X)
+     +2MB      page tables (root/kl1/hl1/hl0, as in Vm_kernel)
+     +4MB      bump-allocated user heap pages
+   User virtual heap at 0x4000_0000 (PTE.U pages installed lazily). *)
+
+open Riscv
+open Wl_common.Ops
+
+let ( @. ) = List.append
+
+let heap_va = Vm_kernel.heap_va
+
+let root_pa = Vm_kernel.root_pa
+
+let kl1_pa = Vm_kernel.kl1_pa
+
+let hl1_pa = Vm_kernel.hl1_pa
+
+let hl0_pa = Vm_kernel.hl0_pa
+
+let alloc_pa = Vm_kernel.alloc_pa
+
+let ul1_pa = Int64.add root_pa 0x4000L
+
+(* U-mode executes the payload through its own window: VA 0xC000_0000
+   maps the same physical image with PTE.U set (S-mode must never
+   execute U pages, so the kernel window stays U=0) *)
+let user_window = 0xC000_0000L
+
+let user_va_of_kernel pa_or_identity =
+  Int64.add (Int64.sub pa_or_identity Platform.dram_base) user_window
+
+let pte_v = 1
+let pte_u = 16
+
+let leaf_flags = Vm_kernel.leaf_flags (* V|R|W|X|A|D, kernel *)
+
+let ptr_pte = Vm_kernel.ptr_pte
+
+let program ~scale =
+  let open Asm in
+  let pages = min 256 (max 4 (8 * scale)) in
+  Asm.assemble
+    ([
+       label "boot";
+       (* page tables: identical skeleton to Vm_kernel *)
+       li t0 root_pa;
+       li t1 (Int64.add root_pa 0x5000L);
+       label "clear_pt";
+       sd zero t0 0;
+       addi t0 t0 8;
+       blt t0 t1 "clear_pt";
+       li t0 root_pa;
+       li t1 (ptr_pte kl1_pa);
+       sd t1 t0 16;
+       li t1 (ptr_pte hl1_pa);
+       sd t1 t0 8;
+       li t0 hl1_pa;
+       li t1 (ptr_pte hl0_pa);
+       sd t1 t0 0;
+       (* root[3] -> user L1 (the 0xC000_0000 execution window) *)
+       li t0 root_pa;
+       li t1 (ptr_pte ul1_pa);
+       sd t1 t0 24;
+       (* kernel window: identity, U=0; user window: same frames, U=1 *)
+       li t0 kl1_pa;
+       li s6 ul1_pa;
+       li t1 Platform.dram_base;
+       li t2 0L;
+       label "kmap";
+       srli t3 t1 12;
+       slli t3 t3 10;
+       ori t3 t3 leaf_flags;
+       sd t3 t0 0;
+       ori t3 t3 pte_u;
+       sd t3 s6 0;
+       addi t0 t0 8;
+       addi s6 s6 8;
+       li t4 0x20_0000L;
+       add t1 t1 t4;
+       addi t2 t2 1;
+       li t4 8L;
+       blt t2 t4 "kmap";
+       li tp alloc_pa;
+       (* delegate U-ecalls and page faults to S-mode *)
+       li t0 0x100L (* ecall-from-U *);
+       li t1 0xB000L (* fetch/load/store page faults: bits 12,13,15 *);
+       or_ t0 t0 t1;
+       i (Insn.Csr (CSRRW, 0, t0, Csr.medeleg));
+       (* M fallback handler for anything not delegated *)
+       la t0 "mtrap";
+       i (Insn.Csr (CSRRW, 0, t0, Csr.mtvec));
+       li t0 (Pte.make_satp ~mode:8 ~asid:0 ~root_pa);
+       i (Insn.Csr (CSRRW, 0, t0, Csr.satp));
+       i (Insn.Sfence_vma (0, 0));
+       (* drop to S-mode kernel *)
+       la t0 "skernel";
+       i (Insn.Csr (CSRRW, 0, t0, Csr.mepc));
+       li t0 0x800L;
+       i (Insn.Csr (CSRRC, 0, t0, Csr.mstatus));
+       li t0 0x1000L;
+       i (Insn.Csr (CSRRC, 0, t0, Csr.mstatus));
+       li t0 0x800L;
+       i (Insn.Csr (CSRRS, 0, t0, Csr.mstatus));
+       i Insn.Mret;
+       (* ---------------- S-mode kernel ---------------------------- *)
+       label "skernel";
+       la t0 "strap";
+       i (Insn.Csr (CSRRW, 0, t0, Csr.stvec));
+       (* enter U-mode at umain, relocated into the user window:
+          sstatus.SPP = 0 *)
+       la t0 "umain";
+       li t1 (Int64.sub user_window Platform.dram_base);
+       add t0 t0 t1;
+       i (Insn.Csr (CSRRW, 0, t0, Csr.sepc));
+       li t0 0x100L (* SPP *);
+       i (Insn.Csr (CSRRC, 0, t0, Csr.sstatus));
+       i Insn.Sret;
+       (* ---------------- U-mode payload --------------------------- *)
+       label "umain";
+       li s2 heap_va;
+       li s3 (Int64.of_int pages);
+       li s1 0L;
+       li t0 0L;
+       label "touch";
+       slli t1 t0 12;
+       add t1 t1 s2;
+       slli t2 t0 2;
+       ori t2 t2 3;
+       sd t2 t1 0 (* faults into the S handler on first touch *);
+       ld t3 t1 0;
+       add s1 s1 t3;
+       addi t0 t0 1;
+       blt t0 s3 "touch";
+       (* syscall 1: add 100 to a0 (checks register passing across
+          privilege) *)
+       mv a0 s1;
+       li a7 1L;
+       i Insn.Ecall;
+       (* syscall 0: exit with a0 *)
+       li a7 0L;
+       i Insn.Ecall;
+       label "uhang";
+       j "uhang";
+       (* ---------------- S-mode trap handler ---------------------- *)
+       label "strap";
+       i (Insn.Csr (CSRRS, t5, 0, Csr.scause));
+       li t6 8L (* ecall from U *);
+       beq t5 t6 "syscall";
+       li t6 13L;
+       beq t5 t6 "s_pf";
+       li t6 15L;
+       beq t5 t6 "s_pf";
+       (* unexpected in S: report 0xEC via M *)
+       li a0 0xECL;
+       li a7 0L;
+       i Insn.Ecall (* ecall from S goes to M (not delegated) *);
+       label "s_pf";
+       i (Insn.Csr (CSRRS, t5, 0, Csr.stval));
+       li t6 heap_va;
+       bltu t5 t6 "s_bad";
+       srli t5 t5 12;
+       li t6 (Int64.shift_right_logical heap_va 12);
+       sub t5 t5 t6;
+       li t6 512L;
+       bgeu t5 t6 "s_bad";
+       slli t5 t5 3;
+       li t6 hl0_pa;
+       add t5 t5 t6;
+       ld t6 t5 0;
+       i (Insn.Op_imm (AND, t6, t6, 1L));
+       bnez t6 "s_spurious";
+       (* install a user page (V|R|W|U|A|D, no X) *)
+       srli t6 tp 12;
+       slli t6 t6 10;
+       ori t6 t6 (pte_v lor 2 lor 4 lor pte_u lor 64 lor 128);
+       sd t6 t5 0;
+       li t5 4096L;
+       add tp tp t5;
+       i Insn.Sret;
+       label "s_spurious";
+       i (Insn.Sfence_vma (0, 0));
+       i Insn.Sret;
+       label "s_bad";
+       li a0 0xEBL;
+       li a7 0L;
+       i Insn.Ecall;
+       label "syscall";
+       (* a7 = 1: a0 += 100, return to U past the ecall *)
+       li t6 1L;
+       bne a7 t6 "sys_exit";
+       addi a0 a0 100;
+       i (Insn.Csr (CSRRS, t5, 0, Csr.sepc));
+       addi t5 t5 4;
+       i (Insn.Csr (CSRRW, 0, t5, Csr.sepc));
+       i Insn.Sret;
+       label "sys_exit";
+       (* forward to M to stop the machine *)
+       i Insn.Ecall;
+       (* ---------------- M fallback ------------------------------- *)
+       label "mtrap";
+       i (Insn.Csr (CSRRS, t5, 0, Csr.mcause));
+       li t6 9L (* ecall from S = exit request *);
+       beq t5 t6 "do_exit";
+       li a0 0xEAL;
+       label "do_exit";
+     ]
+    @. Wl_common.exit_with Asm.a0)
+
+let spec : Wl_common.t =
+  {
+    wl_name = "user_mode";
+    group = `Int;
+    mimics = "U/S/M privilege stack with delegation";
+    program = (fun ~scale -> program ~scale);
+    small = 2;
+    big = 12;
+  }

@@ -1,0 +1,214 @@
+(* Micro-kernel with Sv39 paging and Linux-style lazy page allocation:
+   the workload that produces the speculative-TLB page-fault
+   non-determinism of Figure 3.
+
+   Boot (M-mode): build a page table that identity-maps the kernel
+   image with 2MB superpages and prepares an initially-empty heap
+   region, install the M-mode trap handler, then mret into S-mode.
+
+   S-mode body: touch [pages] heap pages that have no valid PTE yet.
+   Each first touch takes a page fault into M-mode, whose handler
+   installs a freshly allocated physical page *without* executing
+   sfence.vma (exactly the Linux behaviour cited by the paper [52]);
+   only a *spurious* re-fault -- PTE already valid, the hart just saw
+   a stale/uncommitted view -- executes sfence.vma.  On the DUT the
+   PTE store can sit in the store buffer while the hardware walker
+   reads stale memory, and failed walks are cached in the TLB, so
+   spurious re-faults genuinely occur and the page-fault diff-rule
+   must reconcile them.
+
+   Register conventions: the handler owns t5/t6/tp (tp = bump
+   allocator pointer); S-mode code never uses them.
+
+   Physical layout (offsets from DRAM base):
+     +0        code
+     +2MB      root page table
+     +2MB+4K   kernel L1 table
+     +2MB+8K   heap L1 table
+     +2MB+12K  heap L0 table
+     +4MB      lazily allocated heap pages *)
+
+open Riscv
+open Wl_common.Ops
+
+let ( @. ) = List.append
+
+let heap_va = 0x4000_0000L
+
+let root_pa = Int64.add Platform.dram_base 0x20_0000L
+
+let kl1_pa = Int64.add root_pa 0x1000L
+
+let hl1_pa = Int64.add root_pa 0x2000L
+
+let hl0_pa = Int64.add root_pa 0x3000L
+
+let alloc_pa = Int64.add Platform.dram_base 0x40_0000L
+
+let pte_v = 1
+let pte_r = 2
+let pte_w = 4
+let pte_x = 8
+let pte_a = 64
+let pte_d = 128
+
+let ptr_pte pa = Int64.logor (Int64.shift_left (Int64.shift_right_logical pa 12) 10) (Int64.of_int pte_v)
+
+let leaf_flags = pte_v lor pte_r lor pte_w lor pte_x lor pte_a lor pte_d
+
+let program ~scale =
+  let open Asm in
+  let pages = min 384 (max 8 (16 * scale)) in
+  Asm.assemble
+    ([
+       label "boot";
+       (* clear the four page-table pages *)
+       li t0 root_pa;
+       li t1 (Int64.add root_pa 0x4000L);
+       label "clear_pt";
+       sd zero t0 0;
+       addi t0 t0 8;
+       blt t0 t1 "clear_pt";
+       (* root[2] -> kernel L1 ; root[1] -> heap L1 ; heapL1[0] -> heap L0 *)
+       li t0 root_pa;
+       li t1 (ptr_pte kl1_pa);
+       sd t1 t0 16; (* root[2] *)
+       li t1 (ptr_pte hl1_pa);
+       sd t1 t0 8; (* root[1] *)
+       li t0 hl1_pa;
+       li t1 (ptr_pte hl0_pa);
+       sd t1 t0 0;
+       (* kernel L1[0..7]: 2MB identity leaves *)
+       li t0 kl1_pa;
+       li t1 Platform.dram_base;
+       li t2 0L;
+       label "kmap";
+       srli t3 t1 12;
+       slli t3 t3 10;
+       ori t3 t3 leaf_flags;
+       sd t3 t0 0;
+       addi t0 t0 8;
+       li t4 0x20_0000L;
+       add t1 t1 t4;
+       addi t2 t2 1;
+       li t4 8L;
+       blt t2 t4 "kmap";
+       (* bump allocator pointer lives in tp *)
+       li tp alloc_pa;
+       (* trap handler *)
+       la t0 "mtrap";
+       i (Insn.Csr (CSRRW, 0, t0, Csr.mtvec));
+       (* satp; the canonical sfence.vma afterwards orders the
+          page-table stores before any translation *)
+       li t0 (Pte.make_satp ~mode:8 ~asid:0 ~root_pa);
+       i (Insn.Csr (CSRRW, 0, t0, Csr.satp));
+       i (Insn.Sfence_vma (0, 0));
+       (* enter S-mode at smain *)
+       la t0 "smain";
+       i (Insn.Csr (CSRRW, 0, t0, Csr.mepc));
+       (* mstatus.MPP = 01 (S) *)
+       li t0 0x800L;
+       i (Insn.Csr (CSRRC, 0, t0, Csr.mstatus));
+       li t0 0x1000L;
+       i (Insn.Csr (CSRRC, 0, t0, Csr.mstatus));
+       li t0 0x800L;
+       i (Insn.Csr (CSRRS, 0, t0, Csr.mstatus));
+       i Insn.Mret;
+       (* ------------- S-mode body (runs under Sv39) -------------- *)
+       label "smain";
+       li s2 heap_va;
+       li s3 (Int64.of_int pages);
+       li s1 0L; (* checksum *)
+       (* first-touch writes: each page fault lazily allocates *)
+       li t0 0L;
+       label "touch";
+       slli t1 t0 12;
+       add t1 t1 s2;
+       (* write a recognisable value at two spots in the page *)
+       slli t2 t0 4;
+       ori t2 t2 5;
+       sd t2 t1 0;
+       sd t0 t1 128;
+       addi t0 t0 1;
+       blt t0 s3 "touch";
+       (* read-back pass (may also fault spuriously on stale TLBs) *)
+       li t0 0L;
+       label "readback";
+       slli t1 t0 12;
+       add t1 t1 s2;
+       ld t2 t1 0;
+       add s1 s1 t2;
+       ld t2 t1 128;
+       add s1 s1 t2;
+       addi t0 t0 1;
+       blt t0 s3 "readback";
+       (* lazy *read* of a never-written page: must fault and read 0 *)
+       slli t1 s3 12;
+       add t1 t1 s2;
+       ld t2 t1 0;
+       add s1 s1 t2;
+       (* done: ecall with checksum in a0 *)
+       mv a0 s1;
+       i Insn.Ecall;
+       label "shang";
+       j "shang";
+       (* ------------- M-mode trap handler ------------------------ *)
+       label "mtrap";
+       i (Insn.Csr (CSRRS, t5, 0, Csr.mcause));
+       (* ecall from S (9): exit with a0 *)
+       li t6 9L;
+       beq t5 t6 "do_exit";
+       (* load (13) or store (15) page fault in the heap range? *)
+       li t6 13L;
+       beq t5 t6 "pf";
+       li t6 15L;
+       beq t5 t6 "pf";
+       (* unexpected: exit 0xEE *)
+       li a0 0xEEL;
+       j "do_exit_raw";
+       label "pf";
+       i (Insn.Csr (CSRRS, t5, 0, Csr.mtval));
+       li t6 heap_va;
+       bltu t5 t6 "bad_fault";
+       srli t5 t5 12;
+       li t6 (Int64.shift_right_logical heap_va 12);
+       sub t5 t5 t6; (* vpn0 index (heap is < 2MB so one L0 table) *)
+       li t6 512L;
+       bgeu t5 t6 "bad_fault";
+       slli t5 t5 3;
+       li t6 hl0_pa;
+       add t5 t5 t6; (* &pte *)
+       ld t6 t5 0;
+       (* PTE already valid? spurious fault from a stale view: the
+          Linux-style refault path executes sfence.vma *)
+       i (Insn.Op_imm (AND, t6, t6, 1L));
+       bnez t6 "spurious";
+       (* allocate a page (bump pointer in tp), install the PTE.
+          NO sfence.vma here -- this is the Figure 3 window. *)
+       srli t6 tp 12;
+       slli t6 t6 10;
+       ori t6 t6 (pte_v lor pte_r lor pte_w lor pte_a lor pte_d);
+       sd t6 t5 0;
+       li t5 4096L;
+       add tp tp t5;
+       i Insn.Mret;
+       label "spurious";
+       i (Insn.Sfence_vma (0, 0));
+       i Insn.Mret;
+       label "bad_fault";
+       li a0 0xEDL;
+       j "do_exit_raw";
+       label "do_exit";
+       label "do_exit_raw";
+     ]
+    @. Wl_common.exit_with Asm.a0)
+
+let spec : Wl_common.t =
+  {
+    wl_name = "vm_kernel";
+    group = `Int;
+    mimics = "Linux lazy page allocation (Figure 3 scenario)";
+    program = (fun ~scale -> program ~scale);
+    small = 2;
+    big = 16;
+  }

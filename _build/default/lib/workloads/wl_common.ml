@@ -1,0 +1,98 @@
+(* Shared helpers for the synthetic workloads.
+
+   Every workload is a bare-metal M-mode program that ends by writing
+   an exit token to the SIM device: (code << 1) | 1, where code is a
+   small checksum of the computation.  The checksum lets the engine
+   equivalence tests assert that all interpreter engines and the DUT
+   agree on the final architectural outcome, not merely that they
+   terminate. *)
+
+open Riscv
+
+(* Scratch data region: well above any program text. *)
+let data_base = Int64.add Platform.dram_base 0x0080_0000L (* +8MB *)
+
+let data2_base = Int64.add Platform.dram_base 0x0100_0000L (* +16MB *)
+
+(* Exit with the (truncated) value of [reg] as the exit code.
+   Clobbers t5/t6.  Usable several times in one program (the halt
+   label is uniquified). *)
+let exit_counter = ref 0
+
+let exit_with reg =
+  incr exit_counter;
+  let halt = Printf.sprintf "__halt_%d" !exit_counter in
+  Asm.
+    [
+      i (Insn.Op_imm (AND, Asm.t5, reg, 0xFFL));
+      i (Insn.Op_imm (SLL, Asm.t5, Asm.t5, 1L));
+      i (Insn.Op_imm (ADD, Asm.t5, Asm.t5, 1L));
+      li Asm.t6 (Int64.add Platform.sim_base Platform.sim_exit_offset);
+      i (Insn.Store (SD, Asm.t5, Asm.t6, 0L));
+      label halt;
+      j halt;
+    ]
+
+(* Compact mnemonics used by the kernels. *)
+module Ops = struct
+  let addi rd rs imm = Asm.i (Insn.Op_imm (ADD, rd, rs, Int64.of_int imm))
+  let slli rd rs sh = Asm.i (Insn.Op_imm (SLL, rd, rs, Int64.of_int sh))
+  let srli rd rs sh = Asm.i (Insn.Op_imm (SRL, rd, rs, Int64.of_int sh))
+  let srai rd rs sh = Asm.i (Insn.Op_imm (SRA, rd, rs, Int64.of_int sh))
+  let andi rd rs imm = Asm.i (Insn.Op_imm (AND, rd, rs, Int64.of_int imm))
+  let ori rd rs imm = Asm.i (Insn.Op_imm (OR, rd, rs, Int64.of_int imm))
+  let xori rd rs imm = Asm.i (Insn.Op_imm (XOR, rd, rs, Int64.of_int imm))
+  let add rd a b = Asm.i (Insn.Op (ADD, rd, a, b))
+  let sub rd a b = Asm.i (Insn.Op (SUB, rd, a, b))
+  let xor rd a b = Asm.i (Insn.Op (XOR, rd, a, b))
+  let or_ rd a b = Asm.i (Insn.Op (OR, rd, a, b))
+  let and_ rd a b = Asm.i (Insn.Op (AND, rd, a, b))
+  let sll rd a b = Asm.i (Insn.Op (SLL, rd, a, b))
+  let srl rd a b = Asm.i (Insn.Op (SRL, rd, a, b))
+  let slt rd a b = Asm.i (Insn.Op (SLT, rd, a, b))
+  let sltu rd a b = Asm.i (Insn.Op (SLTU, rd, a, b))
+  let mul rd a b = Asm.i (Insn.Mul (MUL, rd, a, b))
+  let mulh rd a b = Asm.i (Insn.Mul (MULH, rd, a, b))
+  let div rd a b = Asm.i (Insn.Mul (DIV, rd, a, b))
+  let rem rd a b = Asm.i (Insn.Mul (REM, rd, a, b))
+  let ld rd base off = Asm.i (Insn.Load (LD, rd, base, Int64.of_int off))
+  let lw rd base off = Asm.i (Insn.Load (LW, rd, base, Int64.of_int off))
+  let lbu rd base off = Asm.i (Insn.Load (LBU, rd, base, Int64.of_int off))
+  let sd rs base off = Asm.i (Insn.Store (SD, rs, base, Int64.of_int off))
+  let sw rs base off = Asm.i (Insn.Store (SW, rs, base, Int64.of_int off))
+  let sb rs base off = Asm.i (Insn.Store (SB, rs, base, Int64.of_int off))
+  let fld frd base off = Asm.i (Insn.Fld (frd, base, Int64.of_int off))
+  let fsd frs base off = Asm.i (Insn.Fsd (frs, base, Int64.of_int off))
+  let fadd frd a b = Asm.i (Insn.Fp_rrr (FADD, frd, a, b))
+  let fsub frd a b = Asm.i (Insn.Fp_rrr (FSUB, frd, a, b))
+  let fmul frd a b = Asm.i (Insn.Fp_rrr (FMUL, frd, a, b))
+  let fdiv frd a b = Asm.i (Insn.Fp_rrr (FDIV, frd, a, b))
+  let fsqrt frd a = Asm.i (Insn.Fsqrt_d (frd, a))
+  let fmadd frd a b c = Asm.i (Insn.Fp_fused (FMADD, frd, a, b, c))
+  let fmsub frd a b c = Asm.i (Insn.Fp_fused (FMSUB, frd, a, b, c))
+  let fcvt_d_l frd rs = Asm.i (Insn.Fcvt_d_l (frd, rs))
+  let fcvt_l_d rd fs = Asm.i (Insn.Fcvt_l_d (rd, fs))
+  let fmv_x_d rd fs = Asm.i (Insn.Fmv_x_d (rd, fs))
+
+  (* xorshift64 step on register [x], clobbering [tmp] *)
+  let xorshift x tmp =
+    [
+      slli tmp x 13;
+      xor x x tmp;
+      srli tmp x 7;
+      xor x x tmp;
+      slli tmp x 17;
+      xor x x tmp;
+    ]
+end
+
+type t = {
+  wl_name : string;
+  group : [ `Int | `Fp ];
+  (* rough SPEC CPU2006 counterpart this kernel's bottleneck mimics *)
+  mimics : string;
+  program : scale:int -> Asm.program;
+  (* default scales *)
+  small : int;
+  big : int;
+}

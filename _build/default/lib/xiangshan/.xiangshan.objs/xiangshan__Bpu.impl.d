@@ -1,0 +1,1 @@
+lib/xiangshan/bpu.pp.ml: Array Config Int64 Option Riscv

@@ -1,0 +1,1 @@
+lib/xiangshan/bpu.pp.mli: Config Riscv

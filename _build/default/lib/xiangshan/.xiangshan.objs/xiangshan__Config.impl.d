@@ -1,0 +1,1 @@
+lib/xiangshan/config.pp.ml: List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/xiangshan/config.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/xiangshan/core.pp.ml: Arch_state Array Bpu Config Csr Exec Fusion Insn Int64 Iq Iss List Lsu Memory Platform Probe Queue Rename Riscv Rob Softmem Tlb Trap Uop

@@ -1,0 +1,1 @@
+lib/xiangshan/core.pp.mli: Arch_state Bpu Config Insn Iq Lsu Platform Probe Queue Rename Riscv Rob Softmem Tlb Trap

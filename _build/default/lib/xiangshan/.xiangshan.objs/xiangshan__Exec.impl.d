@@ -1,0 +1,1 @@
+lib/xiangshan/exec.pp.ml: Array Int64 Iss Riscv Uop

@@ -1,0 +1,1 @@
+lib/xiangshan/exec.pp.mli: Uop

@@ -1,0 +1,1 @@
+lib/xiangshan/fusion.pp.ml: Insn Int64 Riscv Uop

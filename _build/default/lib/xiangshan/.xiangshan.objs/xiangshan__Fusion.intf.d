@@ -1,0 +1,1 @@
+lib/xiangshan/fusion.pp.mli: Riscv Uop

@@ -1,0 +1,1 @@
+lib/xiangshan/iq.pp.ml: Config List Uop

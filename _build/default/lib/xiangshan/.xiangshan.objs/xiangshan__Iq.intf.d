@@ -1,0 +1,1 @@
+lib/xiangshan/iq.pp.mli: Config Uop

@@ -1,0 +1,1 @@
+lib/xiangshan/lsu.pp.ml: Config Int64 List Queue Softmem Uop

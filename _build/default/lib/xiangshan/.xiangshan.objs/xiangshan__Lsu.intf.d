@@ -1,0 +1,1 @@
+lib/xiangshan/lsu.pp.mli: Config Queue Softmem Uop

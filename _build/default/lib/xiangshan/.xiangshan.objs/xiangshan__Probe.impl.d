@@ -1,0 +1,1 @@
+lib/xiangshan/probe.pp.ml: Insn Riscv Softmem Trap

@@ -1,0 +1,1 @@
+lib/xiangshan/probe.pp.mli: Insn Riscv Softmem Trap

@@ -1,0 +1,1 @@
+lib/xiangshan/rename.pp.ml: Array Config Queue Uop

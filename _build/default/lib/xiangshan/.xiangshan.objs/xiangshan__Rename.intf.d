@@ -1,0 +1,1 @@
+lib/xiangshan/rename.pp.mli: Config Queue Uop

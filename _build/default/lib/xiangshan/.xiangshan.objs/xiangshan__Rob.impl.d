@@ -1,0 +1,1 @@
+lib/xiangshan/rob.pp.ml: Array List Uop

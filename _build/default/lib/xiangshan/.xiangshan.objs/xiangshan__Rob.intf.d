@@ -1,0 +1,1 @@
+lib/xiangshan/rob.pp.mli: Uop

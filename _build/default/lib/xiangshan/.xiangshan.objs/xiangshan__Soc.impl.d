@@ -1,0 +1,1 @@
+lib/xiangshan/soc.pp.ml: Array Asm Config Core Lsu Platform Printf Riscv Softmem

@@ -1,0 +1,1 @@
+lib/xiangshan/soc.pp.mli: Config Core Riscv Softmem

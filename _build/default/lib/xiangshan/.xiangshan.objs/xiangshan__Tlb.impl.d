@@ -1,0 +1,1 @@
+lib/xiangshan/tlb.pp.ml: Array Config Csr Int64 Pte Riscv Softmem Trap

@@ -1,0 +1,1 @@
+lib/xiangshan/tlb.pp.mli: Config Riscv Softmem

@@ -1,0 +1,1 @@
+lib/xiangshan/uop.pp.ml: Config Insn Riscv Trap

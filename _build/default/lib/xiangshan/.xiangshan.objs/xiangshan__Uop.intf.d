@@ -1,0 +1,1 @@
+lib/xiangshan/uop.pp.mli: Config Insn Riscv Trap

@@ -1,0 +1,277 @@
+(* Branch prediction unit: micro-BTB + BTB, a 4-table TAGE-lite
+   direction predictor, a return-address stack, and (for NH) an
+   ITTAGE-lite indirect target predictor.
+
+   The BPU also maintains the per-branch confidence estimation table
+   used by the PUBS issue policy (§IV-D): a branch is "unconfident"
+   until it has accumulated a run of correct predictions. *)
+
+type btb_entry = { mutable b_tag : int64; mutable b_target : int64 }
+
+type tage_entry = {
+  mutable t_tag : int;
+  mutable t_ctr : int; (* signed, -4..3; >= 0 predicts taken *)
+  mutable t_useful : int;
+}
+
+type t = {
+  (* BTB: direct-mapped over sets, 2-way *)
+  btb : btb_entry array;
+  btb_sets : int;
+  ubtb : btb_entry array;
+  ubtb_size : int;
+  (* TAGE *)
+  bimodal : int array; (* 2-bit counters *)
+  bimodal_size : int;
+  tage : tage_entry array array; (* 4 tables *)
+  tage_size : int;
+  hist_lens : int array;
+  mutable ghist : int64; (* global history, newest bit at LSB *)
+  (* RAS *)
+  ras : int64 array;
+  mutable ras_top : int;
+  ras_size : int;
+  (* ITTAGE-lite *)
+  ittage : btb_entry array;
+  ittage_size : int;
+  use_ittage : bool;
+  (* PUBS confidence *)
+  conf : int array; (* per-pc run counters *)
+  conf_size : int;
+  (* stats *)
+  mutable lookups : int;
+  mutable cond_branches : int;
+  mutable mispredicts : int;
+}
+
+let create (cfg : Config.t) : t =
+  let btb_sets = max 16 (cfg.btb_entries / 2) in
+  let tage_size = max 64 cfg.tage_entries in
+  {
+    btb =
+      Array.init (btb_sets * 2) (fun _ -> { b_tag = -1L; b_target = 0L });
+    btb_sets;
+    ubtb = Array.init cfg.ubtb_entries (fun _ -> { b_tag = -1L; b_target = 0L });
+    ubtb_size = cfg.ubtb_entries;
+    bimodal = Array.make 4096 1;
+    bimodal_size = 4096;
+    tage =
+      Array.init 4 (fun _ ->
+          Array.init tage_size (fun _ ->
+              { t_tag = -1; t_ctr = 0; t_useful = 0 }));
+    tage_size;
+    hist_lens = [| 8; 16; 32; 60 |];
+    ghist = 0L;
+    ras = Array.make cfg.ras_size 0L;
+    ras_top = 0;
+    ras_size = cfg.ras_size;
+    ittage =
+      Array.init (max 16 (cfg.btb_entries / 4)) (fun _ ->
+          { b_tag = -1L; b_target = 0L });
+    ittage_size = max 16 (cfg.btb_entries / 4);
+    use_ittage = cfg.ittage;
+    conf = Array.make 1024 0;
+    conf_size = 1024;
+    lookups = 0;
+    cond_branches = 0;
+    mispredicts = 0;
+  }
+
+let pc_bits pc = Int64.to_int (Int64.shift_right_logical pc 2)
+
+let hist_fold t len =
+  (* fold [len] bits of global history into 12 bits *)
+  let h = Int64.to_int (Int64.logand t.ghist (Int64.sub (Int64.shift_left 1L (min len 62)) 1L)) in
+  (h lxor (h lsr 12) lxor (h lsr 24) lxor (h lsr 36) lxor (h lsr 48)) land 0xFFF
+
+let tage_index t table pc =
+  (pc_bits pc lxor hist_fold t t.hist_lens.(table) lxor (table * 0x9E37))
+  land (t.tage_size - 1)
+
+let tage_tag t table pc =
+  (pc_bits pc lxor (hist_fold t t.hist_lens.(table) * 3) lxor (table * 0x61C))
+  land 0xFF
+
+(* Direction prediction with provider selection: longest matching
+   tagged table wins, else the bimodal base predictor. *)
+let predict_direction t pc : bool * int =
+  let provider = ref (-1) in
+  let pred = ref (t.bimodal.(pc_bits pc land (t.bimodal_size - 1)) >= 2) in
+  for table = 0 to 3 do
+    let e = t.tage.(table).(tage_index t table pc) in
+    if e.t_tag = tage_tag t table pc then begin
+      provider := table;
+      pred := e.t_ctr >= 0
+    end
+  done;
+  (!pred, !provider)
+
+let btb_lookup t pc : int64 option =
+  (* micro-BTB first *)
+  let u = t.ubtb.(pc_bits pc land (t.ubtb_size - 1)) in
+  if u.b_tag = pc then Some u.b_target
+  else
+    let set = pc_bits pc land (t.btb_sets - 1) in
+    let e0 = t.btb.(set * 2) and e1 = t.btb.((set * 2) + 1) in
+    if e0.b_tag = pc then Some e0.b_target
+    else if e1.b_tag = pc then Some e1.b_target
+    else None
+
+let btb_update t pc target =
+  let u = t.ubtb.(pc_bits pc land (t.ubtb_size - 1)) in
+  u.b_tag <- pc;
+  u.b_target <- target;
+  let set = pc_bits pc land (t.btb_sets - 1) in
+  let e0 = t.btb.(set * 2) and e1 = t.btb.((set * 2) + 1) in
+  if e0.b_tag = pc then e0.b_target <- target
+  else if e1.b_tag = pc then e1.b_target <- target
+  else if e0.b_tag = -1L then begin
+    e0.b_tag <- pc;
+    e0.b_target <- target
+  end
+  else begin
+    e1.b_tag <- e0.b_tag;
+    e1.b_target <- e0.b_target;
+    e0.b_tag <- pc;
+    e0.b_target <- target
+  end
+
+let ras_push t v =
+  t.ras.(t.ras_top) <- v;
+  t.ras_top <- (t.ras_top + 1) mod t.ras_size
+
+let ras_pop t =
+  t.ras_top <- (t.ras_top + t.ras_size - 1) mod t.ras_size;
+  t.ras.(t.ras_top)
+
+let is_call (insn : Riscv.Insn.t) =
+  match insn with
+  | Jal (1, _) | Jalr (1, _, _) -> true
+  | _ -> false
+
+let is_ret (insn : Riscv.Insn.t) =
+  match insn with Jalr (0, 1, 0L) -> true | _ -> false
+
+type prediction = { taken : bool; target : int64 }
+
+(* Predict the outcome of [insn] at [pc].  The IFU calls this for every
+   fetched control-flow instruction. *)
+let predict (t : t) ~(pc : int64) ~(insn : Riscv.Insn.t) : prediction =
+  t.lookups <- t.lookups + 1;
+  let next = Int64.add pc 4L in
+  match insn with
+  | Branch (_, _, _, off) ->
+      t.cond_branches <- t.cond_branches + 1;
+      let dir, _ = predict_direction t pc in
+      {
+        taken = dir;
+        target = (if dir then Int64.add pc off else next);
+      }
+  | Jal (rd, off) ->
+      if rd = 1 then ras_push t next;
+      { taken = true; target = Int64.add pc off }
+  | Jalr (rd, rs1, _) ->
+      if rd = 1 then begin
+        let target =
+          match btb_lookup t pc with Some tg -> tg | None -> next
+        in
+        ras_push t next;
+        { taken = true; target }
+      end
+      else if rs1 = 1 && rd = 0 then { taken = true; target = ras_pop t }
+      else begin
+        (* other indirect: ITTAGE (path-hashed) or BTB *)
+        let target =
+          if t.use_ittage then begin
+            let idx =
+              (pc_bits pc lxor hist_fold t 24) land (t.ittage_size - 1)
+            in
+            let e = t.ittage.(idx) in
+            if e.b_tag = pc then Some e.b_target else btb_lookup t pc
+          end
+          else btb_lookup t pc
+        in
+        { taken = true; target = Option.value target ~default:next }
+      end
+  | Lui _ | Auipc _ | Load _ | Store _ | Op_imm _ | Op_imm_w _ | Op _
+  | Op_w _ | Mul _ | Mul_w _ | Lr _ | Sc _ | Amo _ | Csr _ | Ecall | Ebreak
+  | Mret | Sret | Wfi | Fence | Fence_i | Sfence_vma _ | Fld _ | Fsd _
+  | Fp_rrr _ | Fp_fused _ | Fp_sign _ | Fp_minmax _ | Fp_cmp _ | Fsqrt_d _
+  | Fcvt_d_l _ | Fcvt_d_lu _ | Fcvt_d_w _ | Fcvt_l_d _ | Fcvt_lu_d _
+  | Fcvt_w_d _ | Fmv_x_d _ | Fmv_d_x _ | Fclass_d _ | Illegal _ ->
+      { taken = false; target = next }
+
+(* Resolve-time update. *)
+let update (t : t) ~(pc : int64) ~(insn : Riscv.Insn.t) ~(taken : bool)
+    ~(target : int64) ~(mispredicted : bool) =
+  if mispredicted then t.mispredicts <- t.mispredicts + 1;
+  (* confidence table for PUBS *)
+  let ci = pc_bits pc land (t.conf_size - 1) in
+  if mispredicted then t.conf.(ci) <- 0
+  else if t.conf.(ci) < 64 then t.conf.(ci) <- t.conf.(ci) + 1;
+  (match insn with
+  | Branch _ ->
+      (* bimodal *)
+      let bi = pc_bits pc land (t.bimodal_size - 1) in
+      let c = t.bimodal.(bi) in
+      t.bimodal.(bi) <-
+        (if taken then min 3 (c + 1) else max 0 (c - 1));
+      (* tage provider update + allocation on mispredict *)
+      let _, provider = predict_direction t pc in
+      if provider >= 0 then begin
+        let e = t.tage.(provider).(tage_index t provider pc) in
+        e.t_ctr <-
+          (if taken then min 3 (e.t_ctr + 1) else max (-4) (e.t_ctr - 1));
+        if not mispredicted then e.t_useful <- min 3 (e.t_useful + 1)
+      end;
+      if mispredicted then begin
+        (* allocate in a longer-history table *)
+        let start = provider + 1 in
+        (try
+           for table = start to 3 do
+             let e = t.tage.(table).(tage_index t table pc) in
+             if e.t_useful = 0 then begin
+               e.t_tag <- tage_tag t table pc;
+               e.t_ctr <- (if taken then 0 else -1);
+               raise Exit
+             end
+             else e.t_useful <- e.t_useful - 1
+           done
+         with Exit -> ())
+      end;
+      (* fold outcome into history *)
+      t.ghist <-
+        Int64.logor
+          (Int64.shift_left t.ghist 1)
+          (if taken then 1L else 0L)
+  | Jal _ -> ()
+  | Jalr _ ->
+      if not (is_ret insn) then begin
+        btb_update t pc target;
+        if t.use_ittage then begin
+          let idx = (pc_bits pc lxor hist_fold t 24) land (t.ittage_size - 1) in
+          let e = t.ittage.(idx) in
+          e.b_tag <- pc;
+          e.b_target <- target
+        end
+      end
+  | Lui _ | Auipc _ | Load _ | Store _ | Op_imm _ | Op_imm_w _ | Op _
+  | Op_w _ | Mul _ | Mul_w _ | Lr _ | Sc _ | Amo _ | Csr _ | Ecall | Ebreak
+  | Mret | Sret | Wfi | Fence | Fence_i | Sfence_vma _ | Fld _ | Fsd _
+  | Fp_rrr _ | Fp_fused _ | Fp_sign _ | Fp_minmax _ | Fp_cmp _ | Fsqrt_d _
+  | Fcvt_d_l _ | Fcvt_d_lu _ | Fcvt_d_w _ | Fcvt_l_d _ | Fcvt_lu_d _
+  | Fcvt_w_d _ | Fmv_x_d _ | Fmv_d_x _ | Fclass_d _ | Illegal _ ->
+      ());
+  (match insn with
+  | Branch _ -> ()
+  | _ when taken -> btb_update t pc target
+  | _ -> ())
+
+(* Low-confidence query for PUBS: a branch is unconfident until it has
+   a run of >= 4 correct predictions (paper: ~5.9% of instructions end
+   up high-priority on sjeng). *)
+let unconfident (t : t) ~pc = t.conf.(pc_bits pc land (t.conf_size - 1)) < 4
+
+let mpki t ~instructions =
+  if instructions = 0 then 0.0
+  else 1000.0 *. float_of_int t.mispredicts /. float_of_int instructions

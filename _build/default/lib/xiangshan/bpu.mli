@@ -1,0 +1,67 @@
+(** Branch prediction unit: micro-BTB + BTB, a 4-table TAGE-lite
+    direction predictor, a return-address stack, an ITTAGE-lite
+    indirect predictor (NH), and the confidence estimation table used
+    by the PUBS issue policy (paper §IV-D). *)
+
+type t = {
+  btb : btb_entry array;
+  btb_sets : int;
+  ubtb : btb_entry array;
+  ubtb_size : int;
+  bimodal : int array;
+  bimodal_size : int;
+  tage : tage_entry array array;
+  tage_size : int;
+  hist_lens : int array;
+  mutable ghist : int64;
+  ras : int64 array;
+  mutable ras_top : int;
+  ras_size : int;
+  ittage : btb_entry array;
+  ittage_size : int;
+  use_ittage : bool;
+  conf : int array;
+  conf_size : int;
+  mutable lookups : int;
+  mutable cond_branches : int;
+  mutable mispredicts : int;
+}
+
+and btb_entry = { mutable b_tag : int64; mutable b_target : int64 }
+
+and tage_entry = {
+  mutable t_tag : int;
+  mutable t_ctr : int;
+  mutable t_useful : int;
+}
+
+val create : Config.t -> t
+
+type prediction = { taken : bool; target : int64 }
+
+val predict : t -> pc:int64 -> insn:Riscv.Insn.t -> prediction
+(** Called by the IFU for every fetched instruction; updates the RAS
+    speculatively on calls and returns. *)
+
+val update :
+  t ->
+  pc:int64 ->
+  insn:Riscv.Insn.t ->
+  taken:bool ->
+  target:int64 ->
+  mispredicted:bool ->
+  unit
+(** Resolve-time training: bimodal + TAGE provider/allocation, BTB and
+    ITTAGE targets, global history, and the PUBS confidence run. *)
+
+val unconfident : t -> pc:int64 -> bool
+(** PUBS: a branch is unconfident until it accumulates a run of
+    correct predictions. *)
+
+val mpki : t -> instructions:int -> float
+(** Mispredictions per kilo-instruction (the paper's PUBS selection
+    criterion is MPKI > 3). *)
+
+val is_call : Riscv.Insn.t -> bool
+
+val is_ret : Riscv.Insn.t -> bool

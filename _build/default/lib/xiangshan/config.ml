@@ -1,0 +1,244 @@
+(* Micro-architecture configurations: Table II of the paper.
+
+   Both tape-out generations (YQH, 28nm/1.3GHz single-core and NH,
+   14nm/2GHz dual-core) are expressed as configuration records, plus
+   the evaluation variants of Figure 12 (2MB/4MB LLC, fixed-AMAT
+   "FPGA" memory).  Most parameters are freely configurable, as in the
+   Chisel generator. *)
+
+type exec_class = ALU | MUL | DIV | JUMP_CSR | LOAD | STORE | FMAC | FMISC
+[@@deriving show { with_path = false }, eq, ord]
+
+type issue_policy = Age | Pubs
+[@@deriving show { with_path = false }, eq]
+
+type dram_model = Fixed_amat of int | Ddr4_1600 | Ddr4_2400
+[@@deriving show { with_path = false }, eq]
+
+type iq_config = {
+  iq_name : string;
+  iq_size : int;
+  iq_issue : int; (* instructions issued per cycle *)
+  iq_classes : exec_class list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  cfg_name : string;
+  n_cores : int;
+  freq_ghz : float;
+  (* frontend *)
+  fetch_width : int;
+  decode_width : int;
+  fetch_buffer : int;
+  btb_entries : int;
+  ubtb_entries : int;
+  tage_entries : int; (* per tagged table; 4 tables *)
+  ras_size : int;
+  ittage : bool;
+  (* backend *)
+  rob_size : int;
+  lq_size : int;
+  sq_size : int;
+  int_pregs : int;
+  fp_pregs : int;
+  store_buffer_size : int;
+  sb_drain_interval : int; (* cycles between store-buffer drains *)
+  iqs : iq_config list;
+  issue_policy : issue_policy;
+  fusion : bool;
+  move_elim : bool;
+  (* memory subsystem *)
+  l1i_kb : int;
+  l1i_ways : int;
+  l1d_kb : int;
+  l1d_ways : int;
+  l2_kb : int;
+  l2_ways : int;
+  l3_kb : int; (* 0 = no L3 *)
+  l3_ways : int;
+  mshrs : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  stlb_entries : int;
+  dram : dram_model;
+  (* LR/SC reservation timeout (source of SC-failure non-determinism) *)
+  sc_timeout_cycles : int;
+}
+[@@deriving show { with_path = false }]
+
+let yqh_iqs =
+  [
+    { iq_name = "alu0"; iq_size = 32; iq_issue = 2; iq_classes = [ ALU ] };
+    { iq_name = "alu1"; iq_size = 32; iq_issue = 2; iq_classes = [ ALU ] };
+    {
+      iq_name = "mdu";
+      iq_size = 16;
+      iq_issue = 1;
+      iq_classes = [ MUL; DIV ];
+    };
+    { iq_name = "jmp"; iq_size = 16; iq_issue = 1; iq_classes = [ JUMP_CSR ] };
+    { iq_name = "ld"; iq_size = 16; iq_issue = 2; iq_classes = [ LOAD ] };
+    { iq_name = "st"; iq_size = 16; iq_issue = 1; iq_classes = [ STORE ] };
+    { iq_name = "fmac"; iq_size = 32; iq_issue = 2; iq_classes = [ FMAC ] };
+    { iq_name = "fmisc"; iq_size = 16; iq_issue = 1; iq_classes = [ FMISC ] };
+  ]
+
+let nh_iqs =
+  [
+    { iq_name = "alu0"; iq_size = 32; iq_issue = 2; iq_classes = [ ALU ] };
+    { iq_name = "alu1"; iq_size = 32; iq_issue = 2; iq_classes = [ ALU ] };
+    {
+      iq_name = "mdu";
+      iq_size = 16;
+      iq_issue = 1;
+      iq_classes = [ MUL; DIV ];
+    };
+    { iq_name = "jmp"; iq_size = 16; iq_issue = 1; iq_classes = [ JUMP_CSR ] };
+    { iq_name = "ld"; iq_size = 16; iq_issue = 2; iq_classes = [ LOAD ] };
+    (* NH decouples store address and data uops; we model one STORE
+       class with two issue slots *)
+    { iq_name = "st"; iq_size = 16; iq_issue = 2; iq_classes = [ STORE ] };
+    { iq_name = "fmac"; iq_size = 32; iq_issue = 2; iq_classes = [ FMAC ] };
+    { iq_name = "fmisc"; iq_size = 16; iq_issue = 1; iq_classes = [ FMISC ] };
+  ]
+
+let yqh =
+  {
+    cfg_name = "YQH";
+    n_cores = 1;
+    freq_ghz = 1.3;
+    fetch_width = 8;
+    decode_width = 6;
+    fetch_buffer = 24;
+    btb_entries = 2048;
+    ubtb_entries = 32;
+    tage_entries = 4096;
+    ras_size = 16;
+    ittage = false;
+    rob_size = 192;
+    lq_size = 64;
+    sq_size = 48;
+    int_pregs = 160;
+    fp_pregs = 160;
+    store_buffer_size = 16;
+    sb_drain_interval = 4;
+    iqs = yqh_iqs;
+    issue_policy = Age;
+    fusion = false;
+    move_elim = false;
+    l1i_kb = 16;
+    l1i_ways = 4;
+    l1d_kb = 32;
+    l1d_ways = 8;
+    l2_kb = 1024;
+    l2_ways = 8;
+    l3_kb = 0;
+    l3_ways = 6;
+    mshrs = 8;
+    itlb_entries = 40;
+    dtlb_entries = 40;
+    stlb_entries = 4096;
+    dram = Ddr4_1600;
+    sc_timeout_cycles = 64;
+  }
+
+let nh =
+  {
+    yqh with
+    cfg_name = "NH";
+    n_cores = 2;
+    freq_ghz = 2.0;
+    btb_entries = 4096;
+    ubtb_entries = 256;
+    ras_size = 32;
+    ittage = true;
+    rob_size = 256;
+    lq_size = 80;
+    sq_size = 64;
+    int_pregs = 192;
+    fp_pregs = 192;
+    iqs = nh_iqs;
+    fusion = true;
+    move_elim = true;
+    l1i_kb = 128;
+    l1i_ways = 8;
+    l1d_kb = 128;
+    l1d_ways = 8;
+    l2_kb = 1024;
+    l2_ways = 8;
+    l3_kb = 6144;
+    l3_ways = 6;
+    mshrs = 16;
+    dtlb_entries = 136;
+    stlb_entries = 2048;
+    dram = Ddr4_2400;
+    sc_timeout_cycles = 64;
+  }
+
+(* single-core NH for performance studies that do not need SMP *)
+let nh_single = { nh with cfg_name = "NH-1core"; n_cores = 1 }
+
+(* Figure 12 variants *)
+let yqh_fpga_90c = { yqh with cfg_name = "YQH-FPGA-90C-AMAT"; dram = Fixed_amat 90 }
+
+let nh_fpga_250c_4mb =
+  {
+    nh_single with
+    cfg_name = "NH-4MBLLC-FPGA-250C-AMAT";
+    l3_kb = 4096;
+    dram = Fixed_amat 250;
+  }
+
+let nh_fpga_250c_2mb =
+  {
+    nh_single with
+    cfg_name = "NH-2MBLLC-FPGA-250C-AMAT";
+    l3_kb = 2048;
+    dram = Fixed_amat 250;
+  }
+
+let all_presets =
+  [ yqh; nh; nh_single; yqh_fpga_90c; nh_fpga_250c_4mb; nh_fpga_250c_2mb ]
+
+(* Table II printout for the bench harness. *)
+let table2_row feature f =
+  Printf.sprintf "| %-18s | %-18s | %-18s |" feature (f yqh) (f nh)
+
+let table2 () =
+  let rows =
+    [
+      ("ISA", fun _ -> "RV64 (IMAFD sub.)");
+      ("Frequency", fun c -> Printf.sprintf "%.1fGHz (nominal)" c.freq_ghz);
+      ("Core Number", fun c -> string_of_int c.n_cores);
+      ("microBTB", fun c -> Printf.sprintf "%d entries" c.ubtb_entries);
+      ("BTB", fun c -> Printf.sprintf "%d entries" c.btb_entries);
+      ("TAGE-SC", fun c -> Printf.sprintf "4x%d entries" c.tage_entries);
+      ( "Others",
+        fun c -> if c.ittage then "RAS, ITTAGE" else "RAS" );
+      ("L1 ICache", fun c -> Printf.sprintf "%dKB, %d-way" c.l1i_kb c.l1i_ways);
+      ("L1 DCache", fun c -> Printf.sprintf "%dKB, %d-way" c.l1d_kb c.l1d_ways);
+      ("L2 Cache", fun c -> Printf.sprintf "%dKB %d-way" c.l2_kb c.l2_ways);
+      ( "L3 Cache",
+        fun c ->
+          if c.l3_kb = 0 then "-"
+          else Printf.sprintf "%dMB %d-way" (c.l3_kb / 1024) c.l3_ways );
+      ("L1 ITLB", fun c -> Printf.sprintf "%d entries" c.itlb_entries);
+      ("L1 DTLB", fun c -> Printf.sprintf "%d entries" c.dtlb_entries);
+      ("STLB", fun c -> Printf.sprintf "%d entries" c.stlb_entries);
+      ( "Fetch Width",
+        fun c -> Printf.sprintf "%d*4B instr./cycle" c.fetch_width );
+      ( "Dec./Ren. Width",
+        fun c -> Printf.sprintf "%d instr./cycle" c.decode_width );
+      ( "ROB/LQ/SQ",
+        fun c -> Printf.sprintf "%d/%d/%d" c.rob_size c.lq_size c.sq_size );
+      ( "Phy. Int/FP RF",
+        fun c -> Printf.sprintf "%d/%d" c.int_pregs c.fp_pregs );
+      ( "Instruction Fusion",
+        fun c -> if c.fusion then "Yes" else "-" );
+      ("Move Elimination", fun c -> if c.move_elim then "Yes" else "-");
+    ]
+  in
+  String.concat "\n"
+    (Printf.sprintf "| %-18s | %-18s | %-18s |" "Feature" "YQH" "NH"
+    :: List.map (fun (n, f) -> table2_row n f) rows)

@@ -1,0 +1,108 @@
+(** Micro-architecture configurations: Table II of the paper.
+
+    Both tape-out generations -- YQH (28nm, 1.3GHz, single-core) and
+    NH (14nm, 2GHz, dual-core) -- plus the Figure 12 evaluation
+    variants are expressed as configuration records.  As with the
+    Chisel generator, everything is freely configurable; the presets
+    carry the tape-out parameters. *)
+
+type exec_class = ALU | MUL | DIV | JUMP_CSR | LOAD | STORE | FMAC | FMISC
+
+val pp_exec_class : Format.formatter -> exec_class -> unit
+val show_exec_class : exec_class -> string
+val equal_exec_class : exec_class -> exec_class -> bool
+val compare_exec_class : exec_class -> exec_class -> int
+
+(** Issue-queue selection policy: oldest-first (AGE) or prioritised
+    unconfident branch slices (PUBS, §IV-D). *)
+type issue_policy = Age | Pubs
+
+val pp_issue_policy : Format.formatter -> issue_policy -> unit
+val show_issue_policy : issue_policy -> string
+val equal_issue_policy : issue_policy -> issue_policy -> bool
+
+type dram_model = Fixed_amat of int | Ddr4_1600 | Ddr4_2400
+
+val pp_dram_model : Format.formatter -> dram_model -> unit
+val show_dram_model : dram_model -> string
+val equal_dram_model : dram_model -> dram_model -> bool
+
+(** One distributed reservation station (paper: 32- or 16-entry,
+    issuing one or two instructions per cycle). *)
+type iq_config = {
+  iq_name : string;
+  iq_size : int;
+  iq_issue : int;
+  iq_classes : exec_class list;
+}
+
+val pp_iq_config : Format.formatter -> iq_config -> unit
+val show_iq_config : iq_config -> string
+val equal_iq_config : iq_config -> iq_config -> bool
+
+type t = {
+  cfg_name : string;
+  n_cores : int;
+  freq_ghz : float;
+  fetch_width : int;
+  decode_width : int;
+  fetch_buffer : int;
+  btb_entries : int;
+  ubtb_entries : int;
+  tage_entries : int; (** per tagged table; four tables *)
+  ras_size : int;
+  ittage : bool;
+  rob_size : int;
+  lq_size : int;
+  sq_size : int;
+  int_pregs : int;
+  fp_pregs : int;
+  store_buffer_size : int;
+  sb_drain_interval : int;
+      (** cycles between store-buffer drains: the width of the
+          Figure 3 non-determinism window *)
+  iqs : iq_config list;
+  issue_policy : issue_policy;
+  fusion : bool;
+  move_elim : bool;
+  l1i_kb : int;
+  l1i_ways : int;
+  l1d_kb : int;
+  l1d_ways : int;
+  l2_kb : int;
+  l2_ways : int;
+  l3_kb : int; (** 0 = no L3 *)
+  l3_ways : int;
+  mshrs : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  stlb_entries : int;
+  dram : dram_model;
+  sc_timeout_cycles : int;
+      (** LR/SC reservation lifetime: the SC-failure non-determinism *)
+}
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val yqh_iqs : iq_config list
+val nh_iqs : iq_config list
+
+val yqh : t
+(** First generation, Table II left column. *)
+
+val nh : t
+(** Second generation, Table II right column (dual-core). *)
+
+val nh_single : t
+(** NH with one core, for single-core performance studies. *)
+
+val yqh_fpga_90c : t
+val nh_fpga_250c_4mb : t
+val nh_fpga_250c_2mb : t
+(** The Figure 12 platform variants. *)
+
+val all_presets : t list
+
+val table2 : unit -> string
+(** Render Table II from the presets. *)

@@ -1,0 +1,981 @@
+(* The XiangShan-like superscalar out-of-order core (Figure 10).
+
+   Pipeline model: decoupled fetch with BPU-directed bundles, decode
+   with optional macro-op fusion, rename with move elimination,
+   dispatch into distributed issue queues, execute-at-issue with
+   per-class latencies, a load/store unit with store queue + store
+   buffer, and in-order commit that maintains the architectural state
+   observed by DiffTest.  System instructions, atomics and MMIO
+   accesses execute at the ROB head.
+
+   Fidelity notes (see DESIGN.md): results are computed when an
+   instruction issues, using values in the physical register file, and
+   timing is tracked via ready/done cycles; loads never speculate past
+   unresolved older store addresses, so memory-order replays are not
+   modelled. *)
+
+open Riscv
+
+type fetch_item = {
+  fi_pc : int64;
+  fi_insn : Insn.t;
+  fi_pred_next : int64;
+  fi_fault : (Trap.exc * int64) option;
+}
+
+type fetch_bundle = { fb_ready_at : int; fb_items : fetch_item list }
+
+type perf = {
+  mutable p_cycles : int;
+  mutable p_instrs : int; (* architectural instructions committed *)
+  mutable p_uops : int;
+  mutable p_fused : int;
+  mutable p_moves_eliminated : int;
+  mutable p_loads : int;
+  mutable p_stores : int;
+  mutable p_traps : int;
+  mutable p_interrupts : int;
+  mutable p_flushes : int;
+  ready_hist : int array; (* Figure 15: cycles with N ready insns *)
+  mutable p_dispatched : int;
+  mutable p_hi_prio : int; (* PUBS high-priority uops dispatched *)
+}
+
+let make_perf () =
+  {
+    p_cycles = 0;
+    p_instrs = 0;
+    p_uops = 0;
+    p_fused = 0;
+    p_moves_eliminated = 0;
+    p_loads = 0;
+    p_stores = 0;
+    p_traps = 0;
+    p_interrupts = 0;
+    p_flushes = 0;
+    ready_hist = Array.make 17 0;
+    p_dispatched = 0;
+    p_hi_prio = 0;
+  }
+
+type t = {
+  cfg : Config.t;
+  hartid : int;
+  arch : Arch_state.t; (* committed architectural state *)
+  plat : Platform.t; (* SoC-shared *)
+  bpu : Bpu.t;
+  tlb : Tlb.t;
+  l1i : Softmem.Cache.t;
+  l1d : Softmem.Cache.t;
+  rename : Rename.t;
+  rob : Rob.t;
+  iqs : Iq.t array;
+  lsu : Lsu.t;
+  probes : Probe.sinks;
+  perf : perf;
+  def_table : int array; (* arch int reg -> seq of last producer *)
+  mutable now : int;
+  mutable seq : int; (* next uop sequence number *)
+  mutable fetch_pc : int64;
+  mutable fetch_stalled : bool;
+  mutable inflight : fetch_bundle option;
+  fetch_queue : fetch_item Queue.t;
+  mutable commit_busy_until : int; (* at-commit execution occupancy *)
+  mutable halted : bool;
+  (* hook used by the SoC to invalidate sibling reservations *)
+  mutable on_store_drain : int64 -> int -> unit;
+}
+
+let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
+    ~(l1i : Softmem.Cache.t) ~(l1d : Softmem.Cache.t)
+    ~(ptw_port : Softmem.Cache.t) : t =
+  let arch = Arch_state.create ~hartid () in
+  arch.Arch_state.csr.Csr.time_source <-
+    (fun () -> plat.Platform.clint.Platform.Clint.mtime);
+  {
+    cfg;
+    hartid;
+    arch;
+    plat;
+    bpu = Bpu.create cfg;
+    tlb = Tlb.create cfg ~ptw_port;
+    l1i;
+    l1d;
+    rename = Rename.create cfg;
+    rob = Rob.create ~size:cfg.rob_size;
+    iqs = Array.of_list (List.map (fun iqc -> Iq.create iqc ~policy:cfg.issue_policy) cfg.iqs);
+    lsu = Lsu.create cfg ~dcache:l1d;
+    probes = Probe.null_sinks ();
+    perf = make_perf ();
+    def_table = Array.make 32 (-1);
+    now = 0;
+    seq = 0;
+    fetch_pc = Platform.dram_base;
+    fetch_stalled = false;
+    inflight = None;
+    fetch_queue = Queue.create ();
+    commit_busy_until = 0;
+    halted = false;
+    on_store_drain = (fun _ _ -> ());
+  }
+
+let set_boot_pc t pc =
+  t.fetch_pc <- pc;
+  t.arch.Arch_state.pc <- pc
+
+(* Copy the committed architectural register values into the currently
+   mapped physical registers (used after restoring a checkpoint). *)
+let sync_regfile_from_arch t =
+  for r = 0 to 31 do
+    let prd = Rename.lookup t.rename ~is_fp:false r in
+    Rename.set_result t.rename ~is_fp:false ~prd
+      ~value:(Arch_state.get_reg t.arch r) ~ready_at:0;
+    let pfd = Rename.lookup t.rename ~is_fp:true r in
+    Rename.set_result t.rename ~is_fp:true ~prd:pfd
+      ~value:(Arch_state.get_freg t.arch r) ~ready_at:0
+  done
+
+(* ---------------- flush / redirect ---------------------------------- *)
+
+(* Squash all uops younger than [after] (-1 = everything) and restart
+   fetch at [target]. *)
+let flush t ~after ~target =
+  t.perf.p_flushes <- t.perf.p_flushes + 1;
+  let squashed = Rob.squash_younger t.rob ~after in
+  List.iter (fun u -> Rename.rollback t.rename u) squashed;
+  t.seq <- t.rob.Rob.tail;
+  Array.iter Iq.drop_squashed t.iqs;
+  Lsu.drop_squashed t.lsu;
+  Queue.clear t.fetch_queue;
+  t.inflight <- None;
+  t.fetch_stalled <- false;
+  t.fetch_pc <- target
+
+(* ---------------- fetch ---------------------------------------------- *)
+
+let fetch_block_bytes = 32
+
+let do_fetch t =
+  (* bundle completion *)
+  (match t.inflight with
+  | Some b when t.now >= b.fb_ready_at ->
+      List.iter (fun it -> Queue.add it t.fetch_queue) b.fb_items;
+      t.inflight <- None
+  | Some _ | None -> ());
+  (* new bundle *)
+  if
+    t.inflight = None
+    && (not t.fetch_stalled)
+    && Queue.length t.fetch_queue + t.cfg.fetch_width <= t.cfg.fetch_buffer
+  then begin
+    let pc0 = t.fetch_pc in
+    match Tlb.translate t.tlb t.arch.Arch_state.csr pc0 Tlb.Fetch with
+    | Tlb.Page_fault (exc, tval), lat ->
+        t.inflight <-
+          Some
+            {
+              fb_ready_at = t.now + lat + 2;
+              fb_items =
+                [
+                  {
+                    fi_pc = pc0;
+                    fi_insn = Insn.Illegal 0l;
+                    fi_pred_next = Int64.add pc0 4L;
+                    fi_fault = Some (exc, tval);
+                  };
+                ];
+            };
+        t.fetch_stalled <- true
+    | Tlb.Translated pa0, tlb_lat ->
+        if not (Memory.in_range t.plat.Platform.mem pa0) then begin
+          t.inflight <-
+            Some
+              {
+                fb_ready_at = t.now + tlb_lat + 2;
+                fb_items =
+                  [
+                    {
+                      fi_pc = pc0;
+                      fi_insn = Insn.Illegal 0l;
+                      fi_pred_next = Int64.add pc0 4L;
+                      fi_fault = Some (Trap.Fetch_access, pc0);
+                    };
+                  ];
+              };
+          t.fetch_stalled <- true
+        end
+        else begin
+          let icache_lat = Softmem.Cache.fetch t.l1i ~addr:pa0 in
+          let items = ref [] in
+          let next_fetch = ref (Int64.add pc0 (Int64.of_int 4)) in
+          let stop = ref false in
+          let i = ref 0 in
+          let block = Int64.div pc0 (Int64.of_int fetch_block_bytes) in
+          while (not !stop) && !i < t.cfg.fetch_width do
+            let pc = Int64.add pc0 (Int64.of_int (4 * !i)) in
+            if Int64.div pc (Int64.of_int fetch_block_bytes) <> block then
+              stop := true
+            else begin
+              let pa = Int64.add pa0 (Int64.of_int (4 * !i)) in
+              let word = Memory.read_u32 t.plat.Platform.mem pa in
+              let insn = Riscv.Decode.decode_int word in
+              let pred = Bpu.predict t.bpu ~pc ~insn in
+              let pred_next =
+                if pred.Bpu.taken then pred.Bpu.target else Int64.add pc 4L
+              in
+              items :=
+                {
+                  fi_pc = pc;
+                  fi_insn = insn;
+                  fi_pred_next = pred_next;
+                  fi_fault = None;
+                }
+                :: !items;
+              next_fetch := pred_next;
+              if pred.Bpu.taken then stop := true;
+              incr i
+            end
+          done;
+          t.fetch_pc <- !next_fetch;
+          t.inflight <-
+            Some
+              {
+                fb_ready_at = t.now + tlb_lat + icache_lat + 2;
+                fb_items = List.rev !items;
+              }
+        end
+  end
+
+(* ---------------- dispatch (decode + rename) ------------------------- *)
+
+(* PUBS: mark the producer slice of an unconfident branch as high
+   priority, walking the define table transitively. *)
+let rec mark_slice t ~depth (arch_srcs : int list) =
+  if depth > 0 then
+    List.iter
+      (fun r ->
+        if r > 0 then
+          let seq = t.def_table.(r) in
+          if seq >= 0 then
+            match Rob.get t.rob seq with
+            | Some p when p.Uop.state <> Uop.Completed && not p.Uop.priority ->
+                p.Uop.priority <- true;
+                t.perf.p_hi_prio <- t.perf.p_hi_prio + 1;
+                let srcs, _, _, _ = Fusion.fused_regs p in
+                mark_slice t ~depth:(depth - 1) srcs
+            | Some _ | None -> ())
+      arch_srcs
+
+let dispatch_one t (it : fetch_item) (second : fetch_item option) : bool =
+  (* returns true if dispatched (resources available) *)
+  if Rob.is_full t.rob then false
+  else begin
+    let fusion =
+      match second with
+      | Some s -> Fusion.try_fuse it.fi_insn s.fi_insn
+      | None -> None
+    in
+    let second_insn, pred_next =
+      match (fusion, second) with
+      | Some _, Some s -> (Some s.fi_insn, s.fi_pred_next)
+      | _ -> (None, it.fi_pred_next)
+    in
+    let u =
+      Uop.make ~seq:t.seq ~pc:it.fi_pc ~insn:it.fi_insn ~second:second_insn
+        ~fusion ~pred_next
+    in
+    (match it.fi_fault with Some e -> u.Uop.exc <- Some e | None -> ());
+    let int_srcs, fp_srcs, int_rd, fp_rd = Fusion.fused_regs u in
+    let int_rd = match int_rd with Some 0 -> None | r -> r in
+    (* structural checks *)
+    let needs_int_rd = int_rd <> None in
+    let needs_fp_rd = fp_rd <> None in
+    let iq_target =
+      if u.Uop.where = Uop.In_iq && it.fi_fault = None then begin
+        (* choose the least-occupied accepting IQ *)
+        let best = ref None in
+        Array.iter
+          (fun iq ->
+            if Iq.accepts iq u.Uop.exec_class && not (Iq.is_full iq) then
+              match !best with
+              | None -> best := Some iq
+              | Some b -> if Iq.occupancy iq < Iq.occupancy b then best := Some iq)
+          t.iqs;
+        !best
+      end
+      else None
+    in
+    let iq_ok =
+      u.Uop.where <> Uop.In_iq || it.fi_fault <> None || iq_target <> None
+    in
+    let lsu_ok =
+      (not (Uop.is_load u) || not (Lsu.lq_full t.lsu))
+      && ((not (Uop.is_store u)) || not (Lsu.sq_full t.lsu))
+    in
+    if
+      (not iq_ok) || (not lsu_ok)
+      || (needs_int_rd && not (Rename.can_alloc t.rename ~is_fp:false))
+      || (needs_fp_rd && not (Rename.can_alloc t.rename ~is_fp:true))
+    then false
+    else begin
+      (* rename sources *)
+      let psrc =
+        Array.of_list
+          (List.map (fun r -> Rename.lookup t.rename ~is_fp:false r) int_srcs
+          @ List.map (fun r -> Rename.lookup t.rename ~is_fp:true r) fp_srcs)
+      in
+      let psrc_fp =
+        Array.of_list
+          (List.map (fun _ -> false) int_srcs @ List.map (fun _ -> true) fp_srcs)
+      in
+      u.Uop.psrc <- psrc;
+      u.Uop.psrc_fp <- psrc_fp;
+      (* move elimination *)
+      let eliminated =
+        t.cfg.move_elim && fusion = None && it.fi_fault = None
+        &&
+        match it.fi_insn with
+        | Op_imm (ADD, rd, rs, 0L) when rd <> 0 && rs <> 0 -> true
+        | _ -> false
+      in
+      (match (eliminated, it.fi_insn) with
+      | true, Op_imm (ADD, rd, rs, _) ->
+          let prd, old_prd = Rename.alias t.rename ~arch_rd:rd ~arch_rs:rs in
+          u.Uop.arch_rd <- rd;
+          u.Uop.prd <- prd;
+          u.Uop.old_prd <- old_prd;
+          u.Uop.state <- Uop.Completed;
+          u.Uop.done_at <- t.now;
+          u.Uop.eliminated <- true;
+          t.perf.p_moves_eliminated <- t.perf.p_moves_eliminated + 1;
+          t.def_table.(rd) <- u.Uop.seq
+      | _ -> (
+          (match int_rd with
+          | Some rd ->
+              let prd, old_prd =
+                Rename.alloc t.rename ~is_fp:false ~arch:rd ~now:t.now
+              in
+              u.Uop.arch_rd <- rd;
+              u.Uop.rd_is_fp <- false;
+              u.Uop.prd <- prd;
+              u.Uop.old_prd <- old_prd;
+              t.def_table.(rd) <- u.Uop.seq
+          | None -> ());
+          (match fp_rd with
+          | Some rd ->
+              let prd, old_prd =
+                Rename.alloc t.rename ~is_fp:true ~arch:rd ~now:t.now
+              in
+              u.Uop.arch_rd <- rd;
+              u.Uop.rd_is_fp <- true;
+              u.Uop.prd <- prd;
+              u.Uop.old_prd <- old_prd
+          | None -> ())));
+      (* allocate in ROB + queues *)
+      t.seq <- t.seq + 1;
+      Rob.push t.rob u;
+      if fusion <> None then t.perf.p_fused <- t.perf.p_fused + 1;
+      t.perf.p_dispatched <- t.perf.p_dispatched + 1;
+      if it.fi_fault = None && not eliminated then begin
+        (match iq_target with
+        | Some iq when u.Uop.where = Uop.In_iq -> Iq.insert iq u
+        | Some _ | None -> ());
+        if Uop.is_load u then Lsu.insert_load t.lsu u;
+        if Uop.is_store u then Lsu.insert_store t.lsu u
+      end
+      else if it.fi_fault <> None then begin
+        (* faulting fetch: deliver the exception at commit *)
+        u.Uop.state <- Uop.Completed;
+        u.Uop.done_at <- t.now
+      end;
+      (* PUBS: mark unconfident branch slices *)
+      (if t.cfg.issue_policy = Config.Pubs then
+         match it.fi_insn with
+         | Branch _ when Bpu.unconfident t.bpu ~pc:it.fi_pc ->
+             u.Uop.priority <- true;
+             t.perf.p_hi_prio <- t.perf.p_hi_prio + 1;
+             mark_slice t ~depth:2 int_srcs
+         | _ -> ());
+      true
+    end
+  end
+
+let do_dispatch t =
+  let budget = ref t.cfg.decode_width in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 && not (Queue.is_empty t.fetch_queue) do
+    let it = Queue.peek t.fetch_queue in
+    (* fusion candidate: the next queued instruction, only if it is the
+       sequential successor *)
+    let second =
+      if
+        t.cfg.fusion && !budget >= 2 && Queue.length t.fetch_queue >= 2
+        && it.fi_pred_next = Int64.add it.fi_pc 4L
+      then begin
+        let copy = Queue.copy t.fetch_queue in
+        ignore (Queue.pop copy);
+        let s = Queue.peek copy in
+        if s.fi_pc = Int64.add it.fi_pc 4L then Some s else None
+      end
+      else None
+    in
+    let fusible =
+      match second with
+      | Some s -> Fusion.try_fuse it.fi_insn s.fi_insn <> None
+      | None -> false
+    in
+    let used_second = if fusible then second else None in
+    if dispatch_one t it used_second then begin
+      ignore (Queue.pop t.fetch_queue);
+      if used_second <> None then begin
+        ignore (Queue.pop t.fetch_queue);
+        budget := !budget - 2
+      end
+      else decr budget
+    end
+    else continue_ := false
+  done
+
+(* ---------------- issue / execute ------------------------------------ *)
+
+let src_values t (u : Uop.t) : int64 array =
+  Array.mapi
+    (fun i p -> Rename.value t.rename ~is_fp:u.Uop.psrc_fp.(i) ~prd:p)
+    u.Uop.psrc
+
+let complete t (u : Uop.t) ~at =
+  u.Uop.state <- Uop.Completed;
+  u.Uop.done_at <- at;
+  if u.Uop.prd >= 0 then
+    Rename.set_result t.rename ~is_fp:u.Uop.rd_is_fp ~prd:u.Uop.prd
+      ~value:u.Uop.result ~ready_at:at
+
+(* Returns true if the uop issued. *)
+let issue_uop t (u : Uop.t) : bool =
+  let srcs = src_values t u in
+  match u.Uop.exec_class with
+  | Config.LOAD -> (
+      let vaddr =
+        match u.Uop.insn with
+        | Load (_, _, _, imm) | Fld (_, _, imm) -> Int64.add srcs.(0) imm
+        | _ -> srcs.(0)
+      in
+      let size =
+        match u.Uop.insn with
+        | Load (op, _, _, _) -> Iss.Alu.load_width op
+        | Fld _ -> 8
+        | _ -> 8
+      in
+      u.Uop.vaddr <- vaddr;
+      u.Uop.msize <- size;
+      if Int64.rem vaddr (Int64.of_int size) <> 0L then begin
+        u.Uop.exc <- Some (Trap.Load_misaligned, vaddr);
+        u.Uop.state <- Uop.Completed;
+        u.Uop.done_at <- t.now + 1;
+        true
+      end
+      else begin
+        match Tlb.translate t.tlb t.arch.Arch_state.csr vaddr Tlb.Load with
+        | Tlb.Page_fault (exc, tval), lat ->
+            u.Uop.exc <- Some (exc, tval);
+            u.Uop.state <- Uop.Completed;
+            u.Uop.done_at <- t.now + 1 + lat;
+            true
+        | Tlb.Translated pa, tlb_lat ->
+            u.Uop.paddr <- pa;
+            if Platform.is_mmio t.plat pa then begin
+              (* MMIO loads execute at the ROB head *)
+              u.Uop.mmio <- true;
+              u.Uop.state <- Uop.Issued;
+              true
+            end
+            else begin
+              match Lsu.forward t.lsu ~seq:u.Uop.seq ~paddr:pa ~size with
+              | Lsu.Blocked -> false (* retry next cycle *)
+              | Lsu.Forward raw ->
+                  let v =
+                    match u.Uop.insn with
+                    | Load (op, _, _, _) -> Iss.Alu.extend_load op raw
+                    | _ -> raw
+                  in
+                  u.Uop.result <- v;
+                  u.Uop.load_value <- raw;
+                  u.Uop.mem_cycle <- t.now;
+                  complete t u ~at:(t.now + 2 + tlb_lat);
+                  t.perf.p_loads <- t.perf.p_loads + 1;
+                  true
+              | Lsu.No_match ->
+                  let raw, lat = Softmem.Cache.read t.l1d ~addr:pa ~size in
+                  let v =
+                    match u.Uop.insn with
+                    | Load (op, _, _, _) -> Iss.Alu.extend_load op raw
+                    | _ -> raw
+                  in
+                  u.Uop.result <- v;
+                  u.Uop.load_value <- raw;
+                  u.Uop.mem_cycle <- t.now;
+                  complete t u ~at:(t.now + 1 + tlb_lat + lat);
+                  t.perf.p_loads <- t.perf.p_loads + 1;
+                  true
+            end
+      end)
+  | Config.STORE -> (
+      let vaddr, data, size =
+        match u.Uop.insn with
+        | Store (op, _, _, imm) ->
+            (Int64.add srcs.(0) imm, srcs.(1), Iss.Alu.store_width op)
+        | Fsd (_, _, imm) -> (Int64.add srcs.(0) imm, srcs.(1), 8)
+        | _ -> (srcs.(0), srcs.(1), 8)
+      in
+      u.Uop.vaddr <- vaddr;
+      u.Uop.msize <- size;
+      u.Uop.sdata <-
+        (if size >= 8 then data
+         else Int64.logand data (Int64.sub (Int64.shift_left 1L (8 * size)) 1L));
+      if Int64.rem vaddr (Int64.of_int size) <> 0L then begin
+        u.Uop.exc <- Some (Trap.Store_misaligned, vaddr);
+        u.Uop.state <- Uop.Completed;
+        u.Uop.done_at <- t.now + 1;
+        true
+      end
+      else begin
+        match Tlb.translate t.tlb t.arch.Arch_state.csr vaddr Tlb.Store with
+        | Tlb.Page_fault (exc, tval), lat ->
+            u.Uop.exc <- Some (exc, tval);
+            u.Uop.state <- Uop.Completed;
+            u.Uop.done_at <- t.now + 1 + lat;
+            true
+        | Tlb.Translated pa, tlb_lat ->
+            u.Uop.paddr <- pa;
+            u.Uop.mmio <- Platform.is_mmio t.plat pa;
+            u.Uop.addr_ready <- true;
+            u.Uop.state <- Uop.Completed;
+            u.Uop.done_at <- t.now + 1 + tlb_lat;
+            t.perf.p_stores <- t.perf.p_stores + 1;
+            true
+      end)
+  | Config.ALU | Config.MUL | Config.DIV | Config.JUMP_CSR | Config.FMAC
+  | Config.FMISC ->
+      Exec.execute u srcs;
+      let lat = Uop.latency u.Uop.exec_class u.Uop.insn in
+      complete t u ~at:(t.now + lat);
+      (* resolve control flow *)
+      (match u.Uop.insn with
+      | Branch _ | Jal _ | Jalr _ ->
+          let taken = u.Uop.next_pc <> Int64.add u.Uop.pc (Int64.of_int (4 * u.Uop.n_insns)) in
+          Bpu.update t.bpu ~pc:u.Uop.pc ~insn:u.Uop.insn ~taken
+            ~target:u.Uop.next_pc ~mispredicted:u.Uop.mispredicted
+      | _ -> ());
+      true
+
+let uop_ready t (u : Uop.t) =
+  Rename.srcs_ready t.rename u ~now:t.now
+  && (u.Uop.exec_class <> Config.LOAD
+     || Lsu.older_stores_known t.lsu ~seq:u.Uop.seq)
+
+(* Mispredict penalty beyond frontend refill: resolve + recovery. *)
+let mispredict_penalty = 6
+
+let do_issue t =
+  (* Figure 15 instrumentation: how many instructions are ready for
+     issue this cycle (before selection) *)
+  let total_ready =
+    Array.fold_left
+      (fun acc iq -> acc + Iq.count_ready iq ~ready:(uop_ready t))
+      0 t.iqs
+  in
+  t.perf.ready_hist.(min total_ready 16) <-
+    t.perf.ready_hist.(min total_ready 16) + 1;
+  let redirect = ref None in
+  Array.iter
+    (fun iq ->
+      let chosen = Iq.select iq ~ready:(uop_ready t) in
+      List.iter
+        (fun (u : Uop.t) ->
+          if not u.Uop.squashed then
+            if issue_uop t u then begin
+              if u.Uop.state <> Uop.Waiting then Iq.remove iq u;
+              if u.Uop.mispredicted && u.Uop.exc = None then
+                match !redirect with
+                | Some (s, _) when s <= u.Uop.seq -> ()
+                | Some _ | None -> redirect := Some (u.Uop.seq, u.Uop.next_pc)
+            end)
+        chosen)
+    t.iqs;
+  match !redirect with
+  | Some (seq, target) ->
+      flush t ~after:seq ~target;
+      (* model the resolve + refill bubble *)
+      t.inflight <-
+        Some { fb_ready_at = t.now + mispredict_penalty; fb_items = [] }
+  | None -> ()
+
+(* ---------------- at-commit execution -------------------------------- *)
+
+(* Every store that enters the cache hierarchy must be announced: the
+   Global Memory diff-rule and sibling LR reservations depend on it.
+   The value is read back from the (write-through) backing memory. *)
+let drain_notify t pa size =
+  t.probes.Probe.on_drain
+    {
+      Probe.d_hartid = t.hartid;
+      d_cycle = t.now;
+      d_paddr = pa;
+      d_size = size;
+      d_value = Riscv.Memory.read_bytes_le t.plat.Platform.mem pa size;
+    };
+  t.on_store_drain pa size
+
+let execute_at_head t (u : Uop.t) : unit =
+  let arch = t.arch in
+  let csr = arch.Arch_state.csr in
+  let rg r = Arch_state.get_reg arch r in
+  let finish ?(lat = 1) () =
+    complete t u ~at:t.now;
+    t.commit_busy_until <- t.now + lat
+  in
+  let fault exc tval =
+    u.Uop.exc <- Some (exc, tval);
+    u.Uop.state <- Uop.Completed;
+    u.Uop.done_at <- t.now
+  in
+  let drain_sb () =
+    let lat = Lsu.drain_all t.lsu ~now:t.now ~on_drain:(drain_notify t) in
+    t.commit_busy_until <- max t.commit_busy_until (t.now + lat)
+  in
+  match u.Uop.insn with
+  | Csr (op, rd, rs1, addr) -> (
+      try
+        let old_v =
+          match op with
+          | CSRRW | CSRRWI when rd = 0 -> 0L
+          | CSRRW | CSRRS | CSRRC | CSRRWI | CSRRSI | CSRRCI ->
+              Csr.read csr addr
+        in
+        let src =
+          match op with
+          | CSRRW | CSRRS | CSRRC -> rg rs1
+          | CSRRWI | CSRRSI | CSRRCI -> Int64.of_int rs1
+        in
+        (match op with
+        | CSRRW | CSRRWI -> Csr.write csr addr src
+        | CSRRS | CSRRSI ->
+            if rs1 <> 0 then Csr.write csr addr (Int64.logor old_v src)
+        | CSRRC | CSRRCI ->
+            if rs1 <> 0 then
+              Csr.write csr addr (Int64.logand old_v (Int64.lognot src)));
+        u.Uop.result <- old_v;
+        u.Uop.csr_read <- Some (addr, old_v);
+        finish ()
+      with Csr.Illegal_csr _ -> fault Trap.Illegal_instruction 0L)
+  | Ecall ->
+      let exc =
+        match csr.Csr.priv with
+        | Csr.U -> Trap.Ecall_from_u
+        | Csr.S -> Trap.Ecall_from_s
+        | Csr.M -> Trap.Ecall_from_m
+      in
+      fault exc 0L
+  | Ebreak -> fault Trap.Breakpoint u.Uop.pc
+  | Mret ->
+      if csr.Csr.priv <> Csr.M then fault Trap.Illegal_instruction 0L
+      else begin
+        u.Uop.next_pc <- Trap.mret csr;
+        finish ()
+      end
+  | Sret ->
+      if csr.Csr.priv = Csr.U then fault Trap.Illegal_instruction 0L
+      else begin
+        u.Uop.next_pc <- Trap.sret csr;
+        finish ()
+      end
+  | Wfi -> finish ()
+  | Fence ->
+      drain_sb ();
+      finish ()
+  | Fence_i -> finish ()
+  | Sfence_vma (_, _) ->
+      if csr.Csr.priv = Csr.U then fault Trap.Illegal_instruction 0L
+      else begin
+        (* sfence.vma orders preceding stores before subsequent
+           implicit page-table reads: drain the store buffer, then
+           drop cached translations (including cached faults) *)
+        drain_sb ();
+        Tlb.flush t.tlb;
+        finish ()
+      end
+  | Illegal _ -> fault Trap.Illegal_instruction 0L
+  | Lr (w, _, rs1) -> (
+      let size = match w with Width_w -> 4 | Width_d -> 8 in
+      let vaddr = rg rs1 in
+      if Int64.rem vaddr (Int64.of_int size) <> 0L then
+        fault Trap.Load_misaligned vaddr
+      else
+        match Tlb.translate t.tlb csr vaddr Tlb.Load with
+        | Tlb.Page_fault (exc, tval), _ -> fault exc tval
+        | Tlb.Translated pa, _ ->
+            if Platform.is_mmio t.plat pa then fault Trap.Load_access vaddr
+            else begin
+              let raw, lat = Softmem.Cache.read t.l1d ~addr:pa ~size in
+              u.Uop.result <-
+                (match w with
+                | Width_w -> Iss.Alu.sext32 raw
+                | Width_d -> raw);
+              u.Uop.load_value <- raw;
+              u.Uop.mem_cycle <- t.now;
+              u.Uop.vaddr <- vaddr;
+              u.Uop.paddr <- pa;
+              u.Uop.msize <- size;
+              Lsu.set_reservation t.lsu ~paddr:pa ~now:t.now;
+              finish ~lat ()
+            end)
+  | Sc (w, _, rs1, rs2) -> (
+      let size = match w with Width_w -> 4 | Width_d -> 8 in
+      let vaddr = rg rs1 in
+      if Int64.rem vaddr (Int64.of_int size) <> 0L then
+        fault Trap.Store_misaligned vaddr
+      else
+        match Tlb.translate t.tlb csr vaddr Tlb.Store with
+        | Tlb.Page_fault (exc, tval), _ -> fault exc tval
+        | Tlb.Translated pa, _ ->
+            let ok = Lsu.reservation_valid t.lsu ~paddr:pa ~now:t.now in
+            Lsu.clear_reservation t.lsu;
+            u.Uop.vaddr <- vaddr;
+            u.Uop.paddr <- pa;
+            u.Uop.msize <- size;
+            if ok then begin
+              drain_sb ();
+              let lat = Softmem.Cache.write t.l1d ~addr:pa ~size (rg rs2) in
+              drain_notify t pa size;
+              u.Uop.sdata <- rg rs2;
+              u.Uop.addr_ready <- true;
+              u.Uop.result <- 0L;
+              finish ~lat ()
+            end
+            else begin
+              u.Uop.result <- 1L;
+              u.Uop.sc_failed <- true;
+              finish ()
+            end)
+  | Amo (op, w, _, rs1, rs2) -> (
+      let size = match w with Width_w -> 4 | Width_d -> 8 in
+      let vaddr = rg rs1 in
+      if Int64.rem vaddr (Int64.of_int size) <> 0L then
+        fault Trap.Store_misaligned vaddr
+      else
+        match Tlb.translate t.tlb csr vaddr Tlb.Store with
+        | Tlb.Page_fault (exc, tval), _ -> fault exc tval
+        | Tlb.Translated pa, _ ->
+            if Platform.is_mmio t.plat pa then fault Trap.Store_access vaddr
+            else begin
+              drain_sb ();
+              let raw, rlat = Softmem.Cache.read t.l1d ~addr:pa ~size in
+              let old_v =
+                match w with
+                | Width_w -> Iss.Alu.sext32 raw
+                | Width_d -> raw
+              in
+              let new_v = Iss.Alu.eval_amo op w old_v (rg rs2) in
+              let wlat = Softmem.Cache.write t.l1d ~addr:pa ~size new_v in
+              drain_notify t pa size;
+              u.Uop.result <- old_v;
+              u.Uop.load_value <- raw;
+              u.Uop.mem_cycle <- t.now;
+              u.Uop.sdata <- new_v;
+              u.Uop.vaddr <- vaddr;
+              u.Uop.paddr <- pa;
+              u.Uop.msize <- size;
+              u.Uop.addr_ready <- true;
+              finish ~lat:(rlat + wlat) ()
+            end)
+  | Load (lop, _, rs1, imm) ->
+      (* MMIO load discovered at issue; strongly ordered *)
+      assert u.Uop.mmio;
+      ignore rs1;
+      ignore imm;
+      let drained = Lsu.drain_all t.lsu ~now:t.now ~on_drain:(drain_notify t) in
+      (match Platform.read t.plat ~addr:u.Uop.paddr ~size:u.Uop.msize with
+      | raw ->
+          u.Uop.result <- Iss.Alu.extend_load lop raw;
+          u.Uop.load_value <- raw;
+          u.Uop.mem_cycle <- t.now;
+          finish ~lat:(20 + drained) ()
+      | exception Platform.Bus_fault _ -> fault Trap.Load_access u.Uop.vaddr)
+  | Fld (_, _, _) ->
+      assert u.Uop.mmio;
+      fault Trap.Load_access u.Uop.vaddr
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Store _ | Fsd _
+  | Op_imm _ | Op_imm_w _ | Op _ | Op_w _ | Mul _ | Mul_w _ | Fp_rrr _
+  | Fp_fused _ | Fp_sign _ | Fp_minmax _ | Fp_cmp _ | Fsqrt_d _
+  | Fcvt_d_l _ | Fcvt_d_lu _ | Fcvt_d_w _ | Fcvt_l_d _ | Fcvt_lu_d _
+  | Fcvt_w_d _ | Fmv_x_d _ | Fmv_d_x _ | Fclass_d _ ->
+      assert false
+
+(* ---------------- commit ---------------------------------------------- *)
+
+exception Stop_commit
+
+let emit_probe t (u : Uop.t) ~trap ~interrupt =
+  let load =
+    if
+      (Uop.is_load u || Insn.is_amo u.Uop.insn)
+      && trap = None && u.Uop.exc = None
+      &&
+      match u.Uop.insn with Sc _ -> false | _ -> true
+    then
+      Some
+        {
+          Probe.m_paddr = u.Uop.paddr;
+          m_size = u.Uop.msize;
+          m_value = u.Uop.load_value;
+          m_cycle = u.Uop.mem_cycle;
+        }
+    else None
+  in
+  let store =
+    if Uop.is_store u && u.Uop.exc = None && not u.Uop.sc_failed then
+      Some
+        {
+          Probe.m_paddr = u.Uop.paddr;
+          m_size = u.Uop.msize;
+          m_value = u.Uop.sdata;
+          m_cycle = u.Uop.mem_cycle;
+        }
+    else None
+  in
+  t.probes.Probe.on_commit
+    {
+      Probe.p_hartid = t.hartid;
+      p_cycle = t.now;
+      p_pc = u.Uop.pc;
+      p_insn = u.Uop.insn;
+      p_second = u.Uop.second;
+      p_next_pc = u.Uop.next_pc;
+      p_trap = trap;
+      p_interrupt = interrupt;
+      p_load = load;
+      p_store = store;
+      p_sc_failed = u.Uop.sc_failed;
+      p_csr_read = u.Uop.csr_read;
+      p_mmio = u.Uop.mmio;
+      p_instret = t.arch.Arch_state.csr.Csr.reg_minstret;
+    }
+
+let nop_uop t =
+  Uop.make ~seq:(-1) ~pc:t.arch.Arch_state.pc ~insn:(Insn.Op_imm (ADD, 0, 0, 0L))
+    ~second:None ~fusion:None ~pred_next:t.arch.Arch_state.pc
+
+let do_commit t =
+  if t.now < t.commit_busy_until then ()
+  else begin
+    (* interrupts are taken at commit boundaries *)
+    let csr = t.arch.Arch_state.csr in
+    Csr.set_mip_bit csr Csr.ip_mtip
+      (Platform.Clint.mtip t.plat.Platform.clint t.hartid);
+    Csr.set_mip_bit csr Csr.ip_msip
+      (Platform.Clint.msip t.plat.Platform.clint t.hartid);
+    match Trap.pending_interrupt csr with
+    | Some irq ->
+        let epc = t.arch.Arch_state.pc in
+        let u = nop_uop t in
+        let target = Trap.take_interrupt csr irq ~epc in
+        t.arch.Arch_state.pc <- target;
+        t.perf.p_interrupts <- t.perf.p_interrupts + 1;
+        u.Uop.next_pc <- target;
+        emit_probe t u ~trap:None ~interrupt:(Some irq);
+        flush t ~after:(t.rob.Rob.head - 1) ~target
+    | None -> (
+        try
+          let budget = ref t.cfg.decode_width in
+          while !budget > 0 do
+            match Rob.peek_head t.rob with
+            | None -> raise Stop_commit
+            | Some u ->
+                if u.Uop.state = Uop.Completed && u.Uop.done_at <= t.now then begin
+                  match u.Uop.exc with
+                  | Some (exc, tval) ->
+                      t.perf.p_traps <- t.perf.p_traps + 1;
+                      emit_probe t u ~trap:(Some (exc, tval)) ~interrupt:None;
+                      let target =
+                        Trap.take_exception csr exc tval ~epc:u.Uop.pc
+                      in
+                      t.arch.Arch_state.pc <- target;
+                      flush t ~after:(u.Uop.seq - 1) ~target;
+                      raise Stop_commit
+                  | None ->
+                      (* stores need a store-buffer slot (or are MMIO) *)
+                      if Uop.is_store u then begin
+                        if u.Uop.mmio then begin
+                          let lat =
+                            Lsu.drain_all t.lsu ~now:t.now
+                              ~on_drain:(drain_notify t)
+                          in
+                          (try
+                             Platform.write t.plat ~addr:u.Uop.paddr
+                               ~size:u.Uop.msize u.Uop.sdata
+                           with Platform.Bus_fault _ -> ());
+                          t.commit_busy_until <- t.now + lat + 20
+                        end
+                        else begin
+                          if Lsu.sb_full t.lsu then raise Stop_commit;
+                          Lsu.commit_store t.lsu u
+                        end
+                      end;
+                      if Uop.is_load u then Lsu.remove_load t.lsu u;
+                      if u.Uop.eliminated then
+                        u.Uop.result <-
+                          Rename.value t.rename ~is_fp:false ~prd:u.Uop.prd;
+                      (* architectural update *)
+                      if u.Uop.arch_rd >= 0 then begin
+                        if u.Uop.rd_is_fp then
+                          Arch_state.set_freg t.arch u.Uop.arch_rd u.Uop.result
+                        else Arch_state.set_reg t.arch u.Uop.arch_rd u.Uop.result
+                      end;
+                      t.arch.Arch_state.pc <- u.Uop.next_pc;
+                      csr.Csr.reg_minstret <-
+                        Int64.add csr.Csr.reg_minstret (Int64.of_int u.Uop.n_insns);
+                      t.perf.p_instrs <- t.perf.p_instrs + u.Uop.n_insns;
+                      t.perf.p_uops <- t.perf.p_uops + 1;
+                      emit_probe t u ~trap:None ~interrupt:None;
+                      Rename.commit_release t.rename ~is_fp:u.Uop.rd_is_fp
+                        ~old_prd:u.Uop.old_prd;
+                      Rob.pop_head t.rob;
+                      budget := !budget - u.Uop.n_insns;
+                      (* serialising instructions flush the pipeline *)
+                      (match u.Uop.insn with
+                      | Csr _ | Mret | Sret | Fence_i | Sfence_vma _ | Wfi ->
+                          flush t ~after:u.Uop.seq ~target:u.Uop.next_pc;
+                          raise Stop_commit
+                      | _ -> ())
+                end
+                else if
+                  u.Uop.state <> Uop.Completed
+                  && (u.Uop.where = Uop.At_commit
+                     || (u.Uop.mmio && u.Uop.state = Uop.Issued))
+                then begin
+                  execute_at_head t u;
+                  (* loop re-examines the now-completed head *)
+                  if u.Uop.state <> Uop.Completed then raise Stop_commit
+                end
+                else raise Stop_commit
+          done
+        with Stop_commit -> ())
+  end
+
+(* ---------------- per-cycle driver ------------------------------------ *)
+
+let cycle t =
+  t.now <- t.now + 1;
+  t.perf.p_cycles <- t.perf.p_cycles + 1;
+  t.arch.Arch_state.csr.Csr.reg_mcycle <- Int64.of_int t.now;
+  Softmem.Cache.set_now t.l1i t.now;
+  Softmem.Cache.set_now t.l1d t.now;
+  do_commit t;
+  do_issue t;
+  Lsu.drain t.lsu ~now:t.now ~on_drain:(drain_notify t);
+  do_dispatch t;
+  do_fetch t
+
+let ipc t =
+  if t.perf.p_cycles = 0 then 0.0
+  else float_of_int t.perf.p_instrs /. float_of_int t.perf.p_cycles

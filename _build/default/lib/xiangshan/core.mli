@@ -1,0 +1,94 @@
+(** The XiangShan-like superscalar out-of-order core (paper
+    Figure 10).
+
+    Pipeline: decoupled fetch with BPU-directed bundles, decode with
+    optional macro-op fusion, rename with move elimination, dispatch
+    into distributed issue queues, execute-at-issue with per-class
+    latencies, a load/store unit with store queue + store buffer, and
+    in-order commit maintaining the architectural state DiffTest
+    observes.  System instructions, atomics and MMIO execute at the
+    ROB head; `sfence.vma` drains the store buffer and flushes the
+    TLBs.  Fidelity notes are in DESIGN.md. *)
+
+open Riscv
+
+type fetch_item = {
+  fi_pc : int64;
+  fi_insn : Insn.t;
+  fi_pred_next : int64;
+  fi_fault : (Trap.exc * int64) option;
+}
+
+type fetch_bundle = { fb_ready_at : int; fb_items : fetch_item list }
+
+(** Performance counters, including the Figure 15 ready-instruction
+    histogram and the PUBS high-priority accounting. *)
+type perf = {
+  mutable p_cycles : int;
+  mutable p_instrs : int;
+  mutable p_uops : int;
+  mutable p_fused : int;
+  mutable p_moves_eliminated : int;
+  mutable p_loads : int;
+  mutable p_stores : int;
+  mutable p_traps : int;
+  mutable p_interrupts : int;
+  mutable p_flushes : int;
+  ready_hist : int array;
+  mutable p_dispatched : int;
+  mutable p_hi_prio : int;
+}
+
+type t = {
+  cfg : Config.t;
+  hartid : int;
+  arch : Arch_state.t; (** committed architectural state *)
+  plat : Platform.t;
+  bpu : Bpu.t;
+  tlb : Tlb.t;
+  l1i : Softmem.Cache.t;
+  l1d : Softmem.Cache.t;
+  rename : Rename.t;
+  rob : Rob.t;
+  iqs : Iq.t array;
+  lsu : Lsu.t;
+  probes : Probe.sinks;
+  perf : perf;
+  def_table : int array;
+  mutable now : int;
+  mutable seq : int;
+  mutable fetch_pc : int64;
+  mutable fetch_stalled : bool;
+  mutable inflight : fetch_bundle option;
+  fetch_queue : fetch_item Queue.t;
+  mutable commit_busy_until : int;
+  mutable halted : bool;
+  mutable on_store_drain : int64 -> int -> unit;
+}
+
+val create :
+  Config.t ->
+  hartid:int ->
+  plat:Platform.t ->
+  l1i:Softmem.Cache.t ->
+  l1d:Softmem.Cache.t ->
+  ptw_port:Softmem.Cache.t ->
+  t
+
+val set_boot_pc : t -> int64 -> unit
+
+val sync_regfile_from_arch : t -> unit
+(** Copy the committed register values into the mapped physical
+    registers (after restoring a checkpoint). *)
+
+val flush : t -> after:int -> target:int64 -> unit
+(** Squash every uop with seq > [after], roll the rename state back,
+    and restart fetch at [target]. *)
+
+val mispredict_penalty : int
+
+val cycle : t -> unit
+(** One clock: commit, issue/execute, store-buffer drain, dispatch,
+    fetch. *)
+
+val ipc : t -> float

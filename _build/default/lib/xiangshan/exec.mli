@@ -1,0 +1,10 @@
+(** Functional execution of non-memory uops at issue time.
+
+    Results use the same shared semantics ([Iss.Alu] / [Iss.Fpu]) as
+    the reference model, so a DiffTest value mismatch always localises
+    a pipeline bug rather than an arithmetic divergence. *)
+
+val execute : Uop.t -> int64 array -> unit
+(** [execute u srcs] computes [u]'s result / actual next pc /
+    misprediction flag from its source values (in [psrc] order).
+    Memory and system uops never take this path. *)

@@ -1,0 +1,52 @@
+(* Distributed issue queues (the paper's grouped reservation stations,
+   32- or 16-entry, issuing one or two instructions per cycle) with a
+   pluggable selection policy: AGE (oldest first) or PUBS (§IV-D:
+   high-priority unconfident-branch slices first, then age). *)
+
+type t = {
+  cfg : Config.iq_config;
+  policy : Config.issue_policy;
+  mutable slots : Uop.t list; (* kept in insertion (age) order *)
+}
+
+let create (cfg : Config.iq_config) ~policy = { cfg; policy; slots = [] }
+
+let accepts t (cls : Config.exec_class) = List.mem cls t.cfg.iq_classes
+
+let occupancy t = List.length t.slots
+
+let is_full t = occupancy t >= t.cfg.iq_size
+
+let insert t u =
+  assert (not (is_full t));
+  t.slots <- t.slots @ [ u ]
+
+let drop_squashed t =
+  t.slots <- List.filter (fun u -> not u.Uop.squashed) t.slots
+
+let clear t = t.slots <- []
+
+(* Select up to iq_issue ready uops under the policy; [ready] decides
+   per-uop readiness (register sources plus LSU ordering for loads). *)
+let select t ~(ready : Uop.t -> bool) : Uop.t list =
+  let candidates = List.filter (fun u -> u.Uop.state = Uop.Waiting && ready u) t.slots in
+  let ordered =
+    match t.policy with
+    | Config.Age -> candidates (* slots are age-ordered *)
+    | Config.Pubs ->
+        (* stable partition: high-priority first, age order within *)
+        let hi, lo = List.partition (fun u -> u.Uop.priority) candidates in
+        hi @ lo
+  in
+  let rec take n = function
+    | [] -> []
+    | u :: rest -> if n = 0 then [] else u :: take (n - 1) rest
+  in
+  take t.cfg.iq_issue ordered
+
+let count_ready t ~(ready : Uop.t -> bool) : int =
+  List.length
+    (List.filter (fun u -> u.Uop.state = Uop.Waiting && ready u) t.slots)
+
+let remove t (u : Uop.t) =
+  t.slots <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.slots

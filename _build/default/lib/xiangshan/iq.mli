@@ -1,0 +1,32 @@
+(** Distributed issue queues (the paper's grouped reservation
+    stations) with a pluggable selection policy: AGE (oldest first) or
+    PUBS (§IV-D: high-priority unconfident-branch slices first, age
+    within each class). *)
+
+type t = {
+  cfg : Config.iq_config;
+  policy : Config.issue_policy;
+  mutable slots : Uop.t list; (** kept in age (insertion) order *)
+}
+
+val create : Config.iq_config -> policy:Config.issue_policy -> t
+
+val accepts : t -> Config.exec_class -> bool
+
+val occupancy : t -> int
+
+val is_full : t -> bool
+
+val insert : t -> Uop.t -> unit
+
+val drop_squashed : t -> unit
+
+val clear : t -> unit
+
+val select : t -> ready:(Uop.t -> bool) -> Uop.t list
+(** Up to [iq_issue] ready uops under the policy. *)
+
+val count_ready : t -> ready:(Uop.t -> bool) -> int
+(** The Figure 15 instrumentation: ready entries before selection. *)
+
+val remove : t -> Uop.t -> unit

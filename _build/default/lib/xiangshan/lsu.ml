@@ -1,0 +1,165 @@
+(* Load/store unit: load queue, store queue, committed store buffer,
+   store-to-load forwarding, and the LR/SC reservation.
+
+   The store buffer is the paper's central source of memory
+   non-determinism: stores retire into it at commit and only reach the
+   cache hierarchy (and hence the backing memory, other cores, and the
+   page-table walker) when drained -- the window that produces the
+   speculative page faults of Figure 3 and the multi-core value
+   divergences handled by the Global Memory diff-rule. *)
+
+type sb_entry = { sb_paddr : int64; sb_size : int; sb_data : int64 }
+
+type t = {
+  cfg : Config.t;
+  dcache : Softmem.Cache.t;
+  mutable lq : Uop.t list; (* age order *)
+  mutable sq : Uop.t list; (* age order *)
+  sb : sb_entry Queue.t;
+  mutable sb_next_drain : int;
+  mutable reservation : (int64 * int) option; (* line addr, cycle set *)
+  (* stats *)
+  mutable forwards : int;
+  mutable blocked_loads : int;
+  mutable drains : int;
+}
+
+let create (cfg : Config.t) ~dcache =
+  {
+    cfg;
+    dcache;
+    lq = [];
+    sq = [];
+    sb = Queue.create ();
+    sb_next_drain = 0;
+    reservation = None;
+    forwards = 0;
+    blocked_loads = 0;
+    drains = 0;
+  }
+
+let lq_full t = List.length t.lq >= t.cfg.lq_size
+
+let sq_full t = List.length t.sq >= t.cfg.sq_size
+
+let sb_full t = Queue.length t.sb >= t.cfg.store_buffer_size
+
+let sb_empty t = Queue.is_empty t.sb
+
+let insert_load t u = t.lq <- t.lq @ [ u ]
+
+let insert_store t u = t.sq <- t.sq @ [ u ]
+
+let drop_squashed t =
+  t.lq <- List.filter (fun u -> not u.Uop.squashed) t.lq;
+  t.sq <- List.filter (fun u -> not u.Uop.squashed) t.sq
+
+(* All older stores have known addresses (conservative load
+   scheduling: no memory-dependence speculation, hence no ordering
+   violations to replay). *)
+let older_stores_known t ~(seq : int) =
+  List.for_all
+    (fun (s : Uop.t) -> s.Uop.seq >= seq || s.Uop.addr_ready)
+    t.sq
+
+type forward_result = Forward of int64 | Blocked | No_match
+
+let ranges_overlap a1 s1 a2 s2 =
+  let e1 = Int64.add a1 (Int64.of_int s1) and e2 = Int64.add a2 (Int64.of_int s2) in
+  not (e1 <= a2 || e2 <= a1)
+
+let contains a1 s1 a2 s2 =
+  (* [a2, a2+s2) inside [a1, a1+s1) *)
+  a2 >= a1 && Int64.add a2 (Int64.of_int s2) <= Int64.add a1 (Int64.of_int s1)
+
+let extract ~(data : int64) ~(from_addr : int64) ~(at : int64) ~(size : int) =
+  let shift = 8 * Int64.to_int (Int64.sub at from_addr) in
+  let v = Int64.shift_right_logical data shift in
+  if size >= 8 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L (8 * size)) 1L)
+
+(* Look for the youngest older store (SQ, then store buffer) providing
+   the bytes of a load. *)
+let forward t ~(seq : int) ~(paddr : int64) ~(size : int) : forward_result =
+  let best : forward_result ref = ref No_match in
+  (* store buffer first (all older than any in-flight load), oldest to
+     youngest so younger matches override *)
+  Queue.iter
+    (fun (e : sb_entry) ->
+      if contains e.sb_paddr e.sb_size paddr size then
+        best := Forward (extract ~data:e.sb_data ~from_addr:e.sb_paddr ~at:paddr ~size)
+      else if ranges_overlap e.sb_paddr e.sb_size paddr size then best := Blocked)
+    t.sb;
+  (* then SQ entries older than the load, oldest to youngest *)
+  List.iter
+    (fun (s : Uop.t) ->
+      if s.Uop.seq < seq && s.Uop.addr_ready && not s.Uop.mmio then begin
+        if contains s.Uop.paddr s.Uop.msize paddr size then begin
+          best :=
+            Forward
+              (extract ~data:s.Uop.sdata ~from_addr:s.Uop.paddr ~at:paddr ~size)
+        end
+        else if ranges_overlap s.Uop.paddr s.Uop.msize paddr size then
+          best := Blocked
+      end)
+    t.sq;
+  (match !best with
+  | Forward _ -> t.forwards <- t.forwards + 1
+  | Blocked -> t.blocked_loads <- t.blocked_loads + 1
+  | No_match -> ());
+  !best
+
+(* Commit a store: move its data from the SQ to the store buffer.
+   Caller must check [sb_full] first. *)
+let commit_store t (u : Uop.t) =
+  assert (not (sb_full t));
+  Queue.add { sb_paddr = u.Uop.paddr; sb_size = u.Uop.msize; sb_data = u.Uop.sdata } t.sb;
+  t.sq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.sq
+
+let remove_load t (u : Uop.t) =
+  t.lq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.lq
+
+(* Drain at most one store-buffer entry into the cache hierarchy.
+   [on_drain] lets the SoC invalidate other cores' LR reservations. *)
+let drain t ~now ~(on_drain : int64 -> int -> unit) =
+  if (not (Queue.is_empty t.sb)) && now >= t.sb_next_drain then begin
+    let e = Queue.pop t.sb in
+    let lat = Softmem.Cache.write t.dcache ~addr:e.sb_paddr ~size:e.sb_size e.sb_data in
+    t.drains <- t.drains + 1;
+    t.sb_next_drain <- now + max t.cfg.sb_drain_interval (lat / 4);
+    on_drain e.sb_paddr e.sb_size
+  end
+
+(* Force-drain everything (fences, AMO ordering). Returns the cycles
+   consumed. *)
+let drain_all t ~now ~(on_drain : int64 -> int -> unit) : int =
+  let lat = ref 0 in
+  while not (Queue.is_empty t.sb) do
+    let e = Queue.pop t.sb in
+    lat := !lat + Softmem.Cache.write t.dcache ~addr:e.sb_paddr ~size:e.sb_size e.sb_data;
+    t.drains <- t.drains + 1;
+    on_drain e.sb_paddr e.sb_size
+  done;
+  t.sb_next_drain <- now + !lat;
+  !lat
+
+let set_reservation t ~paddr ~now =
+  t.reservation <- Some (Int64.shift_right_logical paddr 6, now)
+
+let clear_reservation t = t.reservation <- None
+
+(* Is the reservation still valid (not timed out, same line)? *)
+let reservation_valid t ~paddr ~now =
+  match t.reservation with
+  | None -> false
+  | Some (line, set_at) ->
+      line = Int64.shift_right_logical paddr 6
+      && now - set_at <= t.cfg.sc_timeout_cycles
+
+(* Another agent stored to [paddr]: kill the reservation if it covers
+   the same line. *)
+let snoop_invalidate t ~paddr =
+  match t.reservation with
+  | Some (line, _) when line = Int64.shift_right_logical paddr 6 ->
+      t.reservation <- None
+  | Some _ | None -> ()

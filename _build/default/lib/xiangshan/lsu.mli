@@ -1,0 +1,69 @@
+(** Load/store unit: load queue, store queue, committed store buffer,
+    store-to-load forwarding, and the LR/SC reservation.
+
+    The store buffer is the paper's central source of memory
+    non-determinism: stores retire into it at commit and only reach
+    the cache hierarchy (hence other cores and the page-table walker)
+    when drained -- the window behind the speculative page faults of
+    Figure 3 and the multi-core divergences the Global-Memory rule
+    reconciles. *)
+
+type sb_entry = { sb_paddr : int64; sb_size : int; sb_data : int64 }
+
+type t = {
+  cfg : Config.t;
+  dcache : Softmem.Cache.t;
+  mutable lq : Uop.t list;
+  mutable sq : Uop.t list;
+  sb : sb_entry Queue.t;
+  mutable sb_next_drain : int;
+  mutable reservation : (int64 * int) option;
+  mutable forwards : int;
+  mutable blocked_loads : int;
+  mutable drains : int;
+}
+
+val create : Config.t -> dcache:Softmem.Cache.t -> t
+
+val lq_full : t -> bool
+val sq_full : t -> bool
+val sb_full : t -> bool
+val sb_empty : t -> bool
+
+val insert_load : t -> Uop.t -> unit
+val insert_store : t -> Uop.t -> unit
+val drop_squashed : t -> unit
+
+val older_stores_known : t -> seq:int -> bool
+(** Conservative load scheduling: a load may only issue once every
+    older store address is resolved (no memory-dependence
+    speculation, hence no ordering-violation replays). *)
+
+type forward_result = Forward of int64 | Blocked | No_match
+
+val forward : t -> seq:int -> paddr:int64 -> size:int -> forward_result
+(** Youngest fully-covering older store (SQ, then store buffer);
+    [Blocked] on a partial overlap. *)
+
+val commit_store : t -> Uop.t -> unit
+(** Move a retiring store from the SQ into the store buffer (the
+    caller checks [sb_full]). *)
+
+val remove_load : t -> Uop.t -> unit
+
+val drain : t -> now:int -> on_drain:(int64 -> int -> unit) -> unit
+(** Drain at most one store-buffer entry into the cache hierarchy,
+    respecting the configured drain interval. *)
+
+val drain_all : t -> now:int -> on_drain:(int64 -> int -> unit) -> int
+(** Force-drain (fences, atomics, sfence.vma); returns cycles. *)
+
+val set_reservation : t -> paddr:int64 -> now:int -> unit
+val clear_reservation : t -> unit
+
+val reservation_valid : t -> paddr:int64 -> now:int -> bool
+(** Same line and not past the configured timeout (the SC-failure
+    non-determinism source). *)
+
+val snoop_invalidate : t -> paddr:int64 -> unit
+(** Another agent stored to this line: kill a covering reservation. *)

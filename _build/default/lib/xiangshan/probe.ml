@@ -1,0 +1,52 @@
+(* Information probes (§III-B3).
+
+   Probes are defined by the designer inside the design and extract
+   verification information during simulation.  As in the paper, the
+   per-instruction commit probe is the basic building block: a
+   superscalar core instantiates it once per commit slot, and the
+   number of instantiations implicitly conveys the commit width to the
+   verification side. *)
+
+open Riscv
+
+type mem_access = {
+  m_paddr : int64;
+  m_size : int;
+  m_value : int64;
+  m_cycle : int; (* cycle the memory was actually read/written *)
+}
+
+(* One committed instruction (or fused instruction pair). *)
+type commit = {
+  p_hartid : int;
+  p_cycle : int;
+  p_pc : int64;
+  p_insn : Insn.t;
+  p_second : Insn.t option; (* fusion partner *)
+  p_next_pc : int64;
+  p_trap : (Trap.exc * int64) option;
+  p_interrupt : Trap.irq option;
+  p_load : mem_access option;
+  p_store : mem_access option;
+  p_sc_failed : bool;
+  p_csr_read : (int * int64) option;
+  p_mmio : bool;
+  p_instret : int64; (* after this commit *)
+}
+
+(* A store leaving the store buffer for the cache hierarchy: feeds the
+   Global Memory of the multi-core diff-rule. *)
+type store_drain = { d_hartid : int; d_cycle : int; d_paddr : int64; d_size : int; d_value : int64 }
+
+type sinks = {
+  mutable on_commit : commit -> unit;
+  mutable on_drain : store_drain -> unit;
+  mutable on_cache_event : Softmem.Event.t -> unit;
+}
+
+let null_sinks () =
+  {
+    on_commit = (fun _ -> ());
+    on_drain = (fun _ -> ());
+    on_cache_event = (fun _ -> ());
+  }

@@ -1,0 +1,53 @@
+(** Information probes (paper §III-B3).
+
+    Probes are defined by the designer inside the design and extract
+    verification information during simulation.  The per-instruction
+    commit probe is the basic building block: a superscalar core
+    instantiates it once per commit slot, implicitly conveying the
+    commit width to the verification side; the store-drain probe feeds
+    the Global Memory; the cache-event stream feeds the permission
+    scoreboard and ArchDB. *)
+
+open Riscv
+
+type mem_access = {
+  m_paddr : int64;
+  m_size : int;
+  m_value : int64;
+  m_cycle : int; (** when the access actually touched memory *)
+}
+
+(** One committed instruction (or fused pair). *)
+type commit = {
+  p_hartid : int;
+  p_cycle : int;
+  p_pc : int64;
+  p_insn : Insn.t;
+  p_second : Insn.t option;
+  p_next_pc : int64;
+  p_trap : (Trap.exc * int64) option;
+  p_interrupt : Trap.irq option;
+  p_load : mem_access option;
+  p_store : mem_access option;
+  p_sc_failed : bool;
+  p_csr_read : (int * int64) option;
+  p_mmio : bool;
+  p_instret : int64;
+}
+
+(** A store leaving the store buffer for the cache hierarchy. *)
+type store_drain = {
+  d_hartid : int;
+  d_cycle : int;
+  d_paddr : int64;
+  d_size : int;
+  d_value : int64;
+}
+
+type sinks = {
+  mutable on_commit : commit -> unit;
+  mutable on_drain : store_drain -> unit;
+  mutable on_cache_event : Softmem.Event.t -> unit;
+}
+
+val null_sinks : unit -> sinks

@@ -1,0 +1,106 @@
+(* Register renaming: separate integer and floating-point physical
+   register files with free lists, plus reference-counting move
+   elimination for the integer file (Table II: NH feature).
+
+   The physical register files also hold the speculative values and
+   their ready cycles -- the "execute at issue" model computes results
+   straight into the physical file. *)
+
+type rf = {
+  map : int array; (* arch -> phys *)
+  free : int Queue.t;
+  value : int64 array;
+  ready_at : int array; (* cycle the value becomes available *)
+  refcnt : int array;
+}
+
+let make_rf ~arch_regs ~pregs =
+  let rf =
+    {
+      map = Array.init arch_regs (fun i -> i);
+      free = Queue.create ();
+      value = Array.make pregs 0L;
+      ready_at = Array.make pregs 0;
+      refcnt = Array.make pregs 0;
+    }
+  in
+  for i = 0 to arch_regs - 1 do
+    rf.refcnt.(i) <- 1
+  done;
+  for p = arch_regs to pregs - 1 do
+    Queue.add p rf.free
+  done;
+  rf
+
+type t = { int_rf : rf; fp_rf : rf; cfg : Config.t }
+
+let create (cfg : Config.t) =
+  {
+    int_rf = make_rf ~arch_regs:32 ~pregs:cfg.int_pregs;
+    fp_rf = make_rf ~arch_regs:32 ~pregs:cfg.fp_pregs;
+    cfg;
+  }
+
+let rf t is_fp = if is_fp then t.fp_rf else t.int_rf
+
+let lookup t ~is_fp arch = (rf t is_fp).map.(arch)
+
+let free_phys rf p =
+  rf.refcnt.(p) <- rf.refcnt.(p) - 1;
+  assert (rf.refcnt.(p) >= 0);
+  if rf.refcnt.(p) = 0 then Queue.add p rf.free
+
+(* Can we rename a uop that needs an int/fp destination? *)
+let can_alloc t ~is_fp = not (Queue.is_empty (rf t is_fp).free)
+
+(* Allocate a new destination mapping; returns (prd, old_prd). *)
+let alloc t ~is_fp ~arch ~now =
+  let rf = rf t is_fp in
+  let p = Queue.pop rf.free in
+  let old_p = rf.map.(arch) in
+  rf.map.(arch) <- p;
+  rf.refcnt.(p) <- 1;
+  rf.ready_at.(p) <- max_int;
+  ignore now;
+  (p, old_p)
+
+(* Move elimination: map [arch_rd] to the physical register currently
+   holding [arch_rs]; returns (prd, old_prd). *)
+let alias t ~arch_rd ~arch_rs =
+  let rf = t.int_rf in
+  let p = rf.map.(arch_rs) in
+  let old_p = rf.map.(arch_rd) in
+  rf.map.(arch_rd) <- p;
+  rf.refcnt.(p) <- rf.refcnt.(p) + 1;
+  (p, old_p)
+
+(* Commit: release the previous mapping of the destination. *)
+let commit_release t ~is_fp ~old_prd =
+  if old_prd >= 0 then free_phys (rf t is_fp) old_prd
+
+(* Rollback a squashed uop (must be called youngest-first). *)
+let rollback t (u : Uop.t) =
+  if u.Uop.prd >= 0 then begin
+    let rf = rf t u.Uop.rd_is_fp in
+    rf.map.(u.Uop.arch_rd) <- u.Uop.old_prd;
+    free_phys rf u.Uop.prd
+  end
+
+let set_result t ~is_fp ~prd ~value ~ready_at =
+  let rf = rf t is_fp in
+  rf.value.(prd) <- value;
+  rf.ready_at.(prd) <- ready_at
+
+let value t ~is_fp ~prd = (rf t is_fp).value.(prd)
+
+let ready t ~is_fp ~prd ~now = (rf t is_fp).ready_at.(prd) <= now
+
+(* A uop's sources are all available at [now]? *)
+let srcs_ready t (u : Uop.t) ~now =
+  let ok = ref true in
+  Array.iteri
+    (fun i p -> if not (ready t ~is_fp:u.Uop.psrc_fp.(i) ~prd:p ~now) then ok := false)
+    u.Uop.psrc;
+  !ok
+
+let free_count t ~is_fp = Queue.length (rf t is_fp).free

@@ -1,0 +1,46 @@
+(** SoC wiring: cores, cache tree, DRAM model, CLINT, and the cycle
+    loop.
+
+    YQH: core -> (L1I, L1D, PTW) -> L2 -> DRAM.
+    NH: two cores, each with a private L2, under a shared L3.
+
+    The shared level's directory generates the inter-core Probe
+    traffic; store drains from any core invalidate sibling LR
+    reservations. *)
+
+type t = {
+  cfg : Config.t;
+  plat : Riscv.Platform.t;
+  cores : Core.t array;
+  l2s : Softmem.Cache.t array;
+  l3 : Softmem.Cache.t option;
+  dram : Softmem.Dram.t;
+  mutable now : int;
+  mutable event_sink : Softmem.Event.sink;
+}
+
+val create : ?dram_size:int -> Config.t -> t
+
+val set_event_sink : t -> Softmem.Event.sink -> unit
+(** Install a coherence-event sink on every cache node. *)
+
+val load_program : t -> Riscv.Asm.program -> unit
+(** Load the image and point every hart's boot pc at the entry. *)
+
+val tick : t -> unit
+(** One clock cycle: CLINT, cache clocks, every core. *)
+
+val run : ?max_cycles:int -> ?stop:(unit -> bool) -> t -> int
+(** Run to exit / budget / [stop]; returns cycles simulated. *)
+
+val exited : t -> bool
+
+val exit_code : t -> int option
+
+val inject_l2_race_bug : t -> core:int -> unit
+(** Plant the §IV-C fault: the core's private L2 mishandles Probes
+    overlapping in-flight Acquires and later serves stale data. *)
+
+val inject_skip_probe_bug : t -> unit
+(** Plant a protocol fault at the shared level: Trunk grants skip the
+    sibling probes (caught by the permission scoreboard). *)

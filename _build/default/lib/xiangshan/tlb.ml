@@ -1,0 +1,191 @@
+(* L1 TLBs + STLB + hardware page-table walker.
+
+   The walker reads PTEs *through the cache hierarchy* (its own port
+   below L2, like XiangShan's PTW), so it sees memory as of the last
+   store-buffer drain -- not the core's committed-but-undrained
+   stores.  Combined with the deliberate caching of failed
+   translations until an sfence.vma, this reproduces the speculative
+   page-fault behaviour of Figure 3: the micro-kernel's lazy PTE write
+   can be retired but not yet visible when the walker runs, and the
+   resulting (legal!) page fault diverges from the REF until the
+   page-fault diff-rule reconciles them. *)
+
+open Riscv
+
+type mapping = {
+  ppn : int64; (* 4K-granular physical page number *)
+  pte_flags : int64; (* leaf PTE bits for permission checks *)
+}
+
+type entry = {
+  mutable e_vpn : int64; (* -1 invalid *)
+  mutable e_res : (mapping, unit) result; (* Error () = cached fault *)
+  mutable e_lru : int;
+}
+
+type tlb_array = { entries : entry array; mutable clock : int }
+
+let make_array n =
+  {
+    entries = Array.init n (fun _ -> { e_vpn = -1L; e_res = Error (); e_lru = 0 });
+    clock = 0;
+  }
+
+let arr_lookup (a : tlb_array) vpn =
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      if e.e_vpn = vpn then begin
+        a.clock <- a.clock + 1;
+        e.e_lru <- a.clock;
+        found := Some e.e_res
+      end)
+    a.entries;
+  !found
+
+let arr_insert (a : tlb_array) vpn res =
+  a.clock <- a.clock + 1;
+  let victim = ref a.entries.(0) in
+  Array.iter (fun e -> if e.e_lru < !victim.e_lru then victim := e) a.entries;
+  !victim.e_vpn <- vpn;
+  !victim.e_res <- res;
+  !victim.e_lru <- a.clock
+
+let arr_flush (a : tlb_array) =
+  Array.iter
+    (fun e ->
+      e.e_vpn <- -1L;
+      e.e_res <- Error ())
+    a.entries
+
+type t = {
+  itlb : tlb_array;
+  dtlb : tlb_array;
+  stlb : tlb_array;
+  ptw_port : Softmem.Cache.t;
+  mutable walks : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable cached_fault_hits : int;
+}
+
+let create (cfg : Config.t) ~ptw_port =
+  {
+    itlb = make_array cfg.itlb_entries;
+    dtlb = make_array cfg.dtlb_entries;
+    stlb = make_array cfg.stlb_entries;
+    ptw_port;
+    walks = 0;
+    itlb_misses = 0;
+    dtlb_misses = 0;
+    cached_fault_hits = 0;
+  }
+
+let flush t =
+  arr_flush t.itlb;
+  arr_flush t.dtlb;
+  arr_flush t.stlb
+
+type access = Fetch | Load | Store
+
+let fault_of = function
+  | Fetch -> Trap.Fetch_page_fault
+  | Load -> Trap.Load_page_fault
+  | Store -> Trap.Store_page_fault
+
+type outcome =
+  | Translated of int64 (* physical address *)
+  | Page_fault of Trap.exc * int64
+
+(* Hardware walk via the cache port; returns the 4K mapping or a fault,
+   plus accumulated latency. *)
+let walk (t : t) (csr : Csr.t) (va : int64) : (mapping, unit) result * int =
+  t.walks <- t.walks + 1;
+  if not (Pte.va_canonical va) then (Error (), 4)
+  else begin
+    let lat = ref 4 (* walker occupancy *) in
+    let rec step level table_pa =
+      if level < 0 then Error ()
+      else begin
+        let pte_pa = Int64.add table_pa (Int64.of_int (8 * Pte.vpn va level)) in
+        let pte, l = Softmem.Cache.read t.ptw_port ~addr:pte_pa ~size:8 in
+        lat := !lat + l;
+        if not (Pte.valid pte) then Error ()
+        else if (not (Pte.readable pte)) && Pte.writable pte then Error ()
+        else if Pte.is_leaf pte then begin
+          let ppn = Pte.ppn pte in
+          if
+            level > 0
+            && Int64.logand ppn (Int64.of_int ((1 lsl (9 * level)) - 1)) <> 0L
+          then Error ()
+          else begin
+            (* form the 4K-level ppn for this va *)
+            let low_vpns =
+              match level with
+              | 0 -> 0L
+              | 1 -> Int64.of_int (Pte.vpn va 0)
+              | _ -> Int64.of_int ((Pte.vpn va 1 lsl 9) lor Pte.vpn va 0)
+            in
+            Ok { ppn = Int64.add ppn low_vpns; pte_flags = pte }
+          end
+        end
+        else step (level - 1) (Pte.pa_of_ppn (Pte.ppn pte))
+      end
+    in
+    let r = step (Pte.levels - 1) (Pte.root_of_satp csr.Csr.reg_satp) in
+    (r, !lat)
+  end
+
+let check_perms (csr : Csr.t) (m : mapping) (access : access) : bool =
+  let pte = m.pte_flags in
+  let sum = Csr.get_bit csr.Csr.reg_mstatus Csr.st_sum in
+  let mxr = Csr.get_bit csr.Csr.reg_mstatus Csr.st_mxr in
+  let type_ok =
+    match access with
+    | Fetch -> Pte.executable pte
+    | Load -> Pte.readable pte || (mxr && Pte.executable pte)
+    | Store -> Pte.writable pte
+  in
+  let priv_ok =
+    match csr.Csr.priv with
+    | Csr.U -> Pte.user pte
+    | Csr.S -> (not (Pte.user pte)) || (sum && access <> Fetch)
+    | Csr.M -> true
+  in
+  type_ok && priv_ok
+
+(* Translate [va]; returns the outcome and the latency in cycles. *)
+let translate (t : t) (csr : Csr.t) (va : int64) (access : access) :
+    outcome * int =
+  let active = csr.Csr.priv <> Csr.M && Pte.satp_mode csr.Csr.reg_satp = 8 in
+  if not active then (Translated va, 0)
+  else begin
+    let vpn = Int64.shift_right_logical va 12 in
+    let l1 = match access with Fetch -> t.itlb | Load | Store -> t.dtlb in
+    let res, lat =
+      match arr_lookup l1 vpn with
+      | Some r -> (r, 0)
+      | None -> (
+          (match access with
+          | Fetch -> t.itlb_misses <- t.itlb_misses + 1
+          | Load | Store -> t.dtlb_misses <- t.dtlb_misses + 1);
+          match arr_lookup t.stlb vpn with
+          | Some r ->
+              arr_insert l1 vpn r;
+              (r, 2)
+          | None ->
+              let r, wl = walk t csr va in
+              (* invalid PTEs are allowed to be cached (Figure 3) *)
+              arr_insert t.stlb vpn r;
+              arr_insert l1 vpn r;
+              (r, 2 + wl))
+    in
+    match res with
+    | Error () ->
+        t.cached_fault_hits <- t.cached_fault_hits + 1;
+        (Page_fault (fault_of access, va), lat)
+    | Ok m ->
+        if check_perms csr m access then
+          (Translated (Int64.logor (Pte.pa_of_ppn m.ppn) (Int64.logand va 0xFFFL)), lat)
+        else (Page_fault (fault_of access, va), lat)
+  end

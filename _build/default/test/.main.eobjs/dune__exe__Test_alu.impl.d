@@ -1,0 +1,1 @@
+test/test_alu.ml: Alcotest Insn Int64 Iss QCheck2 QCheck_alcotest Riscv

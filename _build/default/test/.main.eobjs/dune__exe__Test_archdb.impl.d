@@ -1,0 +1,1 @@
+test/test_archdb.ml: Alcotest Int64 List Minjie Softmem Workloads Xiangshan

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Arch_state Asm Insn Int64 Iss List QCheck2 QCheck_alcotest Riscv Xiangshan

@@ -1,0 +1,1 @@
+test/test_bpu.ml: Alcotest Insn Printf Riscv Xiangshan

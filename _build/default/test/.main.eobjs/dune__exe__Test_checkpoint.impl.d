@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Checkpoint Filename Iss List Nemu Printf Riscv Sys Workloads Xiangshan

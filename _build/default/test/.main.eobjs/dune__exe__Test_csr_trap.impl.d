@@ -1,0 +1,1 @@
+test/test_csr_trap.ml: Alcotest Csr Int64 Platform Riscv Trap

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Array Int64 Iss List Nemu Workloads Xiangshan

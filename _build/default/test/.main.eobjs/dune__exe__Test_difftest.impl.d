@@ -1,0 +1,1 @@
+test/test_difftest.ml: Alcotest Array Int64 List Minjie Printf Riscv Workloads Xiangshan

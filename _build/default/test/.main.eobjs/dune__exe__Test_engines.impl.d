@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Iss List Nemu Printf Riscv Workloads

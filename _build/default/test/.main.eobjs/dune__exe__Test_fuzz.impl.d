@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Iss List Minjie Nemu Printf Riscv Workloads Xiangshan

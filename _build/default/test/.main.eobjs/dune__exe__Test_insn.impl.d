@@ -1,0 +1,1 @@
+test/test_insn.ml: Alcotest Decode Encode Insn Int32 Int64 QCheck2 QCheck_alcotest Riscv

@@ -1,0 +1,1 @@
+test/test_iss.ml: Alcotest Arch_state Asm Csr Insn Int64 Iss List Platform Riscv Trap Workloads

@@ -1,0 +1,1 @@
+test/test_lightsss.ml: Alcotest Array Lightsss List Minjie Printf Riscv Workloads Xiangshan

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Int64 Memory Platform QCheck2 QCheck_alcotest Riscv

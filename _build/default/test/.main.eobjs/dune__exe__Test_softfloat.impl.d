@@ -1,0 +1,1 @@
+test/test_softfloat.ml: Alcotest Int64 Iss List Printf QCheck2 QCheck_alcotest

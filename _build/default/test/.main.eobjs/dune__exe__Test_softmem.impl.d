@@ -1,0 +1,1 @@
+test/test_softmem.ml: Alcotest Cache Dram Int64 Printf Riscv Scoreboard Softmem

@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest Csr Int64 Memory Platform Pte Riscv Softmem Trap Xiangshan

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Iss List Printf Riscv Workloads

@@ -1,0 +1,1 @@
+test/test_xiangshan.ml: Alcotest Array Iss List Printf String Workloads Xiangshan

@@ -1,0 +1,24 @@
+(* MINJIE / XiangShan reproduction test suite. *)
+let () =
+  Alcotest.run "minjie"
+    [
+      ("insn", Test_insn.tests);
+      ("memory", Test_memory.tests);
+      ("softfloat", Test_softfloat.tests);
+      ("alu", Test_alu.tests);
+      ("csr-trap", Test_csr_trap.tests);
+      ("iss", Test_iss.tests);
+      ("engines", Test_engines.tests);
+      ("softmem", Test_softmem.tests);
+      ("xiangshan", Test_xiangshan.tests);
+      ("difftest", Test_difftest.tests);
+      ("lightsss", Test_lightsss.tests);
+      ("checkpoint", Test_checkpoint.tests);
+      ("archdb", Test_archdb.tests);
+      ("bpu", Test_bpu.tests);
+      ("tlb", Test_tlb.tests);
+      ("backend", Test_backend.tests);
+      ("determinism", Test_determinism.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("workloads", Test_workloads.tests);
+    ]

@@ -1,0 +1,100 @@
+(* Integer semantics: mulh family, division corner cases, branch
+   comparisons, width ops, load extension. *)
+
+open Riscv
+
+let i64 = Alcotest.int64
+
+let test_div_corner () =
+  Alcotest.check i64 "div by zero" (-1L) (Iss.Alu.eval_mul Insn.DIV 5L 0L);
+  Alcotest.check i64 "divu by zero" (-1L) (Iss.Alu.eval_mul Insn.DIVU 5L 0L);
+  Alcotest.check i64 "rem by zero" 5L (Iss.Alu.eval_mul Insn.REM 5L 0L);
+  Alcotest.check i64 "remu by zero" 5L (Iss.Alu.eval_mul Insn.REMU 5L 0L);
+  Alcotest.check i64 "div overflow" Int64.min_int
+    (Iss.Alu.eval_mul Insn.DIV Int64.min_int (-1L));
+  Alcotest.check i64 "rem overflow" 0L
+    (Iss.Alu.eval_mul Insn.REM Int64.min_int (-1L));
+  Alcotest.check i64 "divw by zero" (-1L) (Iss.Alu.eval_mul_w Insn.DIVW 7L 0L);
+  Alcotest.check i64 "divw overflow" 0xFFFFFFFF80000000L
+    (Iss.Alu.eval_mul_w Insn.DIVW 0xFFFFFFFF80000000L (-1L))
+
+let test_mulh_golden () =
+  Alcotest.check i64 "mulhu max" 0xFFFFFFFFFFFFFFFEL
+    (Iss.Alu.eval_mul Insn.MULHU (-1L) (-1L));
+  Alcotest.check i64 "mulh -1*-1" 0L (Iss.Alu.eval_mul Insn.MULH (-1L) (-1L));
+  Alcotest.check i64 "mulh min*min"
+    0x4000000000000000L
+    (Iss.Alu.eval_mul Insn.MULH Int64.min_int Int64.min_int);
+  Alcotest.check i64 "mulhsu -1, max-u" (-1L)
+    (Iss.Alu.eval_mul Insn.MULHSU (-1L) (-1L))
+
+(* cross-check mulh signed against an independent 32-bit-limb model *)
+let ref_mulh a b =
+  (* compute the full signed 128-bit product via absolute values *)
+  let sign = (a < 0L) <> (b < 0L) in
+  let abs v = if v < 0L then Int64.neg v else v in
+  (* Int64.neg min_int = min_int; treat via unsigned path *)
+  let ua = abs a and ub = abs b in
+  let hi, lo = Iss.Softfloat.mul_u128 ua ub in
+  if not sign then hi
+  else if lo = 0L then Int64.neg hi
+  else Int64.sub (Int64.lognot hi) 0L
+
+let prop_mulh =
+  QCheck2.Test.make ~count:3000 ~name:"mulh vs two's-complement model"
+    QCheck2.Gen.(pair (map Int64.of_int int) (map Int64.of_int int))
+    (fun (a, b) ->
+      (* avoid min_int in the reference's abs *)
+      if a = Int64.min_int || b = Int64.min_int then true
+      else Iss.Alu.eval_mul Insn.MULH a b = ref_mulh a b)
+
+let prop_branch =
+  QCheck2.Test.make ~count:2000 ~name:"branch comparisons"
+    QCheck2.Gen.(pair (map Int64.of_int int) (map Int64.of_int int))
+    (fun (a, b) ->
+      Iss.Alu.eval_branch Insn.BEQ a b = (a = b)
+      && Iss.Alu.eval_branch Insn.BNE a b = (a <> b)
+      && Iss.Alu.eval_branch Insn.BLT a b = (Int64.compare a b < 0)
+      && Iss.Alu.eval_branch Insn.BGE a b = (Int64.compare a b >= 0)
+      && Iss.Alu.eval_branch Insn.BLTU a b = (Int64.unsigned_compare a b < 0)
+      && Iss.Alu.eval_branch Insn.BGEU a b = (Int64.unsigned_compare a b >= 0))
+
+let test_width_ops () =
+  Alcotest.check i64 "addw wrap" 0xFFFFFFFF80000000L
+    (Iss.Alu.eval_alu_w Insn.ADDW 0x7FFFFFFFL 1L);
+  Alcotest.check i64 "sllw" 0xFFFFFFFF80000000L
+    (Iss.Alu.eval_alu_w Insn.SLLW 1L 31L);
+  Alcotest.check i64 "srlw of negative" 0x7FFFFFFFL
+    (Iss.Alu.eval_alu_w Insn.SRLW 0xFFFFFFFFFFFFFFFFL 1L);
+  Alcotest.check i64 "sraw" (-1L) (Iss.Alu.eval_alu_w Insn.SRAW (-1L) 1L);
+  Alcotest.check i64 "sll uses 6 bits" (Int64.shift_left 1L 63)
+    (Iss.Alu.eval_alu Insn.SLL 1L 63L)
+
+let test_extend_load () =
+  Alcotest.check i64 "lb sign" (-1L) (Iss.Alu.extend_load Insn.LB 0xFFL);
+  Alcotest.check i64 "lbu" 0xFFL (Iss.Alu.extend_load Insn.LBU 0xFFL);
+  Alcotest.check i64 "lh sign" (-2L) (Iss.Alu.extend_load Insn.LH 0xFFFEL);
+  Alcotest.check i64 "lwu" 0xFFFFFFFFL
+    (Iss.Alu.extend_load Insn.LWU 0xFFFFFFFFL);
+  Alcotest.check i64 "lw sign" (-1L) (Iss.Alu.extend_load Insn.LW 0xFFFFFFFFL)
+
+let test_amo () =
+  Alcotest.check i64 "amomax signed" 5L
+    (Iss.Alu.eval_amo Insn.AMOMAX Insn.Width_d 5L (-3L));
+  Alcotest.check i64 "amomaxu unsigned" (-3L)
+    (Iss.Alu.eval_amo Insn.AMOMAXU Insn.Width_d 5L (-3L));
+  Alcotest.check i64 "amoadd.w wraps" 0xFFFFFFFF80000000L
+    (Iss.Alu.eval_amo Insn.AMOADD Insn.Width_w 0x7FFFFFFFL 1L);
+  Alcotest.check i64 "amoswap" 9L
+    (Iss.Alu.eval_amo Insn.AMOSWAP Insn.Width_d 1L 9L)
+
+let tests =
+  [
+    Alcotest.test_case "division corner cases" `Quick test_div_corner;
+    Alcotest.test_case "mulh golden values" `Quick test_mulh_golden;
+    Alcotest.test_case "32-bit width ops" `Quick test_width_ops;
+    Alcotest.test_case "load extension" `Quick test_extend_load;
+    Alcotest.test_case "amo semantics" `Quick test_amo;
+    QCheck_alcotest.to_alcotest prop_mulh;
+    QCheck_alcotest.to_alcotest prop_branch;
+  ]

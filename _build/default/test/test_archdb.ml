@@ -1,0 +1,61 @@
+(* ArchDB: probe capture and the debugging queries of §IV-C. *)
+
+let make_db_run () =
+  let prog = Workloads.Smp.spinlock ~scale:1 in
+  let soc = Xiangshan.Soc.create Xiangshan.Config.nh in
+  Xiangshan.Soc.load_program soc prog;
+  let db = Minjie.Archdb.create () in
+  Minjie.Archdb.attach db soc;
+  let _ = Xiangshan.Soc.run ~max_cycles:5_000_000 soc in
+  (db, soc)
+
+let test_capture () =
+  let db, soc = make_db_run () in
+  Alcotest.(check bool) "finished" true (Xiangshan.Soc.exited soc);
+  Alcotest.(check bool) "commits" true (Minjie.Archdb.count db.commits > 100);
+  Alcotest.(check bool) "drains" true (Minjie.Archdb.count db.drains > 0);
+  Alcotest.(check bool) "cache events" true
+    (Minjie.Archdb.count db.cache_events > 10)
+
+let test_line_queries () =
+  let db, _ = make_db_run () in
+  let lock = Workloads.Smp.lock_addr in
+  let xs = Minjie.Archdb.transactions_for_line db ~addr:lock in
+  Alcotest.(check bool) "lock line has transactions" true (xs <> []);
+  List.iter
+    (fun (e : Softmem.Event.t) ->
+      Alcotest.(check int64)
+        "same line"
+        (Int64.shift_right_logical lock 6)
+        (Int64.shift_right_logical e.Softmem.Event.addr 6))
+    xs;
+  let ds = Minjie.Archdb.drains_for_line db ~addr:Workloads.Smp.counter_addr in
+  Alcotest.(check bool) "counter was drained" true (ds <> [])
+
+let test_commit_window () =
+  let db, soc = make_db_run () in
+  let til = soc.Xiangshan.Soc.now in
+  let cs = Minjie.Archdb.commits_between db ~from_cycle:0 ~to_cycle:til in
+  Alcotest.(check int) "window covers everything"
+    (Minjie.Archdb.count db.commits)
+    (List.length cs);
+  let none = Minjie.Archdb.commits_between db ~from_cycle:(til + 1) ~to_cycle:(til + 100) in
+  Alcotest.(check int) "empty window" 0 (List.length none)
+
+let test_capacity_ring () =
+  let tbl = Minjie.Archdb.make_table "t" ~capacity:10 () in
+  for i = 1 to 25 do
+    Minjie.Archdb.insert tbl i
+  done;
+  Alcotest.(check int) "bounded" 10 (Minjie.Archdb.count tbl);
+  Alcotest.(check (list int)) "keeps newest"
+    [ 16; 17; 18; 19; 20; 21; 22; 23; 24; 25 ]
+    (Minjie.Archdb.to_list tbl)
+
+let tests =
+  [
+    Alcotest.test_case "probe capture" `Slow test_capture;
+    Alcotest.test_case "per-line queries" `Slow test_line_queries;
+    Alcotest.test_case "commit window query" `Slow test_commit_window;
+    Alcotest.test_case "bounded tables" `Quick test_capacity_ring;
+  ]

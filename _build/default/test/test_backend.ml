@@ -1,0 +1,213 @@
+(* Backend structures in isolation: ROB ordering and squash, rename
+   free-list and move-elimination refcounting, issue-queue policies,
+   macro-op fusion patterns, and the assembler DSL. *)
+
+open Riscv
+
+module Uop_helpers = struct
+  let make ~seq ~pc ~insn =
+    Xiangshan.Uop.make ~seq ~pc ~insn ~second:None ~fusion:None
+      ~pred_next:(Int64.add pc 4L)
+end
+
+let test_rob_order_and_squash () =
+  let rob = Xiangshan.Rob.create ~size:8 in
+  for s = 0 to 5 do
+    Xiangshan.Rob.push rob (Uop_helpers.make ~seq:s ~pc:0x80000000L ~insn:(Insn.Op_imm (ADD, 1, 0, Int64.of_int s)))
+  done;
+  Alcotest.(check int) "count" 6 (Xiangshan.Rob.count rob);
+  (* squash younger than seq 2 *)
+  let squashed = Xiangshan.Rob.squash_younger rob ~after:2 in
+  Alcotest.(check int) "squashed" 3 (List.length squashed);
+  (* youngest first, for rename rollback *)
+  Alcotest.(check (list int)) "youngest-first order" [ 5; 4; 3 ]
+    (List.map (fun u -> u.Xiangshan.Uop.seq) squashed);
+  Alcotest.(check int) "remaining" 3 (Xiangshan.Rob.count rob);
+  (match Xiangshan.Rob.peek_head rob with
+  | Some u -> Alcotest.(check int) "head" 0 u.Xiangshan.Uop.seq
+  | None -> Alcotest.fail "head missing");
+  Xiangshan.Rob.pop_head rob;
+  match Xiangshan.Rob.peek_head rob with
+  | Some u -> Alcotest.(check int) "next head" 1 u.Xiangshan.Uop.seq
+  | None -> Alcotest.fail "head missing"
+
+let test_rename_freelist_and_rollback () =
+  let cfg = { Xiangshan.Config.yqh with Xiangshan.Config.int_pregs = 40 } in
+  let rn = Xiangshan.Rename.create cfg in
+  Alcotest.(check int) "initial free" 8
+    (Xiangshan.Rename.free_count rn ~is_fp:false);
+  let u = Uop_helpers.make ~seq:0 ~pc:0L ~insn:(Insn.Op_imm (ADD, 5, 5, 1L)) in
+  let before = Xiangshan.Rename.lookup rn ~is_fp:false 5 in
+  let prd, old_prd = Xiangshan.Rename.alloc rn ~is_fp:false ~arch:5 ~now:0 in
+  u.Xiangshan.Uop.arch_rd <- 5;
+  u.Xiangshan.Uop.prd <- prd;
+  u.Xiangshan.Uop.old_prd <- old_prd;
+  Alcotest.(check int) "old mapping recorded" before old_prd;
+  Alcotest.(check int) "new mapping installed" prd
+    (Xiangshan.Rename.lookup rn ~is_fp:false 5);
+  (* rollback restores the old mapping and frees the new register *)
+  let free_before = Xiangshan.Rename.free_count rn ~is_fp:false in
+  Xiangshan.Rename.rollback rn u;
+  Alcotest.(check int) "mapping restored" before
+    (Xiangshan.Rename.lookup rn ~is_fp:false 5);
+  Alcotest.(check int) "register freed" (free_before + 1)
+    (Xiangshan.Rename.free_count rn ~is_fp:false)
+
+let test_move_elimination_refcount () =
+  let cfg = { Xiangshan.Config.nh_single with Xiangshan.Config.int_pregs = 40 } in
+  let rn = Xiangshan.Rename.create cfg in
+  (* mv x6, x5: both arch regs map to one physical register *)
+  let p5 = Xiangshan.Rename.lookup rn ~is_fp:false 5 in
+  let prd, old6 = Xiangshan.Rename.alias rn ~arch_rd:6 ~arch_rs:5 in
+  Alcotest.(check int) "aliased" p5 prd;
+  Alcotest.(check int) "same mapping" p5 (Xiangshan.Rename.lookup rn ~is_fp:false 6);
+  (* releasing one of the two references must not free the register *)
+  let free0 = Xiangshan.Rename.free_count rn ~is_fp:false in
+  Xiangshan.Rename.commit_release rn ~is_fp:false ~old_prd:prd;
+  Alcotest.(check int) "still held by x5" free0
+    (Xiangshan.Rename.free_count rn ~is_fp:false);
+  Xiangshan.Rename.commit_release rn ~is_fp:false ~old_prd:prd;
+  Alcotest.(check int) "freed on last release" (free0 + 1)
+    (Xiangshan.Rename.free_count rn ~is_fp:false);
+  ignore old6
+
+let test_iq_policies () =
+  let iqc =
+    {
+      Xiangshan.Config.iq_name = "t";
+      iq_size = 8;
+      iq_issue = 2;
+      iq_classes = [ Xiangshan.Config.ALU ];
+    }
+  in
+  let mk seq prio =
+    let u = Uop_helpers.make ~seq ~pc:0L ~insn:(Insn.Op_imm (ADD, 1, 1, 1L)) in
+    u.Xiangshan.Uop.priority <- prio;
+    u
+  in
+  (* AGE: oldest two of the ready set *)
+  let iq = Xiangshan.Iq.create iqc ~policy:Xiangshan.Config.Age in
+  List.iter (Xiangshan.Iq.insert iq) [ mk 3 false; mk 1 false; mk 2 true ];
+  let sel = Xiangshan.Iq.select iq ~ready:(fun _ -> true) in
+  Alcotest.(check (list int)) "age order" [ 3; 1 ]
+    (List.map (fun u -> u.Xiangshan.Uop.seq) sel);
+  (* (slots keep insertion order = age order in the pipeline; here we
+     inserted out of order on purpose to check it is insertion order) *)
+  let iq2 = Xiangshan.Iq.create iqc ~policy:Xiangshan.Config.Pubs in
+  List.iter (Xiangshan.Iq.insert iq2) [ mk 1 false; mk 2 false; mk 3 true ];
+  let sel2 = Xiangshan.Iq.select iq2 ~ready:(fun _ -> true) in
+  Alcotest.(check (list int)) "pubs puts priority first" [ 3; 1 ]
+    (List.map (fun u -> u.Xiangshan.Uop.seq) sel2)
+
+let test_fusion_patterns () =
+  let f = Xiangshan.Fusion.try_fuse in
+  (* lui+addi *)
+  (match f (Insn.Lui (5, 0x12345000L)) (Insn.Op_imm (ADD, 5, 5, 0x67AL)) with
+  | Some (Xiangshan.Uop.Fused_lui_addi c) ->
+      Alcotest.(check int64) "constant" 0x1234567AL c
+  | _ -> Alcotest.fail "lui+addi must fuse");
+  (* lui+addiw (the 32-bit li idiom) *)
+  (match f (Insn.Lui (5, 0x80000000L)) (Insn.Op_imm_w (ADDW, 5, 5, -1L)) with
+  | Some (Xiangshan.Uop.Fused_lui_addi c) ->
+      Alcotest.(check int64) "sext32 constant" 0x7FFFFFFFL c
+  | _ -> Alcotest.fail "lui+addiw must fuse");
+  (* zext.w *)
+  (match f (Insn.Op_imm (SLL, 7, 3, 32L)) (Insn.Op_imm (SRL, 7, 7, 32L)) with
+  | Some Xiangshan.Uop.Fused_zext_w -> ()
+  | _ -> Alcotest.fail "slli+srli must fuse to zext.w");
+  (* shNadd *)
+  (match f (Insn.Op_imm (SLL, 7, 3, 3L)) (Insn.Op (ADD, 7, 7, 9)) with
+  | Some (Xiangshan.Uop.Fused_sh_add 3) -> ()
+  | _ -> Alcotest.fail "slli+add must fuse to sh3add");
+  (* must NOT fuse when the intermediate register escapes *)
+  (match f (Insn.Lui (5, 0x1000L)) (Insn.Op_imm (ADD, 6, 5, 1L)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "different rd must not fuse");
+  match f (Insn.Op_imm (SLL, 7, 3, 4L)) (Insn.Op (ADD, 7, 7, 9)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "shift of 4 is not a shNadd"
+
+(* --- assembler DSL ------------------------------------------------------ *)
+
+let run_items items =
+  let prog = Asm.assemble items in
+  let m = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  let _ = Iss.Interp.run ~max_insns:10_000 m in
+  m
+
+let li_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"asm: li materialises any constant"
+    QCheck2.Gen.(
+      oneof
+        [
+          map Int64.of_int int;
+          map Int64.of_int (int_range (-5000) 5000);
+          oneofl [ 0L; -1L; Int64.min_int; Int64.max_int; 0x8000_0000L ];
+        ])
+    (fun v ->
+      let m =
+        run_items
+          Asm.(
+            [ li a0 v ]
+            @ [
+                i (Insn.Op_imm (AND, a0, a0, -1L));
+                label "h";
+                j "h";
+              ])
+      in
+      (* the ISS stops on the instruction budget in the halt loop *)
+      Arch_state.get_reg m.Iss.Interp.st Asm.a0 = v)
+
+let test_asm_errors () =
+  (* branch out of range *)
+  (try
+     let items =
+       Asm.label "a"
+       :: List.init 2000 (fun _ -> Asm.i (Insn.Op_imm (ADD, 0, 0, 0L)))
+       @ [ Asm.beq 0 0 "a" ]
+     in
+     ignore (Asm.assemble items);
+     Alcotest.fail "branch out of range must be rejected"
+   with Asm.Asm_error _ -> ());
+  (* undefined label *)
+  (try
+     ignore (Asm.assemble [ Asm.j "nowhere" ]);
+     Alcotest.fail "undefined label must be rejected"
+   with Asm.Asm_error _ -> ());
+  (* duplicate label *)
+  try
+    ignore (Asm.assemble [ Asm.label "x"; Asm.label "x" ]);
+    Alcotest.fail "duplicate label must be rejected"
+  with Asm.Asm_error _ -> ()
+
+let test_asm_la () =
+  let m =
+    run_items
+      Asm.(
+        [
+          la a0 "data";
+          i (Insn.Load (LD, a1, a0, 0L));
+          label "h";
+          j "h";
+          label "data";
+          dword 0xFEEDFACECAFEBEEFL;
+        ])
+  in
+  Alcotest.(check int64) "la + ld" 0xFEEDFACECAFEBEEFL
+    (Arch_state.get_reg m.Iss.Interp.st Asm.a1)
+
+let tests =
+  [
+    Alcotest.test_case "ROB order and squash" `Quick test_rob_order_and_squash;
+    Alcotest.test_case "rename free list and rollback" `Quick
+      test_rename_freelist_and_rollback;
+    Alcotest.test_case "move-elimination refcounting" `Quick
+      test_move_elimination_refcount;
+    Alcotest.test_case "issue-queue AGE and PUBS policies" `Quick
+      test_iq_policies;
+    Alcotest.test_case "macro-op fusion patterns" `Quick test_fusion_patterns;
+    Alcotest.test_case "assembler error reporting" `Quick test_asm_errors;
+    Alcotest.test_case "assembler la/data" `Quick test_asm_la;
+    QCheck_alcotest.to_alcotest li_roundtrip;
+  ]

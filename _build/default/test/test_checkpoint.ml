@@ -1,0 +1,125 @@
+(* Checkpoints + SimPoint: capture/restore round-trips across all
+   three execution substrates, serialisation, clustering determinism,
+   and the sampled-estimation accuracy. *)
+
+let capture_at prog n =
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let e = Nemu.Fast.create m in
+  let _ = Nemu.Fast.run e ~max_insns:n in
+  Checkpoint.Arch_checkpoint.capture_mach m
+
+let test_roundtrip_iss_dut () =
+  let w = Workloads.Suite.find "coremark_like" in
+  let prog = w.program ~scale:1 in
+  (* reference exit code from an uninterrupted run *)
+  let iss0 = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program iss0 prog;
+  let _ = Iss.Interp.run ~max_insns:100_000_000 iss0 in
+  let expect = Iss.Interp.exit_code iss0 in
+  let ck = capture_at prog 5_000 in
+  Alcotest.(check int64) "position" 5_000L ck.Checkpoint.Arch_checkpoint.ck_instret;
+  (* resume on the ISS *)
+  let iss = Iss.Interp.create ~hartid:0 () in
+  Checkpoint.Arch_checkpoint.restore_interp ck iss;
+  let _ = Iss.Interp.run ~max_insns:100_000_000 iss in
+  Alcotest.(check (option int)) "ISS resume" expect (Iss.Interp.exit_code iss);
+  (* resume on the cycle-level DUT *)
+  let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+  Checkpoint.Arch_checkpoint.restore_soc ck soc;
+  let _ = Xiangshan.Soc.run ~max_cycles:50_000_000 soc in
+  Alcotest.(check (option int)) "DUT resume" expect (Xiangshan.Soc.exit_code soc);
+  (* resume on a fresh NEMU *)
+  let m = Nemu.Mach.create () in
+  Checkpoint.Arch_checkpoint.restore_arch ck
+    (let st = Riscv.Arch_state.create ~hartid:0 () in
+     st)
+    m.Nemu.Mach.plat;
+  ()
+
+let test_serialisation () =
+  let prog = (Workloads.Suite.find "sjeng_like").program ~scale:1 in
+  let ck = capture_at prog 3_000 in
+  let path = Filename.temp_file "minjie_ck" ".bin" in
+  Checkpoint.Arch_checkpoint.save ck ~path;
+  let ck' = Checkpoint.Arch_checkpoint.load ~path in
+  Sys.remove path;
+  Alcotest.(check int64) "pc preserved" ck.ck_pc ck'.Checkpoint.Arch_checkpoint.ck_pc;
+  Alcotest.(check int) "pages preserved"
+    (Checkpoint.Arch_checkpoint.size_bytes ck)
+    (Checkpoint.Arch_checkpoint.size_bytes ck');
+  (* restoring the loaded checkpoint behaves identically *)
+  let iss = Iss.Interp.create ~hartid:0 () in
+  Checkpoint.Arch_checkpoint.restore_interp ck' iss;
+  let iss2 = Iss.Interp.create ~hartid:0 () in
+  Checkpoint.Arch_checkpoint.restore_interp ck iss2;
+  for _ = 1 to 1000 do
+    ignore (Iss.Interp.step iss);
+    ignore (Iss.Interp.step iss2)
+  done;
+  match Riscv.Arch_state.diff iss.Iss.Interp.st iss2.Iss.Interp.st with
+  | None -> ()
+  | Some m -> Alcotest.failf "diverged: %s" m
+
+let test_simpoint_determinism () =
+  let prog = (Workloads.Suite.find "sjeng_like").program ~scale:2 in
+  let run () =
+    let m = Nemu.Mach.create () in
+    Nemu.Mach.load_program m prog;
+    let e = Nemu.Fast.create m in
+    let bbv = Checkpoint.Bbv.create ~interval:5_000 in
+    Checkpoint.Bbv.attach bbv e;
+    let _ = Nemu.Fast.run e ~max_insns:100_000_000 in
+    Checkpoint.Bbv.finish bbv;
+    Checkpoint.Simpoint.select (Checkpoint.Bbv.vectors bbv) ~max_k:5
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Checkpoint.Simpoint.selection) (y : Checkpoint.Simpoint.selection) ->
+      Alcotest.(check int) "same interval" x.sp_interval y.sp_interval)
+    a b;
+  (* weights sum to 1 *)
+  let wsum = List.fold_left (fun acc s -> acc +. s.Checkpoint.Simpoint.sp_weight) 0.0 a in
+  Alcotest.(check bool) "weights sum to ~1" true (abs_float (wsum -. 1.0) < 1e-9)
+
+let test_kmeans_separates () =
+  (* two obvious clusters of vectors must land in different clusters *)
+  let va : Checkpoint.Bbv.vector = [ (100L, 1.0) ] in
+  let vb : Checkpoint.Bbv.vector = [ (999L, 1.0) ] in
+  let vectors = Array.of_list [ va; va; va; vb; vb; vb ] in
+  let sel = Checkpoint.Simpoint.select vectors ~max_k:2 in
+  Alcotest.(check int) "two representatives" 2 (List.length sel);
+  let idx = List.map (fun s -> s.Checkpoint.Simpoint.sp_interval) sel in
+  Alcotest.(check bool) "one from each cluster" true
+    (List.exists (fun i -> i < 3) idx && List.exists (fun i -> i >= 3) idx)
+
+let test_sampled_accuracy () =
+  (* weighted sampled IPC close to the full-run IPC *)
+  let prog = (Workloads.Suite.find "coremark_like").program ~scale:3 in
+  let ipc, results, stats =
+    Checkpoint.Sampled.estimate ~interval:8_000 ~max_k:5 ~warmup:2_000
+      ~measure:4_000 Xiangshan.Config.yqh prog
+  in
+  Alcotest.(check bool) "selected some checkpoints" true (stats.gen_selected > 0);
+  Alcotest.(check bool) "all samples measured" true
+    (List.for_all (fun (r : Checkpoint.Sampled.sample_result) -> r.sr_cycles > 0) results);
+  let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+  Xiangshan.Soc.load_program soc prog;
+  let _ = Xiangshan.Soc.run ~max_cycles:100_000_000 soc in
+  let full = Xiangshan.Core.ipc soc.Xiangshan.Soc.cores.(0) in
+  let dev = abs_float (ipc -. full) /. full in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled %.3f vs full %.3f (dev %.1f%%)" ipc full
+       (100.0 *. dev))
+    true (dev < 0.25)
+
+let tests =
+  [
+    Alcotest.test_case "capture/restore round-trips" `Slow test_roundtrip_iss_dut;
+    Alcotest.test_case "serialisation" `Quick test_serialisation;
+    Alcotest.test_case "SimPoint determinism" `Slow test_simpoint_determinism;
+    Alcotest.test_case "k-means separates clusters" `Quick test_kmeans_separates;
+    Alcotest.test_case "sampled-IPC accuracy (paper: 5-10%)" `Slow
+      test_sampled_accuracy;
+  ]

@@ -1,0 +1,150 @@
+(* CSR file and trap machinery unit tests: privilege checks, WARL
+   views (sstatus/sie/sip), delegation, interrupt priority, and
+   mret/sret state restoration. *)
+
+open Riscv
+
+let test_privilege_gating () =
+  let csr = Csr.create ~hartid:3 in
+  csr.Csr.priv <- Csr.U;
+  (try
+     ignore (Csr.read csr Csr.mstatus);
+     Alcotest.fail "U-mode must not read mstatus"
+   with Csr.Illegal_csr _ -> ());
+  (* user counters are readable from U *)
+  Alcotest.(check int64) "cycle readable" 0L (Csr.read csr Csr.cycle);
+  csr.Csr.priv <- Csr.M;
+  Alcotest.(check int64) "mhartid" 3L (Csr.read csr Csr.mhartid);
+  (* read-only CSRs reject writes *)
+  try
+    Csr.write csr Csr.mhartid 9L;
+    Alcotest.fail "mhartid is read-only"
+  with Csr.Illegal_csr _ -> ()
+
+let test_sstatus_view () =
+  let csr = Csr.create ~hartid:0 in
+  (* setting SIE through sstatus must appear in mstatus and vice versa *)
+  Csr.write csr Csr.sstatus (Csr.bit Csr.st_sie);
+  Alcotest.(check bool) "mstatus.SIE set" true
+    (Csr.get_bit (Csr.read csr Csr.mstatus) Csr.st_sie);
+  (* writing MIE through sstatus must be ignored (not in the view) *)
+  Csr.write csr Csr.sstatus (Csr.bit Csr.st_mie);
+  Alcotest.(check bool) "mstatus.MIE unaffected" false
+    (Csr.get_bit (Csr.read csr Csr.mstatus) Csr.st_mie)
+
+let test_sie_masked_by_mideleg () =
+  let csr = Csr.create ~hartid:0 in
+  (* without delegation, sie writes are inert *)
+  Csr.write csr Csr.sie (Csr.bit Csr.ip_ssip);
+  Alcotest.(check int64) "sie empty without mideleg" 0L (Csr.read csr Csr.sie);
+  Csr.write csr Csr.mideleg (Csr.bit Csr.ip_ssip);
+  Csr.write csr Csr.sie (Csr.bit Csr.ip_ssip);
+  Alcotest.(check int64) "sie visible once delegated" (Csr.bit Csr.ip_ssip)
+    (Csr.read csr Csr.sie)
+
+let test_trap_entry_and_mret () =
+  let csr = Csr.create ~hartid:0 in
+  Csr.write csr Csr.mtvec 0x8000_1000L;
+  csr.Csr.priv <- Csr.U;
+  csr.Csr.reg_mstatus <- Csr.set_bit csr.Csr.reg_mstatus Csr.st_mie true;
+  let handler = Trap.take_exception csr Trap.Ecall_from_u 0L ~epc:0x8000_0040L in
+  Alcotest.(check int64) "vectored to mtvec" 0x8000_1000L handler;
+  Alcotest.(check bool) "now in M" true (csr.Csr.priv = Csr.M);
+  Alcotest.(check int64) "mepc" 0x8000_0040L csr.Csr.reg_mepc;
+  Alcotest.(check int64) "mcause" 8L csr.Csr.reg_mcause;
+  Alcotest.(check bool) "MIE cleared" false
+    (Csr.get_bit csr.Csr.reg_mstatus Csr.st_mie);
+  Alcotest.(check bool) "MPIE saved" true
+    (Csr.get_bit csr.Csr.reg_mstatus Csr.st_mpie);
+  Alcotest.(check int) "MPP = U" 0
+    (Csr.get_field csr.Csr.reg_mstatus Csr.st_mpp_lo 2);
+  let resume = Trap.mret csr in
+  Alcotest.(check int64) "mret resumes at mepc" 0x8000_0040L resume;
+  Alcotest.(check bool) "back in U" true (csr.Csr.priv = Csr.U);
+  Alcotest.(check bool) "MIE restored" true
+    (Csr.get_bit csr.Csr.reg_mstatus Csr.st_mie)
+
+let test_delegation () =
+  let csr = Csr.create ~hartid:0 in
+  Csr.write csr Csr.mtvec 0x8000_1000L;
+  Csr.write csr Csr.stvec 0x8000_2000L;
+  Csr.write csr Csr.medeleg
+    (Csr.bit (Trap.exc_code Trap.Load_page_fault));
+  (* a delegated fault from S goes to S *)
+  csr.Csr.priv <- Csr.S;
+  let h = Trap.take_exception csr Trap.Load_page_fault 0xBEEFL ~epc:0x8000_0100L in
+  Alcotest.(check int64) "delegated to stvec" 0x8000_2000L h;
+  Alcotest.(check bool) "stays in S" true (csr.Csr.priv = Csr.S);
+  Alcotest.(check int64) "scause" 13L csr.Csr.reg_scause;
+  Alcotest.(check int64) "stval" 0xBEEFL csr.Csr.reg_stval;
+  let resume = Trap.sret csr in
+  Alcotest.(check int64) "sret" 0x8000_0100L resume;
+  (* the same fault from M mode must NOT delegate *)
+  csr.Csr.priv <- Csr.M;
+  let h = Trap.take_exception csr Trap.Load_page_fault 0L ~epc:0x8000_0200L in
+  Alcotest.(check int64) "M faults never delegate" 0x8000_1000L h
+
+let test_interrupt_priority () =
+  let csr = Csr.create ~hartid:0 in
+  Csr.write csr Csr.mie
+    (Int64.logor (Csr.bit Csr.ip_mtip) (Csr.bit Csr.ip_msip));
+  csr.Csr.priv <- Csr.U;
+  Csr.set_mip_bit csr Csr.ip_mtip true;
+  Csr.set_mip_bit csr Csr.ip_msip true;
+  (* MSI beats MTI *)
+  (match Trap.pending_interrupt csr with
+  | Some Trap.Msip -> ()
+  | other ->
+      Alcotest.failf "expected Msip, got %s"
+        (match other with Some i -> Trap.show_irq i | None -> "none"));
+  Csr.set_mip_bit csr Csr.ip_msip false;
+  (match Trap.pending_interrupt csr with
+  | Some Trap.Mtip -> ()
+  | _ -> Alcotest.fail "expected Mtip");
+  (* disabled globally in M with MIE=0 *)
+  csr.Csr.priv <- Csr.M;
+  (match Trap.pending_interrupt csr with
+  | None -> ()
+  | Some _ -> Alcotest.fail "M with MIE=0 must not take interrupts");
+  csr.Csr.reg_mstatus <- Csr.set_bit csr.Csr.reg_mstatus Csr.st_mie true;
+  match Trap.pending_interrupt csr with
+  | Some Trap.Mtip -> ()
+  | _ -> Alcotest.fail "expected Mtip with MIE=1"
+
+let test_vectored_mode () =
+  let csr = Csr.create ~hartid:0 in
+  (* mtvec mode 1: vectored interrupts at base + 4*cause *)
+  Csr.write csr Csr.mtvec 0x8000_1001L;
+  let h = Trap.take_interrupt csr Trap.Mtip ~epc:0x8000_0000L in
+  Alcotest.(check int64) "vectored" (Int64.add 0x8000_1000L (Int64.of_int (4 * 7))) h;
+  Alcotest.(check bool) "interrupt bit in mcause" true
+    (Int64.logand csr.Csr.reg_mcause Trap.interrupt_bit <> 0L);
+  (* exceptions ignore vectoring *)
+  let h = Trap.take_exception csr Trap.Breakpoint 0L ~epc:0x8000_0000L in
+  Alcotest.(check int64) "exceptions use base" 0x8000_1000L h
+
+let test_clint () =
+  let c = Platform.Clint.create () in
+  Alcotest.(check bool) "no mtip at reset" false (Platform.Clint.mtip c 0);
+  Platform.Clint.write c Platform.clint_mtimecmp_offset 100L;
+  Platform.Clint.tick c 99;
+  Alcotest.(check bool) "not yet" false (Platform.Clint.mtip c 0);
+  Platform.Clint.tick c 1;
+  Alcotest.(check bool) "fires at mtimecmp" true (Platform.Clint.mtip c 0);
+  Alcotest.(check int64) "mtime readable" 100L
+    (Platform.Clint.read c Platform.clint_mtime_offset);
+  Platform.Clint.write c Platform.clint_msip_offset 1L;
+  Alcotest.(check bool) "msip" true (Platform.Clint.msip c 0)
+
+let tests =
+  [
+    Alcotest.test_case "privilege gating" `Quick test_privilege_gating;
+    Alcotest.test_case "sstatus is a view of mstatus" `Quick test_sstatus_view;
+    Alcotest.test_case "sie masked by mideleg" `Quick test_sie_masked_by_mideleg;
+    Alcotest.test_case "trap entry and mret" `Quick test_trap_entry_and_mret;
+    Alcotest.test_case "medeleg delegation" `Quick test_delegation;
+    Alcotest.test_case "interrupt priority and enables" `Quick
+      test_interrupt_priority;
+    Alcotest.test_case "vectored mtvec" `Quick test_vectored_mode;
+    Alcotest.test_case "CLINT device" `Quick test_clint;
+  ]

@@ -1,0 +1,52 @@
+(* Simulator determinism: identical runs must produce identical cycle
+   counts and identical commit streams -- the property both LightSSS
+   replay and the checkpoint flow depend on.  (The simulator never
+   reads wall-clock or OS randomness.) *)
+
+let run_once () =
+  let prog = (Workloads.Suite.find "sjeng_like").program ~scale:1 in
+  let soc = Xiangshan.Soc.create Xiangshan.Config.nh_single in
+  Xiangshan.Soc.load_program soc prog;
+  let digest = ref 0 in
+  Array.iter
+    (fun (core : Xiangshan.Core.t) ->
+      core.Xiangshan.Core.probes.Xiangshan.Probe.on_commit <-
+        (fun p ->
+          digest :=
+            (!digest * 31)
+            + (p.Xiangshan.Probe.p_cycle lxor Int64.to_int p.Xiangshan.Probe.p_pc)))
+    soc.Xiangshan.Soc.cores;
+  let cycles = Xiangshan.Soc.run ~max_cycles:50_000_000 soc in
+  (cycles, !digest, Xiangshan.Soc.exit_code soc)
+
+let test_dut_determinism () =
+  let a = run_once () and b = run_once () in
+  let ca, da, ea = a and cb, db, eb = b in
+  Alcotest.(check int) "same cycle count" ca cb;
+  Alcotest.(check int) "same commit stream digest" da db;
+  Alcotest.(check (option int)) "same exit" ea eb
+
+let test_llc_workloads_correct () =
+  (* the Figure 12 LLC-stress kernels agree between ISS and NEMU *)
+  List.iter
+    (fun (w : Workloads.Wl_common.t) ->
+      let prog = w.program ~scale:1 in
+      let iss = Iss.Interp.create ~hartid:0 () in
+      Iss.Interp.load_program iss prog;
+      let n_iss = Iss.Interp.run ~max_insns:100_000_000 iss in
+      let m = Nemu.Mach.create () in
+      Nemu.Mach.load_program m prog;
+      let e = Nemu.Fast.create m in
+      let n_nemu = Nemu.Fast.run e ~max_insns:100_000_000 in
+      Alcotest.(check int) (w.wl_name ^ " instret") n_iss n_nemu;
+      Alcotest.(check (option int))
+        (w.wl_name ^ " exit")
+        (Iss.Interp.exit_code iss) (Nemu.Mach.exit_code m))
+    Workloads.Suite.llc_stress
+
+let tests =
+  [
+    Alcotest.test_case "cycle-level determinism" `Slow test_dut_determinism;
+    Alcotest.test_case "LLC-stress kernels agree across engines" `Slow
+      test_llc_workloads_correct;
+  ]

@@ -1,0 +1,134 @@
+(* Interpreter engines: architectural equivalence of NEMU and the
+   three baselines against the reference ISS across the workload
+   suite, plus engine-specific structure (uop-cache behaviour). *)
+
+let iss_reference prog =
+  let m = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  let n = Iss.Interp.run ~max_insns:100_000_000 m in
+  (n, Iss.Interp.exit_code m, m)
+
+let run_engine kind prog =
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let n =
+    match kind with
+    | Nemu.Engine.Nemu ->
+        let t = Nemu.Fast.create m in
+        Nemu.Fast.run t ~max_insns:100_000_000
+    | Nemu.Engine.Spike_like -> Nemu.Spike_like.run m ~max_insns:100_000_000
+    | Nemu.Engine.Qemu_tci_like ->
+        Nemu.Qemu_tci_like.run m ~max_insns:100_000_000
+    | Nemu.Engine.Dromajo_like -> Nemu.Dromajo_like.run m ~max_insns:100_000_000
+  in
+  (n, Nemu.Mach.exit_code m, m)
+
+let equivalence_case (w : Workloads.Wl_common.t) =
+  Alcotest.test_case (w.wl_name ^ " on all engines") `Slow (fun () ->
+      let prog = w.program ~scale:w.small in
+      let n_ref, code_ref, iss = iss_reference prog in
+      List.iter
+        (fun kind ->
+          let n, code, m = run_engine kind prog in
+          let name = Nemu.Engine.name kind in
+          Alcotest.(check int) (name ^ " instret") n_ref n;
+          Alcotest.(check (option int)) (name ^ " exit code") code_ref code;
+          (* final integer register file must agree *)
+          for r = 1 to 31 do
+            Alcotest.(check int64)
+              (Printf.sprintf "%s x%d" name r)
+              (Riscv.Arch_state.get_reg iss.Iss.Interp.st r)
+              (Nemu.Mach.get_reg m r)
+          done)
+        Nemu.Engine.all)
+
+let test_uop_cache_structure () =
+  let prog = (Workloads.Suite.find "coremark_like").program ~scale:1 in
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let t = Nemu.Fast.create m in
+  let n = Nemu.Fast.run t ~max_insns:10_000_000 in
+  Alcotest.(check bool) "ran" true (n > 1000);
+  (* trace organisation: far fewer compilations than executions *)
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled %d << executed %d" t.Nemu.Fast.compiled n)
+    true
+    (t.Nemu.Fast.compiled * 10 < n);
+  (* block chaining: slow lookups are a small fraction of executions *)
+  Alcotest.(check bool)
+    (Printf.sprintf "slow lookups %d" t.Nemu.Fast.slow_lookups)
+    true
+    (t.Nemu.Fast.slow_lookups * 5 < n)
+
+let test_uop_cache_flush_on_capacity () =
+  let prog = (Workloads.Suite.find "coremark_like").program ~scale:1 in
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  (* tiny capacity: the cache must flush but execution stays correct *)
+  let t = Nemu.Fast.create ~capacity:16 m in
+  let _ = Nemu.Fast.run t ~max_insns:10_000_000 in
+  Alcotest.(check bool) "flushed" true (t.Nemu.Fast.flushes > 0);
+  Alcotest.(check (option int)) "still correct" (Some 199) (Nemu.Mach.exit_code m)
+
+let test_spike_decode_cache_conflicts () =
+  let prog = (Workloads.Suite.find "sort_like").program ~scale:1 in
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let c = Nemu.Spike_like.create ~size:64 () in
+  (* drive manually to observe hit/miss counters *)
+  let steps = ref 0 in
+  while m.Nemu.Mach.running && !steps < 200_000 do
+    Nemu.Spike_like.step c m;
+    incr steps
+  done;
+  Alcotest.(check bool) "hits" true (c.Nemu.Spike_like.hits > 0);
+  Alcotest.(check bool) "some conflict misses with a tiny cache" true
+    (c.Nemu.Spike_like.misses > 10)
+
+let test_mips_ordering () =
+  (* relative performance shape of Figure 8 on one int workload:
+     NEMU fastest; dromajo slowest *)
+  let prog = (Workloads.Suite.find "mcf_like").program ~scale:2 in
+  let mips kind =
+    let n, secs = Nemu.Engine.run_program ~max_insns:30_000_000 kind prog in
+    Nemu.Engine.mips n secs
+  in
+  let nemu = mips Nemu.Engine.Nemu in
+  let spike = mips Nemu.Engine.Spike_like in
+  let dromajo = mips Nemu.Engine.Dromajo_like in
+  Alcotest.(check bool)
+    (Printf.sprintf "NEMU (%.0f) > Spike-like (%.0f)" nemu spike)
+    true (nemu > spike);
+  Alcotest.(check bool)
+    (Printf.sprintf "Spike-like (%.0f) > Dromajo-like (%.0f)" spike dromajo)
+    true (spike > dromajo)
+
+(* the Sv39 workloads also run on every engine: translation goes
+   through the generic fallback path (NEMU keys its uop cache on
+   virtual pcs; the identity and user windows are distinct) *)
+let paging_case (w : Workloads.Wl_common.t) =
+  Alcotest.test_case (w.wl_name ^ " on all engines (paging)") `Slow (fun () ->
+      let prog = w.program ~scale:1 in
+      let _, code_ref, _ = iss_reference prog in
+      Alcotest.(check bool) "terminates" true (code_ref <> None);
+      List.iter
+        (fun kind ->
+          let _, code, _ = run_engine kind prog in
+          Alcotest.(check (option int))
+            (Nemu.Engine.name kind ^ " exit")
+            code_ref code)
+        Nemu.Engine.all)
+
+let tests =
+  List.map equivalence_case Workloads.Suite.all
+  @ List.map paging_case [ Workloads.Vm_kernel.spec; Workloads.User_mode.spec ]
+  @ [
+      Alcotest.test_case "uop cache: trace organisation" `Quick
+        test_uop_cache_structure;
+      Alcotest.test_case "uop cache: capacity flush" `Quick
+        test_uop_cache_flush_on_capacity;
+      Alcotest.test_case "spike-like decode cache conflicts" `Quick
+        test_spike_decode_cache_conflicts;
+      Alcotest.test_case "engine performance ordering (Figure 8 shape)" `Slow
+        test_mips_ordering;
+    ]

@@ -1,0 +1,230 @@
+(* Reference interpreter: end-to-end program semantics, traps, CSRs,
+   LR/SC, Sv39 translation, and the DiffTest control surface. *)
+
+open Riscv
+open Workloads.Wl_common.Ops
+
+let run_prog ?(max_insns = 1_000_000) items =
+  let prog = Asm.assemble items in
+  let m = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  let n = Iss.Interp.run ~max_insns m in
+  (m, n)
+
+let exit_items reg = Workloads.Wl_common.exit_with reg
+
+let check_exit ?(max_insns = 1_000_000) items expect =
+  let m, _ = run_prog ~max_insns items in
+  Alcotest.(check (option int)) "exit code" (Some expect) (Iss.Interp.exit_code m)
+
+let ( @. ) = List.append
+
+let test_arith () =
+  check_exit
+    Asm.(
+      [ li a0 21L; i (Insn.Op_imm (SLL, a0, a0, 1L)) ] @. exit_items a0)
+    42;
+  check_exit
+    Asm.(
+      [ li a0 (-7L); li a1 3L; i (Insn.Mul (REM, a0, a0, a1)) ]
+      @. exit_items a0)
+    ((-1) land 0xFF)
+
+let test_memory_ops () =
+  check_exit
+    Asm.(
+      [
+        li s0 Workloads.Wl_common.data_base;
+        li t0 0x1234L;
+        i (Insn.Store (SW, t0, s0, 0L));
+        i (Insn.Load (LBU, a0, s0, 1L)) (* byte 1 of 0x1234 = 0x12 *);
+      ]
+      @. exit_items a0)
+    0x12
+
+let test_branches_loops () =
+  check_exit
+    Asm.(
+      [
+        li a0 0L;
+        li t0 10L;
+        label "l";
+        i (Insn.Op (ADD, a0, a0, t0));
+        i (Insn.Op_imm (ADD, t0, t0, -1L));
+        bnez t0 "l";
+      ]
+      @. exit_items a0)
+    55
+
+let test_fp () =
+  (* 1.5 * 4.0 + 2.0 = 8.0 *)
+  check_exit
+    Asm.(
+      [
+        li t0 3L;
+        fcvt_d_l ft0 t0;
+        li t0 2L;
+        fcvt_d_l ft1 t0;
+        fdiv ft0 ft0 ft1 (* 1.5 *);
+        li t0 4L;
+        fcvt_d_l ft2 t0;
+        fmadd ft3 ft0 ft2 ft1 (* 1.5*4+2 = 8 *);
+        fcvt_l_d a0 ft3;
+      ]
+      @. exit_items a0)
+    8
+
+let test_ecall_handler () =
+  check_exit
+    Asm.(
+      [
+        la t0 "handler";
+        i (Insn.Csr (CSRRW, 0, t0, Csr.mtvec));
+        li a0 5L;
+        i Insn.Ecall;
+        (* handler bumps a0 and returns past the ecall *)
+        i (Insn.Op_imm (ADD, a0, a0, 100L));
+      ]
+      @. exit_items a0
+      @. [
+           label "handler";
+           i (Insn.Op_imm (ADD, a0, a0, 10L));
+           i (Insn.Csr (CSRRS, t1, 0, Csr.mepc));
+           i (Insn.Op_imm (ADD, t1, t1, 4L));
+           i (Insn.Csr (CSRRW, 0, t1, Csr.mepc));
+           i Insn.Mret;
+         ])
+    115
+
+let test_illegal_instruction () =
+  let m, _ =
+    run_prog
+      Asm.(
+        [
+          la t0 "handler";
+          i (Insn.Csr (CSRRW, 0, t0, Csr.mtvec));
+          i (Insn.Illegal 0l);
+          label "h2";
+          j "h2";
+          label "handler";
+          i (Insn.Csr (CSRRS, a0, 0, Csr.mcause));
+        ]
+        @. exit_items Asm.a0)
+  in
+  Alcotest.(check (option int)) "mcause illegal = 2" (Some 2) (Iss.Interp.exit_code m)
+
+let test_lr_sc () =
+  check_exit
+    Asm.(
+      [
+        li s0 Workloads.Wl_common.data_base;
+        li t0 7L;
+        i (Insn.Store (SD, t0, s0, 0L));
+        i (Insn.Lr (Width_d, t1, s0));
+        i (Insn.Op_imm (ADD, t1, t1, 1L));
+        i (Insn.Sc (Width_d, t2, s0, t1)) (* succeeds: t2 = 0 *);
+        i (Insn.Sc (Width_d, t3, s0, t1)) (* no reservation: t3 = 1 *);
+        i (Insn.Load (LD, a0, s0, 0L)) (* 8 *);
+        i (Insn.Op (ADD, a0, a0, t3)) (* 9 *);
+      ]
+      @. exit_items a0)
+    9
+
+let test_amo_prog () =
+  check_exit
+    Asm.(
+      [
+        li s0 Workloads.Wl_common.data_base;
+        li t0 10L;
+        i (Insn.Store (SD, t0, s0, 0L));
+        li t1 32L;
+        i (Insn.Amo (AMOADD, Width_d, a0, s0, t1)) (* a0 = 10 *);
+        i (Insn.Load (LD, t2, s0, 0L)) (* 42 *);
+        i (Insn.Op (ADD, a0, a0, t2)) (* 52 *);
+      ]
+      @. exit_items a0)
+    52
+
+let test_forced_events () =
+  (* forcing an exception makes the REF trap without executing *)
+  let prog =
+    Asm.assemble
+      Asm.(
+        [ la t0 "handler"; i (Insn.Csr (CSRRW, 0, t0, Csr.mtvec)); li a0 1L ]
+        @. exit_items a0
+        @. [ label "handler"; li a0 77L ]
+        @. exit_items a0)
+  in
+  let m = Iss.Interp.create ~autonomous:false ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  (* step the first three instructions (la = 2 insns + csrrw) *)
+  for _ = 1 to 3 do
+    ignore (Iss.Interp.step m)
+  done;
+  Iss.Interp.force_exception m Trap.Load_page_fault 0xdeadL;
+  (match Iss.Interp.step m with
+  | Iss.Interp.Committed c ->
+      (match c.Iss.Interp.trap with
+      | Some t ->
+          Alcotest.(check bool) "forced exc" true
+            (t.Iss.Interp.exc = Trap.Load_page_fault);
+          Alcotest.(check int64) "tval" 0xdeadL t.Iss.Interp.tval
+      | None -> Alcotest.fail "expected trap");
+      Alcotest.(check int64) "mepc is pc of the skipped insn"
+        c.Iss.Interp.pc m.Iss.Interp.st.Arch_state.csr.Csr.reg_mepc
+  | Iss.Interp.Exited -> Alcotest.fail "exited");
+  ignore (Iss.Interp.run ~max_insns:100 m);
+  Alcotest.(check (option int)) "handler path" (Some 77) (Iss.Interp.exit_code m)
+
+let test_sv39_via_kernel () =
+  (* the vm micro-kernel runs to completion with paging on the REF *)
+  let prog = Workloads.Vm_kernel.program ~scale:1 in
+  let m = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  let _ = Iss.Interp.run ~max_insns:5_000_000 m in
+  match Iss.Interp.exit_code m with
+  | Some c -> Alcotest.(check bool) "vm kernel exits cleanly" true (c <> 0xEE && c <> 0xED)
+  | None -> Alcotest.fail "vm kernel did not exit"
+
+let test_interrupt_autonomous () =
+  let prog = Workloads.Timer.program ~scale:1 in
+  let m = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  let _ = Iss.Interp.run ~max_insns:5_000_000 m in
+  Alcotest.(check (option int)) "3 timer interrupts" (Some 3) (Iss.Interp.exit_code m)
+
+let test_console () =
+  let prog =
+    Asm.assemble
+      Asm.(
+        [
+          li t0 (Int64.add Platform.sim_base Platform.sim_putchar_offset);
+          li t1 72L (* 'H' *);
+          i (Insn.Store (SD, t1, t0, 0L));
+          li t1 105L (* 'i' *);
+          i (Insn.Store (SD, t1, t0, 0L));
+          li a0 0L;
+        ]
+        @. exit_items Asm.a0)
+  in
+  let m = Iss.Interp.create ~hartid:0 () in
+  Iss.Interp.load_program m prog;
+  let _ = Iss.Interp.run ~max_insns:100 m in
+  Alcotest.(check string) "console" "Hi" (Platform.console_output m.Iss.Interp.plat)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "memory ops" `Quick test_memory_ops;
+    Alcotest.test_case "branches and loops" `Quick test_branches_loops;
+    Alcotest.test_case "floating point" `Quick test_fp;
+    Alcotest.test_case "ecall and trap handler" `Quick test_ecall_handler;
+    Alcotest.test_case "illegal instruction" `Quick test_illegal_instruction;
+    Alcotest.test_case "lr/sc" `Quick test_lr_sc;
+    Alcotest.test_case "amo" `Quick test_amo_prog;
+    Alcotest.test_case "DiffTest forced events" `Quick test_forced_events;
+    Alcotest.test_case "Sv39 micro-kernel" `Quick test_sv39_via_kernel;
+    Alcotest.test_case "autonomous timer interrupts" `Quick
+      test_interrupt_autonomous;
+    Alcotest.test_case "console device" `Quick test_console;
+  ]

@@ -1,0 +1,99 @@
+(* Paged COW memory: read/write semantics, snapshot isolation,
+   fork-like cost characteristics. *)
+
+open Riscv
+
+let base = Platform.dram_base
+
+let test_rw () =
+  let m = Memory.create ~base ~size:(1 lsl 20) () in
+  Memory.write_u64 m base 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Memory.read_u64 m base);
+  Alcotest.(check int) "u8 LE" 0xEF (Memory.read_u8 m base);
+  Alcotest.(check int) "u8 hi" 0x01 (Memory.read_u8 m (Int64.add base 7L));
+  Memory.write_u16 m (Int64.add base 16L) 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Memory.read_u16 m (Int64.add base 16L));
+  Memory.write_u32 m (Int64.add base 32L) 0xDEADBEEF;
+  Alcotest.(check int) "u32" 0xDEADBEEF (Memory.read_u32 m (Int64.add base 32L));
+  (* unwritten memory reads as zero without allocating *)
+  Alcotest.(check int64) "zero" 0L (Memory.read_u64 m (Int64.add base 0x8000L));
+  Alcotest.(check int) "pages" 1 (Memory.allocated_pages m)
+
+let test_page_crossing () =
+  let m = Memory.create ~base ~size:(1 lsl 20) () in
+  let addr = Int64.add base 4093L (* crosses the 4K page boundary *) in
+  Memory.write_u64 m addr 0x1122334455667788L;
+  Alcotest.(check int64) "crossing" 0x1122334455667788L (Memory.read_u64 m addr)
+
+let test_snapshot_isolation () =
+  let m = Memory.create ~base ~size:(1 lsl 20) () in
+  Memory.write_u64 m base 111L;
+  Memory.write_u64 m (Int64.add base 0x1000L) 222L;
+  let snap = Memory.snapshot m in
+  Memory.write_u64 m base 999L;
+  Memory.write_u64 m (Int64.add base 0x2000L) 333L;
+  Alcotest.(check int64) "modified" 999L (Memory.read_u64 m base);
+  Memory.restore m snap;
+  Alcotest.(check int64) "restored" 111L (Memory.read_u64 m base);
+  Alcotest.(check int64) "untouched page" 222L
+    (Memory.read_u64 m (Int64.add base 0x1000L));
+  Alcotest.(check int64) "post-snapshot page gone" 0L
+    (Memory.read_u64 m (Int64.add base 0x2000L));
+  (* the snapshot can be restored more than once *)
+  Memory.write_u64 m base 777L;
+  Memory.restore m snap;
+  Alcotest.(check int64) "restored again" 111L (Memory.read_u64 m base)
+
+let test_cow_faults () =
+  let m = Memory.create ~base ~size:(1 lsl 20) () in
+  for i = 0 to 9 do
+    Memory.write_u64 m (Int64.add base (Int64.of_int (i * 0x1000))) 1L
+  done;
+  Memory.reset_stats m;
+  let snap = Memory.snapshot m in
+  (* writes to shared pages trigger exactly one COW fault per page *)
+  Memory.write_u64 m base 2L;
+  Memory.write_u64 m (Int64.add base 8L) 3L;
+  Memory.write_u64 m (Int64.add base 0x1000L) 4L;
+  let stats = Memory.stats m in
+  Alcotest.(check int) "cow faults" 2 stats.Memory.cow_faults;
+  Memory.release_snapshot snap;
+  (* after release, writes do not COW any more *)
+  Memory.reset_stats m;
+  Memory.write_u64 m base 5L;
+  Alcotest.(check int) "no fault after release" 0 (Memory.stats m).Memory.cow_faults
+
+let test_deep_copy_independent () =
+  let m = Memory.create ~base ~size:(1 lsl 20) () in
+  Memory.write_u64 m base 42L;
+  let c = Memory.deep_copy m in
+  Memory.write_u64 m base 43L;
+  Alcotest.(check int64) "copy unchanged" 42L (Memory.read_u64 c base)
+
+let prop_rw =
+  QCheck2.Test.make ~count:500 ~name:"random aligned write/read"
+    QCheck2.Gen.(
+      quad (int_range 0 ((1 lsl 18) - 8)) (oneofl [ 1; 2; 4; 8 ])
+        (map Int64.of_int int) bool)
+    (fun (off, size, v, snapshot_first) ->
+      let m = Memory.create ~base ~size:(1 lsl 18) () in
+      let addr = Int64.add base (Int64.of_int (off land lnot (size - 1))) in
+      let s = if snapshot_first then Some (Memory.snapshot m) else None in
+      Memory.write_bytes_le m addr size v;
+      let mask =
+        if size >= 8 then -1L else Int64.sub (Int64.shift_left 1L (8 * size)) 1L
+      in
+      let got = Memory.read_bytes_le m addr size in
+      (match s with Some s -> Memory.release_snapshot s | None -> ());
+      got = Int64.logand v mask)
+
+let tests =
+  [
+    Alcotest.test_case "read/write widths" `Quick test_rw;
+    Alcotest.test_case "page-crossing access" `Quick test_page_crossing;
+    Alcotest.test_case "snapshot isolation and restore" `Quick
+      test_snapshot_isolation;
+    Alcotest.test_case "COW fault accounting" `Quick test_cow_faults;
+    Alcotest.test_case "deep copy independence" `Quick test_deep_copy_independent;
+    QCheck_alcotest.to_alcotest prop_rw;
+  ]

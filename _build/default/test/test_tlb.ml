@@ -1,0 +1,116 @@
+(* DUT TLB + hardware page walker: translation, permission checks,
+   fault caching (the Figure 3 behaviour), and sfence flushing. *)
+
+open Riscv
+
+let page = 0x1000L
+
+(* Build a one-page Sv39 mapping: va 0x4000_0000 -> pa, via root ->
+   l1 -> l0 tables placed in fresh physical memory. *)
+let make_env () =
+  let backing = Memory.create ~base:Platform.dram_base ~size:(1 lsl 22) () in
+  let l1d =
+    Softmem.Cache.create ~name:"l1d" ~size_bytes:4096 ~ways:4 ~line_shift:6
+      ~hit_latency:2 ~backing ()
+  in
+  Softmem.Cache.set_dram l1d (Softmem.Dram.create (Softmem.Dram.Fixed_amat 50));
+  let tlb = Xiangshan.Tlb.create Xiangshan.Config.yqh ~ptw_port:l1d in
+  let csr = Csr.create ~hartid:0 in
+  csr.Csr.priv <- Csr.S;
+  let root = Platform.dram_base in
+  let l1 = Int64.add root page in
+  let l0 = Int64.add root (Int64.mul 2L page) in
+  let data = Int64.add root (Int64.mul 16L page) in
+  Memory.write_u64 backing (Int64.add root 8L) (Pte.make ~pa:l1 [ Pte.v ]);
+  Memory.write_u64 backing l1 (Pte.make ~pa:l0 [ Pte.v ]);
+  Memory.write_u64 backing l0
+    (Pte.make ~pa:data [ Pte.v; Pte.r; Pte.w; Pte.a; Pte.d ]);
+  csr.Csr.reg_satp <- Pte.make_satp ~mode:8 ~asid:0 ~root_pa:root;
+  (backing, tlb, csr, data)
+
+let va = 0x4000_0000L
+
+let test_translate_and_cache () =
+  let _, tlb, csr, data = make_env () in
+  (match Xiangshan.Tlb.translate tlb csr (Int64.add va 0x123L) Xiangshan.Tlb.Load with
+  | Xiangshan.Tlb.Translated pa, lat ->
+      Alcotest.(check int64) "pa" (Int64.add data 0x123L) pa;
+      Alcotest.(check bool) "walk cost" true (lat > 0)
+  | Xiangshan.Tlb.Page_fault _, _ -> Alcotest.fail "unexpected fault");
+  (* second access hits the L1 TLB: zero latency *)
+  match Xiangshan.Tlb.translate tlb csr (Int64.add va 0x456L) Xiangshan.Tlb.Load with
+  | Xiangshan.Tlb.Translated _, lat -> Alcotest.(check int) "tlb hit" 0 lat
+  | Xiangshan.Tlb.Page_fault _, _ -> Alcotest.fail "unexpected fault"
+
+let test_permissions () =
+  let _, tlb, csr, _ = make_env () in
+  (* page is R+W but not X: fetch must fault *)
+  match Xiangshan.Tlb.translate tlb csr va Xiangshan.Tlb.Fetch with
+  | Xiangshan.Tlb.Page_fault (exc, tval), _ ->
+      Alcotest.(check bool) "fetch page fault" true
+        (exc = Trap.Fetch_page_fault);
+      Alcotest.(check int64) "tval" va tval
+  | Xiangshan.Tlb.Translated _, _ -> Alcotest.fail "fetch should fault"
+
+let test_fault_caching_until_sfence () =
+  (* the Figure 3 behaviour: a failed walk is cached; fixing the PTE
+     in memory does not help until an sfence.vma *)
+  let backing, tlb, csr, _ = make_env () in
+  let va2 = Int64.add va page in
+  (match Xiangshan.Tlb.translate tlb csr va2 Xiangshan.Tlb.Store with
+  | Xiangshan.Tlb.Page_fault _, _ -> ()
+  | Xiangshan.Tlb.Translated _, _ -> Alcotest.fail "unmapped page must fault");
+  (* install the PTE (what the kernel's fault handler does) *)
+  let l0 = Int64.add Platform.dram_base (Int64.mul 2L page) in
+  let newpage = Int64.add Platform.dram_base (Int64.mul 20L page) in
+  Memory.write_u64 backing (Int64.add l0 8L)
+    (Pte.make ~pa:newpage [ Pte.v; Pte.r; Pte.w; Pte.a; Pte.d ]);
+  (* still faults: the invalid PTE was legally cached in the TLB *)
+  (match Xiangshan.Tlb.translate tlb csr va2 Xiangshan.Tlb.Store with
+  | Xiangshan.Tlb.Page_fault _, _ -> ()
+  | Xiangshan.Tlb.Translated _, _ ->
+      Alcotest.fail "cached fault must persist until sfence");
+  Alcotest.(check bool) "cached-fault hits counted" true
+    (tlb.Xiangshan.Tlb.cached_fault_hits > 0);
+  Xiangshan.Tlb.flush tlb;
+  match Xiangshan.Tlb.translate tlb csr va2 Xiangshan.Tlb.Store with
+  | Xiangshan.Tlb.Translated pa, _ ->
+      Alcotest.(check int64) "mapped after sfence" newpage pa
+  | Xiangshan.Tlb.Page_fault _, _ -> Alcotest.fail "should map after sfence"
+
+let test_bare_mode () =
+  let _, tlb, csr, _ = make_env () in
+  csr.Csr.reg_satp <- 0L;
+  match Xiangshan.Tlb.translate tlb csr 0x8000_0000L Xiangshan.Tlb.Load with
+  | Xiangshan.Tlb.Translated pa, lat ->
+      Alcotest.(check int64) "identity" 0x8000_0000L pa;
+      Alcotest.(check int) "free" 0 lat
+  | Xiangshan.Tlb.Page_fault _, _ -> Alcotest.fail "bare mode cannot fault"
+
+let test_m_mode_bypass () =
+  let _, tlb, csr, _ = make_env () in
+  csr.Csr.priv <- Csr.M;
+  match Xiangshan.Tlb.translate tlb csr 0x8000_0000L Xiangshan.Tlb.Store with
+  | Xiangshan.Tlb.Translated pa, _ ->
+      Alcotest.(check int64) "M-mode bypasses satp" 0x8000_0000L pa
+  | Xiangshan.Tlb.Page_fault _, _ -> Alcotest.fail "M-mode cannot fault"
+
+let test_non_canonical () =
+  let _, tlb, csr, _ = make_env () in
+  match
+    Xiangshan.Tlb.translate tlb csr 0x0100_0000_0000_0000L Xiangshan.Tlb.Load
+  with
+  | Xiangshan.Tlb.Page_fault _, _ -> ()
+  | Xiangshan.Tlb.Translated _, _ ->
+      Alcotest.fail "non-canonical va must fault"
+
+let tests =
+  [
+    Alcotest.test_case "walk, map and TLB hit" `Quick test_translate_and_cache;
+    Alcotest.test_case "permission checks" `Quick test_permissions;
+    Alcotest.test_case "fault caching until sfence (Fig 3)" `Quick
+      test_fault_caching_until_sfence;
+    Alcotest.test_case "bare mode" `Quick test_bare_mode;
+    Alcotest.test_case "M-mode bypass" `Quick test_m_mode_bypass;
+    Alcotest.test_case "non-canonical address" `Quick test_non_canonical;
+  ]

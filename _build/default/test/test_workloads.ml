@@ -1,0 +1,100 @@
+(* Workload-suite self-checks: every program assembles at every scale
+   the harness uses, labels resolve, the suites are well-formed, and
+   the behavioural properties the experiments rely on hold. *)
+
+let all_programs () =
+  Workloads.Suite.all @ Workloads.Suite.llc_stress @ Workloads.Suite.system
+  @ Workloads.Suite.smp
+
+let test_assemble_all_scales () =
+  List.iter
+    (fun (w : Workloads.Wl_common.t) ->
+      List.iter
+        (fun scale ->
+          let p = w.program ~scale in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%d nonempty" w.wl_name scale)
+            true
+            (Array.length p.Riscv.Asm.words > 10);
+          Alcotest.(check int64)
+            (Printf.sprintf "%s@%d entry" w.wl_name scale)
+            Riscv.Platform.dram_base p.Riscv.Asm.entry)
+        [ 1; w.small; w.big ])
+    (all_programs ())
+
+let test_unique_names () =
+  let names = List.map (fun w -> w.Workloads.Wl_common.wl_name) (all_programs ()) in
+  Alcotest.(check int) "unique workload names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_groups () =
+  Alcotest.(check int) "5 int kernels" 5 (List.length Workloads.Suite.ints);
+  Alcotest.(check int) "4 fp kernels" 4 (List.length Workloads.Suite.fps);
+  List.iter
+    (fun (w : Workloads.Wl_common.t) ->
+      Alcotest.(check bool) (w.wl_name ^ " is fp") true (w.group = `Fp))
+    Workloads.Suite.fps
+
+let test_scale_monotonic () =
+  (* more scale must mean more retired instructions *)
+  List.iter
+    (fun name ->
+      let w = Workloads.Suite.find name in
+      let count scale =
+        let m = Iss.Interp.create ~hartid:0 () in
+        Iss.Interp.load_program m (w.program ~scale);
+        Iss.Interp.run ~max_insns:50_000_000 m
+      in
+      let n1 = count 1 and n3 = count 3 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s scales (%d -> %d)" name n1 n3)
+        true (n3 > n1))
+    [ "coremark_like"; "sjeng_like"; "bwaves_like" ]
+
+let test_fp_kernels_use_fp () =
+  (* the SPECfp-like group must actually execute FP instructions *)
+  List.iter
+    (fun (w : Workloads.Wl_common.t) ->
+      let prog = w.program ~scale:1 in
+      let fp_insns =
+        Array.fold_left
+          (fun acc word ->
+            if Riscv.Insn.is_fp (Riscv.Decode.decode word) then acc + 1 else acc)
+          0 prog.Riscv.Asm.words
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has %d FP instructions" w.wl_name fp_insns)
+        true (fp_insns > 5))
+    Workloads.Suite.fps
+
+let test_footprints () =
+  (* the LLC-stress kernels must touch multi-MB regions (that is
+     their entire purpose in Figure 12) *)
+  let touched prog =
+    let m = Iss.Interp.create ~hartid:0 () in
+    Iss.Interp.load_program m prog;
+    let _ = Iss.Interp.run ~max_insns:100_000_000 m in
+    Riscv.Memory.allocated_pages m.Iss.Interp.plat.Riscv.Platform.mem * 4096
+  in
+  let f = touched (Workloads.Int_kernels.mcf_llc ~scale:1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mcf_llc touches %d KB" (f / 1024))
+    true
+    (f > 3 * 1024 * 1024);
+  let small = touched ((Workloads.Suite.find "sjeng_like").program ~scale:1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sjeng stays small (%d KB)" (small / 1024))
+    true
+    (small < 256 * 1024)
+
+let tests =
+  [
+    Alcotest.test_case "all programs assemble at all scales" `Quick
+      test_assemble_all_scales;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "suite groups" `Quick test_groups;
+    Alcotest.test_case "scaling is monotonic" `Slow test_scale_monotonic;
+    Alcotest.test_case "fp kernels use fp" `Quick test_fp_kernels_use_fp;
+    Alcotest.test_case "LLC-stress footprints" `Slow test_footprints;
+  ]
