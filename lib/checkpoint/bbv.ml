@@ -42,6 +42,9 @@ let snapshot_vector (t : t) =
    boundaries. *)
 let attach (t : t) (engine : Nemu.Fast.t) =
   engine.Nemu.Fast.prof_on <- true;
+  (* entries compiled before profiling was enabled fold unconditional
+     jumps into their traces, hiding those edges; recompile them *)
+  Nemu.Fast.flush engine;
   engine.Nemu.Fast.prof_edge <-
     (fun src _dst ->
       Hashtbl.replace t.counts src

@@ -54,9 +54,12 @@ let plain_subject ~memories ~roots =
 let detach_pages (m : Riscv.Memory.t) =
   let p = m.Riscv.Memory.pages in
   m.Riscv.Memory.pages <- [||];
+  Riscv.Memory.invalidate_caches m;
   p
 
-let reattach_pages (m : Riscv.Memory.t) p = m.Riscv.Memory.pages <- p
+let reattach_pages (m : Riscv.Memory.t) p =
+  m.Riscv.Memory.pages <- p;
+  Riscv.Memory.invalidate_caches m
 
 (* Take a lightweight snapshot at [cycle]. *)
 let snapshot (s : 'a subject) ~cycle : snapshot =

@@ -11,22 +11,54 @@ let name = function
   | Qemu_tci_like -> "QEMU-TCI-like"
   | Dromajo_like -> "Dromajo-like"
 
-(* Run [prog] on a fresh machine; returns (instructions, seconds). *)
-let run_program ?(max_insns = 2_000_000_000) ?(dram_size = 64 * 1024 * 1024)
-    (kind : kind) (prog : Riscv.Asm.program) : int * float =
+type stats = {
+  insns : int;
+  seconds : float;
+  (* NEMU uop-cache counters; zero for the other engines *)
+  flushes : int;
+  slow_lookups : int;
+  compiled : int;
+  evictions : int;
+  recompiles : int;
+}
+
+(* Run [prog] on a fresh machine; returns run statistics. *)
+let run_program_stats ?(max_insns = 2_000_000_000)
+    ?(dram_size = 64 * 1024 * 1024) (kind : kind) (prog : Riscv.Asm.program) :
+    stats =
   let m = Mach.create ~dram_size () in
   Mach.load_program m prog;
   let t0 = Unix.gettimeofday () in
-  let n =
+  let n, counters =
     match kind with
     | Nemu ->
         let t = Fast.create m in
-        Fast.run t ~max_insns
-    | Spike_like -> Spike_like.run m ~max_insns
-    | Qemu_tci_like -> Qemu_tci_like.run m ~max_insns
-    | Dromajo_like -> Dromajo_like.run m ~max_insns
+        let n = Fast.run t ~max_insns in
+        ( n,
+          Some
+            Fast.
+              (t.flushes, t.slow_lookups, t.compiled, t.evictions, t.recompiles)
+        )
+    | Spike_like -> (Spike_like.run m ~max_insns, None)
+    | Qemu_tci_like -> (Qemu_tci_like.run m ~max_insns, None)
+    | Dromajo_like -> (Dromajo_like.run m ~max_insns, None)
   in
   let t1 = Unix.gettimeofday () in
-  (n, t1 -. t0)
+  let flushes, slow_lookups, compiled, evictions, recompiles =
+    match counters with Some c -> c | None -> (0, 0, 0, 0, 0)
+  in
+  {
+    insns = n;
+    seconds = t1 -. t0;
+    flushes;
+    slow_lookups;
+    compiled;
+    evictions;
+    recompiles;
+  }
+
+let run_program ?max_insns ?dram_size kind prog =
+  let s = run_program_stats ?max_insns ?dram_size kind prog in
+  (s.insns, s.seconds)
 
 let mips n secs = if secs <= 0.0 then 0.0 else float_of_int n /. secs /. 1e6

@@ -16,6 +16,23 @@ val all : kind list
 
 val name : kind -> string
 
+type stats = {
+  insns : int;  (** instructions retired *)
+  seconds : float;  (** wall-clock run time *)
+  flushes : int;  (** NEMU uop-cache whole flushes (system events) *)
+  slow_lookups : int;  (** NEMU chain misses resolved via the hash list *)
+  compiled : int;  (** NEMU superblocks compiled *)
+  evictions : int;  (** NEMU entries demoted by capacity eviction *)
+  recompiles : int;  (** NEMU evicted entries rebuilt via stale chains *)
+}
+(** Per-run statistics.  The uop-cache counters are zero for every
+    engine but [Nemu]. *)
+
+val run_program_stats :
+  ?max_insns:int -> ?dram_size:int -> kind -> Riscv.Asm.program -> stats
+(** [run_program_stats kind prog] runs [prog] to completion (or the
+    budget) on a fresh machine and reports full statistics. *)
+
 val run_program :
   ?max_insns:int ->
   ?dram_size:int ->

@@ -9,7 +9,17 @@
    - qemu_tci_like only uses it for system instructions.
 
    NEMU instead compiles each instruction into a specialised closure
-   (see fast.ml). *)
+   (see fast.ml), but shares [load]/[store]/[fetch_decode] as its
+   slow path.
+
+   Memory accesses consult the host TLB in [Mach] before the full Sv39
+   walk: a hit resolves a virtual access with one array read.  Only
+   DRAM-backed pages are cached (MMIO always takes the slow path).
+   Privilege switches retarget the TLB's per-privilege partition
+   ([Mach.sync_priv]: the [Mret]/[Sret] arms below plus
+   [Mach.take_trap]); remapping events flush it
+   ([Mach.sync_translation]: the [Sfence_vma] and satp/status [Csr]
+   arms). *)
 
 open Riscv
 
@@ -50,32 +60,67 @@ let soft_fp =
     f_fused = soft_fused;
   }
 
-let check_aligned vaddr size exc =
-  if Int64.rem vaddr (Int64.of_int size) <> 0L then
+(* Widths are powers of two, so the remainder test is a mask test. *)
+let[@inline] check_aligned vaddr size exc =
+  if Int64.logand vaddr (Int64.of_int (size - 1)) <> 0L then
     raise (Trap.Exception (exc, vaddr))
 
 let load (m : Mach.t) vaddr size =
   check_aligned vaddr size Trap.Load_misaligned;
-  let pa = Mach.translate m vaddr Iss.Mmu.Load in
-  if Memory.in_range m.plat.Platform.mem pa then
-    Memory.read_bytes_le m.plat.Platform.mem pa size
+  let mem = m.Mach.plat.Platform.mem in
+  if not m.Mach.paging then begin
+    if Memory.in_range mem vaddr then Memory.read_bytes_le mem vaddr size
+    else
+      match Platform.read m.plat ~addr:vaddr ~size with
+      | v -> v
+      | exception Platform.Bus_fault _ ->
+          raise (Trap.Exception (Trap.Load_access, vaddr))
+  end
   else begin
-    match Platform.read m.plat ~addr:pa ~size with
-    | v -> v
-    | exception Platform.Bus_fault _ ->
-        raise (Trap.Exception (Trap.Load_access, vaddr))
+    let pa = Mach.tlb_lookup m Mach.tlb_load vaddr in
+    if pa <> Int64.min_int then Memory.read_bytes_le mem pa size
+    else begin
+      let pa = Iss.Mmu.translate m.plat m.csr vaddr Iss.Mmu.Load in
+      if Memory.in_range mem pa then begin
+        Mach.tlb_fill m Mach.tlb_load vaddr pa;
+        Memory.read_bytes_le mem pa size
+      end
+      else
+        match Platform.read m.plat ~addr:pa ~size with
+        | v -> v
+        | exception Platform.Bus_fault _ ->
+            raise (Trap.Exception (Trap.Load_access, vaddr))
+    end
   end
 
 let store (m : Mach.t) vaddr size v =
   check_aligned vaddr size Trap.Store_misaligned;
-  let pa = Mach.translate m vaddr Iss.Mmu.Store in
-  if Memory.in_range m.plat.Platform.mem pa then
-    Memory.write_bytes_le m.plat.Platform.mem pa size v
+  let mem = m.Mach.plat.Platform.mem in
+  if not m.Mach.paging then begin
+    if Memory.in_range mem vaddr then Memory.write_bytes_le mem vaddr size v
+    else begin
+      (try Platform.write m.plat ~addr:vaddr ~size v
+       with Platform.Bus_fault _ ->
+         raise (Trap.Exception (Trap.Store_access, vaddr)));
+      Mach.check_running m
+    end
+  end
   else begin
-    (try Platform.write m.plat ~addr:pa ~size v
-     with Platform.Bus_fault _ ->
-       raise (Trap.Exception (Trap.Store_access, vaddr)));
-    Mach.check_running m
+    let pa = Mach.tlb_lookup m Mach.tlb_store vaddr in
+    if pa <> Int64.min_int then Memory.write_bytes_le mem pa size v
+    else begin
+      let pa = Iss.Mmu.translate m.plat m.csr vaddr Iss.Mmu.Store in
+      if Memory.in_range mem pa then begin
+        Mach.tlb_fill m Mach.tlb_store vaddr pa;
+        Memory.write_bytes_le mem pa size v
+      end
+      else begin
+        (try Platform.write m.plat ~addr:pa ~size v
+         with Platform.Bus_fault _ ->
+           raise (Trap.Exception (Trap.Store_access, vaddr)));
+        Mach.check_running m
+      end
+    end
   end
 
 (* Execute one decoded instruction at [pc]; updates m.pc.
@@ -83,6 +128,8 @@ let store (m : Mach.t) vaddr size v =
 let exec (fp : fp_ops) (m : Mach.t) (pc : int64) (insn : Insn.t) : unit =
   let rg = Mach.get_reg m in
   let wr = Mach.set_reg m in
+  let frg i = Bigarray.Array1.get m.Mach.fregs i in
+  let fwr i v = Bigarray.Array1.set m.Mach.fregs i v in
   let next = Int64.add pc 4L in
   match insn with
   | Lui (rd, imm) ->
@@ -178,6 +225,8 @@ let exec (fp : fp_ops) (m : Mach.t) (pc : int64) (insn : Insn.t) : unit =
             if rs1 <> 0 then
               Csr.write m.csr addr (Int64.logand old_v (Int64.lognot src)));
         wr rd old_v;
+        if addr = Csr.satp || addr = Csr.mstatus || addr = Csr.sstatus then
+          Mach.sync_translation m;
         m.pc <- next
       with Csr.Illegal_csr _ ->
         raise (Trap.Exception (Trap.Illegal_instruction, 0L)))
@@ -193,18 +242,22 @@ let exec (fp : fp_ops) (m : Mach.t) (pc : int64) (insn : Insn.t) : unit =
   | Mret ->
       if m.csr.Csr.priv <> Csr.M then
         raise (Trap.Exception (Trap.Illegal_instruction, 0L));
-      m.pc <- Trap.mret m.csr
+      m.pc <- Trap.mret m.csr;
+      Mach.sync_priv m
   | Sret ->
       if m.csr.Csr.priv = Csr.U then
         raise (Trap.Exception (Trap.Illegal_instruction, 0L));
-      m.pc <- Trap.sret m.csr
+      m.pc <- Trap.sret m.csr;
+      Mach.sync_priv m
   | Wfi | Fence | Fence_i -> m.pc <- next
-  | Sfence_vma (_, _) -> m.pc <- next
+  | Sfence_vma (_, _) ->
+      Mach.sync_translation m;
+      m.pc <- next
   | Fld (frd, rs1, imm) ->
-      m.fregs.(frd) <- load m (Int64.add (rg rs1) imm) 8;
+      fwr frd (load m (Int64.add (rg rs1) imm) 8);
       m.pc <- next
   | Fsd (frs2, rs1, imm) ->
-      store m (Int64.add (rg rs1) imm) 8 m.fregs.(frs2);
+      store m (Int64.add (rg rs1) imm) 8 (frg frs2);
       m.pc <- next
   | Fp_rrr (op, frd, f1, f2) ->
       let f =
@@ -214,58 +267,73 @@ let exec (fp : fp_ops) (m : Mach.t) (pc : int64) (insn : Insn.t) : unit =
         | FMUL -> fp.f_mul
         | FDIV -> fp.f_div
       in
-      m.fregs.(frd) <- f m.fregs.(f1) m.fregs.(f2);
+      fwr frd (f (frg f1) (frg f2));
       m.pc <- next
   | Fp_fused (op, frd, f1, f2, f3) ->
-      m.fregs.(frd) <- fp.f_fused op m.fregs.(f1) m.fregs.(f2) m.fregs.(f3);
+      fwr frd (fp.f_fused op (frg f1) (frg f2) (frg f3));
       m.pc <- next
   | Fp_sign (op, frd, f1, f2) ->
-      m.fregs.(frd) <- Iss.Fpu.sign_inject op m.fregs.(f1) m.fregs.(f2);
+      fwr frd (Iss.Fpu.sign_inject op (frg f1) (frg f2));
       m.pc <- next
   | Fp_minmax (op, frd, f1, f2) ->
-      m.fregs.(frd) <- Iss.Fpu.minmax op m.fregs.(f1) m.fregs.(f2);
+      fwr frd (Iss.Fpu.minmax op (frg f1) (frg f2));
       m.pc <- next
   | Fp_cmp (op, rd, f1, f2) ->
-      wr rd (Iss.Fpu.cmp op m.fregs.(f1) m.fregs.(f2));
+      wr rd (Iss.Fpu.cmp op (frg f1) (frg f2));
       m.pc <- next
   | Fsqrt_d (frd, f1) ->
-      m.fregs.(frd) <- fp.f_sqrt m.fregs.(f1);
+      fwr frd (fp.f_sqrt (frg f1));
       m.pc <- next
   | Fcvt_d_l (frd, rs1) ->
-      m.fregs.(frd) <- Iss.Fpu.cvt_d_l (rg rs1);
+      fwr frd (Iss.Fpu.cvt_d_l (rg rs1));
       m.pc <- next
   | Fcvt_d_lu (frd, rs1) ->
-      m.fregs.(frd) <- Iss.Fpu.cvt_d_lu (rg rs1);
+      fwr frd (Iss.Fpu.cvt_d_lu (rg rs1));
       m.pc <- next
   | Fcvt_d_w (frd, rs1) ->
-      m.fregs.(frd) <- Iss.Fpu.cvt_d_w (rg rs1);
+      fwr frd (Iss.Fpu.cvt_d_w (rg rs1));
       m.pc <- next
   | Fcvt_l_d (rd, f1) ->
-      wr rd (Iss.Fpu.cvt_l_d m.fregs.(f1));
+      wr rd (Iss.Fpu.cvt_l_d (frg f1));
       m.pc <- next
   | Fcvt_lu_d (rd, f1) ->
-      wr rd (Iss.Fpu.cvt_lu_d m.fregs.(f1));
+      wr rd (Iss.Fpu.cvt_lu_d (frg f1));
       m.pc <- next
   | Fcvt_w_d (rd, f1) ->
-      wr rd (Iss.Fpu.cvt_w_d m.fregs.(f1));
+      wr rd (Iss.Fpu.cvt_w_d (frg f1));
       m.pc <- next
   | Fmv_x_d (rd, f1) ->
-      wr rd m.fregs.(f1);
+      wr rd (frg f1);
       m.pc <- next
   | Fmv_d_x (frd, rs1) ->
-      m.fregs.(frd) <- rg rs1;
+      fwr frd (rg rs1);
       m.pc <- next
   | Fclass_d (rd, f1) ->
-      wr rd (Iss.Fpu.classify m.fregs.(f1));
+      wr rd (Iss.Fpu.classify (frg f1));
       m.pc <- next
   | Illegal _ -> raise (Trap.Exception (Trap.Illegal_instruction, 0L))
 
-(* Fetch and decode the instruction at m.pc. *)
-let fetch_decode (m : Mach.t) : Insn.t =
-  let pa = Mach.translate m m.pc Iss.Mmu.Fetch in
-  if Memory.in_range m.plat.Platform.mem pa then
-    Decode.decode_int (Memory.read_u32 m.plat.Platform.mem pa)
-  else raise (Trap.Exception (Trap.Fetch_access, m.pc))
+(* Fetch and decode the instruction at [?at] (default m.pc). *)
+let fetch_decode ?at (m : Mach.t) : Insn.t =
+  let va = match at with Some pc -> pc | None -> m.Mach.pc in
+  let mem = m.Mach.plat.Platform.mem in
+  if not m.Mach.paging then begin
+    if Memory.in_range mem va then
+      Decode.decode_int (Memory.read_u32 mem va)
+    else raise (Trap.Exception (Trap.Fetch_access, va))
+  end
+  else begin
+    let pa = Mach.tlb_lookup m Mach.tlb_fetch va in
+    if pa <> Int64.min_int then Decode.decode_int (Memory.read_u32 mem pa)
+    else begin
+      let pa = Iss.Mmu.translate m.plat m.csr va Iss.Mmu.Fetch in
+      if Memory.in_range mem pa then begin
+        Mach.tlb_fill m Mach.tlb_fetch va pa;
+        Decode.decode_int (Memory.read_u32 mem pa)
+      end
+      else raise (Trap.Exception (Trap.Fetch_access, va))
+    end
+  end
 
 (* One full step with trap handling. *)
 let step (fp : fp_ops) (m : Mach.t) : unit =
@@ -273,6 +341,5 @@ let step (fp : fp_ops) (m : Mach.t) : unit =
   (try
      let insn = fetch_decode m in
      exec fp m pc insn
-   with Trap.Exception (exc, tval) ->
-     m.pc <- Trap.take_exception m.csr exc tval ~epc:pc);
+   with Trap.Exception (exc, tval) -> Mach.take_trap m exc tval ~epc:pc);
   m.instret <- m.instret + 1

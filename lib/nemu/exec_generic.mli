@@ -34,7 +34,9 @@ val exec : fp_ops -> Mach.t -> int64 -> Insn.t -> unit
 (** Execute one decoded instruction at a pc; updates [Mach.pc].
     @raise Trap.Exception for traps (callers perform trap entry). *)
 
-val fetch_decode : Mach.t -> Insn.t
+val fetch_decode : ?at:int64 -> Mach.t -> Insn.t
+(** Fetch and decode at [?at] (default [Mach.pc]) without touching
+    [Mach.pc]; the NEMU superblock compiler uses [?at] for lookahead. *)
 
 val step : fp_ops -> Mach.t -> unit
 (** Full fetch/decode/execute step with trap handling. *)

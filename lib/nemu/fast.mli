@@ -1,27 +1,61 @@
 (** NEMU: the fast threaded-code interpreter (paper §III-D1,
-    Figure 7).
+    Figure 7), extended with superblock compilation.
 
     Every guest instruction is compiled once into a specialised
     closure whose operands -- register indices, immediates, the pc --
-    are inlined at compile time.  The closures live in uop-cache
-    entries chained to each other: [seq] is the fall-through successor
-    (the paper's "add 1 to upc"), [tgt] the taken target of a direct
-    branch or jump (block chaining), and indirect jumps query the hash
-    list in their execution routine.  On the fast path an executed uop
-    returns the next entry directly -- no fetch, no decode, no pc
-    maintenance; only a chain miss falls back to the slow path
-    (fetch + decode + allocate + patch).
+    are inlined at compile time.  Straight-line runs of closures are
+    fused into superblocks executed by a single dispatch that
+    bulk-updates [instret] and checks the run budget once per block;
+    unconditional jumps are folded into the trace, so a superblock
+    can span short then/else arms and loop latches.
+    Entries are chained at block granularity: [seq] is the
+    fall-through successor (the paper's "add 1 to upc"), [tgt] the
+    taken target of a direct branch or jump (block chaining), and
+    indirect jumps query the hash list in their terminal routine.  On
+    the fast path an executed block returns the next entry directly --
+    no fetch, no decode, no pc maintenance; only a chain miss falls
+    back to the slow path (fetch + decode + compile + patch).
 
     Writes to x0 are redirected at compile time to the sink register
     slot (§III-D1b); common pseudo-instruction forms (li / mv / nop /
     ret / beqz ...) get dedicated routines with constants inlined
     (§III-D1c); floating point uses the host FPU (§III-D1d).
 
-    The cache is flushed when full or on a system event (privilege
-    change, fetch fault), as in the paper. *)
+    Each privilege level owns its own cache table (entries are keyed
+    by virtual pc, which maps to different code under different
+    privileges): traps and mret/sret just redirect the active table,
+    so syscall-heavy guests keep their compiled working set.  All
+    tables are flushed together on events that can remap or rewrite
+    code (sfence.vma, satp writes, fence.i); when a table reaches
+    capacity a bounded victim set is evicted and stale chains into the
+    victims self-heal by in-place recompilation.
+
+    Precision: a trap from the i-th instruction of a block retires
+    i+1 instructions with a precise epc, and {!run} retires exactly
+    [max_insns] unless the machine exits (checkpointing relies on
+    this). *)
 
 type entry = {
   e_pc : int64;
+  mutable e_len : int;  (** instructions retired by a full pass *)
+  mutable body : (unit -> unit) array;
+      (** coalesced execution slots: up to four guest instructions per
+          dispatch; an instruction that can trap (load/store) may only
+          be a slot's final element *)
+  mutable steps : (unit -> unit) array;
+      (** the unfused per-instruction view used for exact partial
+          stops *)
+  mutable offs : int array;
+      (** byte offset from [e_pc] of each instruction plus a final
+          slot for the pc after the last one; traces fold
+          unconditional jumps, so bodies are not contiguous *)
+  mutable slot_ret : int array;
+      (** per-slot count of guest instructions retired through the end
+          of the slot -- the exact retire count when the slot raises,
+          since only its final instruction can *)
+  mutable slot_offs : int array;
+      (** per-slot byte offset from [e_pc] of the slot's final
+          instruction (the only one that can raise) *)
   mutable exec : exec_fn;
   mutable seq : entry option;
   mutable tgt : entry option;
@@ -33,13 +67,19 @@ type patch_slot = Patch_seq | Patch_tgt | Patch_none
 
 type t = {
   m : Mach.t;
-  cache : (int64, entry) Hashtbl.t; (** the hash list *)
+  caches : (int64, entry) Hashtbl.t array;
+      (** one hash list per privilege (U/S/M): privilege switches
+          redirect [cache] instead of flushing *)
+  mutable cache : (int64, entry) Hashtbl.t;
+      (** the active privilege's hash list *)
   capacity : int;
   mutable patch : entry option;
   mutable patch_slot : patch_slot;
   mutable flushes : int;
   mutable slow_lookups : int;
   mutable compiled : int;
+  mutable evictions : int; (** entries demoted by capacity eviction *)
+  mutable recompiles : int; (** evicted entries rebuilt via stale chains *)
   mutable prof_on : bool;
   mutable prof_edge : int64 -> int64 -> unit;
       (** BBV profiling hook: called with (source pc, target pc) of

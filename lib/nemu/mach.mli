@@ -5,19 +5,41 @@
     unused variable.  NEMU's compiler redirects writes whose
     destination is x0 to the sink so execution routines never need an
     [if rd <> 0] check (paper §III-D1b); the baseline engines use the
-    same register file with the traditional check. *)
+    same register file with the traditional check.
+
+    Register files are Bigarrays so int64 register writes are unboxed
+    plain stores (no allocation, no GC write barrier).
+
+    [Mach] also hosts the engines' host TLB: direct-mapped
+    VPN->page-base caches (one per access kind, partitioned by
+    privilege) consulted before the full Sv39 walk.  Plain privilege
+    switches (trap entry/return) go through
+    {!take_trap}/{!take_irq}/{!sync_priv}, which just retarget the
+    active partition; events that can remap pages or change
+    permissions (sfence.vma, satp/mstatus/sstatus writes) must go
+    through {!sync_translation}, which also flushes, so the TLB and
+    the cached {!field-paging} flag stay coherent. *)
 
 open Riscv
 
+type regfile =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  regs : int64 array; (** 33 entries; slot 32 is the x0 write sink *)
-  fregs : int64 array;
+  regs : regfile; (** 33 entries; slot 32 is the x0 write sink *)
+  fregs : regfile;
   mutable pc : int64;
   csr : Csr.t;
   plat : Platform.t;
   mutable reservation : int64 option;
   mutable instret : int;
   mutable running : bool;
+  mutable paging : bool;
+      (** cached [paging_on]; kept in sync by {!sync_priv} *)
+  mutable tlb_off : int;
+      (** active privilege's TLB partition offset (0 = U, 3 x size = S) *)
+  tlb_tags : int64 array;
+  tlb_base : int64 array;
 }
 
 val sink : int
@@ -35,8 +57,39 @@ val exited : t -> bool
 val exit_code : t -> int option
 
 val paging_on : t -> bool
+(** Recomputed from the CSR file (slow); engines read the cached
+    [paging] field instead. *)
 
 val translate : t -> int64 -> Iss.Mmu.access -> int64
+
+(** {1 Host TLB} *)
+
+val tlb_fetch : int
+val tlb_load : int
+val tlb_store : int
+
+val tlb_lookup : t -> int -> int64 -> int64
+(** [tlb_lookup t kind va] is the physical address, or [Int64.min_int]
+    on a miss. *)
+
+val tlb_fill : t -> int -> int64 -> int64 -> unit
+(** [tlb_fill t kind va pa].  Only fill with DRAM-backed [pa]. *)
+
+val tlb_flush : t -> unit
+
+val sync_priv : t -> unit
+(** Recompute the cached [paging] flag and retarget the TLB partition
+    after a privilege change; does not flush. *)
+
+val sync_translation : t -> unit
+(** {!sync_priv} plus a full TLB flush.  Must be called after any
+    satp/mstatus/sstatus write or sfence.vma. *)
+
+val take_trap : t -> Trap.exc -> int64 -> epc:int64 -> unit
+(** Architectural trap entry (sets [pc]) plus {!sync_priv}. *)
+
+val take_irq : t -> Trap.irq -> unit
+(** Interrupt entry at [epc = pc], plus {!sync_priv}. *)
 
 val check_running : t -> unit
 (** Fold the platform's exit flag into [running]. *)

@@ -109,14 +109,8 @@ let translate (m : Mach.t) (start_pc : int64) : block =
     if n >= max_block_insns then emit op_end 0 0 0 0 (imm pc)
     else begin
       let insn =
-        let saved = m.Mach.pc in
-        m.Mach.pc <- pc;
-        let i =
-          try Exec_generic.fetch_decode m
-          with Trap.Exception _ -> Insn.Illegal 0l
-        in
-        m.Mach.pc <- saved;
-        i
+        try Exec_generic.fetch_decode ~at:pc m
+        with Trap.Exception _ -> Insn.Illegal 0l
       in
       let continue () = go (Int64.add pc 4L) (n + 1) in
       match insn with
@@ -198,8 +192,8 @@ let translate (m : Mach.t) (start_pc : int64) : block =
 let exec_block (m : Mach.t) (b : block) : int =
   let code = b.code and imms = b.imms in
   let regs = m.Mach.regs in
-  let rg r = if r = 0 then 0L else regs.(r) in
-  let wr r v = if r <> 0 then regs.(r) <- v in
+  let rg r = if r = 0 then 0L else Bigarray.Array1.get regs r in
+  let wr r v = if r <> 0 then Bigarray.Array1.set regs r v in
   let n = Array.length code / stride in
   let executed = ref 0 in
   let tmp_a = ref 0L and tmp_b = ref 0L and tmp_c = ref 0L in
@@ -312,8 +306,7 @@ let exec_block (m : Mach.t) (b : block) : int =
     end
   in
   (try go 0 b.start_pc
-   with Trap.Exception (exc, tval) ->
-     m.Mach.pc <- Trap.take_exception m.Mach.csr exc tval ~epc:m.Mach.pc);
+   with Trap.Exception (exc, tval) -> Mach.take_trap m exc tval ~epc:m.Mach.pc);
   !executed
 
 let name = "qemu-tci-like"

@@ -43,8 +43,7 @@ let step (c : t) (m : Mach.t) : unit =
        end
      in
      Exec_generic.exec Exec_generic.soft_fp m pc insn
-   with Riscv.Trap.Exception (exc, tval) ->
-     m.Mach.pc <- Riscv.Trap.take_exception m.Mach.csr exc tval ~epc:pc);
+   with Riscv.Trap.Exception (exc, tval) -> Mach.take_trap m exc tval ~epc:pc);
   m.Mach.instret <- m.Mach.instret + 1
 
 let run ?(size = 16384) (m : Mach.t) ~max_insns : int =

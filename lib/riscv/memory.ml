@@ -8,7 +8,14 @@
    deliberately bypasses it with a full image copy.
 
    Pages are allocated lazily: a page that has never been written reads
-   as zero and costs nothing to snapshot. *)
+   as zero and costs nothing to snapshot.
+
+   The access paths are the interpreter engines' memory fast path: the
+   common widths go through [Bytes.get/set_int64_le]-family primitives
+   rather than byte-at-a-time assembly, and a one-entry last-page cache
+   (separate for reads and writes) skips the page-table indexing on
+   sequential access.  The caches are invalidated whenever the page
+   array or a page's backing store changes (COW, snapshot restore). *)
 
 type page = { mutable data : Bytes.t; mutable rc : int }
 
@@ -17,6 +24,12 @@ type t = {
   page_bits : int;
   n_pages : int;
   mutable pages : page option array;
+  zero : Bytes.t; (* shared read view of never-written pages *)
+  (* last-page caches: [cache_*_idx] = -1 when invalid *)
+  mutable cache_r_idx : int;
+  mutable cache_r_data : Bytes.t;
+  mutable cache_w_idx : int;
+  mutable cache_w_data : Bytes.t;
   (* statistics *)
   mutable stat_cow_faults : int;
   mutable stat_pages_allocated : int;
@@ -35,6 +48,11 @@ let create ?(page_bits = 12) ~base ~size () =
     page_bits;
     n_pages;
     pages = Array.make n_pages None;
+    zero = Bytes.make psz '\000';
+    cache_r_idx = -1;
+    cache_r_data = Bytes.empty;
+    cache_w_idx = -1;
+    cache_w_data = Bytes.empty;
     stat_cow_faults = 0;
     stat_pages_allocated = 0;
     stat_snapshots = 0;
@@ -48,6 +66,14 @@ let in_range t addr =
   let off = Int64.sub addr t.base in
   off >= 0L && off < Int64.of_int (size t)
 
+(* Also drops the [Bytes.t] references so a detached [t] (LightSSS
+   marshalling) does not smuggle page data into the image. *)
+let invalidate_caches t =
+  t.cache_r_idx <- -1;
+  t.cache_r_data <- Bytes.empty;
+  t.cache_w_idx <- -1;
+  t.cache_w_data <- Bytes.empty
+
 let offset_exn t addr =
   let off = Int64.to_int (Int64.sub addr t.base) in
   if off < 0 || off >= size t then
@@ -55,8 +81,17 @@ let offset_exn t addr =
       (Printf.sprintf "Memory: physical address 0x%Lx out of range" addr);
   off
 
-(* Read path: never allocates. *)
-let page_ro t idx = t.pages.(idx)
+(* Read path: never allocates.  Unallocated pages read from the shared
+   zero page (which is never cached nor written). *)
+let read_page t idx =
+  if idx = t.cache_r_idx then t.cache_r_data
+  else
+    match Array.unsafe_get t.pages idx with
+    | Some p ->
+        t.cache_r_idx <- idx;
+        t.cache_r_data <- p.data;
+        p.data
+    | None -> t.zero
 
 (* Write path: allocate on demand and resolve COW sharing. *)
 let page_rw t idx =
@@ -72,86 +107,122 @@ let page_rw t idx =
         p.rc <- p.rc - 1;
         t.pages.(idx) <- Some fresh;
         t.stat_cow_faults <- t.stat_cow_faults + 1;
+        (* the old bytes stop receiving writes: drop any cached view *)
+        if t.cache_r_idx = idx then t.cache_r_idx <- -1;
         fresh
       end
       else p
 
+let write_page t idx =
+  if idx = t.cache_w_idx then t.cache_w_data
+  else begin
+    let p = page_rw t idx in
+    t.cache_w_idx <- idx;
+    t.cache_w_data <- p.data;
+    p.data
+  end
+
 let read_u8 t addr =
   let off = offset_exn t addr in
-  match page_ro t (off lsr t.page_bits) with
-  | None -> 0
-  | Some p -> Char.code (Bytes.unsafe_get p.data (off land (page_size t - 1)))
+  Char.code
+    (Bytes.unsafe_get
+       (read_page t (off lsr t.page_bits))
+       (off land (page_size t - 1)))
 
 let write_u8 t addr v =
   let off = offset_exn t addr in
-  let p = page_rw t (off lsr t.page_bits) in
-  Bytes.unsafe_set p.data (off land (page_size t - 1)) (Char.chr (v land 0xFF))
+  Bytes.unsafe_set
+    (write_page t (off lsr t.page_bits))
+    (off land (page_size t - 1))
+    (Char.chr (v land 0xFF))
 
-(* Fast aligned-in-page paths for the common widths; accesses that
-   straddle a page boundary fall back to byte-by-byte. *)
-let read_bytes_le t addr n =
+(* Single-page fast paths for the common widths (a naturally aligned
+   access never straddles a page); accesses that do straddle fall back
+   to byte-by-byte. *)
+
+let read_bytes_slow t addr n =
+  let rec go acc i =
+    if i < 0 then acc
+    else
+      go
+        (Int64.logor
+           (Int64.shift_left acc 8)
+           (Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i)))))
+        (i - 1)
+  in
+  go 0L (n - 1)
+
+let write_bytes_slow t addr n v =
+  for i = 0 to n - 1 do
+    write_u8 t
+      (Int64.add addr (Int64.of_int i))
+      (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+let read_u64 t addr =
   let off = offset_exn t addr in
-  let psz = page_size t in
-  let pidx = off lsr t.page_bits in
-  let poff = off land (psz - 1) in
-  if poff + n <= psz then
-    match page_ro t pidx with
-    | None -> 0L
-    | Some p ->
-        let rec go acc i =
-          if i < 0 then acc
-          else
-            go
-              (Int64.logor
-                 (Int64.shift_left acc 8)
-                 (Int64.of_int (Char.code (Bytes.unsafe_get p.data (poff + i)))))
-              (i - 1)
-        in
-        go 0L (n - 1)
-  else
-    let rec go acc i =
-      if i < 0 then acc
-      else
-        go
-          (Int64.logor
-             (Int64.shift_left acc 8)
-             (Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i)))))
-          (i - 1)
-    in
-    go 0L (n - 1)
+  let poff = off land (page_size t - 1) in
+  if poff + 8 <= page_size t then
+    Bytes.get_int64_le (read_page t (off lsr t.page_bits)) poff
+  else read_bytes_slow t addr 8
 
-let write_bytes_le t addr n v =
+let read_u32 t addr =
   let off = offset_exn t addr in
-  let psz = page_size t in
-  let pidx = off lsr t.page_bits in
-  let poff = off land (psz - 1) in
-  if poff + n <= psz then begin
-    let p = page_rw t pidx in
-    for i = 0 to n - 1 do
-      Bytes.unsafe_set p.data (poff + i)
-        (Char.unsafe_chr
-           (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
-    done
-  end
-  else
-    for i = 0 to n - 1 do
-      write_u8 t
-        (Int64.add addr (Int64.of_int i))
-        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
-    done
+  let poff = off land (page_size t - 1) in
+  if poff + 4 <= page_size t then
+    Int32.to_int (Bytes.get_int32_le (read_page t (off lsr t.page_bits)) poff)
+    land 0xFFFFFFFF
+  else Int64.to_int (read_bytes_slow t addr 4)
 
-let read_u16 t addr = Int64.to_int (read_bytes_le t addr 2)
+let read_u16 t addr =
+  let off = offset_exn t addr in
+  let poff = off land (page_size t - 1) in
+  if poff + 2 <= page_size t then
+    Bytes.get_uint16_le (read_page t (off lsr t.page_bits)) poff
+  else Int64.to_int (read_bytes_slow t addr 2)
 
-let read_u32 t addr = Int64.to_int (read_bytes_le t addr 4)
-
-let read_u64 t addr = read_bytes_le t addr 8
-
-let write_u16 t addr v = write_bytes_le t addr 2 (Int64.of_int (v land 0xFFFF))
+let write_u64 t addr v =
+  let off = offset_exn t addr in
+  let poff = off land (page_size t - 1) in
+  if poff + 8 <= page_size t then
+    Bytes.set_int64_le (write_page t (off lsr t.page_bits)) poff v
+  else write_bytes_slow t addr 8 v
 
 let write_u32 t addr v =
-  write_bytes_le t addr 4 (Int64.of_int (v land 0xFFFFFFFF))
+  let off = offset_exn t addr in
+  let poff = off land (page_size t - 1) in
+  if poff + 4 <= page_size t then
+    Bytes.set_int32_le
+      (write_page t (off lsr t.page_bits))
+      poff (Int32.of_int v)
+  else write_bytes_slow t addr 4 (Int64.of_int (v land 0xFFFFFFFF))
 
-let write_u64 t addr v = write_bytes_le t addr 8 v
+let write_u16 t addr v =
+  let off = offset_exn t addr in
+  let poff = off land (page_size t - 1) in
+  if poff + 2 <= page_size t then
+    Bytes.set_uint16_le (write_page t (off lsr t.page_bits)) poff (v land 0xFFFF)
+  else write_bytes_slow t addr 2 (Int64.of_int (v land 0xFFFF))
+
+let read_bytes_le t addr n =
+  match n with
+  | 8 -> read_u64 t addr
+  | 4 -> Int64.of_int (read_u32 t addr)
+  | 2 -> Int64.of_int (read_u16 t addr)
+  | 1 -> Int64.of_int (read_u8 t addr)
+  | _ ->
+      ignore (offset_exn t addr);
+      read_bytes_slow t addr n
+
+let write_bytes_le t addr n v =
+  match n with
+  | 8 -> write_u64 t addr v
+  | 4 -> write_u32 t addr (Int64.to_int v land 0xFFFFFFFF)
+  | 2 -> write_u16 t addr (Int64.to_int v land 0xFFFF)
+  | 1 -> write_u8 t addr (Int64.to_int v land 0xFF)
+  | _ ->
+      ignore (offset_exn t addr);
+      write_bytes_slow t addr n v
 
 let load_program t ~addr (words : int32 array) =
   Array.iteri
@@ -166,6 +237,8 @@ let load_program t ~addr (words : int32 array) =
 let snapshot t =
   Array.iter (function Some p -> p.rc <- p.rc + 1 | None -> ()) t.pages;
   t.stat_snapshots <- t.stat_snapshots + 1;
+  (* shared pages must COW on the next write *)
+  t.cache_w_idx <- -1;
   { snap_pages = Array.copy t.pages }
 
 let release_snapshot (s : snapshot) =
@@ -175,7 +248,8 @@ let restore t (s : snapshot) =
   (* The snapshot keeps its reference so it can be restored again. *)
   Array.iter (function Some p -> p.rc <- p.rc - 1 | None -> ()) t.pages;
   Array.iter (function Some p -> p.rc <- p.rc + 1 | None -> ()) s.snap_pages;
-  t.pages <- Array.copy s.snap_pages
+  t.pages <- Array.copy s.snap_pages;
+  invalidate_caches t
 
 (* Full deep copy: the SSS baseline. O(memory) rather than O(page table). *)
 let deep_copy t =
@@ -187,6 +261,10 @@ let deep_copy t =
           | None -> None
           | Some p -> Some { data = Bytes.copy p.data; rc = 1 })
         t.pages;
+    cache_r_idx = -1;
+    cache_r_data = Bytes.empty;
+    cache_w_idx = -1;
+    cache_w_data = Bytes.empty;
   }
 
 let allocated_pages t =

@@ -10,6 +10,11 @@
     Pages are allocated lazily: memory that has never been written
     reads as zero and costs nothing to snapshot.
 
+    Common-width accesses resolve to a single
+    [Bytes.get/set_int64_le]-family primitive on the page's backing
+    store, with a one-entry last-page cache (separate read/write) that
+    skips page-table indexing on sequential access.
+
     The representation is exposed because LightSSS detaches/reattaches
     the page array around marshalling; treat the fields as read-only
     elsewhere. *)
@@ -21,6 +26,11 @@ type t = {
   page_bits : int;
   n_pages : int;
   mutable pages : page option array;
+  zero : Bytes.t;
+  mutable cache_r_idx : int;
+  mutable cache_r_data : Bytes.t;
+  mutable cache_w_idx : int;
+  mutable cache_w_data : Bytes.t;
   mutable stat_cow_faults : int;
   mutable stat_pages_allocated : int;
   mutable stat_snapshots : int;
@@ -39,6 +49,10 @@ val in_range : t -> int64 -> bool
 
 val page_size : t -> int
 
+val invalidate_caches : t -> unit
+(** Drop the last-page caches.  Required after mutating [pages] or a
+    page's [data] field directly (LightSSS detach/reattach). *)
+
 (** {1 Access}
 
     Multi-byte accessors are little-endian and may straddle page
@@ -52,6 +66,17 @@ val read_u32 : t -> int64 -> int
 val write_u32 : t -> int64 -> int -> unit
 val read_u64 : t -> int64 -> int64
 val write_u64 : t -> int64 -> int64 -> unit
+
+val read_page : t -> int -> Bytes.t
+(** [read_page t idx] is page [idx]'s backing store for reading (the
+    shared zero page if unallocated), refreshing the read cache.
+    Exported so interpreter fast paths can probe
+    [cache_r_idx]/[cache_r_data] inline and only call out on a miss. *)
+
+val write_page : t -> int -> Bytes.t
+(** [write_page t idx] is page [idx]'s backing store for writing,
+    allocating / COW-resolving on demand and refreshing the write
+    cache. *)
 
 val read_bytes_le : t -> int64 -> int -> int64
 (** [read_bytes_le t addr n] reads [n] (<= 8) bytes. *)

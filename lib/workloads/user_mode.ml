@@ -47,7 +47,7 @@ let leaf_flags = Vm_kernel.leaf_flags (* V|R|W|X|A|D, kernel *)
 
 let ptr_pte = Vm_kernel.ptr_pte
 
-let program ~scale =
+let program ?(rounds = 1) ~scale () =
   let open Asm in
   let pages = min 256 (max 4 (8 * scale)) in
   Asm.assemble
@@ -143,10 +143,15 @@ let program ~scale =
        addi t0 t0 1;
        blt t0 s3 "touch";
        (* syscall 1: add 100 to a0 (checks register passing across
-          privilege) *)
+          privilege); repeated [rounds] times it doubles as a
+          U<->S round-trip throughput loop *)
        mv a0 s1;
+       li s4 (Int64.of_int (max 1 rounds));
+       label "sysloop";
        li a7 1L;
        i Insn.Ecall;
+       addi s4 s4 (-1);
+       bnez s4 "sysloop";
        (* syscall 0: exit with a0 *)
        li a7 0L;
        i Insn.Ecall;
@@ -222,7 +227,7 @@ let spec : Wl_common.t =
     wl_name = "user_mode";
     group = `Int;
     mimics = "U/S/M privilege stack with delegation";
-    program = (fun ~scale -> program ~scale);
+    program = (fun ~scale -> program ~scale ());
     small = 2;
     big = 12;
   }

@@ -50,7 +50,7 @@ let configs_to_verify =
   ]
 
 let test_page_fault_rule () =
-  let prog = Workloads.Vm_kernel.program ~scale:2 in
+  let prog = Workloads.Vm_kernel.program ~scale:2 () in
   let status, dt = run_difftest Xiangshan.Config.yqh prog in
   check_finished "vm_kernel" (status, dt);
   let fires = List.assoc "page-fault-forcing" (Minjie.Difftest.rule_fire_counts dt) in
@@ -61,7 +61,7 @@ let test_page_fault_rule () =
 let test_user_mode_delegation () =
   (* three privilege levels, medeleg'd page faults and U-ecalls,
      S-mode lazy allocation: verified by the same REF and rules *)
-  let prog = Workloads.User_mode.program ~scale:2 in
+  let prog = Workloads.User_mode.program ~scale:2 () in
   let status, dt = run_difftest Xiangshan.Config.yqh prog in
   check_finished "user_mode" (status, dt);
   let fires =

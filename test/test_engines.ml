@@ -60,15 +60,179 @@ let test_uop_cache_structure () =
     true
     (t.Nemu.Fast.slow_lookups * 5 < n)
 
-let test_uop_cache_flush_on_capacity () =
+let test_uop_cache_eviction_on_capacity () =
   let prog = (Workloads.Suite.find "coremark_like").program ~scale:1 in
   let m = Nemu.Mach.create () in
   Nemu.Mach.load_program m prog;
-  (* tiny capacity: the cache must flush but execution stays correct *)
+  (* tiny capacity: the cache must evict victims (not flush wholesale)
+     and stale chains must self-heal, with execution staying correct *)
   let t = Nemu.Fast.create ~capacity:16 m in
   let _ = Nemu.Fast.run t ~max_insns:10_000_000 in
-  Alcotest.(check bool) "flushed" true (t.Nemu.Fast.flushes > 0);
+  Alcotest.(check bool) "evicted" true (t.Nemu.Fast.evictions > 0);
+  Alcotest.(check bool) "chains self-healed" true (t.Nemu.Fast.recompiles > 0);
+  Alcotest.(check bool) "cache stayed bounded" true
+    (Hashtbl.length t.Nemu.Fast.cache <= 2 * t.Nemu.Fast.capacity);
   Alcotest.(check (option int)) "still correct" (Some 199) (Nemu.Mach.exit_code m)
+
+(* --- superblock NEMU vs step-by-step reference ------------------------
+
+   The superblock engine must be architecturally indistinguishable
+   from executing Exec_generic.step in a loop: same final registers,
+   CSRs, memory, pc and instret -- including across paging, mid-block
+   traps (page faults and misaligned accesses that fire from inside a
+   fused body) and cache eviction. *)
+
+let step_reference ?(max_insns = 50_000_000) prog =
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let steps = ref 0 in
+  while m.Nemu.Mach.running && !steps < max_insns do
+    Nemu.Exec_generic.step Nemu.Exec_generic.host_fp m;
+    incr steps;
+    if !steps land 0xFF = 0 then Nemu.Mach.check_running m
+  done;
+  Nemu.Mach.check_running m;
+  m
+
+let nemu_superblock ?capacity ?(max_insns = 50_000_000) prog =
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let t = Nemu.Fast.create ?capacity m in
+  let _ = Nemu.Fast.run t ~max_insns in
+  m
+
+let mem_digest (mem : Riscv.Memory.t) =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Some pg ->
+          Buffer.add_string buf (string_of_int i);
+          Buffer.add_string buf
+            (Digest.to_hex (Digest.bytes pg.Riscv.Memory.data))
+      | None -> ())
+    mem.Riscv.Memory.pages;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let check_same_arch name (ref_m : Nemu.Mach.t) (m : Nemu.Mach.t) =
+  Alcotest.(check (option int))
+    (name ^ " exit code")
+    (Nemu.Mach.exit_code ref_m) (Nemu.Mach.exit_code m);
+  Alcotest.(check int)
+    (name ^ " instret") ref_m.Nemu.Mach.instret m.Nemu.Mach.instret;
+  Alcotest.(check int64) (name ^ " pc") ref_m.Nemu.Mach.pc m.Nemu.Mach.pc;
+  for r = 1 to 31 do
+    Alcotest.(check int64)
+      (Printf.sprintf "%s x%d" name r)
+      (Nemu.Mach.get_reg ref_m r) (Nemu.Mach.get_reg m r)
+  done;
+  for f = 0 to 31 do
+    Alcotest.(check int64)
+      (Printf.sprintf "%s f%d" name f)
+      (Bigarray.Array1.get ref_m.Nemu.Mach.fregs f)
+      (Bigarray.Array1.get m.Nemu.Mach.fregs f)
+  done;
+  Alcotest.(check (list (pair string int64)))
+    (name ^ " csrs")
+    (Riscv.Csr.compare_digest ref_m.Nemu.Mach.csr)
+    (Riscv.Csr.compare_digest m.Nemu.Mach.csr);
+  Alcotest.(check string)
+    (name ^ " memory")
+    (mem_digest ref_m.Nemu.Mach.plat.Riscv.Platform.mem)
+    (mem_digest m.Nemu.Mach.plat.Riscv.Platform.mem)
+
+(* Straight-line runs with misaligned loads/stores in the middle: the
+   trap fires from inside a fused superblock body and must retire a
+   precise instruction count and epc; the M-mode handler skips the
+   faulting instruction (mepc += 4) and returns. *)
+let trap_torture_program =
+  let open Riscv in
+  let open Workloads.Wl_common.Ops in
+  Asm.assemble
+    ([
+       Asm.la Asm.t0 "handler";
+       Asm.i (Insn.Csr (CSRRW, 0, Asm.t0, Csr.mtvec));
+       Asm.li Asm.s1 0L;
+       Asm.li Asm.s2 (Int64.add Platform.dram_base 0x10000L);
+       Asm.li Asm.s3 5L;
+       Asm.label "loop";
+       addi Asm.s1 Asm.s1 1;
+       addi Asm.s1 Asm.s1 2;
+       sd Asm.s1 Asm.s2 0;
+       ld Asm.t1 Asm.s2 0;
+       add Asm.s1 Asm.s1 Asm.t1;
+       lw Asm.t2 Asm.s2 1; (* misaligned: traps mid-block *)
+       add Asm.s1 Asm.s1 Asm.t2;
+       addi Asm.s1 Asm.s1 3;
+       sw Asm.s1 Asm.s2 8;
+       sw Asm.s1 Asm.s2 3; (* misaligned: traps mid-block *)
+       lbu Asm.t3 Asm.s2 3;
+       add Asm.s1 Asm.s1 Asm.t3;
+       addi Asm.s3 Asm.s3 (-1);
+       Asm.bnez Asm.s3 "loop";
+       Asm.mv Asm.a0 Asm.s1;
+     ]
+    @ Workloads.Wl_common.exit_with Asm.a0
+    @ [
+        Asm.label "handler";
+        Asm.i (Insn.Csr (CSRRS, Asm.t5, 0, Csr.mepc));
+        addi Asm.t5 Asm.t5 4;
+        Asm.i (Insn.Csr (CSRRW, 0, Asm.t5, Csr.mepc));
+        Asm.i Insn.Mret;
+      ])
+
+let test_superblock_vs_step_fuzz () =
+  for seed = 1 to 12 do
+    let prog = Workloads.Testgen.program ~seed () in
+    let name = Printf.sprintf "testgen seed %d" seed in
+    let ref_m = step_reference prog in
+    check_same_arch name ref_m (nemu_superblock prog);
+    (* again with a tiny cache so eviction + chain self-healing is on
+       the execution path *)
+    check_same_arch (name ^ " (evicting)") ref_m
+      (nemu_superblock ~capacity:8 prog)
+  done
+
+let test_superblock_vs_step_paging () =
+  List.iter
+    (fun (name, prog) ->
+      let ref_m = step_reference prog in
+      check_same_arch name ref_m (nemu_superblock prog))
+    [
+      ("vm_kernel", Workloads.Vm_kernel.program ~rounds:3 ~scale:2 ());
+      ("user_mode", Workloads.User_mode.program ~scale:2 ());
+    ]
+
+let test_superblock_vs_step_midblock_traps () =
+  let ref_m = step_reference trap_torture_program in
+  Alcotest.(check bool) "reference terminated" true
+    (Nemu.Mach.exit_code ref_m <> None);
+  check_same_arch "trap torture" ref_m (nemu_superblock trap_torture_program);
+  check_same_arch "trap torture (evicting)" ref_m
+    (nemu_superblock ~capacity:8 trap_torture_program)
+
+(* exact budget stops: run ~max_insns must retire exactly max_insns
+   even when the boundary falls inside a superblock (checkpoint
+   sampling relies on this) *)
+let test_exact_budget_stops () =
+  let prog = (Workloads.Suite.find "coremark_like").program ~scale:1 in
+  List.iter
+    (fun budget ->
+      let m = Nemu.Mach.create () in
+      Nemu.Mach.load_program m prog;
+      let t = Nemu.Fast.create m in
+      let n = Nemu.Fast.run t ~max_insns:budget in
+      Alcotest.(check int)
+        (Printf.sprintf "retired exactly %d" budget)
+        budget n;
+      Alcotest.(check int)
+        (Printf.sprintf "instret at %d" budget)
+        budget m.Nemu.Mach.instret;
+      (* resume and compare against an uninterrupted reference run *)
+      let rest = Nemu.Fast.run t ~max_insns:50_000_000 in
+      let ref_m = step_reference prog in
+      Alcotest.(check int) "total instret" ref_m.Nemu.Mach.instret (budget + rest))
+    [ 1; 2; 3; 7; 50; 1234; 9_999 ]
 
 let test_spike_decode_cache_conflicts () =
   let prog = (Workloads.Suite.find "sort_like").program ~scale:1 in
@@ -125,8 +289,16 @@ let tests =
   @ [
       Alcotest.test_case "uop cache: trace organisation" `Quick
         test_uop_cache_structure;
-      Alcotest.test_case "uop cache: capacity flush" `Quick
-        test_uop_cache_flush_on_capacity;
+      Alcotest.test_case "uop cache: capacity eviction" `Quick
+        test_uop_cache_eviction_on_capacity;
+      Alcotest.test_case "superblock vs step: testgen fuzz" `Quick
+        test_superblock_vs_step_fuzz;
+      Alcotest.test_case "superblock vs step: paging workloads" `Quick
+        test_superblock_vs_step_paging;
+      Alcotest.test_case "superblock vs step: mid-block traps" `Quick
+        test_superblock_vs_step_midblock_traps;
+      Alcotest.test_case "superblock: exact budget stops" `Quick
+        test_exact_budget_stops;
       Alcotest.test_case "spike-like decode cache conflicts" `Quick
         test_spike_decode_cache_conflicts;
       Alcotest.test_case "engine performance ordering (Figure 8 shape)" `Slow

@@ -178,7 +178,7 @@ let test_forced_events () =
 
 let test_sv39_via_kernel () =
   (* the vm micro-kernel runs to completion with paging on the REF *)
-  let prog = Workloads.Vm_kernel.program ~scale:1 in
+  let prog = Workloads.Vm_kernel.program ~scale:1 () in
   let m = Iss.Interp.create ~hartid:0 () in
   Iss.Interp.load_program m prog;
   let _ = Iss.Interp.run ~max_insns:5_000_000 m in

@@ -85,7 +85,7 @@ let test_pubs_policy_runs () =
     (perf.Xiangshan.Core.p_hi_prio > 0)
 
 let test_vm_kernel_on_dut () =
-  let prog = Workloads.Vm_kernel.program ~scale:1 in
+  let prog = Workloads.Vm_kernel.program ~scale:1 () in
   let soc = dut_run Xiangshan.Config.yqh prog ~max_cycles:50_000_000 in
   Alcotest.(check (option int)) "same exit as REF" (iss_exit prog)
     (Xiangshan.Soc.exit_code soc);
