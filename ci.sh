@@ -19,4 +19,13 @@ test -s ci_bench.json
 grep -q '"experiment": "fig8"' ci_bench.json
 rm -f ci_bench.json
 
+echo "== campaign smoke (3-fault subset; exits non-zero on any escape) =="
+dune exec bench/main.exe -- campaign --smoke --json ci_campaign.json
+test -s ci_campaign.json
+grep -q '"experiment": "campaign"' ci_campaign.json
+grep -q '"group": "cell"' ci_campaign.json
+grep -q '"group": "summary"' ci_campaign.json
+grep -q '"escapes": 0' ci_campaign.json
+rm -f ci_campaign.json
+
 echo "CI OK"

@@ -13,11 +13,18 @@
 
 let () =
   let prog = Workloads.Smp.lrsc_contend ~scale:8 in
+  (* the bug comes from the fault registry (the campaign's
+     "cache-mshr-race" entry), installed through the same hook the
+     fault-injection campaign uses *)
+  let fault = Minjie.Fault.find "cache-mshr-race" in
   Printf.printf "running dual-core NH with an injected L2 Probe/Acquire race \
-                 bug on core 0...\n%!";
+                 bug (fault %S, layer %s)...\n%!"
+    fault.Minjie.Fault.f_name fault.Minjie.Fault.f_layer;
   match
     Minjie.Workflow.run_verified ~snapshot_interval:2000 ~prog
-      ~inject:(fun soc -> Xiangshan.Soc.inject_l2_race_bug soc ~core:0)
+      ~inject:(fun soc ->
+        fault.Minjie.Fault.f_install ~seed:0
+          ~trigger:fault.Minjie.Fault.f_trigger soc)
       Xiangshan.Config.nh
   with
   | Minjie.Workflow.Verified code ->

@@ -1,0 +1,75 @@
+(** Fault-injection campaign driver: prove DRAV catches what we break.
+
+    Every (fault, seed) cell builds the fault's designated workload and
+    SoC configuration, installs the fault from the {!Fault} registry,
+    and runs the full {!Workflow.run_verified} loop (fast mode +
+    LightSSS snapshots, debug replay on failure).  A cell passes only
+    if all three hold:
+
+    - the run is NOT verified (an undetected fault -- an "escape" --
+      is a hard campaign failure);
+    - the rule that fired is one the fault declares as expected;
+    - the failure reproduces in the snapshot replay, restored from at
+      most two snapshot intervals before the first failure.
+
+    The per-cell report carries the detection latency in cycles since
+    the injection trigger and in commits checked, plus the replay
+    window -- the numbers behind the EXPERIMENTS.md campaign table. *)
+
+type cell = {
+  c_fault : string;
+  c_layer : string;
+  c_workload : string;
+  c_config : string;
+  c_seed : int;
+  c_trigger : int;
+  c_detected : bool;
+  c_rule : string;  (** rule that detected the fault, or "" *)
+  c_rule_expected : bool;
+  c_failure_cycle : int;
+  c_latency_cycles : int;  (** failure cycle - trigger cycle *)
+  c_commits : int;  (** commits checked when the failure fired *)
+  c_msg : string;
+  c_replayed : bool;  (** the replay reproduced a failure *)
+  c_replay_rule : string;
+  c_replay_window : int;
+      (** cycles between the replayed-from snapshot and the failure *)
+  c_replay_within : bool;  (** window <= 2 snapshot intervals *)
+  c_ok : bool;
+}
+
+type summary = {
+  cells : cell list;
+  total : int;
+  detected : int;
+  escapes : int;
+  rule_mismatches : int;
+  replay_misses : int;
+  snapshot_interval : int;
+}
+
+val find_workload : string -> Workloads.Wl_common.t
+(** Resolve a registry workload name against the campaign catalogue
+    (the full workload library plus campaign-specific variants).
+    @raise Invalid_argument on an unknown name. *)
+
+val run_cell :
+  ?snapshot_interval:int ->
+  ?max_cycles:int ->
+  fault:Fault.t ->
+  seed:int ->
+  unit ->
+  cell
+
+val run :
+  ?faults:string list ->
+  ?seeds:int list ->
+  ?snapshot_interval:int ->
+  ?max_cycles:int ->
+  ?progress:(cell -> unit) ->
+  unit ->
+  summary
+(** Run the campaign grid.  [faults] defaults to the full registry,
+    [seeds] to [[1; 2]].  [progress] is called after each cell. *)
+
+val string_of_cell : cell -> string

@@ -16,6 +16,18 @@ type status =
   | Finished of int (* exit code *)
   | Failed of Rule.failure
 
+(* Store accounting (the drain checker): every committed store must
+   reach the cache hierarchy, in order, with its committed value.
+   Faults that drop, reorder or never perform drains are invisible to
+   the Global Memory rule (unrecorded bytes are unconstrained there),
+   so they are checked directly against the commit stream. *)
+type pending_store = {
+  ps_paddr : int64;
+  ps_size : int;
+  ps_value : int64;
+  ps_commit_cycle : int;
+}
+
 type t = {
   soc : Xiangshan.Soc.t;
   ctx : Rule.ctx;
@@ -28,9 +40,17 @@ type t = {
   mutable debug : bool;
   last_commit_cycle : int array; (* per-hart watchdog *)
   mutable commit_timeout : int;
+  (* store accounting *)
+  pending_stores : pending_store Queue.t array; (* per hart, commit order *)
+  early_drains : pending_store list array;
+      (* drains seen this cycle before their commit probe was
+         processed (a store can retire into the buffer and drain in
+         the same cycle); also absorbs atomics' direct writes, which
+         have no store probe.  Cleared every tick. *)
+  mutable store_timeout : int;
 }
 
-let fail_now (t : t) ~hart ~pc ~rule msg =
+let fail_now (t : t) ~hart ~pc ?(probe = "") ~rule msg =
   if
     match t.status with
     | Running -> true
@@ -44,12 +64,103 @@ let fail_now (t : t) ~hart ~pc ~rule msg =
           f_pc = pc;
           f_rule = rule;
           f_msg = msg;
+          f_commits = t.commits_checked;
+          f_probe = probe;
         }
 
 let log t fmt =
   Printf.ksprintf
     (fun s -> if t.debug then t.debug_log <- (t.soc.Xiangshan.Soc.now, s) :: t.debug_log)
     fmt
+
+(* A drain arrived from hart [hart]'s store buffer.  Committed stores
+   drain in commit order, so the drain must match the oldest pending
+   store exactly; matching a younger one instead means an older store
+   was skipped or the buffer reordered.  Drains with no pending match
+   are parked in [early_drains] until this cycle's commit probes are
+   processed (same-cycle retire+drain, atomics' direct writes). *)
+let note_drain (t : t) hart (d : Xiangshan.Probe.store_drain) =
+  let dp = d.Xiangshan.Probe.d_paddr
+  and ds = d.Xiangshan.Probe.d_size
+  and dv = d.Xiangshan.Probe.d_value in
+  let park () =
+    t.early_drains.(hart) <-
+      {
+        ps_paddr = dp;
+        ps_size = ds;
+        ps_value = dv;
+        ps_commit_cycle = d.Xiangshan.Probe.d_cycle;
+      }
+      :: t.early_drains.(hart)
+  in
+  let q = t.pending_stores.(hart) in
+  if Queue.is_empty q then park ()
+  else begin
+    let h = Queue.peek q in
+    if h.ps_paddr = dp && h.ps_size = ds then begin
+      if h.ps_value = dv then ignore (Queue.pop q)
+      else
+        fail_now t ~hart ~pc:t.soc.Xiangshan.Soc.cores.(hart)
+                          .Xiangshan.Core.arch.Riscv.Arch_state.pc
+          ~rule:"store-drain-value"
+          (Printf.sprintf
+             "store @0x%Lx (size %d) committed 0x%Lx but drained 0x%Lx" dp ds
+             h.ps_value dv)
+    end
+    else begin
+      (* FIFO order means a clean drain always matches the head; a
+         match deeper in the queue is a drop or reorder of everything
+         older *)
+      let depth = ref 0 and found = ref (-1) in
+      Queue.iter
+        (fun p ->
+          if !found < 0 then begin
+            if !depth > 0 && p.ps_paddr = dp && p.ps_size = ds
+               && p.ps_value = dv
+            then found := !depth;
+            incr depth
+          end)
+        q;
+      if !found > 0 then
+        fail_now t ~hart ~pc:t.soc.Xiangshan.Soc.cores.(hart)
+                          .Xiangshan.Core.arch.Riscv.Arch_state.pc
+          ~rule:"store-drain-order"
+          (Printf.sprintf
+             "drain @0x%Lx=0x%Lx matches the committed store %d deep; the \
+              older store @0x%Lx=0x%Lx (commit cycle %d) was skipped or \
+              reordered"
+             dp dv !found h.ps_paddr h.ps_value h.ps_commit_cycle)
+      else park ()
+    end
+  end
+
+(* A store probe committed: either its drain already raced past this
+   cycle (consume the parked announcement) or it joins the pending
+   queue to be matched when the buffer drains it. *)
+let note_committed_store (t : t) ~hart (p : Xiangshan.Probe.commit) =
+  match p.Xiangshan.Probe.p_store with
+  | Some m when not p.Xiangshan.Probe.p_mmio ->
+      let entry =
+        {
+          ps_paddr = m.Xiangshan.Probe.m_paddr;
+          ps_size = m.Xiangshan.Probe.m_size;
+          ps_value = m.Xiangshan.Probe.m_value;
+          ps_commit_cycle = p.Xiangshan.Probe.p_cycle;
+        }
+      in
+      let rec take acc = function
+        | [] -> None
+        | (e : pending_store) :: rest ->
+            if
+              e.ps_paddr = entry.ps_paddr && e.ps_size = entry.ps_size
+              && e.ps_value = entry.ps_value
+            then Some (List.rev_append acc rest)
+            else take (e :: acc) rest
+      in
+      (match take [] t.early_drains.(hart) with
+      | Some rest -> t.early_drains.(hart) <- rest
+      | None -> Queue.add entry t.pending_stores.(hart))
+  | _ -> ()
 
 (* Attach probes to the SoC and build REFs mirroring the program. *)
 let create ?rules ?(with_scoreboard = true)
@@ -100,6 +211,9 @@ let create ?rules ?(with_scoreboard = true)
       debug = false;
       last_commit_cycle = Array.make n 0;
       commit_timeout = 20_000;
+      pending_stores = Array.init n (fun _ -> Queue.create ());
+      early_drains = Array.make n [];
+      store_timeout = 10_000;
     }
   in
   Array.iteri
@@ -110,7 +224,8 @@ let create ?rules ?(with_scoreboard = true)
         (fun d ->
           Global_memory.record ctx.Rule.global_mem
             ~cycle:d.Xiangshan.Probe.d_cycle ~paddr:d.Xiangshan.Probe.d_paddr
-            ~size:d.Xiangshan.Probe.d_size ~value:d.Xiangshan.Probe.d_value))
+            ~size:d.Xiangshan.Probe.d_size ~value:d.Xiangshan.Probe.d_value;
+          note_drain t i d))
     soc.Xiangshan.Soc.cores;
   (match scoreboard with
   | Some sb ->
@@ -139,7 +254,8 @@ let apply_post t ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) =
               log t "rule %s patched REF at pc=0x%Lx" r.Rule.name p.p_pc
           | Rule.Fail msg ->
               r.Rule.fires <- r.Rule.fires + 1;
-              fail_now t ~hart ~pc:p.p_pc ~rule:r.Rule.name msg)
+              fail_now t ~hart ~pc:p.p_pc ~probe:(Rule.describe_probe p)
+                ~rule:r.Rule.name msg)
       | None -> ())
     t.rules
 
@@ -147,10 +263,11 @@ let process_commit t ~hart (p : Xiangshan.Probe.commit) =
   let r = t.ctx.Rule.refs.(hart) in
   t.commits_checked <- t.commits_checked + 1;
   t.last_commit_cycle.(hart) <- p.p_cycle;
+  note_committed_store t ~hart p;
   apply_pre t ~hart p;
   (match t.ctx.Rule.failure with
   | Some f ->
-      t.status <- Failed f;
+      t.status <- Failed { f with Rule.f_commits = t.commits_checked };
       t.ctx.Rule.failure <- None
   | None -> ());
   match t.status with
@@ -160,7 +277,8 @@ let process_commit t ~hart (p : Xiangshan.Probe.commit) =
       | Iss.Interp.Exited -> ()
       | Iss.Interp.Committed c -> (
           if c.Iss.Interp.pc <> p.p_pc then
-            fail_now t ~hart ~pc:p.p_pc ~rule:"pc-check"
+            fail_now t ~hart ~pc:p.p_pc ~probe:(Rule.describe_probe p)
+              ~rule:"pc-check"
               (Printf.sprintf "pc mismatch: DUT commits 0x%Lx, REF at 0x%Lx"
                  p.p_pc c.Iss.Interp.pc);
           (* fused second instruction: the REF executes both *)
@@ -180,7 +298,8 @@ let process_commit t ~hart (p : Xiangshan.Probe.commit) =
                 final_c.Iss.Interp.next_pc <> p.p_next_pc
                 && p.p_trap = None && p.p_interrupt = None
               then
-                fail_now t ~hart ~pc:p.p_pc ~rule:"next-pc-check"
+                fail_now t ~hart ~pc:p.p_pc ~probe:(Rule.describe_probe p)
+                  ~rule:"next-pc-check"
                   (Printf.sprintf
                      "next pc mismatch at 0x%Lx: DUT 0x%Lx, REF 0x%Lx" p.p_pc
                      p.p_next_pc final_c.Iss.Interp.next_pc)))
@@ -196,7 +315,7 @@ let compare_states t =
         match Arch_state.diff core.Xiangshan.Core.arch r.Iss.Interp.st with
         | Some msg ->
             fail_now t ~hart ~pc:core.Xiangshan.Core.arch.Arch_state.pc
-              ~rule:"state-compare" msg
+              ~rule:"state-compare" ("DUT vs REF: " ^ msg)
         | None -> ())
     t.soc.Xiangshan.Soc.cores
 
@@ -231,13 +350,16 @@ let tick t =
             process_commit t ~hart (Queue.pop q)
           done)
         t.queues;
+      (* parked drain announcements only live until this cycle's
+         probes are processed *)
+      Array.iteri (fun i _ -> t.early_drains.(i) <- []) t.early_drains;
       (match t.status with
       | Running ->
           compare_states t;
           check_scoreboard t;
-          (* watchdog: a hart that stops committing is hung (the way
-             the injected L2 bug shows up when a core spins on its own
-             poisoned lock line) *)
+          (* hang watchdog: a hart that stops committing is hung --
+             the bug class commit-diffing cannot see.  The failure
+             carries the retirement stall site from the probes. *)
           Array.iteri
             (fun hart last ->
               if
@@ -247,10 +369,35 @@ let tick t =
                 fail_now t ~hart
                   ~pc:t.soc.Xiangshan.Soc.cores.(hart)
                         .Xiangshan.Core.arch.Arch_state.pc
-                  ~rule:"commit-watchdog"
-                  (Printf.sprintf "hart %d committed nothing for %d cycles"
-                     hart t.commit_timeout))
+                  ~rule:"hang-watchdog"
+                  (Printf.sprintf
+                     "hart %d committed nothing for %d cycles; stall site: %s"
+                     hart t.commit_timeout
+                     (Xiangshan.Core.stall_site t.soc.Xiangshan.Soc.cores.(hart))))
             t.last_commit_cycle;
+          (* store accounting: a committed store must drain within the
+             timeout (dropped or wedged store buffers) *)
+          Array.iteri
+            (fun hart q ->
+              if not (Queue.is_empty q) then begin
+                let h = Queue.peek q in
+                if
+                  t.soc.Xiangshan.Soc.now - h.ps_commit_cycle > t.store_timeout
+                  && not (Xiangshan.Soc.exited t.soc)
+                then
+                  fail_now t ~hart
+                    ~pc:t.soc.Xiangshan.Soc.cores.(hart)
+                          .Xiangshan.Core.arch.Arch_state.pc
+                    ~rule:"store-drain-timeout"
+                    (Printf.sprintf
+                       "store @0x%Lx=0x%Lx committed at cycle %d never \
+                        drained (%d cycles ago); %s"
+                       h.ps_paddr h.ps_value h.ps_commit_cycle
+                       (t.soc.Xiangshan.Soc.now - h.ps_commit_cycle)
+                       (Xiangshan.Core.stall_site
+                          t.soc.Xiangshan.Soc.cores.(hart)))
+              end)
+            t.pending_stores;
           if Xiangshan.Soc.exited t.soc then
             t.status <-
               Finished (Option.value (Xiangshan.Soc.exit_code t.soc) ~default:(-1))
@@ -268,6 +415,10 @@ let run ?(max_cycles = 50_000_000) t : status =
 
 let rule_fire_counts t =
   List.map (fun (r : Rule.t) -> (r.Rule.name, r.Rule.fires)) t.rules
+
+let set_commit_timeout t n = t.commit_timeout <- n
+
+let set_store_timeout t n = t.store_timeout <- n
 
 let enable_debug t = t.debug <- true
 

@@ -11,11 +11,22 @@
 
     Always-on checks beyond the rules: per-commit pc and next-pc
     agreement, full architectural-state comparison at every cycle
-    boundary, the permission scoreboard on the shared cache level,
-    and a per-hart commit watchdog (a hart that stops committing is a
-    hang). *)
+    boundary, the permission scoreboard on the shared cache level, a
+    per-hart hang watchdog (a hart that stops committing fails with
+    the rule ["hang-watchdog"], the failure message carrying the
+    retirement stall site), and per-hart store accounting (every
+    committed store must drain to memory with the right value, in
+    order, within a timeout: rules ["store-drain-timeout"],
+    ["store-drain-order"], ["store-drain-value"]). *)
 
 type status = Running | Finished of int | Failed of Rule.failure
+
+type pending_store = {
+  ps_paddr : int64;
+  ps_size : int;
+  ps_value : int64;
+  ps_commit_cycle : int;
+}
 
 type t = {
   soc : Xiangshan.Soc.t;
@@ -29,6 +40,12 @@ type t = {
   mutable debug : bool;
   last_commit_cycle : int array;
   mutable commit_timeout : int;
+  pending_stores : pending_store Queue.t array;
+      (** per-hart committed-but-not-yet-drained stores *)
+  early_drains : pending_store list array;
+      (** drains announced before their commit probe was processed
+          this cycle (same-cycle retire+drain, AMO/SC direct writes) *)
+  mutable store_timeout : int;
 }
 
 val create :
@@ -49,6 +66,14 @@ val tick : t -> unit
 val run : ?max_cycles:int -> t -> status
 
 val rule_fire_counts : t -> (string * int) list
+
+val set_commit_timeout : t -> int -> unit
+(** Cycles without a commit before the hang watchdog fires
+    (default 20_000). *)
+
+val set_store_timeout : t -> int -> unit
+(** Cycles a committed store may sit undrained before
+    ["store-drain-timeout"] fires (default 10_000). *)
 
 val enable_debug : t -> unit
 (** Record rule-patch events into the debug log (used on the LightSSS

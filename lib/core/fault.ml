@@ -1,0 +1,429 @@
+(* Fault-model registry for the injection campaign.
+
+   Every fault here is the kind of bug the paper's verification stack
+   is supposed to catch: a targeted corruption of one DUT structure,
+   triggered at a configurable cycle and parameterised by a campaign
+   seed.  Installation goes through Soc.add_fault_hook wherever the
+   fault needs a cycle trigger: the hooks are part of the SoC record,
+   so LightSSS marshals them into every snapshot and they re-fire at
+   the same cycles during the debug replay -- which is what makes an
+   injected failure reproducible from a restored snapshot.
+
+   Hooks are written statelessly (conditions on soc.now only, plus
+   state that itself lives inside the marshalled simulator graph) so
+   that a replay that restores to any point, before or after the
+   trigger, sees the same fault behaviour. *)
+
+type config = Yqh | Nh
+
+type t = {
+  f_name : string;
+  f_layer : string;
+  f_descr : string;
+  f_workload : string;
+  f_config : config;
+  f_trigger : int;
+  f_expected_rules : string list;
+  f_install : seed:int -> trigger:int -> Xiangshan.Soc.t -> unit;
+}
+
+(* Deterministic parameter derivation: the campaign seed is the only
+   source of variation, so a (fault, workload, seed) cell always runs
+   identically. *)
+let mix ~seed ~salt =
+  let h = (seed * 0x9E3779B1) lxor (salt * 0x85EBCA6B) in
+  (h lxor (h lsr 13)) land 0x3FFF_FFFF
+
+let core_of (soc : Xiangshan.Soc.t) ~seed =
+  let n = Array.length soc.Xiangshan.Soc.cores in
+  soc.Xiangshan.Soc.cores.(seed mod n)
+
+(* Refire predicate: fires at [trigger] and every [period] cycles
+   after it, purely as a function of the current cycle. *)
+let refires (soc : Xiangshan.Soc.t) ~trigger ~period =
+  let now = soc.Xiangshan.Soc.now in
+  now >= trigger && (now - trigger) mod period = 0
+
+(* --- the registry --------------------------------------------------- *)
+
+let bpu_wrong_path =
+  {
+    f_name = "bpu-wrong-path-commit";
+    f_layer = "bpu";
+    f_descr =
+      "BTB/uBTB targets bit-flipped while redirect-on-mispredict is \
+       suppressed for a few branches: wrong-path instructions commit";
+    f_workload = "sjeng_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules = [ "next-pc-check"; "pc-check"; "state-compare" ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if refires s ~trigger ~period:2_000 then begin
+              let core = core_of s ~seed:0 in
+              ignore (Xiangshan.Bpu.corrupt_targets core.Xiangshan.Core.bpu);
+              core.Xiangshan.Core.bug_trust_bpu <-
+                4 + (mix ~seed ~salt:1 mod 4)
+            end));
+  }
+
+let rename_alias =
+  {
+    f_name = "rename-alias-corruption";
+    f_layer = "rename";
+    f_descr =
+      "the rename map of one architectural register is silently pointed \
+       at another's physical register (a free-list / map-table bug); \
+       the leaked pregs also slowly starve the free list";
+    f_workload = "coremark_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules =
+      [
+        "state-compare";
+        "pc-check";
+        "next-pc-check";
+        "global-memory-load";
+        "hang-watchdog";
+      ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if refires s ~trigger ~period:2_000 then begin
+              let core = core_of s ~seed:0 in
+              let k = (s.Xiangshan.Soc.now - trigger) / 2_000 in
+              let rd = 5 + ((seed + k) mod 11) (* x5..x15 *) in
+              let rs = 16 + ((seed + k) mod 4) (* x16..x19 *) in
+              Xiangshan.Rename.corrupt_alias core.Xiangshan.Core.rename
+                ~arch_rd:rd ~arch_rs:rs
+            end));
+  }
+
+let rob_reorder =
+  {
+    f_name = "rob-commit-reorder";
+    f_layer = "rob";
+    f_descr =
+      "the ROB retires the second-oldest completed instruction before \
+       the oldest (commit-port arbitration bug)";
+    f_workload = "coremark_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules = [ "pc-check"; "state-compare"; "next-pc-check" ];
+    f_install =
+      (fun ~seed:_ ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now >= trigger then
+              ignore
+                (Xiangshan.Rob.swap_head_next
+                   (core_of s ~seed:0).Xiangshan.Core.rob
+                   ~now:s.Xiangshan.Soc.now)));
+  }
+
+let iq_lost_uop =
+  {
+    f_name = "iq-lost-uop";
+    f_layer = "iq";
+    f_descr =
+      "an issue queue silently drops waiting uops (select/wakeup bug); \
+       the ROB head never completes and retirement wedges -- only the \
+       hang watchdog can see this";
+    f_workload = "coremark_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules = [ "hang-watchdog" ];
+    f_install =
+      (fun ~seed:_ ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now >= trigger then
+              Array.iter
+                (fun iq -> ignore (Xiangshan.Iq.steal_waiting iq))
+                (core_of s ~seed:0).Xiangshan.Core.iqs));
+  }
+
+let lsu_sb_drop =
+  {
+    f_name = "lsu-sb-drop";
+    f_layer = "lsu";
+    f_descr =
+      "the store buffer drops committed stores instead of draining them \
+       to the cache";
+    f_workload = "stream_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules =
+      [
+        "store-drain-order";
+        "store-drain-timeout";
+        "global-memory-load";
+        "state-compare";
+      ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now = trigger then
+              (core_of s ~seed:0).Xiangshan.Core.lsu
+                .Xiangshan.Lsu.bug_drop_drains <-
+                1 + (mix ~seed ~salt:2 mod 3)));
+  }
+
+let lsu_sb_reorder =
+  {
+    f_name = "lsu-sb-reorder";
+    f_layer = "lsu";
+    f_descr = "the store buffer drains entries out of FIFO order";
+    f_workload = "stream_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules =
+      [
+        "store-drain-order";
+        "store-drain-value";
+        "global-memory-load";
+        "state-compare";
+      ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now = trigger then
+              (core_of s ~seed:0).Xiangshan.Core.lsu
+                .Xiangshan.Lsu.bug_reorder_drains <-
+                2 + (mix ~seed ~salt:3 mod 3)));
+  }
+
+let lsu_silent_drain =
+  {
+    f_name = "lsu-silent-drain";
+    f_layer = "lsu";
+    f_descr =
+      "drains write the cache but never announce themselves: Global \
+       Memory misses the store and sibling LR reservations are not \
+       snooped";
+    f_workload = "smp_lrsc";
+    f_config = Nh;
+    f_trigger = 1_000;
+    f_expected_rules =
+      [
+        "store-drain-timeout";
+        "global-memory-load";
+        "state-compare";
+        "hang-watchdog";
+      ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now = trigger then
+              (core_of s ~seed).Xiangshan.Core.lsu
+                .Xiangshan.Lsu.bug_silent_drains <-
+                3 + (mix ~seed ~salt:4 mod 3)));
+  }
+
+let lsu_forward_corrupt =
+  {
+    f_name = "lsu-forward-corrupt";
+    f_layer = "lsu";
+    f_descr =
+      "the store-to-load forwarding mux picks wrong lanes: forwarded \
+       data is bit-flipped while the pending store itself drains \
+       correctly";
+    f_workload = "user_mode";
+    f_config = Yqh;
+    f_trigger = 1_000;
+    f_expected_rules =
+      [ "global-memory-load"; "state-compare"; "pc-check"; "next-pc-check" ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        let mask = Int64.shift_left 1L (4 + (mix ~seed ~salt:8 mod 28)) in
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now = trigger then
+              (core_of s ~seed:0).Xiangshan.Core.lsu
+                .Xiangshan.Lsu.bug_forward_mask <- mask));
+  }
+
+let sb_wedge =
+  {
+    f_name = "sb-wedge";
+    f_layer = "lsu";
+    f_descr =
+      "the store-buffer drain arbiter deadlocks: committed stores pile \
+       up and retirement stalls behind a full buffer";
+    f_workload = "stream_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules = [ "store-drain-timeout"; "hang-watchdog" ];
+    f_install =
+      (fun ~seed:_ ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now = trigger then
+              (core_of s ~seed:0).Xiangshan.Core.lsu
+                .Xiangshan.Lsu.bug_stall_drain <- true));
+  }
+
+let tlb_stale =
+  {
+    f_name = "tlb-stale-translation";
+    f_layer = "tlb";
+    f_descr =
+      "data-side TLB entries keep a stale physical page (low ppn bit \
+       forced) as if an sfence.vma were lost";
+    f_workload = "vm_kernel_steady";
+    f_config = Yqh;
+    f_trigger = 4_000;
+    f_expected_rules =
+      [
+        "global-memory-load";
+        "state-compare";
+        "pc-check";
+        "next-pc-check";
+        "page-fault-forcing";
+      ];
+    f_install =
+      (fun ~seed:_ ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if refires s ~trigger ~period:1_500 then
+              ignore
+                (Xiangshan.Tlb.corrupt_data_ppn
+                   (core_of s ~seed:0).Xiangshan.Core.tlb)));
+  }
+
+let cache_grant_corrupt =
+  {
+    f_name = "cache-grant-corrupt";
+    f_layer = "cache";
+    f_descr =
+      "valid L1D lines serve a bit-flipped data image (bad Grant \
+       payload); a store to the line heals it";
+    f_workload = "coremark_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules =
+      [ "global-memory-load"; "state-compare"; "pc-check"; "next-pc-check" ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if refires s ~trigger ~period:3_000 then
+              ignore
+                (Softmem.Cache.corrupt_lines
+                   (core_of s ~seed:0).Xiangshan.Core.l1d
+                   ~max:(2 + (mix ~seed ~salt:5 mod 3)))));
+  }
+
+let cache_mshr_race =
+  {
+    f_name = "cache-mshr-race";
+    f_layer = "cache";
+    f_descr =
+      "the §IV-C L2 MSHR arbitration bug: a Probe overlapping an \
+       in-flight Acquire captures the stale line image, which later \
+       Grants serve upward";
+    f_workload = "smp_lrsc";
+    f_config = Nh;
+    f_trigger = 0;
+    f_expected_rules = [ "global-memory-load"; "hang-watchdog"; "state-compare" ];
+    f_install =
+      (fun ~seed ~trigger:_ soc ->
+        Xiangshan.Soc.inject_l2_race_bug soc
+          ~core:(seed mod Array.length soc.Xiangshan.Soc.cores));
+  }
+
+let cache_skip_probe =
+  {
+    f_name = "cache-skip-probe";
+    f_layer = "cache";
+    f_descr =
+      "the shared level grants Trunk without probing sibling sharers \
+       (directory bug); stale copies survive in other L1s";
+    f_workload = "smp_spinlock";
+    f_config = Nh;
+    f_trigger = 0;
+    f_expected_rules =
+      [
+        "cache-permission-scoreboard";
+        "global-memory-load";
+        "state-compare";
+        "hang-watchdog";
+      ];
+    f_install =
+      (fun ~seed:_ ~trigger:_ soc -> Xiangshan.Soc.inject_skip_probe_bug soc);
+  }
+
+let dram_stuck_bit =
+  {
+    f_name = "dram-stuck-bit";
+    f_layer = "dram";
+    f_descr =
+      "one bit of a hot 512-byte data region is stuck at zero: every \
+       cycle the faulty bit is cleared in backing memory";
+    f_workload = "coremark_like";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules =
+      [ "global-memory-load"; "state-compare"; "pc-check"; "next-pc-check" ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        (* the workloads' scratch array (Wl_common.data_base) *)
+        let base = Workloads.Wl_common.data_base in
+        let bit = mix ~seed ~salt:6 mod 16 in
+        let mask = Int64.lognot (Int64.shift_left 1L bit) in
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now >= trigger then
+              let mem = s.Xiangshan.Soc.plat.Riscv.Platform.mem in
+              for k = 0 to 63 do
+                let addr = Int64.add base (Int64.of_int (8 * k)) in
+                let v = Riscv.Memory.read_bytes_le mem addr 8 in
+                let v' = Int64.logand v mask in
+                if v' <> v then Riscv.Memory.write_bytes_le mem addr 8 v'
+              done));
+  }
+
+let csr_mtvec_corrupt =
+  {
+    f_name = "csr-mtvec-corrupt";
+    f_layer = "csr";
+    f_descr =
+      "the committed mtvec flips a bit (CSR write-port corruption); \
+       state comparison sees it the same cycle, and any trap after it \
+       vectors to the wrong handler";
+    f_workload = "timer_interrupts";
+    f_config = Yqh;
+    f_trigger = 2_000;
+    f_expected_rules = [ "state-compare"; "pc-check"; "next-pc-check" ];
+    f_install =
+      (fun ~seed ~trigger soc ->
+        let flip = Int64.shift_left 4L (mix ~seed ~salt:7 mod 4) in
+        Xiangshan.Soc.add_fault_hook soc (fun s ->
+            if s.Xiangshan.Soc.now = trigger then begin
+              let csr =
+                (core_of s ~seed:0).Xiangshan.Core.arch.Riscv.Arch_state.csr
+              in
+              csr.Riscv.Csr.reg_mtvec <-
+                Int64.logxor csr.Riscv.Csr.reg_mtvec flip
+            end));
+  }
+
+let all =
+  [
+    bpu_wrong_path;
+    rename_alias;
+    rob_reorder;
+    iq_lost_uop;
+    lsu_sb_drop;
+    lsu_sb_reorder;
+    lsu_silent_drain;
+    lsu_forward_corrupt;
+    sb_wedge;
+    tlb_stale;
+    cache_grant_corrupt;
+    cache_mshr_race;
+    cache_skip_probe;
+    dram_stuck_bit;
+    csr_mtvec_corrupt;
+  ]
+
+let find name =
+  match List.find_opt (fun f -> f.f_name = name) all with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Fault.find: unknown fault %S" name)
+
+let names () = List.map (fun f -> f.f_name) all

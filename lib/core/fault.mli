@@ -1,0 +1,44 @@
+(** Fault-model registry for the injection campaign.
+
+    Each fault is a parameterised, seed-deterministic corruption of
+    one DUT layer, installed on a freshly built SoC through
+    {!Xiangshan.Soc.add_fault_hook} (cycle-triggered hooks that are
+    marshalled into LightSSS snapshots, so they re-fire identically in
+    the debug replay) or through the §IV-C knobs the SoC already
+    exposes.  A fault also names the workload/configuration that
+    exercises the broken structure and the diff-rules that are
+    expected to catch it -- the campaign driver
+    ({!Campaign}) asserts that detection happens, that the firing
+    rule is one of the expected ones, and that the failure reproduces
+    in the snapshot replay. *)
+
+type config = Yqh  (** single-core YQH *) | Nh  (** dual-core NH *)
+
+type t = {
+  f_name : string;
+  f_layer : string;
+      (** DUT layer the corruption lives in: "bpu", "rename", "rob",
+          "iq", "lsu", "tlb", "cache", "dram" or "csr" *)
+  f_descr : string;
+  f_workload : string;  (** workload (by suite name) that exposes it *)
+  f_config : config;
+  f_trigger : int;  (** default injection cycle *)
+  f_expected_rules : string list;
+      (** diff-rules that may legitimately report this fault; any
+          other rule (or no detection at all) is a campaign failure *)
+  f_install : seed:int -> trigger:int -> Xiangshan.Soc.t -> unit;
+}
+
+val all : t list
+(** The registry: fifteen faults spanning every DUT layer, including
+    the two §IV-C cache bugs ("cache-mshr-race", "cache-skip-probe")
+    and two deadlock faults that only the hang watchdog can see. *)
+
+val find : string -> t
+(** @raise Invalid_argument on an unknown fault name. *)
+
+val names : unit -> string list
+
+val mix : seed:int -> salt:int -> int
+(** Small deterministic hash used to derive per-fault parameters from
+    the campaign seed (exposed for tests). *)

@@ -31,9 +31,32 @@ and failure = {
   f_pc : int64;
   f_rule : string;
   f_msg : string;
+  f_commits : int; (* commits checked when the failure fired; -1 unknown *)
+  f_probe : string; (* snapshot of the offending commit probe, or "" *)
 }
 
 type verdict = Pass | Patched | Fail of string
+
+(* One-line snapshot of a commit probe for failure reports: pc,
+   instruction, and the memory access values the DUT saw. *)
+let describe_probe (p : Xiangshan.Probe.commit) : string =
+  let acc tag = function
+    | Some (m : Xiangshan.Probe.mem_access) ->
+        Printf.sprintf " %s@0x%Lx=0x%Lx" tag m.Xiangshan.Probe.m_paddr
+          m.Xiangshan.Probe.m_value
+    | None -> ""
+  in
+  Printf.sprintf "pc=0x%Lx insn=%s next=0x%Lx%s%s"
+    p.Xiangshan.Probe.p_pc
+    (Riscv.Insn.show p.Xiangshan.Probe.p_insn)
+    p.Xiangshan.Probe.p_next_pc
+    (acc "load" p.Xiangshan.Probe.p_load)
+    (acc "store" p.Xiangshan.Probe.p_store)
+
+let string_of_failure (f : failure) : string =
+  Printf.sprintf "cycle %d hart %d pc=0x%Lx [%s] %s%s" f.f_cycle f.f_hart
+    f.f_pc f.f_rule f.f_msg
+    (if f.f_probe = "" then "" else "; probe: " ^ f.f_probe)
 
 type t = {
   name : string;
@@ -60,6 +83,8 @@ let fail ctx ~hart ~(probe : Xiangshan.Probe.commit) ~rule msg =
           f_pc = probe.Xiangshan.Probe.p_pc;
           f_rule = rule;
           f_msg = msg;
+          f_commits = -1;
+          f_probe = describe_probe probe;
         }
 
 let make ?pre ?post ~name ~descr () = { name; descr; fires = 0; pre; post }

@@ -31,9 +31,21 @@ and failure = {
   f_pc : int64;
   f_rule : string;
   f_msg : string;
+  f_commits : int;
+      (** commits checked when the failure fired; -1 if unknown *)
+  f_probe : string;
+      (** snapshot of the offending commit probe (pc, instruction,
+          DUT memory-access values), or [""] when no probe applies *)
 }
 
 type verdict = Pass | Patched | Fail of string
+
+val describe_probe : Xiangshan.Probe.commit -> string
+(** One-line snapshot of a commit probe for failure reports. *)
+
+val string_of_failure : failure -> string
+(** Everything a report needs on one line: cycle, hart, pc, the rule
+    that fired, the message, and the probe snapshot. *)
 
 type t = {
   name : string;

@@ -141,6 +141,17 @@ let global_memory_load () =
       | Some dut, Some ref_acc when not p.p_mmio ->
           if dut.Xiangshan.Probe.m_value = ref_acc.Iss.Interp.value then
             Rule.Pass
+          else if Array.length ctx.Rule.refs <= 1 then
+            (* single hart: no other thread can have produced the
+               value, so the whitewash is off -- any divergence is a
+               real bug (stale TLB entries, poisoned cache lines and
+               dropped store-to-load forwarding all land here) *)
+            Rule.Fail
+              (Printf.sprintf
+                 "load @0x%Lx: DUT=0x%Lx REF=0x%Lx on a single-hart SoC (no \
+                  cross-thread store can justify it)"
+                 dut.Xiangshan.Probe.m_paddr dut.Xiangshan.Probe.m_value
+                 ref_acc.Iss.Interp.value)
           else if
             Global_memory.compatible ctx.Rule.global_mem
               ~at:dut.Xiangshan.Probe.m_cycle ~paddr:dut.Xiangshan.Probe.m_paddr

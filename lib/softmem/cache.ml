@@ -136,6 +136,32 @@ let victim t la : line =
    with Exit -> ());
   !best
 
+(* Fault injection: corrupt the data image of up to [max] valid lines
+   in this node, as if a Grant delivered bit-flipped payload.  Uses
+   the same poisoned-line machinery as the §IV-C bug: reads consult
+   the poison image, a write to the line heals it.  Returns the number
+   of lines corrupted. *)
+let corrupt_lines (t : t) ~max : int =
+  let n = ref 0 in
+  Array.iter
+    (fun (l : line) ->
+      if !n < max && l.tag >= 0L && l.perm <> Perm.Nothing
+         && not (Hashtbl.mem t.poisoned l.tag)
+      then begin
+        let buf = Bytes.create (line_bytes t) in
+        let base = base_of_la t l.tag in
+        for i = 0 to line_bytes t - 1 do
+          Bytes.set buf i
+            (Char.chr
+               (Riscv.Memory.read_u8 t.backing (Int64.add base (Int64.of_int i))
+               lxor 0xA5))
+        done;
+        Hashtbl.replace t.poisoned l.tag buf;
+        incr n
+      end)
+    t.lines;
+  !n
+
 (* Downgrade [t]'s copy (and its whole subtree) to [to_perm].
    Returns the latency of the probe. *)
 let rec probe (t : t) ~la ~(to_perm : Perm.t) : int =

@@ -85,6 +85,11 @@ val fetch : t -> addr:int64 -> int
 
 val invalidate_all : t -> unit
 
+val corrupt_lines : t -> max:int -> int
+(** Fault injection: poison the data image of up to [max] valid lines
+    (bit-flipped payload, as if a Grant went bad).  Reads consult the
+    poison; a write to the line heals it.  Returns the count. *)
+
 (** {1 Internal protocol steps (exposed for tests)} *)
 
 val probe : t -> la:int64 -> to_perm:Perm.t -> int

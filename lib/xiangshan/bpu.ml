@@ -267,6 +267,24 @@ let update (t : t) ~(pc : int64) ~(insn : Riscv.Insn.t) ~(taken : bool)
   | _ when taken -> btb_update t pc target
   | _ -> ())
 
+(* Fault injection: flip an address bit in every valid predicted
+   target (BTB, micro-BTB, ITTAGE).  Harmless on its own -- branch
+   resolution redirects -- so campaign faults pair it with the core's
+   redirect-suppression knob to turn wrong predictions into wrong-path
+   commits.  Returns the number of entries corrupted. *)
+let corrupt_targets (t : t) : int =
+  let n = ref 0 in
+  let corrupt (e : btb_entry) =
+    if e.b_tag <> -1L then begin
+      e.b_target <- Int64.logxor e.b_target 8L;
+      incr n
+    end
+  in
+  Array.iter corrupt t.btb;
+  Array.iter corrupt t.ubtb;
+  Array.iter corrupt t.ittage;
+  !n
+
 (* Low-confidence query for PUBS: a branch is unconfident until it has
    a run of >= 4 correct predictions (paper: ~5.9% of instructions end
    up high-priority on sjeng). *)

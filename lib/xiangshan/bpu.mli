@@ -54,6 +54,12 @@ val update :
 (** Resolve-time training: bimodal + TAGE provider/allocation, BTB and
     ITTAGE targets, global history, and the PUBS confidence run. *)
 
+val corrupt_targets : t -> int
+(** Fault injection: flip an address bit in every valid BTB / uBTB /
+    ITTAGE target.  Pair with [Core]'s redirect suppression to turn
+    the bad predictions into wrong-path commits.  Returns the number
+    of entries corrupted. *)
+
 val unconfident : t -> pc:int64 -> bool
 (** PUBS: a branch is unconfident until it accumulates a run of
     correct predictions. *)

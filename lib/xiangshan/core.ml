@@ -84,6 +84,9 @@ type t = {
   mutable halted : bool;
   (* hook used by the SoC to invalidate sibling reservations *)
   mutable on_store_drain : int64 -> int -> unit;
+  (* fault injection: for the next N resolved mispredictions, trust
+     the predictor instead of redirecting (wrong-path commits) *)
+  mutable bug_trust_bpu : int;
 }
 
 let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
@@ -117,6 +120,7 @@ let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
     commit_busy_until = 0;
     halted = false;
     on_store_drain = (fun _ _ -> ());
+    bug_trust_bpu = 0;
   }
 
 let set_boot_pc t pc =
@@ -557,6 +561,15 @@ let issue_uop t (u : Uop.t) : bool =
   | Config.ALU | Config.MUL | Config.DIV | Config.JUMP_CSR | Config.FMAC
   | Config.FMISC ->
       Exec.execute u srcs;
+      (* fault injection: swallow the resolved redirect and follow the
+         (possibly corrupted) prediction instead *)
+      (match u.Uop.insn with
+      | (Branch _ | Jal _ | Jalr _)
+        when t.bug_trust_bpu > 0 && u.Uop.mispredicted && u.Uop.exc = None ->
+          u.Uop.next_pc <- u.Uop.pred_next;
+          u.Uop.mispredicted <- false;
+          t.bug_trust_bpu <- t.bug_trust_bpu - 1
+      | _ -> ());
       let lat = Uop.latency u.Uop.exec_class u.Uop.insn in
       complete t u ~at:(t.now + lat);
       (* resolve control flow *)
@@ -979,3 +992,27 @@ let cycle t =
 let ipc t =
   if t.perf.p_cycles = 0 then 0.0
   else float_of_int t.perf.p_instrs /. float_of_int t.perf.p_cycles
+
+(* Where is commit stuck?  Snapshot of the retirement bottleneck for
+   the hang watchdog's failure report. *)
+let stall_site t : string =
+  let occupancy =
+    Printf.sprintf "rob=%d/%d iq=%d lq=%d sq=%d sb=%d/%d%s"
+      (Rob.count t.rob) t.cfg.Config.rob_size
+      (Array.fold_left (fun a iq -> a + Iq.occupancy iq) 0 t.iqs)
+      (List.length t.lsu.Lsu.lq) (List.length t.lsu.Lsu.sq)
+      (Queue.length t.lsu.Lsu.sb)
+      t.cfg.Config.store_buffer_size
+      (if t.halted then " halted" else "")
+  in
+  match Rob.peek_head t.rob with
+  | None -> Printf.sprintf "rob empty, fetch_pc=0x%Lx; %s" t.fetch_pc occupancy
+  | Some u ->
+      let state =
+        match u.Uop.state with
+        | Uop.Waiting -> "waiting"
+        | Uop.Issued -> "issued"
+        | Uop.Completed -> "completed"
+      in
+      Printf.sprintf "rob head seq=%d pc=0x%Lx [%s] %s; %s" u.Uop.seq
+        u.Uop.pc (Insn.show u.Uop.insn) state occupancy

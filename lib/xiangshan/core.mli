@@ -64,6 +64,10 @@ type t = {
   mutable commit_busy_until : int;
   mutable halted : bool;
   mutable on_store_drain : int64 -> int -> unit;
+  mutable bug_trust_bpu : int;
+      (** fault injection: for the next N resolved mispredictions,
+          follow the (possibly corrupted) prediction instead of
+          redirecting -- wrong-path instructions then commit *)
 }
 
 val create :
@@ -92,3 +96,7 @@ val cycle : t -> unit
     fetch. *)
 
 val ipc : t -> float
+
+val stall_site : t -> string
+(** One-line snapshot of the retirement bottleneck (ROB head uop and
+    queue occupancies), reported by the hang watchdog. *)

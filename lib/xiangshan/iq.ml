@@ -50,3 +50,13 @@ let count_ready t ~(ready : Uop.t -> bool) : int =
 
 let remove t (u : Uop.t) =
   t.slots <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.slots
+
+(* Fault injection: silently lose the oldest waiting uop.  It stays
+   Waiting in the ROB forever, so commit wedges on it -- unless a
+   flush squashes it first (the caller retries in that case). *)
+let steal_waiting t : Uop.t option =
+  match List.find_opt (fun u -> u.Uop.state = Uop.Waiting) t.slots with
+  | Some u ->
+      remove t u;
+      Some u
+  | None -> None

@@ -30,3 +30,7 @@ val count_ready : t -> ready:(Uop.t -> bool) -> int
 (** The Figure 15 instrumentation: ready entries before selection. *)
 
 val remove : t -> Uop.t -> unit
+
+val steal_waiting : t -> Uop.t option
+(** Fault injection: remove and return the oldest waiting uop, which
+    then never issues (commit wedges on it unless it is squashed). *)

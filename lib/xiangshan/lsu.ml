@@ -22,6 +22,13 @@ type t = {
   mutable forwards : int;
   mutable blocked_loads : int;
   mutable drains : int;
+  (* fault-injection knobs (campaign harness) *)
+  mutable bug_drop_drains : int; (* discard next N drained entries *)
+  mutable bug_reorder_drains : int; (* drain next N pairs youngest-first *)
+  mutable bug_silent_drains : int; (* next N drains skip on_drain *)
+  mutable bug_stall_drain : bool; (* the buffer never drains *)
+  mutable bug_no_forward : bool; (* loads ignore pending stores *)
+  mutable bug_forward_mask : int64; (* XORed into forwarded data *)
 }
 
 let create (cfg : Config.t) ~dcache =
@@ -36,6 +43,12 @@ let create (cfg : Config.t) ~dcache =
     forwards = 0;
     blocked_loads = 0;
     drains = 0;
+    bug_drop_drains = 0;
+    bug_reorder_drains = 0;
+    bug_silent_drains = 0;
+    bug_stall_drain = false;
+    bug_no_forward = false;
+    bug_forward_mask = 0L;
   }
 
 let lq_full t = List.length t.lq >= t.cfg.lq_size
@@ -81,6 +94,8 @@ let extract ~(data : int64) ~(from_addr : int64) ~(at : int64) ~(size : int) =
 (* Look for the youngest older store (SQ, then store buffer) providing
    the bytes of a load. *)
 let forward t ~(seq : int) ~(paddr : int64) ~(size : int) : forward_result =
+  if t.bug_no_forward then No_match
+  else begin
   let best : forward_result ref = ref No_match in
   (* store buffer first (all older than any in-flight load), oldest to
      youngest so younger matches override *)
@@ -107,7 +122,12 @@ let forward t ~(seq : int) ~(paddr : int64) ~(size : int) : forward_result =
   | Forward _ -> t.forwards <- t.forwards + 1
   | Blocked -> t.blocked_loads <- t.blocked_loads + 1
   | No_match -> ());
-  !best
+  (* fault: the forwarding mux picks the wrong lanes *)
+  match !best with
+  | Forward v when t.bug_forward_mask <> 0L ->
+      Forward (Int64.logxor v t.bug_forward_mask)
+  | r -> r
+  end
 
 (* Commit a store: move its data from the SQ to the store buffer.
    Caller must check [sb_full] first. *)
@@ -119,15 +139,35 @@ let commit_store t (u : Uop.t) =
 let remove_load t (u : Uop.t) =
   t.lq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.lq
 
+(* Write one entry through to the cache and announce it; the fault
+   knobs model drains that are lost, unannounced, or misordered. *)
+let drain_one t ~now ~(on_drain : int64 -> int -> unit) (e : sb_entry) =
+  let lat = Softmem.Cache.write t.dcache ~addr:e.sb_paddr ~size:e.sb_size e.sb_data in
+  t.drains <- t.drains + 1;
+  t.sb_next_drain <- now + max t.cfg.sb_drain_interval (lat / 4);
+  if t.bug_silent_drains > 0 then t.bug_silent_drains <- t.bug_silent_drains - 1
+  else on_drain e.sb_paddr e.sb_size
+
 (* Drain at most one store-buffer entry into the cache hierarchy.
    [on_drain] lets the SoC invalidate other cores' LR reservations. *)
 let drain t ~now ~(on_drain : int64 -> int -> unit) =
-  if (not (Queue.is_empty t.sb)) && now >= t.sb_next_drain then begin
-    let e = Queue.pop t.sb in
-    let lat = Softmem.Cache.write t.dcache ~addr:e.sb_paddr ~size:e.sb_size e.sb_data in
-    t.drains <- t.drains + 1;
-    t.sb_next_drain <- now + max t.cfg.sb_drain_interval (lat / 4);
-    on_drain e.sb_paddr e.sb_size
+  if t.bug_stall_drain then ()
+  else if (not (Queue.is_empty t.sb)) && now >= t.sb_next_drain then begin
+    if t.bug_drop_drains > 0 then begin
+      (* fault: the entry leaves the buffer but never reaches memory *)
+      ignore (Queue.pop t.sb);
+      t.bug_drop_drains <- t.bug_drop_drains - 1;
+      t.sb_next_drain <- now + t.cfg.sb_drain_interval
+    end
+    else if t.bug_reorder_drains > 0 && Queue.length t.sb >= 2 then begin
+      (* fault: two oldest entries reach memory youngest-first *)
+      let a = Queue.pop t.sb in
+      let b = Queue.pop t.sb in
+      t.bug_reorder_drains <- t.bug_reorder_drains - 1;
+      drain_one t ~now ~on_drain b;
+      drain_one t ~now ~on_drain a
+    end
+    else drain_one t ~now ~on_drain (Queue.pop t.sb)
   end
 
 (* Force-drain everything (fences, AMO ordering). Returns the cycles
@@ -138,7 +178,9 @@ let drain_all t ~now ~(on_drain : int64 -> int -> unit) : int =
     let e = Queue.pop t.sb in
     lat := !lat + Softmem.Cache.write t.dcache ~addr:e.sb_paddr ~size:e.sb_size e.sb_data;
     t.drains <- t.drains + 1;
-    on_drain e.sb_paddr e.sb_size
+    if t.bug_silent_drains > 0 then
+      t.bug_silent_drains <- t.bug_silent_drains - 1
+    else on_drain e.sb_paddr e.sb_size
   done;
   t.sb_next_drain <- now + !lat;
   !lat

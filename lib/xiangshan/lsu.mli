@@ -21,6 +21,20 @@ type t = {
   mutable forwards : int;
   mutable blocked_loads : int;
   mutable drains : int;
+  mutable bug_drop_drains : int;
+      (** fault: discard the next N drained entries (they leave the
+          buffer but never reach memory) *)
+  mutable bug_reorder_drains : int;
+      (** fault: the next N drain pairs reach memory youngest-first *)
+  mutable bug_silent_drains : int;
+      (** fault: the next N drains skip the [on_drain] announcement *)
+  mutable bug_stall_drain : bool;
+      (** fault: the store buffer never drains (wedges commit) *)
+  mutable bug_no_forward : bool;
+      (** fault: loads ignore pending older stores *)
+  mutable bug_forward_mask : int64;
+      (** fault: store-to-load forwarded data is XORed with this mask
+          (wrong-lane mux); [0L] disables *)
 }
 
 val create : Config.t -> dcache:Softmem.Cache.t -> t

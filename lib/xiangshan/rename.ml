@@ -74,6 +74,20 @@ let alias t ~arch_rd ~arch_rs =
   rf.refcnt.(p) <- rf.refcnt.(p) + 1;
   (p, old_p)
 
+(* Fault injection: alias [arch_rd] onto [arch_rs]'s physical register
+   with no uop carrying the old mapping -- the next consumer of
+   [arch_rd] reads [arch_rs]'s value and the old physical register
+   leaks, as if move elimination mis-fired on an unrelated
+   instruction.  The shared register's reference count is bumped so
+   later releases stay balanced. *)
+let corrupt_alias t ~arch_rd ~arch_rs =
+  if arch_rd <> 0 && arch_rd <> arch_rs then begin
+    let rf = t.int_rf in
+    let p = rf.map.(arch_rs) in
+    rf.map.(arch_rd) <- p;
+    rf.refcnt.(p) <- rf.refcnt.(p) + 1
+  end
+
 (* Commit: release the previous mapping of the destination. *)
 let commit_release t ~is_fp ~old_prd =
   if old_prd >= 0 then free_phys (rf t is_fp) old_prd

@@ -31,6 +31,11 @@ val alias : t -> arch_rd:int -> arch_rs:int -> int * int
 (** Move elimination: map [arch_rd] to [arch_rs]'s physical register,
     bumping its reference count; returns (prd, old_prd). *)
 
+val corrupt_alias : t -> arch_rd:int -> arch_rs:int -> unit
+(** Fault injection: silently remap [arch_rd] onto [arch_rs]'s
+    physical register (a mis-fired move elimination); the next
+    consumer of [arch_rd] reads the wrong value. *)
+
 val commit_release : t -> is_fp:bool -> old_prd:int -> unit
 
 val rollback : t -> Uop.t -> unit

@@ -52,6 +52,26 @@ let squash_younger t ~after : Uop.t list =
   t.tail <- new_tail;
   List.rev !squashed
 
+(* Fault injection: exchange the two oldest entries so they retire out
+   of program order.  Only applies when both are completed, exception
+   free and past their completion cycle -- the swapped pair then
+   commits immediately, before any intervening flush can mask it. *)
+let swap_head_next t ~now : bool =
+  if count t < 2 then false
+  else
+    match (t.buf.(slot t t.head), t.buf.(slot t (t.head + 1))) with
+    | Some a, Some b
+      when a.Uop.state = Uop.Completed
+           && b.Uop.state = Uop.Completed
+           && a.Uop.done_at <= now && b.Uop.done_at <= now
+           && a.Uop.exc = None && b.Uop.exc = None
+           && (not a.Uop.squashed)
+           && not b.Uop.squashed ->
+        t.buf.(slot t t.head) <- Some b;
+        t.buf.(slot t (t.head + 1)) <- Some a;
+        true
+    | _ -> false
+
 let iter t f =
   for seq = t.head to t.tail - 1 do
     match t.buf.(slot t seq) with Some u -> f u | None -> ()

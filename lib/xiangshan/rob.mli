@@ -31,4 +31,9 @@ val squash_younger : t -> after:int -> Uop.t list
 (** Squash every uop with seq > [after]; returns them youngest-first,
     the order rename rollback requires. *)
 
+val swap_head_next : t -> now:int -> bool
+(** Fault injection: exchange the two oldest entries (both completed,
+    exception-free, ready to retire) so they commit out of program
+    order.  Returns whether the swap applied. *)
+
 val iter : t -> (Uop.t -> unit) -> unit

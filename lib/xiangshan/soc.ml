@@ -19,6 +19,7 @@ type t = {
   dram : Softmem.Dram.t;
   mutable now : int;
   mutable event_sink : Softmem.Event.sink;
+  mutable fault_hooks : (t -> unit) list;
 }
 
 let line_shift = 6
@@ -63,7 +64,19 @@ let create ?(dram_size = 64 * 1024 * 1024) (cfg : Config.t) : t =
         Softmem.Cache.set_parent ptw l2s.(i);
         Core.create cfg ~hartid:i ~plat ~l1i ~l1d ~ptw_port:ptw)
   in
-  let t = { cfg; plat; cores; l2s; l3; dram; now = 0; event_sink = Softmem.Event.null_sink } in
+  let t =
+    {
+      cfg;
+      plat;
+      cores;
+      l2s;
+      l3;
+      dram;
+      now = 0;
+      event_sink = Softmem.Event.null_sink;
+      fault_hooks = [];
+    }
+  in
   (* store drains invalidate sibling reservations *)
   Array.iteri
     (fun i core ->
@@ -86,9 +99,12 @@ let load_program (t : t) (p : Asm.program) =
   Asm.load p t.plat.Platform.mem;
   Array.iter (fun c -> Core.set_boot_pc c p.Asm.entry) t.cores
 
+let add_fault_hook (t : t) f = t.fault_hooks <- t.fault_hooks @ [ f ]
+
 let tick (t : t) =
   t.now <- t.now + 1;
   Platform.Clint.tick t.plat.Platform.clint 1;
+  List.iter (fun f -> f t) t.fault_hooks;
   (match t.l3 with
   | Some l3 -> Softmem.Cache.iter_tree l3 (fun n -> Softmem.Cache.set_now n t.now)
   | None ->

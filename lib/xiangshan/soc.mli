@@ -17,6 +17,7 @@ type t = {
   dram : Softmem.Dram.t;
   mutable now : int;
   mutable event_sink : Softmem.Event.sink;
+  mutable fault_hooks : (t -> unit) list;
 }
 
 val create : ?dram_size:int -> Config.t -> t
@@ -27,8 +28,14 @@ val set_event_sink : t -> Softmem.Event.sink -> unit
 val load_program : t -> Riscv.Asm.program -> unit
 (** Load the image and point every hart's boot pc at the entry. *)
 
+val add_fault_hook : t -> (t -> unit) -> unit
+(** Register a hook run at the top of every [tick] (after the cycle
+    counter advances, before the cores cycle).  Fault models use this
+    as their cycle-triggered injection point; hooks are part of the
+    SoC graph, so LightSSS snapshots carry them into replays. *)
+
 val tick : t -> unit
-(** One clock cycle: CLINT, cache clocks, every core. *)
+(** One clock cycle: CLINT, cache clocks, fault hooks, every core. *)
 
 val run : ?max_cycles:int -> ?stop:(unit -> bool) -> t -> int
 (** Run to exit / budget / [stop]; returns cycles simulated. *)

@@ -86,6 +86,30 @@ let flush t =
   arr_flush t.dtlb;
   arr_flush t.stlb
 
+(* Fault injection: force the low ppn bit of every cached data-side
+   mapping (dtlb + stlb), as if a PTE write had been missed -- loads
+   and stores then hit the neighbouring physical page while the walker
+   and the REF still agree on the real one.  The itlb is left intact
+   so the corruption surfaces as data divergence, not fetch garbage.
+   OR rather than XOR so a periodic re-injection never heals an
+   already-corrupted entry.  Returns the entries newly corrupted. *)
+let corrupt_data_ppn (t : t) : int =
+  let n = ref 0 in
+  let corrupt (a : tlb_array) =
+    Array.iter
+      (fun e ->
+        if e.e_vpn >= 0L then
+          match e.e_res with
+          | Ok m when Int64.logand m.ppn 1L = 0L ->
+              e.e_res <- Ok { m with ppn = Int64.logor m.ppn 1L };
+              incr n
+          | Ok _ | Error () -> ())
+      a.entries
+  in
+  corrupt t.dtlb;
+  corrupt t.stlb;
+  !n
+
 type access = Fetch | Load | Store
 
 let fault_of = function

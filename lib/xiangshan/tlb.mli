@@ -33,6 +33,12 @@ val create : Config.t -> ptw_port:Softmem.Cache.t -> t
 val flush : t -> unit
 (** sfence.vma: drop every cached translation, including faults. *)
 
+val corrupt_data_ppn : t -> int
+(** Fault injection: force the low ppn bit of every cached data-side
+    mapping (dtlb + stlb), modelling a stale translation surviving a
+    PTE update.  Idempotent, so periodic re-injection never heals an
+    entry.  Returns the number of entries newly corrupted. *)
+
 type access = Fetch | Load | Store
 
 type outcome =

@@ -130,42 +130,31 @@ let test_catches_corrupted_commit () =
         f.Minjie.Rule.f_rule
   | _ -> Alcotest.fail "corruption not caught"
 
-let test_catches_l2_race_bug () =
-  let prog = Workloads.Smp.lrsc_contend ~scale:4 in
+(* Both §IV-C bugs now live in the fault registry; the tests install
+   them through the same API the campaign uses, and the accepted-rule
+   lists come from the registry entry rather than being duplicated
+   here. *)
+let run_registry_fault name prog =
+  let fault = Minjie.Fault.find name in
   let status, _ =
-    run_difftest Xiangshan.Config.nh prog
-      ~inject:(fun soc -> Xiangshan.Soc.inject_l2_race_bug soc ~core:0)
+    run_difftest Xiangshan.Config.nh prog ~inject:(fun soc ->
+        fault.Minjie.Fault.f_install ~seed:0 ~trigger:fault.Minjie.Fault.f_trigger
+          soc)
   in
   match status with
   | Minjie.Difftest.Failed f ->
       Alcotest.(check bool)
         ("caught by " ^ f.Minjie.Rule.f_rule)
         true
-        (List.mem f.Minjie.Rule.f_rule
-           [ "global-memory-load"; "commit-watchdog"; "state-compare" ])
+        (List.mem f.Minjie.Rule.f_rule fault.Minjie.Fault.f_expected_rules)
   | Minjie.Difftest.Finished _ -> Alcotest.fail "bug escaped"
   | Minjie.Difftest.Running -> Alcotest.fail "timeout without detection"
 
+let test_catches_l2_race_bug () =
+  run_registry_fault "cache-mshr-race" (Workloads.Smp.lrsc_contend ~scale:4)
+
 let test_catches_skip_probe_bug () =
-  let prog = Workloads.Smp.spinlock ~scale:4 in
-  let status, _ =
-    run_difftest Xiangshan.Config.nh prog
-      ~inject:(fun soc -> Xiangshan.Soc.inject_skip_probe_bug soc)
-  in
-  match status with
-  | Minjie.Difftest.Failed f ->
-      Alcotest.(check bool)
-        ("caught by " ^ f.Minjie.Rule.f_rule)
-        true
-        (List.mem f.Minjie.Rule.f_rule
-           [
-             "cache-permission-scoreboard";
-             "global-memory-load";
-             "state-compare";
-             "commit-watchdog";
-           ])
-  | Minjie.Difftest.Finished _ -> Alcotest.fail "bug escaped"
-  | Minjie.Difftest.Running -> Alcotest.fail "timeout without detection"
+  run_registry_fault "cache-skip-probe" (Workloads.Smp.spinlock ~scale:4)
 
 (* global memory unit behaviour *)
 let test_global_memory_history () =

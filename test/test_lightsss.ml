@@ -76,6 +76,75 @@ let test_two_slot_manager () =
       Alcotest.(check int) "replay at 4001" 4001 s.Lightsss.snap_cycle
   | None -> Alcotest.fail "no replay point"
 
+(* --- edge cases around the two-slot policy --------------------------- *)
+
+let test_replay_point_edges () =
+  (* no snapshot yet -> no replay point; a single snapshot -> itself *)
+  let prog = (Workloads.Suite.find "coremark_like").program ~scale:1 in
+  let dt = make_difftest prog Xiangshan.Config.yqh in
+  let subject = Minjie.Workflow.subject_of dt in
+  let mgr = Lightsss.manager ~interval:1000 subject in
+  Alcotest.(check bool) "no snapshot, no replay point" true
+    (Lightsss.replay_point mgr = None);
+  Lightsss.tick mgr ~cycle:0;
+  Alcotest.(check int) "one snapshot" 1 mgr.Lightsss.snapshots_taken;
+  (match Lightsss.replay_point mgr with
+  | Some s -> Alcotest.(check int) "single slot is the replay point" 0
+      s.Lightsss.snap_cycle
+  | None -> Alcotest.fail "single snapshot must be the replay point")
+
+let test_failure_inside_first_interval () =
+  (* the skip-probe fault is detected within ~200 cycles; with a huge
+     snapshot interval the only snapshot is the one at cycle 0, and
+     the workflow must replay from it and still reproduce *)
+  let fault = Minjie.Fault.find "cache-skip-probe" in
+  let prog = Workloads.Smp.spinlock ~scale:4 in
+  match
+    Minjie.Workflow.run_verified ~snapshot_interval:100_000 ~prog
+      ~inject:(fun soc ->
+        fault.Minjie.Fault.f_install ~seed:0
+          ~trigger:fault.Minjie.Fault.f_trigger soc)
+      Xiangshan.Config.nh
+  with
+  | Minjie.Workflow.Verified _ -> Alcotest.fail "bug escaped"
+  | Minjie.Workflow.Debugged r ->
+      Alcotest.(check int) "replay starts at the cycle-0 snapshot" 0
+        r.replay_from_cycle;
+      (match r.replay_failure with
+      | Some f ->
+          Alcotest.(check int) "reproduced at the same cycle"
+            r.first_failure.f_cycle f.f_cycle
+      | None -> Alcotest.fail "failure did not reproduce from cycle 0")
+
+let test_two_replay_archdb_determinism () =
+  (* running the same faulty cell twice must produce byte-identical
+     diagnoses: same failure, same replay point, same ArchDB volume *)
+  let fault = Minjie.Fault.find "cache-mshr-race" in
+  let run () =
+    match
+      Minjie.Workflow.run_verified ~prog:(Workloads.Smp.lrsc_contend ~scale:6)
+        ~inject:(fun soc ->
+          fault.Minjie.Fault.f_install ~seed:0
+            ~trigger:fault.Minjie.Fault.f_trigger soc)
+        Xiangshan.Config.nh
+    with
+    | Minjie.Workflow.Verified _ -> Alcotest.fail "bug escaped"
+    | Minjie.Workflow.Debugged r -> r
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same failure cycle" a.Minjie.Workflow.first_failure.f_cycle
+    b.Minjie.Workflow.first_failure.f_cycle;
+  Alcotest.(check string) "same rule" a.Minjie.Workflow.first_failure.f_rule
+    b.Minjie.Workflow.first_failure.f_rule;
+  Alcotest.(check int) "same replay point" a.Minjie.Workflow.replay_from_cycle
+    b.Minjie.Workflow.replay_from_cycle;
+  Alcotest.(check int) "same ArchDB commit volume"
+    (Minjie.Archdb.count a.Minjie.Workflow.db.Minjie.Archdb.commits)
+    (Minjie.Archdb.count b.Minjie.Workflow.db.Minjie.Archdb.commits);
+  Alcotest.(check int) "same ArchDB cache-event volume"
+    (Minjie.Archdb.count a.Minjie.Workflow.db.Minjie.Archdb.cache_events)
+    (Minjie.Archdb.count b.Minjie.Workflow.db.Minjie.Archdb.cache_events)
+
 let test_workflow_clean () =
   let prog = (Workloads.Suite.find "sjeng_like").program ~scale:1 in
   match Minjie.Workflow.run_verified ~prog Xiangshan.Config.yqh with
@@ -85,10 +154,13 @@ let test_workflow_clean () =
       Alcotest.failf "unexpected failure: %s" r.first_failure.f_msg
 
 let test_workflow_debugs_injected_bug () =
+  let fault = Minjie.Fault.find "cache-mshr-race" in
   let prog = Workloads.Smp.lrsc_contend ~scale:6 in
   match
     Minjie.Workflow.run_verified ~prog
-      ~inject:(fun soc -> Xiangshan.Soc.inject_l2_race_bug soc ~core:0)
+      ~inject:(fun soc ->
+        fault.Minjie.Fault.f_install ~seed:0
+          ~trigger:fault.Minjie.Fault.f_trigger soc)
       Xiangshan.Config.nh
   with
   | Minjie.Workflow.Verified _ -> Alcotest.fail "bug escaped the workflow"
@@ -117,6 +189,11 @@ let tests =
     Alcotest.test_case "snapshot is fork-like lightweight" `Quick
       test_snapshot_is_lightweight;
     Alcotest.test_case "two-slot manager policy" `Quick test_two_slot_manager;
+    Alcotest.test_case "replay-point edge cases" `Quick test_replay_point_edges;
+    Alcotest.test_case "failure inside the first interval" `Slow
+      test_failure_inside_first_interval;
+    Alcotest.test_case "two-replay ArchDB determinism" `Slow
+      test_two_replay_archdb_determinism;
     Alcotest.test_case "workflow: clean run verifies" `Slow test_workflow_clean;
     Alcotest.test_case "workflow: debugs the injected L2 bug (§IV-C)" `Slow
       test_workflow_debugs_injected_bug;
