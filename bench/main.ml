@@ -217,7 +217,7 @@ let run_with_interval cfg prog interval =
   let (), secs =
     time (fun () ->
         let running () =
-          match dt.Minjie.Difftest.status with
+          match Minjie.Difftest.status dt with
           | Minjie.Difftest.Running -> true
           | Minjie.Difftest.Finished _ | Minjie.Difftest.Failed _ -> false
         in
@@ -710,6 +710,10 @@ let campaign_seed = ref 1
 let campaign_smoke = ref false
 let campaign_failed = ref false
 
+(* --ref iss|nemu: REF backend for the campaign bench (default: the
+   MINJIE_REF environment variable, then the ISS) *)
+let campaign_ref : Minjie.Ref_model.kind option ref = ref None
+
 (* faults whose cells resolve in a few thousand cycles; enough for CI
    to validate the whole detect->replay->report pipeline *)
 let smoke_faults = [ "csr-mtvec-corrupt"; "rob-commit-reorder"; "lsu-sb-drop" ]
@@ -730,7 +734,7 @@ let bench_campaign () =
     else [ !campaign_seed; !campaign_seed + 1 ]
   in
   let s =
-    Minjie.Campaign.run ?faults ~seeds
+    Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref
       ~progress:(fun c ->
         Printf.printf "  %s\n%!" (Minjie.Campaign.string_of_cell c))
       ()
@@ -789,6 +793,146 @@ let bench_campaign () =
   else Printf.printf "zero escapes: every injected fault was caught\n"
 
 (* ---------------------------------------------------------------- *)
+(* Co-simulation throughput: the pluggable REF interface lets the    *)
+(* same DiffTest run against the ISS or the NEMU block-compiled REF; *)
+(* this bench measures both, end-to-end and REF-side only            *)
+(* ---------------------------------------------------------------- *)
+
+let cosim_workloads = [ "coremark_like"; "mcf_like"; "vm_kernel" ]
+
+(* Retire instructions on a standalone non-autonomous REF until the
+   program exits (or the cap): the REF-side cost of co-simulation,
+   with the DUT out of the picture.  One warm-up run, then repeated
+   runs until the sample is big enough for a stable rate (small-scale
+   programs finish in a millisecond or two). *)
+let cosim_ref_only kind prog =
+  let cap = if !big then 200_000_000 else 50_000_000 in
+  let run_once () =
+    let r = Minjie.Ref_model.create ~kind ~hartid:0 ~prog () in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match r.Minjie.Ref_model.step () with
+      | Minjie.Ref_model.Committed _ ->
+          incr n;
+          if !n >= cap then continue := false
+      | Minjie.Ref_model.Exited -> continue := false
+    done;
+    !n
+  in
+  ignore (run_once ());
+  let total = ref 0 and reps = ref 0 in
+  let (), secs =
+    time (fun () ->
+        while !total < 2_000_000 && !reps < 200 do
+          total := !total + run_once ();
+          incr reps
+        done)
+  in
+  (!total, secs)
+
+let cosim_e2e kind prog =
+  let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+  Xiangshan.Soc.load_program soc prog;
+  let dt = Minjie.Difftest.create ~ref_kind:kind ~prog soc in
+  let (), secs =
+    time (fun () ->
+        let running () =
+          match Minjie.Difftest.status dt with
+          | Minjie.Difftest.Running -> true
+          | Minjie.Difftest.Finished _ | Minjie.Difftest.Failed _ -> false
+        in
+        while running () do
+          Minjie.Difftest.tick dt
+        done)
+  in
+  (match Minjie.Difftest.status dt with
+  | Minjie.Difftest.Failed f ->
+      Printf.printf "  !! difftest FAILED under %s REF: %s\n"
+        (Minjie.Ref_model.kind_name kind)
+        (Minjie.Rule.string_of_failure f)
+  | Minjie.Difftest.Running | Minjie.Difftest.Finished _ -> ());
+  ( (Minjie.Difftest.soc dt).Xiangshan.Soc.now,
+    Minjie.Difftest.commits_checked dt,
+    secs )
+
+let bench_cosim () =
+  section "Co-simulation throughput: ISS REF vs NEMU REF";
+  Printf.printf
+    "(the REF is pluggable behind Ref_model; NEMU's block-compiled \
+     non-autonomous mode\n\
+    \ is the paper's fast REF -- both are measured end-to-end under \
+     DiffTest and\n\
+    \ REF-side only, stepping the same program standalone)\n\n";
+  let speedups_e2e = ref [] and speedups_ref = ref [] in
+  List.iter
+    (fun wname ->
+      let w = Minjie.Campaign.find_workload wname in
+      let prog = w.Workloads.Wl_common.program ~scale:(wl_scale w) in
+      Printf.printf "%s:\n" wname;
+      let results =
+        List.map
+          (fun kind ->
+            let cycles, commits, e2e_secs = cosim_e2e kind prog in
+            let ref_insns, ref_secs = cosim_ref_only kind prog in
+            let kcps = float_of_int cycles /. max 1e-9 e2e_secs /. 1e3 in
+            let cps = float_of_int commits /. max 1e-9 e2e_secs in
+            let rps = float_of_int ref_insns /. max 1e-9 ref_secs in
+            Printf.printf
+              "  %-5s e2e: %8.1f kcycles/s %10.0f commits/s   REF-only: \
+               %10.0f insns/s\n"
+              (Minjie.Ref_model.kind_name kind)
+              kcps cps rps;
+            record
+              [
+                ("experiment", Json.Str "cosim");
+                ("group", Json.Str "run");
+                ("workload", Json.Str wname);
+                ("ref", Json.Str (Minjie.Ref_model.kind_name kind));
+                ("e2e_cycles", Json.Int cycles);
+                ("e2e_seconds", Json.Num e2e_secs);
+                ("e2e_kcycles_per_s", Json.Num kcps);
+                ("e2e_commits", Json.Int commits);
+                ("e2e_commits_per_s", Json.Num cps);
+                ("ref_insns", Json.Int ref_insns);
+                ("ref_seconds", Json.Num ref_secs);
+                ("ref_insns_per_s", Json.Num rps);
+              ];
+            (kind, cps, rps))
+          [ Minjie.Ref_model.Iss; Minjie.Ref_model.Nemu ]
+      in
+      match results with
+      | [ (_, iss_cps, iss_rps); (_, nemu_cps, nemu_rps) ] ->
+          let e2e_speedup = nemu_cps /. max 1e-9 iss_cps in
+          let ref_speedup = nemu_rps /. max 1e-9 iss_rps in
+          speedups_e2e := e2e_speedup :: !speedups_e2e;
+          speedups_ref := ref_speedup :: !speedups_ref;
+          Printf.printf
+            "  nemu/iss speedup: %.2fx end-to-end, %.2fx REF-side\n" e2e_speedup
+            ref_speedup;
+          record
+            [
+              ("experiment", Json.Str "cosim");
+              ("group", Json.Str "speedup");
+              ("workload", Json.Str wname);
+              ("e2e_speedup", Json.Num e2e_speedup);
+              ("ref_step_speedup", Json.Num ref_speedup);
+            ]
+      | _ -> ())
+    cosim_workloads;
+  let ge = geomean !speedups_e2e and gr = geomean !speedups_ref in
+  record
+    [
+      ("experiment", Json.Str "cosim");
+      ("group", Json.Str "summary");
+      ("workloads", Json.Int (List.length cosim_workloads));
+      ("geomean_e2e_speedup", Json.Num ge);
+      ("geomean_ref_step_speedup", Json.Num gr);
+    ];
+  Printf.printf
+    "\ngeomean nemu/iss speedup: %.2fx end-to-end, %.2fx REF-side\n" ge gr
+
+(* ---------------------------------------------------------------- *)
 
 let all_benches =
   [
@@ -802,6 +946,7 @@ let all_benches =
     ("fig15", bench_fig15);
     ("ablation", bench_ablation);
     ("campaign", bench_campaign);
+    ("cosim", bench_cosim);
   ]
 
 let () =
@@ -831,6 +976,17 @@ let () =
     | "--smoke" :: rest ->
         campaign_smoke := true;
         parse acc rest
+    | "--ref" :: k :: rest -> (
+        match Minjie.Ref_model.kind_of_string k with
+        | Some kind ->
+            campaign_ref := Some kind;
+            parse acc rest
+        | None ->
+            Printf.eprintf "--ref wants iss or nemu, got %s\n" k;
+            exit 2)
+    | [ "--ref" ] ->
+        Printf.eprintf "--ref requires an argument (iss|nemu)\n";
+        exit 2
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] args in

@@ -28,4 +28,20 @@ grep -q '"group": "summary"' ci_campaign.json
 grep -q '"escapes": 0' ci_campaign.json
 rm -f ci_campaign.json
 
+echo "== campaign smoke with the NEMU REF backend =="
+MINJIE_REF=nemu dune exec bench/main.exe -- campaign --smoke --json ci_campaign_nemu.json
+test -s ci_campaign_nemu.json
+grep -q '"escapes": 0' ci_campaign_nemu.json
+rm -f ci_campaign_nemu.json
+
+echo "== cosim smoke (ISS REF vs NEMU REF throughput) =="
+dune exec bench/main.exe -- cosim --json ci_cosim.json
+test -s ci_cosim.json
+grep -q '"experiment": "cosim"' ci_cosim.json
+grep -q '"group": "run"' ci_cosim.json
+grep -q '"group": "speedup"' ci_cosim.json
+grep -q '"ref_step_speedup"' ci_cosim.json
+grep -q '"geomean_ref_step_speedup"' ci_cosim.json
+rm -f ci_cosim.json
+
 echo "CI OK"

@@ -67,5 +67,27 @@ let () =
         f.Minjie.Rule.f_msg
   | Minjie.Difftest.Running -> Printf.printf "DUT: timed out\n");
 
+  (* 4. the same co-simulation with the pluggable REF switched to
+     NEMU's block-compiled non-autonomous mode -- the paper's fast
+     REF.  Same rules, same verdict, faster REF side.  (Process-wide,
+     MINJIE_REF=nemu does the same without code changes.) *)
+  let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+  Xiangshan.Soc.load_program soc program;
+  let dt =
+    Minjie.Difftest.create ~ref_kind:Minjie.Ref_model.Nemu ~prog:program soc
+  in
+  (match Minjie.Difftest.run ~max_cycles:1_000_000 dt with
+  | Minjie.Difftest.Finished code ->
+      Printf.printf
+        "DUT:  verified again with the %s REF; exit code %d, %d commits \
+         checked\n"
+        (Minjie.Ref_model.kind_name (Minjie.Difftest.ref_kind dt))
+        code
+        (Minjie.Difftest.commits_checked dt)
+  | Minjie.Difftest.Failed f ->
+      Printf.printf "DUT: DiffTest FAILED under NEMU REF (%s): %s\n"
+        f.Minjie.Rule.f_rule f.Minjie.Rule.f_msg
+  | Minjie.Difftest.Running -> Printf.printf "DUT: timed out\n");
+
   (* expected: sum_{1..20} i^2 = 2870; 2870 land 0xff = 54 *)
   Printf.printf "\nexpected exit code: %d\n" (2870 land 0xFF)

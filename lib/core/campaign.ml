@@ -73,7 +73,7 @@ let config_of = function
   | Fault.Yqh -> Xiangshan.Config.yqh
   | Fault.Nh -> Xiangshan.Config.nh
 
-let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000)
+let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000) ?ref_kind
     ~(fault : Fault.t) ~seed () : cell =
   let w = find_workload fault.Fault.f_workload in
   let prog = w.Workloads.Wl_common.program ~scale:w.Workloads.Wl_common.small in
@@ -102,7 +102,7 @@ let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000)
     }
   in
   match
-    Workflow.run_verified ~snapshot_interval ~max_cycles
+    Workflow.run_verified ~snapshot_interval ~max_cycles ?ref_kind
       ~inject:(fun soc -> fault.Fault.f_install ~seed ~trigger soc)
       ~prog cfg
   with
@@ -142,7 +142,8 @@ let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000)
       }
 
 let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
-    ?(max_cycles = 400_000) ?(progress = fun (_ : cell) -> ()) () : summary =
+    ?(max_cycles = 400_000) ?ref_kind ?(progress = fun (_ : cell) -> ()) () :
+    summary =
   let faults =
     match faults with
     | None -> Fault.all
@@ -153,7 +154,9 @@ let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
       (fun fault ->
         List.map
           (fun seed ->
-            let c = run_cell ~snapshot_interval ~max_cycles ~fault ~seed () in
+            let c =
+              run_cell ~snapshot_interval ~max_cycles ?ref_kind ~fault ~seed ()
+            in
             progress c;
             c)
           seeds)

@@ -56,6 +56,7 @@ val find_workload : string -> Workloads.Wl_common.t
 val run_cell :
   ?snapshot_interval:int ->
   ?max_cycles:int ->
+  ?ref_kind:Ref_model.kind ->
   fault:Fault.t ->
   seed:int ->
   unit ->
@@ -66,10 +67,12 @@ val run :
   ?seeds:int list ->
   ?snapshot_interval:int ->
   ?max_cycles:int ->
+  ?ref_kind:Ref_model.kind ->
   ?progress:(cell -> unit) ->
   unit ->
   summary
 (** Run the campaign grid.  [faults] defaults to the full registry,
-    [seeds] to [[1; 2]].  [progress] is called after each cell. *)
+    [seeds] to [[1; 2]], [ref_kind] to {!Ref_model.kind_of_env}.
+    [progress] is called after each cell. *)
 
 val string_of_cell : cell -> string

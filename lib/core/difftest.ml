@@ -30,6 +30,7 @@ type pending_store = {
 
 type t = {
   soc : Xiangshan.Soc.t;
+  ref_kind : Ref_model.kind;
   ctx : Rule.ctx;
   rules : Rule.t list;
   queues : Xiangshan.Probe.commit Queue.t array;
@@ -162,16 +163,19 @@ let note_committed_store (t : t) ~hart (p : Xiangshan.Probe.commit) =
       | None -> Queue.add entry t.pending_stores.(hart))
   | _ -> ()
 
-(* Attach probes to the SoC and build REFs mirroring the program. *)
-let create ?rules ?(with_scoreboard = true)
+(* Attach probes to the SoC and build REFs mirroring the program.
+   [ref_kind] selects the reference-model backend (default: the
+   MINJIE_REF environment variable, then the ISS). *)
+let create ?rules ?(with_scoreboard = true) ?ref_kind
     ~(prog : Asm.program) (soc : Xiangshan.Soc.t) : t =
   let rules = match rules with Some r -> r | None -> Rules.standard () in
+  let ref_kind =
+    match ref_kind with Some k -> k | None -> Ref_model.kind_of_env ()
+  in
   let n = Array.length soc.Xiangshan.Soc.cores in
   let refs =
     Array.init n (fun hartid ->
-        let r = Iss.Interp.create ~autonomous:false ~hartid () in
-        Iss.Interp.load_program r prog;
-        r)
+        Ref_model.create ~kind:ref_kind ~hartid ~prog ())
   in
   let ctx =
     {
@@ -201,6 +205,7 @@ let create ?rules ?(with_scoreboard = true)
   let t =
     {
       soc;
+      ref_kind;
       ctx;
       rules;
       queues;
@@ -242,7 +247,7 @@ let apply_pre t ~hart (p : Xiangshan.Probe.commit) =
       | None -> ())
     t.rules
 
-let apply_post t ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) =
+let apply_post t ~hart (p : Xiangshan.Probe.commit) (c : Ref_model.commit) =
   List.iter
     (fun (r : Rule.t) ->
       match r.Rule.post with
@@ -273,21 +278,21 @@ let process_commit t ~hart (p : Xiangshan.Probe.commit) =
   match t.status with
   | Failed _ | Finished _ -> ()
   | Running -> (
-      match Iss.Interp.step r with
-      | Iss.Interp.Exited -> ()
-      | Iss.Interp.Committed c -> (
-          if c.Iss.Interp.pc <> p.p_pc then
+      match r.Ref_model.step () with
+      | Ref_model.Exited -> ()
+      | Ref_model.Committed c -> (
+          if c.Ref_model.pc <> p.p_pc then
             fail_now t ~hart ~pc:p.p_pc ~probe:(Rule.describe_probe p)
               ~rule:"pc-check"
               (Printf.sprintf "pc mismatch: DUT commits 0x%Lx, REF at 0x%Lx"
-                 p.p_pc c.Iss.Interp.pc);
+                 p.p_pc c.Ref_model.pc);
           (* fused second instruction: the REF executes both *)
           let final_c =
             match p.p_second with
             | Some _ -> (
-                match Iss.Interp.step r with
-                | Iss.Interp.Committed c2 -> c2
-                | Iss.Interp.Exited -> c)
+                match r.Ref_model.step () with
+                | Ref_model.Committed c2 -> c2
+                | Ref_model.Exited -> c)
             | None -> c
           in
           apply_post t ~hart p c;
@@ -295,14 +300,14 @@ let process_commit t ~hart (p : Xiangshan.Probe.commit) =
           | Failed _ | Finished _ -> ()
           | Running ->
               if
-                final_c.Iss.Interp.next_pc <> p.p_next_pc
+                final_c.Ref_model.next_pc <> p.p_next_pc
                 && p.p_trap = None && p.p_interrupt = None
               then
                 fail_now t ~hart ~pc:p.p_pc ~probe:(Rule.describe_probe p)
                   ~rule:"next-pc-check"
                   (Printf.sprintf
                      "next pc mismatch at 0x%Lx: DUT 0x%Lx, REF 0x%Lx" p.p_pc
-                     p.p_next_pc final_c.Iss.Interp.next_pc)))
+                     p.p_next_pc final_c.Ref_model.next_pc)))
 
 (* End-of-cycle architectural comparison (after the commit queue of
    each hart has been drained). *)
@@ -312,7 +317,7 @@ let compare_states t =
       if not (Queue.is_empty t.queues.(hart)) then ()
       else
         let r = t.ctx.Rule.refs.(hart) in
-        match Arch_state.diff core.Xiangshan.Core.arch r.Iss.Interp.st with
+        match r.Ref_model.diff_against core.Xiangshan.Core.arch with
         | Some msg ->
             fail_now t ~hart ~pc:core.Xiangshan.Core.arch.Arch_state.pc
               ~rule:"state-compare" ("DUT vs REF: " ^ msg)
@@ -337,8 +342,8 @@ let tick t =
       Xiangshan.Soc.tick t.soc;
       (* keep REF wall-clock in sync (part of the time diff-rule) *)
       Array.iter
-        (fun r ->
-          Iss.Interp.set_time r
+        (fun (r : Ref_model.t) ->
+          r.Ref_model.set_time
             t.soc.Xiangshan.Soc.plat.Platform.clint.Platform.Clint.mtime)
         t.ctx.Rule.refs;
       Array.iteri
@@ -413,8 +418,12 @@ let run ?(max_cycles = 50_000_000) t : status =
   done;
   t.status
 
+(* Sorted by rule name so output is stable across rule-list order
+   and REF backends. *)
 let rule_fire_counts t =
-  List.map (fun (r : Rule.t) -> (r.Rule.name, r.Rule.fires)) t.rules
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map (fun (r : Rule.t) -> (r.Rule.name, r.Rule.fires)) t.rules)
 
 let set_commit_timeout t n = t.commit_timeout <- n
 
@@ -423,3 +432,19 @@ let set_store_timeout t n = t.store_timeout <- n
 let enable_debug t = t.debug <- true
 
 let debug_log t = List.rev t.debug_log
+
+(* --- accessors (the record is abstract outside this module) ----------- *)
+
+let soc t = t.soc
+
+let ref_kind t = t.ref_kind
+
+let refs t = t.ctx.Rule.refs
+
+let ctx t = t.ctx
+
+let global_mem t = t.ctx.Rule.global_mem
+
+let status t = t.status
+
+let commits_checked t = t.commits_checked

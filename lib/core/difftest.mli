@@ -9,6 +9,11 @@
     with a located failure, which the LightSSS workflow can replay in
     debug mode.
 
+    The REF backend is pluggable (see {!Ref_model}): the plain ISS
+    interpreter or the NEMU block-compiled engine in non-autonomous
+    REF mode, selected per instance with [?ref_kind] or process-wide
+    with the [MINJIE_REF] environment variable.
+
     Always-on checks beyond the rules: per-commit pc and next-pc
     agreement, full architectural-state comparison at every cycle
     boundary, the permission scoreboard on the shared cache level, a
@@ -21,42 +26,21 @@
 
 type status = Running | Finished of int | Failed of Rule.failure
 
-type pending_store = {
-  ps_paddr : int64;
-  ps_size : int;
-  ps_value : int64;
-  ps_commit_cycle : int;
-}
-
-type t = {
-  soc : Xiangshan.Soc.t;
-  ctx : Rule.ctx;
-  rules : Rule.t list;
-  queues : Xiangshan.Probe.commit Queue.t array;
-  scoreboard : Softmem.Scoreboard.t option;
-  mutable status : status;
-  mutable commits_checked : int;
-  mutable debug_log : (int * string) list;
-  mutable debug : bool;
-  last_commit_cycle : int array;
-  mutable commit_timeout : int;
-  pending_stores : pending_store Queue.t array;
-      (** per-hart committed-but-not-yet-drained stores *)
-  early_drains : pending_store list array;
-      (** drains announced before their commit probe was processed
-          this cycle (same-cycle retire+drain, AMO/SC direct writes) *)
-  mutable store_timeout : int;
-}
+type t
+(** A co-simulation instance.  Abstract: observe it through the
+    accessors below. *)
 
 val create :
   ?rules:Rule.t list ->
   ?with_scoreboard:bool ->
+  ?ref_kind:Ref_model.kind ->
   prog:Riscv.Asm.program ->
   Xiangshan.Soc.t ->
   t
 (** Wire probes into the SoC (which must already have the program
     loaded) and build one REF per hart running the same [prog].
-    [rules] defaults to a fresh {!Rules.standard} set. *)
+    [rules] defaults to a fresh {!Rules.standard} set; [ref_kind]
+    defaults to {!Ref_model.kind_of_env}[ ()]. *)
 
 val tick : t -> unit
 (** One co-simulated cycle: advance the SoC, drain and check each
@@ -65,7 +49,28 @@ val tick : t -> unit
 
 val run : ?max_cycles:int -> t -> status
 
+(** {1 Accessors} *)
+
+val status : t -> status
+
+val soc : t -> Xiangshan.Soc.t
+
+val ref_kind : t -> Ref_model.kind
+
+val refs : t -> Ref_model.t array
+(** The per-hart reference models (index = hartid). *)
+
+val ctx : t -> Rule.ctx
+
+val global_mem : t -> Global_memory.t
+
+val commits_checked : t -> int
+
 val rule_fire_counts : t -> (string * int) list
+(** Fire count per rule, sorted by rule name (deterministic across
+    rule-list order and REF backends). *)
+
+(** {1 Tuning and debug} *)
 
 val set_commit_timeout : t -> int -> unit
 (** Cycles without a commit before the hang watchdog fires

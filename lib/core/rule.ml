@@ -16,7 +16,7 @@
    makes one REF serve many DUTs (the N-to-1 correspondence). *)
 
 type ctx = {
-  refs : Iss.Interp.t array;
+  refs : Ref_model.t array; (* one single-core REF per hart *)
   global_mem : Global_memory.t;
   soc : Xiangshan.Soc.t;
   mutable failure : failure option;
@@ -68,7 +68,7 @@ type t = {
     (ctx ->
     hart:int ->
     Xiangshan.Probe.commit ->
-    Iss.Interp.commit ->
+    Ref_model.commit ->
     verdict)
     option;
 }

@@ -15,7 +15,7 @@
 
 (** Shared state the rules operate on. *)
 type ctx = {
-  refs : Iss.Interp.t array; (** one single-core REF per hart *)
+  refs : Ref_model.t array; (** one single-core REF per hart *)
   global_mem : Global_memory.t;
   soc : Xiangshan.Soc.t;
   mutable failure : failure option;
@@ -57,7 +57,7 @@ type t = {
     (ctx ->
     hart:int ->
     Xiangshan.Probe.commit ->
-    Iss.Interp.commit ->
+    Ref_model.commit ->
     verdict)
     option;
 }
@@ -68,7 +68,7 @@ val make :
     (ctx ->
     hart:int ->
     Xiangshan.Probe.commit ->
-    Iss.Interp.commit ->
+    Ref_model.commit ->
     verdict) ->
   name:string ->
   descr:string ->

@@ -23,7 +23,7 @@ let page_fault_forcing () =
       match p.p_trap with
       | Some (exc, tval) ->
           Rule.bump_force_guard ctx ~hart ~probe:p ~rule:"page-fault-forcing";
-          Iss.Interp.force_exception ctx.Rule.refs.(hart) exc tval;
+          ctx.Rule.refs.(hart).Ref_model.force_exception exc tval;
           true
       | None ->
           Rule.clear_force_guard ctx ~hart ~probe:p;
@@ -41,9 +41,9 @@ let interrupt_forcing () =
       match p.p_interrupt with
       | Some irq ->
           (* mirror the pending bit so mip-dependent behaviour matches *)
-          Iss.Interp.set_mip_bit ctx.Rule.refs.(hart)
-            (Trap.irq_code irq) true;
-          Iss.Interp.force_interrupt ctx.Rule.refs.(hart) irq;
+          let r = ctx.Rule.refs.(hart) in
+          r.Ref_model.set_mip_bit (Trap.irq_code irq) true;
+          r.Ref_model.force_interrupt irq;
           true
       | None -> false)
     ()
@@ -58,7 +58,7 @@ let sc_failure_forcing () =
     ~pre:(fun ctx ~hart (p : Xiangshan.Probe.commit) ->
       if p.p_sc_failed then begin
         Rule.bump_force_guard ctx ~hart ~probe:p ~rule:"sc-failure-forcing";
-        Iss.Interp.force_sc_failure ctx.Rule.refs.(hart);
+        ctx.Rule.refs.(hart).Ref_model.force_sc_failure ();
         true
       end
       else false)
@@ -78,21 +78,20 @@ let csr_read_rule () =
     ~descr:
       "cycle/time/instret/mip reads depend on timing; the DUT value is \
        propagated to the REF"
-    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) ->
-      match (p.p_csr_read, c.Iss.Interp.csr_read) with
+    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Ref_model.commit) ->
+      match (p.p_csr_read, c.Ref_model.csr_read) with
       | Some (addr, dut_v), Some (raddr, ref_v)
         when addr = raddr && List.mem addr nondet_csrs ->
           if dut_v <> ref_v then begin
             let rd =
               match p.p_insn with Insn.Csr (_, rd, _, _) -> rd | _ -> 0
             in
-            Iss.Interp.patch_reg ctx.Rule.refs.(hart) rd dut_v;
+            let r = ctx.Rule.refs.(hart) in
+            r.Ref_model.patch_reg rd dut_v;
             (* keep the REF counters loosely in sync going forward *)
-            (if addr = Csr.cycle || addr = Csr.mcycle then
-               let r = ctx.Rule.refs.(hart) in
-               r.Iss.Interp.st.Riscv.Arch_state.csr.Csr.reg_mcycle <- dut_v);
-            (if addr = Csr.time then
-               Iss.Interp.set_time ctx.Rule.refs.(hart) dut_v);
+            if addr = Csr.cycle || addr = Csr.mcycle then
+              r.Ref_model.set_mcycle dut_v;
+            if addr = Csr.time then r.Ref_model.set_time dut_v;
             Rule.Patched
           end
           else Rule.Pass
@@ -106,9 +105,9 @@ let mmio_load_trust () =
     ~descr:
       "memory-mapped IO devices are not modelled in the REF in detail; the \
        DUT's MMIO load value is trusted and copied to the REF"
-    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) ->
+    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Ref_model.commit) ->
       if p.p_mmio then begin
-        match (p.p_load, c.Iss.Interp.load) with
+        match (p.p_load, c.Ref_model.load) with
         | Some dut, Some _ ->
             let rd =
               match p.p_insn with
@@ -121,7 +120,7 @@ let mmio_load_trust () =
                   Iss.Alu.extend_load op dut.Xiangshan.Probe.m_value
               | _ -> dut.Xiangshan.Probe.m_value
             in
-            Iss.Interp.patch_reg ctx.Rule.refs.(hart) rd extended;
+            ctx.Rule.refs.(hart).Ref_model.patch_reg rd extended;
             Rule.Patched
         | _ -> Rule.Pass
       end
@@ -136,10 +135,10 @@ let global_memory_load () =
       "a load value differing from the single-core REF is legal if it \
        matches a store another hart drained into the cache hierarchy; the \
        REF's local memory and destination register are updated"
-    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Iss.Interp.commit) ->
-      match (p.p_load, c.Iss.Interp.load) with
+    ~post:(fun ctx ~hart (p : Xiangshan.Probe.commit) (c : Ref_model.commit) ->
+      match (p.p_load, c.Ref_model.load) with
       | Some dut, Some ref_acc when not p.p_mmio ->
-          if dut.Xiangshan.Probe.m_value = ref_acc.Iss.Interp.value then
+          if dut.Xiangshan.Probe.m_value = ref_acc.Ref_model.value then
             Rule.Pass
           else if Array.length ctx.Rule.refs <= 1 then
             (* single hart: no other thread can have produced the
@@ -151,7 +150,7 @@ let global_memory_load () =
                  "load @0x%Lx: DUT=0x%Lx REF=0x%Lx on a single-hart SoC (no \
                   cross-thread store can justify it)"
                  dut.Xiangshan.Probe.m_paddr dut.Xiangshan.Probe.m_value
-                 ref_acc.Iss.Interp.value)
+                 ref_acc.Ref_model.value)
           else if
             Global_memory.compatible ctx.Rule.global_mem
               ~at:dut.Xiangshan.Probe.m_cycle ~paddr:dut.Xiangshan.Probe.m_paddr
@@ -160,12 +159,12 @@ let global_memory_load () =
           then begin
             (* legal cross-thread value: patch REF memory and rd *)
             let r = ctx.Rule.refs.(hart) in
-            Iss.Interp.patch_mem r ~paddr:dut.Xiangshan.Probe.m_paddr
+            r.Ref_model.patch_mem ~paddr:dut.Xiangshan.Probe.m_paddr
               ~size:dut.Xiangshan.Probe.m_size
               ~value:dut.Xiangshan.Probe.m_value;
             (match p.p_insn with
             | Insn.Load (op, rd, _, _) ->
-                Iss.Interp.patch_reg r rd
+                r.Ref_model.patch_reg rd
                   (Iss.Alu.extend_load op dut.Xiangshan.Probe.m_value)
             | Insn.Lr (w, rd, _) | Insn.Amo (_, w, rd, _, _) ->
                 let v =
@@ -175,17 +174,16 @@ let global_memory_load () =
                 in
                 (* AMO rd gets the loaded (old) value; redo the AMO
                    store on the REF with the patched old value *)
-                Iss.Interp.patch_reg r rd v;
+                r.Ref_model.patch_reg rd v;
                 (match p.p_insn with
                 | Insn.Amo (op, w, _, _, rs2) ->
-                    let src = Riscv.Arch_state.get_reg r.Iss.Interp.st rs2 in
+                    let src = r.Ref_model.get_reg rs2 in
                     let nv = Iss.Alu.eval_amo op w v src in
-                    Iss.Interp.patch_mem r ~paddr:dut.Xiangshan.Probe.m_paddr
+                    r.Ref_model.patch_mem ~paddr:dut.Xiangshan.Probe.m_paddr
                       ~size:dut.Xiangshan.Probe.m_size ~value:nv
                 | _ -> ())
             | Insn.Fld (frd, _, _) ->
-                Riscv.Arch_state.set_freg r.Iss.Interp.st frd
-                  dut.Xiangshan.Probe.m_value
+                r.Ref_model.patch_freg frd dut.Xiangshan.Probe.m_value
             | _ -> ());
             Rule.Patched
           end
@@ -195,7 +193,7 @@ let global_memory_load () =
                  "load @0x%Lx: DUT=0x%Lx REF=0x%Lx and Global Memory cannot \
                   justify the DUT value"
                  dut.Xiangshan.Probe.m_paddr dut.Xiangshan.Probe.m_value
-                 ref_acc.Iss.Interp.value)
+                 ref_acc.Ref_model.value)
       | _ -> Rule.Pass)
     ()
 

@@ -26,17 +26,16 @@ type outcome =
   | Debugged of debug_report
 
 let memories_of (dt : Difftest.t) : Riscv.Memory.t list =
-  dt.Difftest.soc.Xiangshan.Soc.plat.Riscv.Platform.mem
-  :: Array.to_list
-       (Array.map
-          (fun (r : Iss.Interp.t) -> r.Iss.Interp.plat.Riscv.Platform.mem)
-          dt.Difftest.ctx.Rule.refs)
+  (Difftest.soc dt).Xiangshan.Soc.plat.Riscv.Platform.mem
+  :: List.concat_map
+       (fun (r : Ref_model.t) -> r.Ref_model.memories ())
+       (Array.to_list (Difftest.refs dt))
 
 (* The Global Memory grows with the stored footprint; like fork-shared
    pages it is shared with the replayed instance instead of being
    copied into every snapshot image. *)
 let subject_of (dt : Difftest.t) : Difftest.t Lightsss.subject =
-  let gm = dt.Difftest.ctx.Rule.global_mem in
+  let gm = Difftest.global_mem dt in
   let stash = ref None in
   {
     Lightsss.memories = memories_of dt;
@@ -59,25 +58,25 @@ let subject_of (dt : Difftest.t) : Difftest.t Lightsss.subject =
    set larger in the replayed window). *)
 let restore_shared (dt : Difftest.t) (snap : Lightsss.snapshot) : Difftest.t =
   let dt' : Difftest.t = Lightsss.restore_with snap ~memories_of in
-  dt'.Difftest.ctx.Rule.global_mem.Global_memory.words <-
-    dt.Difftest.ctx.Rule.global_mem.Global_memory.words;
+  (Difftest.global_mem dt').Global_memory.words <-
+    (Difftest.global_mem dt).Global_memory.words;
   dt'
 
 (* Run [prog] on a SoC built from [cfg] under DiffTest + LightSSS.
    [inject] can plant a fault after construction (used by the tests
    and the debugging example). *)
 let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
-    ?(inject = fun (_ : Xiangshan.Soc.t) -> ()) ~(prog : Riscv.Asm.program)
-    (cfg : Xiangshan.Config.t) : outcome =
+    ?(inject = fun (_ : Xiangshan.Soc.t) -> ()) ?ref_kind
+    ~(prog : Riscv.Asm.program) (cfg : Xiangshan.Config.t) : outcome =
   let soc = Xiangshan.Soc.create cfg in
   Xiangshan.Soc.load_program soc prog;
   inject soc;
-  let dt = Difftest.create ~prog soc in
+  let dt = Difftest.create ?ref_kind ~prog soc in
   let subject = subject_of dt in
   let mgr = Lightsss.manager ~interval:snapshot_interval subject in
   let start = soc.Xiangshan.Soc.now in
   let running () =
-    match dt.Difftest.status with
+    match Difftest.status dt with
     | Difftest.Running -> soc.Xiangshan.Soc.now - start < max_cycles
     | Difftest.Finished _ | Difftest.Failed _ -> false
   in
@@ -85,10 +84,10 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
     Lightsss.tick mgr ~cycle:soc.Xiangshan.Soc.now;
     Difftest.tick dt
   done;
-  match dt.Difftest.status with
+  match Difftest.status dt with
   | Difftest.Running | Difftest.Finished _ ->
       Verified
-        (match dt.Difftest.status with
+        (match Difftest.status dt with
         | Difftest.Finished c -> c
         | Difftest.Running | Difftest.Failed _ -> -1)
   | Difftest.Failed first_failure -> (
@@ -111,14 +110,14 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
           let dt' : Difftest.t = restore_shared dt snap in
           (* debug mode: ArchDB + debug log on the replayed instance *)
           let db = Archdb.create () in
-          Archdb.attach db dt'.Difftest.soc;
+          Archdb.attach db (Difftest.soc dt');
           Difftest.enable_debug dt';
-          let replay_start = dt'.Difftest.soc.Xiangshan.Soc.now in
+          let replay_start = (Difftest.soc dt').Xiangshan.Soc.now in
           let budget = (2 * snapshot_interval) + 10_000 in
           let rec go () =
-            match dt'.Difftest.status with
+            match Difftest.status dt' with
             | Difftest.Running
-              when dt'.Difftest.soc.Xiangshan.Soc.now - replay_start < budget
+              when (Difftest.soc dt').Xiangshan.Soc.now - replay_start < budget
               ->
                 Difftest.tick dt';
                 go ()
@@ -126,7 +125,7 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
           in
           go ();
           let replay_failure =
-            match dt'.Difftest.status with
+            match Difftest.status dt' with
             | Difftest.Failed f -> Some f
             | Difftest.Running | Difftest.Finished _ -> None
           in
@@ -142,7 +141,8 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
               first_failure;
               replay_failure;
               replay_from_cycle = snap.Lightsss.snap_cycle;
-              replay_cycles = dt'.Difftest.soc.Xiangshan.Soc.now - replay_start;
+              replay_cycles =
+                (Difftest.soc dt').Xiangshan.Soc.now - replay_start;
               db;
               overlaps;
               drains_near_failure;

@@ -41,8 +41,10 @@ val run_verified :
   ?snapshot_interval:int ->
   ?max_cycles:int ->
   ?inject:(Xiangshan.Soc.t -> unit) ->
+  ?ref_kind:Ref_model.kind ->
   prog:Riscv.Asm.program ->
   Xiangshan.Config.t ->
   outcome
 (** Build the SoC, apply the optional fault [inject]ion, and run the
-    full fast-mode -> replay -> diagnose loop. *)
+    full fast-mode -> replay -> diagnose loop.  [ref_kind] selects
+    the reference-model backend (default: {!Ref_model.kind_of_env}). *)

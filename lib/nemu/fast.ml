@@ -172,8 +172,7 @@ let flush (t : t) =
    (Trap.Exception or Mach_exited); the enclosing block handler owns
    instret/pc/epc bookkeeping. *)
 
-let compile_straight (t : t) (insn : Insn.t) : (unit -> unit) option =
-  let m = t.m in
+let compile_straight (m : Mach.t) (insn : Insn.t) : (unit -> unit) option =
   let regs = m.Mach.regs in
   let fregs = m.Mach.fregs in
   let mem = m.Mach.plat.Platform.mem in
@@ -1184,7 +1183,7 @@ let build (t : t) (e : entry) (first : Insn.t) =
            push (fun () -> Array1.unsafe_set regs rd link) pc);
         cont (Int64.add pc off)
     | _ -> (
-        match compile_straight t (rewrite pc insn) with
+        match compile_straight t.m (rewrite pc insn) with
         | None ->
             (* control-flow or system instruction: real terminal *)
             e.e_len <- !n + 1;

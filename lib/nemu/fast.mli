@@ -86,6 +86,14 @@ type t = {
           every executed control-flow edge when [prof_on] *)
 }
 
+val compile_straight : Mach.t -> Riscv.Insn.t -> (unit -> unit) option
+(** Compile one instruction with no control flow and no system effect
+    into a body routine closed over the machine (registers read at
+    call time, so external patches stay visible), or [None] if the
+    instruction needs the generic path.  Shared with the
+    non-autonomous REF mode ({!Ref_core}), which reuses the routines
+    for its pure register operations. *)
+
 val create : ?capacity:int -> Mach.t -> t
 (** [capacity] defaults to 16384 entries, the size the paper selects
     for both Spike's cache and NEMU's uop cache. *)

@@ -60,9 +60,9 @@ let tlb_store = 2
 let tlb_flush t =
   Array.fill t.tlb_tags 0 (Array.length t.tlb_tags) (-1L)
 
-let create ?(dram_size = 64 * 1024 * 1024) () =
+let create ?(dram_size = 64 * 1024 * 1024) ?(hartid = 0) () =
   let plat = Platform.create ~dram_size () in
-  let csr = Csr.create ~hartid:0 in
+  let csr = Csr.create ~hartid in
   csr.Csr.time_source <-
     (fun () -> plat.Platform.clint.Platform.Clint.mtime);
   let regs = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 33 in

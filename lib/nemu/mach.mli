@@ -44,7 +44,7 @@ type t = {
 
 val sink : int
 
-val create : ?dram_size:int -> unit -> t
+val create : ?dram_size:int -> ?hartid:int -> unit -> t
 
 val load_program : t -> Asm.program -> unit
 

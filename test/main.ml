@@ -12,6 +12,7 @@ let () =
       ("softmem", Test_softmem.tests);
       ("xiangshan", Test_xiangshan.tests);
       ("difftest", Test_difftest.tests);
+      ("ref-model", Test_ref_model.tests);
       ("fault", Test_fault.tests);
       ("lightsss", Test_lightsss.tests);
       ("checkpoint", Test_checkpoint.tests);

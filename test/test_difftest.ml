@@ -108,7 +108,7 @@ let test_catches_corrupted_commit () =
   let status = ref Minjie.Difftest.Running in
   let cycles = ref 0 in
   while
-    (match dt.Minjie.Difftest.status with
+    (match Minjie.Difftest.status dt with
     | Minjie.Difftest.Running -> true
     | s ->
         status := s;
@@ -124,7 +124,7 @@ let test_catches_corrupted_commit () =
     end;
     Minjie.Difftest.tick dt
   done;
-  match dt.Minjie.Difftest.status with
+  match Minjie.Difftest.status dt with
   | Minjie.Difftest.Failed f ->
       Alcotest.(check string) "caught by state compare" "state-compare"
         f.Minjie.Rule.f_rule

@@ -20,7 +20,7 @@ let test_replay_determinism () =
     Minjie.Difftest.tick dt
   done;
   let ref_state =
-    Riscv.Arch_state.copy dt.Minjie.Difftest.soc.Xiangshan.Soc.cores.(0).Xiangshan.Core.arch
+    Riscv.Arch_state.copy (Minjie.Difftest.soc dt).Xiangshan.Soc.cores.(0).Xiangshan.Core.arch
   in
   (* restore and replay the same 2000 cycles *)
   let dt' = Minjie.Workflow.restore_shared dt snap in
@@ -28,13 +28,13 @@ let test_replay_determinism () =
     Minjie.Difftest.tick dt'
   done;
   let replay_state =
-    dt'.Minjie.Difftest.soc.Xiangshan.Soc.cores.(0).Xiangshan.Core.arch
+    (Minjie.Difftest.soc dt').Xiangshan.Soc.cores.(0).Xiangshan.Core.arch
   in
   (match Riscv.Arch_state.diff ref_state replay_state with
   | None -> ()
   | Some msg -> Alcotest.failf "replay diverged: %s" msg);
   (* the original instance is unaffected by the replay *)
-  (match dt.Minjie.Difftest.status with
+  (match Minjie.Difftest.status dt with
   | Minjie.Difftest.Failed f -> Alcotest.failf "original failed: %s" f.f_msg
   | _ -> ());
   Lightsss.release snap

@@ -1,0 +1,243 @@
+(* REF conformance: the two Ref_model backends (the ISS interpreter
+   and the NEMU block-compiled non-autonomous core) must be
+   observationally identical -- same commit stream stepped standalone,
+   same response to the DRAV control plane, same verdicts and
+   rule-fire counts under DiffTest, and interchangeable in the
+   fault-injection workflow. *)
+
+open Riscv
+
+let both = [ Minjie.Ref_model.Iss; Minjie.Ref_model.Nemu ]
+
+let make kind prog = Minjie.Ref_model.create ~kind ~hartid:0 ~prog ()
+
+let show_commit (c : Minjie.Ref_model.commit) =
+  Printf.sprintf "pc=0x%Lx next=0x%Lx insn=%s trap=%s load=%s store=%s" c.pc
+    c.next_pc (Insn.show c.insn)
+    (match c.trap with
+    | Some t -> Trap.show_exc t.Minjie.Ref_model.exc
+    | None -> "-")
+    (match c.load with
+    | Some a -> Printf.sprintf "0x%Lx=0x%Lx" a.paddr a.value
+    | None -> "-")
+    (match c.store with
+    | Some a -> Printf.sprintf "0x%Lx=0x%Lx" a.paddr a.value
+    | None -> "-")
+
+(* Step both REFs to program exit, requiring every commit record --
+   pc, next pc, decoded instruction, traps, memory accesses, CSR
+   reads -- to match field for field. *)
+let lockstep ?(max_insns = 2_000_000) name prog =
+  let a = make Minjie.Ref_model.Iss prog
+  and b = make Minjie.Ref_model.Nemu prog in
+  let n = ref 0 and running = ref true in
+  while !running do
+    (match (a.Minjie.Ref_model.step (), b.Minjie.Ref_model.step ()) with
+    | Minjie.Ref_model.Exited, Minjie.Ref_model.Exited -> running := false
+    | Minjie.Ref_model.Committed ca, Minjie.Ref_model.Committed cb ->
+        if ca <> cb then
+          Alcotest.failf "%s: commit %d diverges\n  iss:  %s\n  nemu: %s" name
+            !n (show_commit ca) (show_commit cb)
+    | Minjie.Ref_model.Exited, Minjie.Ref_model.Committed c ->
+        Alcotest.failf "%s: iss exited at %d, nemu still commits %s" name !n
+          (show_commit c)
+    | Minjie.Ref_model.Committed c, Minjie.Ref_model.Exited ->
+        Alcotest.failf "%s: nemu exited at %d, iss still commits %s" name !n
+          (show_commit c));
+    incr n;
+    if !n > max_insns then Alcotest.failf "%s: no exit in %d insns" name !n
+  done;
+  Alcotest.(check (option int))
+    (name ^ " exit codes")
+    (a.Minjie.Ref_model.exit_code ())
+    (b.Minjie.Ref_model.exit_code ());
+  for x = 1 to 31 do
+    if a.Minjie.Ref_model.get_reg x <> b.Minjie.Ref_model.get_reg x then
+      Alcotest.failf "%s: final x%d: iss 0x%Lx nemu 0x%Lx" name x
+        (a.Minjie.Ref_model.get_reg x)
+        (b.Minjie.Ref_model.get_reg x)
+  done
+
+let test_lockstep_fuzz () =
+  for seed = 1 to 12 do
+    lockstep
+      (Printf.sprintf "testgen seed %d" seed)
+      (Workloads.Testgen.program ~seed ())
+  done
+
+let test_lockstep_workloads () =
+  List.iter
+    (fun wname ->
+      let w = Minjie.Campaign.find_workload wname in
+      lockstep wname (w.Workloads.Wl_common.program ~scale:w.small))
+    [ "coremark_like"; "mcf_like"; "vm_kernel"; "bwaves_like" ]
+
+(* The control plane must behave identically: patches land in the
+   same registers, forced traps redirect both backends to the same
+   handler, and the commit streams re-converge afterwards. *)
+let test_control_plane () =
+  let prog =
+    (Minjie.Campaign.find_workload "coremark_like").Workloads.Wl_common.program
+      ~scale:1
+  in
+  let a = make Minjie.Ref_model.Iss prog
+  and b = make Minjie.Ref_model.Nemu prog in
+  let step_both what =
+    match (a.Minjie.Ref_model.step (), b.Minjie.Ref_model.step ()) with
+    | Minjie.Ref_model.Committed ca, Minjie.Ref_model.Committed cb ->
+        if ca <> cb then
+          Alcotest.failf "%s: commits diverge\n  iss:  %s\n  nemu: %s" what
+            (show_commit ca) (show_commit cb);
+        ca
+    | _ -> Alcotest.failf "%s: unexpected exit" what
+  in
+  for _ = 1 to 50 do
+    ignore (step_both "warm-up")
+  done;
+  (* register patch: visible to both immediately and to the next
+     commit (NEMU's compiled routines read registers at call time) *)
+  List.iter
+    (fun (r : Minjie.Ref_model.t) ->
+      r.Minjie.Ref_model.patch_reg 7 0x1234_5678L)
+    [ a; b ];
+  Alcotest.(check int64) "patched x7 (iss)" 0x1234_5678L
+    (a.Minjie.Ref_model.get_reg 7);
+  Alcotest.(check int64) "patched x7 (nemu)" 0x1234_5678L
+    (b.Minjie.Ref_model.get_reg 7);
+  ignore (step_both "after patch_reg");
+  (* counter sync *)
+  List.iter
+    (fun (r : Minjie.Ref_model.t) ->
+      r.Minjie.Ref_model.set_mcycle 9999L;
+      r.Minjie.Ref_model.set_time 4242L;
+      r.Minjie.Ref_model.set_counters ~cycle:10_000L ~instret:777L)
+    [ a; b ];
+  ignore (step_both "after counter sync");
+  (* forced exception: both must trap on the next step, committing
+     the same trap record and landing on the same handler pc *)
+  List.iter
+    (fun (r : Minjie.Ref_model.t) ->
+      r.Minjie.Ref_model.force_exception Trap.Load_page_fault 0xdead_0000L)
+    [ a; b ];
+  let c = step_both "forced page fault" in
+  (match c.Minjie.Ref_model.trap with
+  | Some t ->
+      Alcotest.(check bool)
+        "forced trap cause" true
+        (Trap.equal_exc t.Minjie.Ref_model.exc Trap.Load_page_fault)
+  | None -> Alcotest.fail "forced page fault produced no trap commit");
+  (* forced interrupt, with the pending bit mirrored first *)
+  List.iter
+    (fun (r : Minjie.Ref_model.t) ->
+      r.Minjie.Ref_model.set_mip_bit (Trap.irq_code Trap.Mtip) true;
+      r.Minjie.Ref_model.force_interrupt Trap.Mtip)
+    [ a; b ];
+  let c = step_both "forced interrupt" in
+  (match c.Minjie.Ref_model.interrupt with
+  | Some irq ->
+      Alcotest.(check bool) "forced irq" true (Trap.equal_irq irq Trap.Mtip)
+  | None -> Alcotest.fail "forced interrupt produced no interrupt commit");
+  (* streams stay converged after the control-plane traffic *)
+  for _ = 1 to 200 do
+    ignore (step_both "post-control-plane")
+  done
+
+(* Memory patches must invalidate any NEMU uop block compiled from
+   the patched page: patch the next instruction's bytes and require
+   the new instruction to be the one committed. *)
+let test_patch_mem_code () =
+  let prog =
+    (Minjie.Campaign.find_workload "coremark_like").Workloads.Wl_common.program
+      ~scale:1
+  in
+  List.iter
+    (fun kind ->
+      let r = make kind prog in
+      let c =
+        match r.Minjie.Ref_model.step () with
+        | Minjie.Ref_model.Committed c -> c
+        | Minjie.Ref_model.Exited -> Alcotest.fail "exited on first step"
+      in
+      (* overwrite the already-compiled next instruction with
+         addi x31, x0, 1  (0x00100f93) *)
+      r.Minjie.Ref_model.patch_mem ~paddr:c.Minjie.Ref_model.next_pc ~size:4
+        ~value:0x0010_0f93L;
+      (match r.Minjie.Ref_model.step () with
+      | Minjie.Ref_model.Committed c2 -> (
+          match c2.Minjie.Ref_model.insn with
+          | Insn.Op_imm (Insn.ADD, 31, 0, 1L) -> ()
+          | i ->
+              Alcotest.failf "%s REF executed stale code: %s"
+                (Minjie.Ref_model.kind_name kind)
+                (Insn.show i))
+      | Minjie.Ref_model.Exited -> Alcotest.fail "exited after patch");
+      Alcotest.(check int64)
+        (Minjie.Ref_model.kind_name kind ^ " patched code executed")
+        1L
+        (r.Minjie.Ref_model.get_reg 31))
+    both
+
+(* Same DUT, either REF: DiffTest must reach the same verdict with
+   the same rule-fire profile and commit count. *)
+let difftest_profile kind prog =
+  let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+  Xiangshan.Soc.load_program soc prog;
+  let dt = Minjie.Difftest.create ~ref_kind:kind ~prog soc in
+  let status = Minjie.Difftest.run ~max_cycles:30_000_000 dt in
+  let code =
+    match status with
+    | Minjie.Difftest.Finished c -> c
+    | Minjie.Difftest.Failed f ->
+        Alcotest.failf "difftest under %s REF failed: %s (%s)"
+          (Minjie.Ref_model.kind_name kind)
+          f.Minjie.Rule.f_msg f.Minjie.Rule.f_rule
+    | Minjie.Difftest.Running -> Alcotest.fail "difftest timed out"
+  in
+  (code, Minjie.Difftest.commits_checked dt, Minjie.Difftest.rule_fire_counts dt)
+
+let test_difftest_equivalence () =
+  List.iter
+    (fun wname ->
+      let w = Minjie.Campaign.find_workload wname in
+      let prog = w.Workloads.Wl_common.program ~scale:1 in
+      let code_i, commits_i, fires_i =
+        difftest_profile Minjie.Ref_model.Iss prog
+      and code_n, commits_n, fires_n =
+        difftest_profile Minjie.Ref_model.Nemu prog
+      in
+      Alcotest.(check int) (wname ^ " exit code") code_i code_n;
+      Alcotest.(check int) (wname ^ " commits checked") commits_i commits_n;
+      Alcotest.(check (list (pair string int)))
+        (wname ^ " rule fires") fires_i fires_n)
+    [ "coremark_like"; "vm_kernel" ]
+
+(* The campaign smoke subset must detect every fault with the
+   expected rule under either REF backend. *)
+let test_campaign_smoke_both_refs () =
+  List.iter
+    (fun fname ->
+      let fault = Minjie.Fault.find fname in
+      List.iter
+        (fun kind ->
+          let cell = Minjie.Campaign.run_cell ~ref_kind:kind ~fault ~seed:1 () in
+          if not cell.Minjie.Campaign.c_ok then
+            Alcotest.failf "%s under %s REF: %s" fname
+              (Minjie.Ref_model.kind_name kind)
+              (Minjie.Campaign.string_of_cell cell))
+        both)
+    [ "csr-mtvec-corrupt"; "rob-commit-reorder"; "lsu-sb-drop" ]
+
+let tests =
+  [
+    Alcotest.test_case "commit-stream lockstep over fuzz programs" `Slow
+      test_lockstep_fuzz;
+    Alcotest.test_case "commit-stream lockstep over workloads" `Slow
+      test_lockstep_workloads;
+    Alcotest.test_case "control-plane parity" `Quick test_control_plane;
+    Alcotest.test_case "patch_mem invalidates compiled code" `Quick
+      test_patch_mem_code;
+    Alcotest.test_case "difftest verdicts and rule fires agree" `Slow
+      test_difftest_equivalence;
+    Alcotest.test_case "campaign smoke subset under both REFs" `Slow
+      test_campaign_smoke_both_refs;
+  ]
