@@ -2,9 +2,10 @@
    paper's evaluation (see DESIGN.md for the experiment index and
    EXPERIMENTS.md for paper-vs-measured numbers).
 
-     dune exec bench/main.exe            -- everything, scaled down
-     dune exec bench/main.exe -- fig8    -- one experiment
-     dune exec bench/main.exe -- --big   -- full scales (slow)
+     dune exec bench/main.exe -- all        -- everything, scaled down
+     dune exec bench/main.exe -- fig8       -- one experiment
+     dune exec bench/main.exe -- all --big  -- full scales (slow)
+     dune exec bench/main.exe -- --help     -- experiment + flag listing
 
    Absolute numbers are not expected to match the paper (the substrate
    is an OCaml simulator, not the authors' testbed); the shape --
@@ -12,6 +13,11 @@
    each section prints the paper's number next to the measured one. *)
 
 let big = ref false
+
+(* --jobs N / MINJIE_JOBS: worker-process count for the pooled
+   fan-outs (campaign cells, sampled simulations, best-of-N reps) *)
+let jobs_opt : int option ref = ref None
+let effective_jobs () = Minjie.Pool.resolve_jobs ?jobs:!jobs_opt ()
 
 (* ---------------------------------------------------------------- *)
 (* machine-readable output: --json <file> collects one flat record   *)
@@ -121,9 +127,13 @@ let write_json () =
             ("experiments", Json.Arr (List.rev !json_records));
           ]
       in
-      let oc = open_out path in
+      (* atomic: write a sibling temp file, then rename over the
+         target, so a killed run can never leave a truncated JSON *)
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
       output_string oc (Json.to_string doc);
       close_out oc;
+      Sys.rename tmp path;
       Printf.printf "\n[json] wrote %d records to %s\n"
         (List.length !json_records) path
 
@@ -288,20 +298,49 @@ let bench_fig8 () =
     Printf.sprintf "%-15s %12s %12s %14s %14s" "workload" "NEMU" "Spike-like"
       "QEMU-TCI-like" "Dromajo-like"
   in
+  (* each rep is one pool job (fork-isolated when --jobs > 1); the
+     best-of merge below is order-independent, and with jobs=1 the
+     pool degenerates to the original in-process rep loop *)
+  let run_reps kind wl_name prog =
+    let rep_jobs =
+      List.init reps (fun r ->
+          {
+            Minjie.Pool.j_label =
+              Printf.sprintf "%s/%s#%d" wl_name (Nemu.Engine.name kind) r;
+            j_cost = 1.0;
+            j_run =
+              (fun () -> Nemu.Engine.run_program_stats ~max_insns kind prog);
+          })
+    in
+    let results, _ = Minjie.Pool.map ~jobs:(effective_jobs ()) rep_jobs in
+    List.filter_map
+      (fun (r : Nemu.Engine.stats Minjie.Pool.result) ->
+        match r.Minjie.Pool.r_outcome with
+        | Minjie.Pool.Done s -> Some s
+        | Minjie.Pool.Job_error msg | Minjie.Pool.Crashed msg ->
+            Printf.eprintf "bench: dropping rep %s: %s\n%!"
+              r.Minjie.Pool.r_label msg;
+            None
+        | Minjie.Pool.Timed_out secs ->
+            Printf.eprintf "bench: dropping rep %s: timed out after %.1fs\n%!"
+              r.Minjie.Pool.r_label secs;
+            None)
+      results
+  in
   let run_row group_name per_engine (wl_name : string) prog =
     let mips =
       List.map
         (fun kind ->
           let best = ref None in
-          for _ = 1 to reps do
-            let s = Nemu.Engine.run_program_stats ~max_insns kind prog in
-            let m =
-              Nemu.Engine.mips s.Nemu.Engine.insns s.Nemu.Engine.seconds
-            in
-            match !best with
-            | Some (bm, _) when bm >= m -> ()
-            | _ -> best := Some (m, s)
-          done;
+          List.iter
+            (fun s ->
+              let m =
+                Nemu.Engine.mips s.Nemu.Engine.insns s.Nemu.Engine.seconds
+              in
+              match !best with
+              | Some (bm, _) when bm >= m -> ()
+              | _ -> best := Some (m, s))
+            (run_reps kind wl_name prog);
           let m, s = Option.get !best in
           record_engine_run ~experiment:"fig8" ~group:group_name
             ~workload:wl_name ~engine:(Nemu.Engine.name kind) s;
@@ -407,17 +446,15 @@ let bench_checkpoints () =
     stats.gen_instructions stats.gen_seconds gen_mips raw_mips
     (100. *. gen_mips /. raw_mips)
     stats.gen_intervals stats.gen_selected;
-  (* restore each and verify it runs on the cycle-level model *)
+  (* restore each and verify it runs on the cycle-level model
+     (parallel across pool workers under --jobs N) *)
   List.iter
-    (fun (sc : Checkpoint.Sampled.sampled_checkpoint) ->
-      let r =
-        Checkpoint.Sampled.simulate_checkpoint ~warmup:2_000 ~measure:4_000
-          Xiangshan.Config.yqh sc
-      in
+    (fun (r : Checkpoint.Sampled.sample_result) ->
       Printf.printf
         "  checkpoint @interval %-4d weight %.2f -> restored, ipc %.3f\n"
-        sc.sc_index sc.sc_weight r.sr_ipc)
-    cks
+        r.sr_index r.sr_weight r.sr_ipc)
+    (Checkpoint.Sampled.simulate_all ~warmup:2_000 ~measure:4_000
+       ~jobs:(effective_jobs ()) Xiangshan.Config.yqh cks)
 
 (* ---------------------------------------------------------------- *)
 (* Table II: micro-architecture parameters                           *)
@@ -735,6 +772,7 @@ let bench_campaign () =
   in
   let s =
     Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref
+      ~jobs:(effective_jobs ())
       ~progress:(fun c ->
         Printf.printf "  %s\n%!" (Minjie.Campaign.string_of_cell c))
       ()
@@ -933,26 +971,185 @@ let bench_cosim () =
     "\ngeomean nemu/iss speedup: %.2fx end-to-end, %.2fx REF-side\n" ge gr
 
 (* ---------------------------------------------------------------- *)
+(* Parallel simulation pool: the scaling curve for the two big       *)
+(* fan-outs (campaign cells, sampled simulations) at 1/2/4/8         *)
+(* workers, with verdict identity asserted against the sequential    *)
+(* run at every worker count                                         *)
+(* ---------------------------------------------------------------- *)
+
+let bench_parallel () =
+  section "Parallel pool: campaign + sampled-simulation scaling";
+  let host = Minjie.Pool.host_cores () in
+  let worker_counts = if !campaign_smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf
+    "(each cell/sample is one forked pool worker; wall-clock speedup \
+     saturates\n\
+    \ at the host's %d online core(s) -- verdict identity and crash \
+     isolation\n\
+    \ are asserted at every worker count regardless)\n\n"
+    host;
+  record
+    [
+      ("experiment", Json.Str "parallel");
+      ("group", Json.Str "host");
+      ("host_cores", Json.Int host);
+    ];
+  (* campaign scaling, both REF backends *)
+  let faults = if !campaign_smoke then Some smoke_faults else None in
+  let seeds =
+    if !campaign_smoke then [ !campaign_seed ]
+    else [ !campaign_seed; !campaign_seed + 1 ]
+  in
+  List.iter
+    (fun kind ->
+      Printf.printf "campaign (--ref %s):\n" (Minjie.Ref_model.kind_name kind);
+      let base_secs = ref 0.0 in
+      let base_cells = ref [] in
+      List.iter
+        (fun j ->
+          let s, secs =
+            time (fun () ->
+                Minjie.Campaign.run ?faults ~seeds ~ref_kind:kind ~jobs:j ())
+          in
+          if j = 1 then begin
+            base_secs := secs;
+            base_cells := s.Minjie.Campaign.cells
+          end;
+          (* cells are deterministic records: the parallel grid must
+             reproduce the sequential one field for field *)
+          let matches = s.Minjie.Campaign.cells = !base_cells in
+          let speedup = !base_secs /. max 1e-9 secs in
+          Printf.printf
+            "  jobs=%d : %6.2f s  speedup %5.2fx  cells %d  escapes %d  \
+             verdicts %s\n\
+             %!"
+            j secs speedup s.Minjie.Campaign.total s.Minjie.Campaign.escapes
+            (if matches then "== sequential" else "DIVERGED");
+          record
+            [
+              ("experiment", Json.Str "parallel");
+              ("group", Json.Str "campaign");
+              ("ref", Json.Str (Minjie.Ref_model.kind_name kind));
+              ("workers", Json.Int j);
+              ("seconds", Json.Num secs);
+              ("speedup_vs_jobs1", Json.Num speedup);
+              ("cells", Json.Int s.Minjie.Campaign.total);
+              ("detected", Json.Int s.Minjie.Campaign.detected);
+              ("escapes", Json.Int s.Minjie.Campaign.escapes);
+              ("verdicts_match_sequential", Json.Bool matches);
+            ];
+          if (not matches) || s.Minjie.Campaign.escapes > 0 then begin
+            campaign_failed := true;
+            Printf.printf
+              "PARALLEL CAMPAIGN FAILED at jobs=%d (escapes or verdict \
+               divergence)\n"
+              j
+          end)
+        worker_counts)
+    [ Minjie.Ref_model.Iss; Minjie.Ref_model.Nemu ];
+  (* sampled-simulation sweep: the paper's parallel-RTL-simulation
+     analogue -- SimPoint samples of one workload across the pool *)
+  let w = Workloads.Suite.find "coremark_like" in
+  let prog = w.Workloads.Wl_common.program ~scale:(if !big then 20 else 8) in
+  let interval = if !big then 100_000 else 10_000 in
+  let cks, _ = Checkpoint.Sampled.generate ~interval ~max_k:8 prog in
+  let warmup = if !big then 20_000 else 8_000 in
+  let measure = if !big then 20_000 else 12_000 in
+  Printf.printf "\nsampled simulation (coremark_like, %d checkpoints):\n"
+    (List.length cks);
+  let base_secs = ref 0.0 in
+  let base_results = ref [] in
+  List.iter
+    (fun j ->
+      let rs, secs =
+        time (fun () ->
+            Checkpoint.Sampled.simulate_all ~warmup ~measure ~jobs:j
+              Xiangshan.Config.yqh cks)
+      in
+      let ipc = Checkpoint.Sampled.weighted_ipc rs in
+      if j = 1 then begin
+        base_secs := secs;
+        base_results := rs
+      end;
+      let matches = rs = !base_results in
+      let speedup = !base_secs /. max 1e-9 secs in
+      Printf.printf
+        "  jobs=%d : %6.2f s  speedup %5.2fx  samples %d  weighted ipc %.3f  \
+         results %s\n\
+         %!"
+        j secs speedup (List.length rs) ipc
+        (if matches then "== sequential" else "DIVERGED");
+      record
+        [
+          ("experiment", Json.Str "parallel");
+          ("group", Json.Str "sampled");
+          ("workload", Json.Str "coremark_like");
+          ("workers", Json.Int j);
+          ("seconds", Json.Num secs);
+          ("speedup_vs_jobs1", Json.Num speedup);
+          ("samples", Json.Int (List.length rs));
+          ("weighted_ipc", Json.Num ipc);
+          ("results_match_sequential", Json.Bool matches);
+        ];
+      if not matches then begin
+        campaign_failed := true;
+        Printf.printf "PARALLEL SAMPLED SWEEP DIVERGED at jobs=%d\n" j
+      end)
+    worker_counts
+
+(* ---------------------------------------------------------------- *)
 
 let all_benches =
   [
-    ("table1", bench_table1);
-    ("fig6", bench_fig6);
-    ("fig8", bench_fig8);
-    ("checkpoints", bench_checkpoints);
-    ("table2", bench_table2);
-    ("fig12", bench_fig12);
-    ("fig14", bench_fig14);
-    ("fig15", bench_fig15);
-    ("ablation", bench_ablation);
-    ("campaign", bench_campaign);
-    ("cosim", bench_cosim);
+    ("table1", bench_table1, "snapshot schemes and their costs (Table I)");
+    ("fig6", bench_fig6, "simulation time vs LightSSS snapshot interval");
+    ("fig8", bench_fig8, "interpreter performance in MIPS, best of N reps");
+    ( "checkpoints",
+      bench_checkpoints,
+      "NEMU+SimPoint checkpoint generation and restore (§III-D3)" );
+    ("table2", bench_table2, "tape-out micro-architecture parameters");
+    ("fig12", bench_fig12, "SPEC-like scores across platforms");
+    ("fig14", bench_fig14, "PUBS IPC difference on sjeng checkpoints");
+    ("fig15", bench_fig15, "ready-instruction distribution");
+    ("ablation", bench_ablation, "NH feature knobs and drain/BPU sweeps");
+    ( "campaign",
+      bench_campaign,
+      "fault-injection campaign (honours --smoke/--seed/--ref/--jobs)" );
+    ("cosim", bench_cosim, "co-simulation throughput, ISS REF vs NEMU REF");
+    ( "parallel",
+      bench_parallel,
+      "pool scaling: campaign + sampled simulation at 1/2/4/8 workers" );
   ]
+
+let usage oc =
+  output_string oc
+    "usage: bench/main.exe <experiment>... [flags]\n\nexperiments:\n";
+  List.iter
+    (fun (n, _, descr) -> Printf.fprintf oc "  %-12s %s\n" n descr)
+    all_benches;
+  output_string oc "  all          every experiment above, in order\n";
+  output_string oc
+    "\n\
+     flags:\n\
+    \  --big         full workload scales (slow; default: scaled down)\n\
+    \  --json FILE   write one machine-readable record per measurement \
+     (atomic)\n\
+    \  --jobs N      worker processes for pooled fan-outs (default: \
+     MINJIE_JOBS, else 1)\n\
+    \  --seed N      campaign base seed (default 1)\n\
+    \  --smoke       campaign/parallel: 3-fault subset, 1 seed, fewer \
+     worker counts\n\
+    \  --ref REF     campaign REF backend: iss|nemu (default: MINJIE_REF, \
+     else iss)\n\
+    \  --help        this listing\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse acc = function
     | [] -> List.rev acc
+    | ("--help" | "-h") :: _ ->
+        usage stdout;
+        exit 0
     | "--big" :: rest ->
         big := true;
         parse acc rest
@@ -961,6 +1158,17 @@ let () =
         parse acc rest
     | [ "--json" ] ->
         Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs_opt := Some n;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--jobs requires a positive integer argument\n";
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs requires a positive integer argument\n";
         exit 2
     | "--seed" :: n :: rest -> (
         match int_of_string_opt n with
@@ -992,16 +1200,23 @@ let () =
   let args = parse [] args in
   let selected =
     match args with
-    | [] -> all_benches
+    | [] ->
+        (* no experiment named: print the listing rather than silently
+           running for hours *)
+        usage stdout;
+        exit 0
+    | [ "all" ] -> List.map (fun (n, f, _) -> (n, f)) all_benches
     | names ->
-        List.filter_map
+        List.map
           (fun n ->
-            match List.assoc_opt n all_benches with
-            | Some f -> Some (n, f)
+            match
+              List.find_opt (fun (n', _, _) -> n' = n) all_benches
+            with
+            | Some (n, f, _) -> (n, f)
             | None ->
-                Printf.eprintf "unknown bench %s (have: %s)\n" n
-                  (String.concat ", " (List.map fst all_benches));
-                None)
+                Printf.eprintf "unknown experiment %S\n\n" n;
+                usage stderr;
+                exit 2)
           names
   in
   List.iter (fun (_, f) -> f ()) selected;

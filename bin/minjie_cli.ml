@@ -155,12 +155,12 @@ let engines_cmd =
 (* ---- checkpoint --------------------------------------------------------- *)
 
 let checkpoint_cmd =
-  let run name scale cfg interval k =
+  let run name scale cfg interval k jobs =
     let w = find_workload name in
     let scale = Option.value scale ~default:w.Workloads.Wl_common.small in
     let prog = w.Workloads.Wl_common.program ~scale in
     let ipc, results, stats =
-      Checkpoint.Sampled.estimate ~interval ~max_k:k cfg prog
+      Checkpoint.Sampled.estimate ~interval ~max_k:k ?jobs cfg prog
     in
     Printf.printf
       "%d instructions profiled, %d intervals, %d checkpoints (%.1f MIPS)\n"
@@ -178,10 +178,20 @@ let checkpoint_cmd =
     Arg.(value & opt int 50_000 & info [ "interval" ] ~docv:"N")
   in
   let k = Arg.(value & opt int 8 & info [ "clusters"; "k" ] ~docv:"K") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Simulate samples across $(docv) forked pool workers (default: \
+             MINJIE_JOBS, else 1).")
+  in
   Cmd.v
     (Cmd.info "checkpoint"
        ~doc:"Sampled performance evaluation with NEMU + SimPoint (§III-D3).")
-    Term.(const run $ workload_arg $ scale_arg $ config_arg $ interval $ k)
+    Term.(
+      const run $ workload_arg $ scale_arg $ config_arg $ interval $ k $ jobs)
 
 (* ---- debug (the §IV-C workflow) ----------------------------------------- *)
 

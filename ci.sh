@@ -19,6 +19,9 @@ test -s ci_bench.json
 grep -q '"experiment": "fig8"' ci_bench.json
 rm -f ci_bench.json
 
+echo "== pool tests (fork pool: ordering, crash isolation, timeouts) =="
+dune exec test/main.exe -- test pool
+
 echo "== campaign smoke (3-fault subset; exits non-zero on any escape) =="
 dune exec bench/main.exe -- campaign --smoke --json ci_campaign.json
 test -s ci_campaign.json
@@ -26,7 +29,25 @@ grep -q '"experiment": "campaign"' ci_campaign.json
 grep -q '"group": "cell"' ci_campaign.json
 grep -q '"group": "summary"' ci_campaign.json
 grep -q '"escapes": 0' ci_campaign.json
-rm -f ci_campaign.json
+
+echo "== campaign smoke under --jobs 2: per-cell verdicts must equal sequential =="
+dune exec bench/main.exe -- campaign --smoke --jobs 2 --json ci_campaign_par.json
+test -s ci_campaign_par.json
+# every campaign record field is deterministic, so the whole JSON
+# must be byte-identical to the sequential smoke's
+diff ci_campaign.json ci_campaign_par.json
+rm -f ci_campaign.json ci_campaign_par.json
+
+echo "== parallel-pool scaling smoke (verdict identity at every worker count) =="
+dune exec bench/main.exe -- parallel --smoke --json ci_parallel.json
+test -s ci_parallel.json
+grep -q '"experiment": "parallel"' ci_parallel.json
+grep -q '"verdicts_match_sequential": true' ci_parallel.json
+grep -q '"results_match_sequential": true' ci_parallel.json
+if grep -q '_match_sequential": false' ci_parallel.json; then
+  echo "parallel smoke recorded a divergence"; exit 1
+fi
+rm -f ci_parallel.json
 
 echo "== campaign smoke with the NEMU REF backend =="
 MINJIE_REF=nemu dune exec bench/main.exe -- campaign --smoke --json ci_campaign_nemu.json

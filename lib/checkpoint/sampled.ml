@@ -115,6 +115,48 @@ let simulate_checkpoint ?(warmup = 20_000) ?(measure = 20_000)
     sr_ipc = (if cycles = 0 then 0.0 else float_of_int instrs /. float_of_int cycles);
   }
 
+(* Simulate every checkpoint -- the paper's "hours of parallel RTL
+   simulation": the samples are independent, so with jobs > 1 each one
+   runs in a forked pool worker.  Results come back in submission
+   order either way; a crashed or timed-out worker drops its sample
+   (with a warning) exactly like a checkpoint that measured nothing,
+   rather than poisoning the weighted estimate. *)
+let simulate_all ?(warmup = 20_000) ?(measure = 20_000) ?jobs
+    (cfg : Xiangshan.Config.t) (cks : sampled_checkpoint list) :
+    sample_result list =
+  let jobs = Minjie.Pool.resolve_jobs ?jobs () in
+  if jobs <= 1 then
+    List.map (fun sc -> simulate_checkpoint ~warmup ~measure cfg sc) cks
+  else begin
+    let pool_jobs =
+      List.map
+        (fun sc ->
+          {
+            Minjie.Pool.j_label = Printf.sprintf "sample@%d" sc.sc_index;
+            (* every sample costs warmup+measure; the weight is the
+               only static hint of how long its region really runs *)
+            j_cost = sc.sc_weight;
+            j_run = (fun () -> simulate_checkpoint ~warmup ~measure cfg sc);
+          })
+        cks
+    in
+    let results, _stats = Minjie.Pool.map ~jobs pool_jobs in
+    List.filter_map
+      (fun (r : sample_result Minjie.Pool.result) ->
+        match r.Minjie.Pool.r_outcome with
+        | Minjie.Pool.Done s -> Some s
+        | Minjie.Pool.Job_error msg | Minjie.Pool.Crashed msg ->
+            Printf.eprintf "Sampled.simulate_all: dropping %s: %s\n%!"
+              r.Minjie.Pool.r_label msg;
+            None
+        | Minjie.Pool.Timed_out secs ->
+            Printf.eprintf
+              "Sampled.simulate_all: dropping %s: timed out after %.1fs\n%!"
+              r.Minjie.Pool.r_label secs;
+            None)
+      results
+  end
+
 (* Weighted IPC estimate across all sampled checkpoints. *)
 let weighted_ipc (results : sample_result list) : float =
   let wsum = List.fold_left (fun a r -> a +. r.sr_weight) 0.0 results in
@@ -125,11 +167,9 @@ let weighted_ipc (results : sample_result list) : float =
 
 (* Full flow. *)
 let estimate ?(interval = 100_000) ?(max_k = 8) ?(warmup = 20_000)
-    ?(measure = 20_000) (cfg : Xiangshan.Config.t)
+    ?(measure = 20_000) ?jobs (cfg : Xiangshan.Config.t)
     (prog : Riscv.Asm.program) : float * sample_result list * generation_stats
     =
   let cks, stats = generate ~interval ~max_k prog in
-  let results =
-    List.map (fun sc -> simulate_checkpoint ~warmup ~measure cfg sc) cks
-  in
+  let results = simulate_all ~warmup ~measure ?jobs cfg cks in
   (weighted_ipc results, results, stats)

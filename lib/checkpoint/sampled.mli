@@ -46,6 +46,21 @@ val simulate_checkpoint :
 (** Restore into a fresh SoC, warm the micro-architectural state by
     executing [warmup] instructions, then measure [measure]. *)
 
+val simulate_all :
+  ?warmup:int ->
+  ?measure:int ->
+  ?jobs:int ->
+  Xiangshan.Config.t ->
+  sampled_checkpoint list ->
+  sample_result list
+(** Simulate every checkpoint -- the paper's "parallel RTL
+    simulation" analogue.  [jobs] defaults to
+    {!Minjie.Pool.resolve_jobs} ([MINJIE_JOBS], else 1); with
+    [jobs = 1] this is exactly [List.map simulate_checkpoint].  With
+    [jobs > 1] samples run in forked {!Minjie.Pool} workers; results
+    keep submission order, and a crashed or timed-out worker drops
+    its sample with a warning on stderr. *)
+
 val weighted_ipc : sample_result list -> float
 
 val estimate :
@@ -53,6 +68,7 @@ val estimate :
   ?max_k:int ->
   ?warmup:int ->
   ?measure:int ->
+  ?jobs:int ->
   Xiangshan.Config.t ->
   Riscv.Asm.program ->
   float * sample_result list * generation_stats

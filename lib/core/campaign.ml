@@ -141,26 +141,99 @@ let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000) ?ref_kind
         c_ok = rule_expected && within;
       }
 
+(* A pool failure (worker crash, timeout) means we cannot prove the
+   fault was detected, so it reports as an escape-shaped cell: c_ok
+   false, c_detected false, the pool's message in c_msg. *)
+let cell_of_pool_failure ~(fault : Fault.t) ~seed msg : cell =
+  {
+    c_fault = fault.Fault.f_name;
+    c_layer = fault.Fault.f_layer;
+    c_workload = fault.Fault.f_workload;
+    c_config = (config_of fault.Fault.f_config).Xiangshan.Config.cfg_name;
+    c_seed = seed;
+    c_trigger = fault.Fault.f_trigger;
+    c_detected = false;
+    c_rule = "";
+    c_rule_expected = false;
+    c_failure_cycle = -1;
+    c_latency_cycles = -1;
+    c_commits = -1;
+    c_msg = "POOL: " ^ msg;
+    c_replayed = false;
+    c_replay_rule = "";
+    c_replay_window = -1;
+    c_replay_within = false;
+    c_ok = false;
+  }
+
 let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
-    ?(max_cycles = 400_000) ?ref_kind ?(progress = fun (_ : cell) -> ()) () :
-    summary =
+    ?(max_cycles = 400_000) ?ref_kind ?jobs
+    ?(progress = fun (_ : cell) -> ()) () : summary =
   let faults =
     match faults with
     | None -> Fault.all
     | Some names -> List.map Fault.find names
   in
-  let cells =
-    List.concat_map
-      (fun fault ->
-        List.map
-          (fun seed ->
-            let c =
-              run_cell ~snapshot_interval ~max_cycles ?ref_kind ~fault ~seed ()
-            in
-            progress c;
-            c)
-          seeds)
+  let grid =
+    List.concat_map (fun fault -> List.map (fun seed -> (fault, seed)) seeds)
       faults
+  in
+  let jobs = Pool.resolve_jobs ?jobs () in
+  let cells =
+    if jobs <= 1 then
+      (* the original in-process path, unchanged *)
+      List.map
+        (fun (fault, seed) ->
+          let c =
+            run_cell ~snapshot_interval ~max_cycles ?ref_kind ~fault ~seed ()
+          in
+          progress c;
+          c)
+        grid
+    else begin
+      (* one pool job per cell.  The injection trigger cycle is the
+         best static proxy for cell cost: later triggers mean more
+         fast-mode cycles before detection can even start. *)
+      let pool_jobs =
+        List.map
+          (fun (fault, seed) ->
+            {
+              Pool.j_label =
+                Printf.sprintf "%s#%d" fault.Fault.f_name seed;
+              j_cost = float_of_int fault.Fault.f_trigger;
+              j_run =
+                (fun () ->
+                  run_cell ~snapshot_interval ~max_cycles ?ref_kind ~fault
+                    ~seed ());
+            })
+          grid
+      in
+      let grid_arr = Array.of_list grid in
+      let results, _stats =
+        Pool.map ~jobs
+          ~progress:(fun (r : cell Pool.result) ->
+            let fault, seed = grid_arr.(r.Pool.r_index) in
+            match r.Pool.r_outcome with
+            | Pool.Done c -> progress c
+            | Pool.Job_error msg | Pool.Crashed msg ->
+                progress (cell_of_pool_failure ~fault ~seed msg)
+            | Pool.Timed_out secs ->
+                progress
+                  (cell_of_pool_failure ~fault ~seed
+                     (Printf.sprintf "timed out after %.1fs" secs)))
+          pool_jobs
+      in
+      List.map2
+        (fun (fault, seed) (r : cell Pool.result) ->
+          match r.Pool.r_outcome with
+          | Pool.Done c -> c
+          | Pool.Job_error msg | Pool.Crashed msg ->
+              cell_of_pool_failure ~fault ~seed msg
+          | Pool.Timed_out secs ->
+              cell_of_pool_failure ~fault ~seed
+                (Printf.sprintf "timed out after %.1fs" secs))
+        grid results
+    end
   in
   let count p = List.length (List.filter p cells) in
   {

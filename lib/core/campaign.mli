@@ -68,11 +68,20 @@ val run :
   ?snapshot_interval:int ->
   ?max_cycles:int ->
   ?ref_kind:Ref_model.kind ->
+  ?jobs:int ->
   ?progress:(cell -> unit) ->
   unit ->
   summary
 (** Run the campaign grid.  [faults] defaults to the full registry,
-    [seeds] to [[1; 2]], [ref_kind] to {!Ref_model.kind_of_env}.
-    [progress] is called after each cell. *)
+    [seeds] to [[1; 2]], [ref_kind] to {!Ref_model.kind_of_env},
+    [jobs] to {!Pool.resolve_jobs} (i.e. [MINJIE_JOBS], else 1).
+
+    With [jobs = 1] cells run in-process on the original sequential
+    path.  With [jobs > 1] each cell is one {!Pool} job; cells are
+    deterministic, so the parallel summary is identical to the
+    sequential one, cell for cell.  A worker crash or timeout turns
+    into an escape-shaped cell ([c_ok = false], the pool message in
+    [c_msg]) rather than aborting the grid.  [progress] is called
+    after each cell -- in completion order when parallel. *)
 
 val string_of_cell : cell -> string

@@ -14,6 +14,7 @@ let () =
       ("difftest", Test_difftest.tests);
       ("ref-model", Test_ref_model.tests);
       ("fault", Test_fault.tests);
+      ("pool", Test_pool.tests);
       ("lightsss", Test_lightsss.tests);
       ("checkpoint", Test_checkpoint.tests);
       ("archdb", Test_archdb.tests);
