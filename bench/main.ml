@@ -751,6 +751,11 @@ let campaign_failed = ref false
    MINJIE_REF environment variable, then the ISS) *)
 let campaign_ref : Minjie.Ref_model.kind option ref = ref None
 
+(* --perf: attach pipeline tracers in campaign cells.  Counters and
+   tracers are pure observation, so the campaign output must be
+   byte-identical with or without this flag (ci.sh asserts it). *)
+let campaign_perf = ref false
+
 (* faults whose cells resolve in a few thousand cycles; enough for CI
    to validate the whole detect->replay->report pipeline *)
 let smoke_faults = [ "csr-mtvec-corrupt"; "rob-commit-reorder"; "lsu-sb-drop" ]
@@ -772,6 +777,7 @@ let bench_campaign () =
   in
   let s =
     Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref
+      ~perf:!campaign_perf
       ~jobs:(effective_jobs ())
       ~progress:(fun c ->
         Printf.printf "  %s\n%!" (Minjie.Campaign.string_of_cell c))
@@ -1098,6 +1104,113 @@ let bench_parallel () =
     worker_counts
 
 (* ---------------------------------------------------------------- *)
+(* Top-down CPI stacks: every workload's cycles folded into the      *)
+(* L1/L2 cycle-accounting stack, with the invariant (buckets sum     *)
+(* exactly to measured cycles) asserted on every run                 *)
+(* ---------------------------------------------------------------- *)
+
+(* three bottleneck archetypes are enough for CI: compute-bound,
+   mispredict-bound and memory-bound *)
+let topdown_smoke_workloads = [ "coremark_like"; "sjeng_like"; "mcf_like" ]
+
+let bench_topdown () =
+  section "Top-down CPI stacks: where every cycle went";
+  Printf.printf
+    "(each cycle of each run lands in exactly one of 9 leaf buckets; \
+     the stack is\n\
+    \ rejected outright if the buckets do not sum to the measured \
+     cycle count)\n\n";
+  let workloads =
+    if !campaign_smoke then
+      List.map Minjie.Campaign.find_workload topdown_smoke_workloads
+    else Workloads.Suite.all
+  in
+  (* one pool job per workload: a full run to completion, returning
+     the (marshal-safe) counter snapshot of hart 0 *)
+  let pool_jobs =
+    List.map
+      (fun (w : Workloads.Wl_common.t) ->
+        {
+          Minjie.Pool.j_label = w.Workloads.Wl_common.wl_name;
+          j_cost = float_of_int (wl_scale w);
+          j_run =
+            (fun () ->
+              let prog = w.Workloads.Wl_common.program ~scale:(wl_scale w) in
+              let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+              Xiangshan.Soc.load_program soc prog;
+              let _ = Xiangshan.Soc.run ~max_cycles:400_000_000 soc in
+              Xiangshan.Soc.counter_snapshot soc ~hartid:0);
+        })
+      workloads
+  in
+  let results, _ = Minjie.Pool.map ~jobs:(effective_jobs ()) pool_jobs in
+  let stacks =
+    List.filter_map
+      (fun (r : (string * int) list Minjie.Pool.result) ->
+        match r.Minjie.Pool.r_outcome with
+        | Minjie.Pool.Done counters ->
+            Some (r.Minjie.Pool.r_label, counters)
+        | Minjie.Pool.Job_error msg | Minjie.Pool.Crashed msg ->
+            campaign_failed := true;
+            Printf.printf "TOPDOWN FAILED: %s: %s\n" r.Minjie.Pool.r_label msg;
+            None
+        | Minjie.Pool.Timed_out secs ->
+            campaign_failed := true;
+            Printf.printf "TOPDOWN FAILED: %s timed out after %.1fs\n"
+              r.Minjie.Pool.r_label secs;
+            None)
+      results
+  in
+  let ok = ref 0 in
+  List.iter
+    (fun (wname, counters) ->
+      match Perf.Topdown.of_counters counters with
+      | Error msg ->
+          campaign_failed := true;
+          Printf.printf "TOPDOWN FAILED: %s: %s\n" wname msg
+      | Ok stack -> (
+          match Perf.Topdown.check stack with
+          | Error msg ->
+              campaign_failed := true;
+              Printf.printf "TOPDOWN INVARIANT VIOLATED: %s: %s\n" wname msg
+          | Ok () ->
+              incr ok;
+              print_string (Perf.Topdown.render ~label:wname stack);
+              print_newline ();
+              record
+                (( "experiment", Json.Str "topdown" )
+                 :: ("group", Json.Str "stack")
+                 :: ("workload", Json.Str wname)
+                 :: ("cycles", Json.Int stack.Perf.Topdown.ts_cycles)
+                 :: ("instrs", Json.Int stack.Perf.Topdown.ts_instrs)
+                 :: ("ipc", Json.Num (Perf.Topdown.ipc stack))
+                 :: ("cpi", Json.Num (Perf.Topdown.cpi stack))
+                 :: ("sum_matches_cycles", Json.Bool true)
+                 :: (List.map
+                       (fun b ->
+                         ( Perf.Topdown.counter_name b,
+                           Json.Int (Perf.Topdown.cycles_of stack b) ))
+                       Perf.Topdown.all
+                    @ List.map
+                        (fun l1 ->
+                          ( "frac_" ^ Perf.Topdown.level1_name l1,
+                            Json.Num (Perf.Topdown.level1_frac stack l1) ))
+                        Perf.Topdown.level1_all))))
+    stacks;
+  record
+    [
+      ("experiment", Json.Str "topdown");
+      ("group", Json.Str "summary");
+      ("workloads", Json.Int (List.length workloads));
+      ("stacks_ok", Json.Int !ok);
+      ("invariant_holds", Json.Bool (!ok = List.length workloads));
+    ];
+  if !ok = List.length workloads then
+    Printf.printf
+      "all %d stacks sum to their measured cycle counts, bucket for bucket\n"
+      !ok
+
+(* ---------------------------------------------------------------- *)
 
 let all_benches =
   [
@@ -1119,6 +1232,9 @@ let all_benches =
     ( "parallel",
       bench_parallel,
       "pool scaling: campaign + sampled simulation at 1/2/4/8 workers" );
+    ( "topdown",
+      bench_topdown,
+      "top-down CPI stacks per workload (honours --smoke/--jobs)" );
   ]
 
 let usage oc =
@@ -1141,6 +1257,8 @@ let usage oc =
      worker counts\n\
     \  --ref REF     campaign REF backend: iss|nemu (default: MINJIE_REF, \
      else iss)\n\
+    \  --perf        campaign: attach pipeline tracers (verdicts must be \
+     identical)\n\
     \  --help        this listing\n"
 
 let () =
@@ -1183,6 +1301,9 @@ let () =
         exit 2
     | "--smoke" :: rest ->
         campaign_smoke := true;
+        parse acc rest
+    | "--perf" :: rest ->
+        campaign_perf := true;
         parse acc rest
     | "--ref" :: k :: rest -> (
         match Minjie.Ref_model.kind_of_string k with

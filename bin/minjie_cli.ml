@@ -73,7 +73,7 @@ let list_cmd =
 (* ---- run (DiffTest-verified simulation) ------------------------------- *)
 
 let run_cmd =
-  let run name cfg scale max_cycles no_difftest =
+  let run name cfg scale max_cycles no_difftest perf pipetrace =
     let w = find_workload name in
     let scale = Option.value scale ~default:w.Workloads.Wl_common.small in
     let prog = w.Workloads.Wl_common.program ~scale in
@@ -84,6 +84,11 @@ let run_cmd =
     in
     let soc = Xiangshan.Soc.create cfg in
     Xiangshan.Soc.load_program soc prog;
+    let tracers =
+      match pipetrace with
+      | Some _ -> Some (Xiangshan.Soc.attach_tracers soc)
+      | None -> None
+    in
     let t0 = Unix.gettimeofday () in
     let outcome =
       if no_difftest then begin
@@ -122,17 +127,68 @@ let run_cmd =
       soc.Xiangshan.Soc.cores;
     Printf.printf "simulated %d cycles in %.2fs (%.0f kHz)\n"
       soc.Xiangshan.Soc.now secs
-      (float_of_int soc.Xiangshan.Soc.now /. secs /. 1e3)
+      (float_of_int soc.Xiangshan.Soc.now /. secs /. 1e3);
+    if perf then
+      Array.iteri
+        (fun i (core : Xiangshan.Core.t) ->
+          let counters = Xiangshan.Core.counter_snapshot core in
+          Printf.printf "\nhart %d performance counters:\n" i;
+          List.iter
+            (fun (n, v) -> Printf.printf "  %-28s %12d\n" n v)
+            counters;
+          print_newline ();
+          match Perf.Topdown.of_counters counters with
+          | Error msg -> Printf.printf "top-down stack unavailable: %s\n" msg
+          | Ok stack -> (
+              match Perf.Topdown.check stack with
+              | Error msg ->
+                  Printf.printf "TOPDOWN INVARIANT VIOLATED: %s\n" msg
+              | Ok () ->
+                  print_string
+                    (Perf.Topdown.render
+                       ~label:(Printf.sprintf "hart %d" i)
+                       stack)))
+        soc.Xiangshan.Soc.cores;
+    match (pipetrace, tracers) with
+    | Some file, Some trs when Array.length trs > 0 ->
+        let tr = trs.(0) in
+        let oc = open_out file in
+        output_string oc (Perf.Pipetrace.to_konata tr);
+        close_out oc;
+        Printf.printf
+          "pipeline trace: %d uops recorded (last %d kept) -> %s (Konata \
+           format)\n"
+          (Perf.Pipetrace.recorded tr)
+          (Perf.Pipetrace.live tr)
+          file
+    | _ -> ()
   in
   let no_difftest =
     Arg.(value & flag & info [ "no-difftest" ] ~doc:"Run without the REF.")
+  in
+  let perf =
+    Arg.(
+      value & flag
+      & info [ "perf" ]
+          ~doc:
+            "Print the full per-hart performance-counter table and the \
+             top-down CPI stack after the run.")
+  in
+  let pipetrace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pipetrace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-uop pipeline lifecycles in a ring buffer and write \
+             the trace window to $(docv) in Konata format.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on the cycle-level model under \
                           DiffTest.")
     Term.(
       const run $ workload_arg $ config_arg $ scale_arg $ max_cycles_arg
-      $ no_difftest)
+      $ no_difftest $ perf $ pipetrace)
 
 (* ---- engines ----------------------------------------------------------- *)
 
@@ -238,7 +294,11 @@ let debug_cmd =
 
 let () =
   let doc = "MINJIE: agile RISC-V processor development platform (OCaml)" in
+  (* bare `minjie` (or `minjie --help`) prints the subcommand listing
+     instead of exiting silently *)
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "minjie" ~doc)
+       (Cmd.group ~default
+          (Cmd.info "minjie" ~doc)
           [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; debug_cmd ]))

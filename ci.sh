@@ -36,7 +36,13 @@ test -s ci_campaign_par.json
 # every campaign record field is deterministic, so the whole JSON
 # must be byte-identical to the sequential smoke's
 diff ci_campaign.json ci_campaign_par.json
-rm -f ci_campaign.json ci_campaign_par.json
+
+echo "== campaign smoke with --perf: counters/tracers are pure observation =="
+dune exec bench/main.exe -- campaign --smoke --perf --json ci_campaign_perf.json
+test -s ci_campaign_perf.json
+# perf instrumentation must not perturb a single verdict field
+diff ci_campaign.json ci_campaign_perf.json
+rm -f ci_campaign.json ci_campaign_par.json ci_campaign_perf.json
 
 echo "== parallel-pool scaling smoke (verdict identity at every worker count) =="
 dune exec bench/main.exe -- parallel --smoke --json ci_parallel.json
@@ -54,6 +60,26 @@ MINJIE_REF=nemu dune exec bench/main.exe -- campaign --smoke --json ci_campaign_
 test -s ci_campaign_nemu.json
 grep -q '"escapes": 0' ci_campaign_nemu.json
 rm -f ci_campaign_nemu.json
+
+echo "== topdown smoke (CPI stacks must sum to measured cycles) =="
+dune exec bench/main.exe -- topdown --smoke --json ci_topdown.json
+test -s ci_topdown.json
+grep -q '"experiment": "topdown"' ci_topdown.json
+grep -q '"group": "stack"' ci_topdown.json
+grep -q '"invariant_holds": true' ci_topdown.json
+rm -f ci_topdown.json
+
+echo "== pipetrace smoke (well-formed Konata records) =="
+dune exec bin/minjie_cli.exe -- run coremark_like --pipetrace ci_trace.kanata >/dev/null
+test -s ci_trace.kanata
+head -1 ci_trace.kanata | grep -q '^Kanata'
+grep -q '^C=' ci_trace.kanata
+grep -q '^I' ci_trace.kanata
+grep -q '^S' ci_trace.kanata
+grep -q '^R' ci_trace.kanata
+# every record opened (I) is closed by a retire (R)
+test "$(grep -c '^I' ci_trace.kanata)" = "$(grep -c '^R' ci_trace.kanata)"
+rm -f ci_trace.kanata
 
 echo "== cosim smoke (ISS REF vs NEMU REF throughput) =="
 dune exec bench/main.exe -- cosim --json ci_cosim.json

@@ -28,10 +28,15 @@ let filter tbl p = List.filter p (to_list tbl)
 
 let count tbl = Queue.length tbl.rows
 
+(* Final performance-counter values, persisted per hart so campaign
+   and debug sessions can query them after the run. *)
+type counter_row = { cn_hartid : int; cn_name : string; cn_value : int }
+
 type t = {
   commits : commit_row table;
   drains : drain_row table;
   cache_events : cache_row table;
+  counters : counter_row table;
 }
 
 let create ?(capacity = 1_000_000) () =
@@ -39,6 +44,7 @@ let create ?(capacity = 1_000_000) () =
     commits = make_table "commits" ~capacity ();
     drains = make_table "store_drains" ~capacity ();
     cache_events = make_table "cache_transactions" ~capacity ();
+    counters = make_table "perf_counters" ~capacity ();
   }
 
 (* Attach to a SoC: tees every probe stream into the database while
@@ -63,7 +69,33 @@ let attach (db : t) (soc : Xiangshan.Soc.t) =
       insert db.cache_events ev;
       old_sink ev)
 
+(* Persist the current counter snapshot of every hart.  Called at the
+   end of a run (or of a debug replay); the newest record for a name
+   wins in [final_counters]. *)
+let record_counters (db : t) (soc : Xiangshan.Soc.t) =
+  Array.iteri
+    (fun hartid (core : Xiangshan.Core.t) ->
+      List.iter
+        (fun (name, v) ->
+          insert db.counters { cn_hartid = hartid; cn_name = name; cn_value = v })
+        (Xiangshan.Core.counter_snapshot core))
+    soc.Xiangshan.Soc.cores
+
 (* ---- queries ---------------------------------------------------------- *)
+
+(* The latest recorded value of every counter of one hart, in
+   first-recorded order. *)
+let final_counters (db : t) ~hartid : (string * int) list =
+  let order = ref [] in
+  let values = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if r.cn_hartid = hartid then begin
+        if not (Hashtbl.mem values r.cn_name) then order := r.cn_name :: !order;
+        Hashtbl.replace values r.cn_name r.cn_value
+      end)
+    (to_list db.counters);
+  List.rev_map (fun name -> (name, Hashtbl.find values name)) !order
 
 (* All coherence transactions touching the line of [addr], in time
    order. *)
@@ -125,5 +157,6 @@ let drains_for_line (db : t) ~(addr : int64) : drain_row list =
 
 let pp_summary fmt (db : t) =
   Format.fprintf fmt
-    "ArchDB: %d commits, %d store drains, %d cache transactions"
+    "ArchDB: %d commits, %d store drains, %d cache transactions, %d counters"
     (count db.commits) (count db.drains) (count db.cache_events)
+    (count db.counters)

@@ -24,10 +24,14 @@ val filter : 'a table -> ('a -> bool) -> 'a list
 
 val count : 'a table -> int
 
+(** One persisted performance-counter value. *)
+type counter_row = { cn_hartid : int; cn_name : string; cn_value : int }
+
 type t = {
   commits : commit_row table;
   drains : drain_row table;
   cache_events : cache_row table;
+  counters : counter_row table;
 }
 
 val create : ?capacity:int -> unit -> t
@@ -35,6 +39,10 @@ val create : ?capacity:int -> unit -> t
 val attach : t -> Xiangshan.Soc.t -> unit
 (** Tee every probe stream of the SoC into the database, preserving
     previously installed sinks (DiffTest's, for instance). *)
+
+val record_counters : t -> Xiangshan.Soc.t -> unit
+(** Persist [Core.counter_snapshot] of every hart into the [counters]
+    table (called at the end of a run or debug replay). *)
 
 (** {1 Queries} *)
 
@@ -55,5 +63,8 @@ val acquire_probe_overlaps : t -> window:int -> overlap list
 val commits_between : t -> from_cycle:int -> to_cycle:int -> commit_row list
 
 val drains_for_line : t -> addr:int64 -> drain_row list
+
+val final_counters : t -> hartid:int -> (string * int) list
+(** Latest recorded value of every counter of one hart. *)
 
 val pp_summary : Format.formatter -> t -> unit

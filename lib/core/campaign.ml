@@ -74,7 +74,7 @@ let config_of = function
   | Fault.Nh -> Xiangshan.Config.nh
 
 let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000) ?ref_kind
-    ~(fault : Fault.t) ~seed () : cell =
+    ?perf ~(fault : Fault.t) ~seed () : cell =
   let w = find_workload fault.Fault.f_workload in
   let prog = w.Workloads.Wl_common.program ~scale:w.Workloads.Wl_common.small in
   let cfg = config_of fault.Fault.f_config in
@@ -102,7 +102,7 @@ let run_cell ?(snapshot_interval = 1_500) ?(max_cycles = 400_000) ?ref_kind
     }
   in
   match
-    Workflow.run_verified ~snapshot_interval ~max_cycles ?ref_kind
+    Workflow.run_verified ~snapshot_interval ~max_cycles ?ref_kind ?perf
       ~inject:(fun soc -> fault.Fault.f_install ~seed ~trigger soc)
       ~prog cfg
   with
@@ -167,7 +167,7 @@ let cell_of_pool_failure ~(fault : Fault.t) ~seed msg : cell =
   }
 
 let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
-    ?(max_cycles = 400_000) ?ref_kind ?jobs
+    ?(max_cycles = 400_000) ?ref_kind ?perf ?jobs
     ?(progress = fun (_ : cell) -> ()) () : summary =
   let faults =
     match faults with
@@ -185,7 +185,8 @@ let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
       List.map
         (fun (fault, seed) ->
           let c =
-            run_cell ~snapshot_interval ~max_cycles ?ref_kind ~fault ~seed ()
+            run_cell ~snapshot_interval ~max_cycles ?ref_kind ?perf ~fault
+              ~seed ()
           in
           progress c;
           c)
@@ -203,8 +204,8 @@ let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
               j_cost = float_of_int fault.Fault.f_trigger;
               j_run =
                 (fun () ->
-                  run_cell ~snapshot_interval ~max_cycles ?ref_kind ~fault
-                    ~seed ());
+                  run_cell ~snapshot_interval ~max_cycles ?ref_kind ?perf
+                    ~fault ~seed ());
             })
           grid
       in

@@ -57,6 +57,7 @@ val run_cell :
   ?snapshot_interval:int ->
   ?max_cycles:int ->
   ?ref_kind:Ref_model.kind ->
+  ?perf:bool ->
   fault:Fault.t ->
   seed:int ->
   unit ->
@@ -68,6 +69,7 @@ val run :
   ?snapshot_interval:int ->
   ?max_cycles:int ->
   ?ref_kind:Ref_model.kind ->
+  ?perf:bool ->
   ?jobs:int ->
   ?progress:(cell -> unit) ->
   unit ->
@@ -82,6 +84,10 @@ val run :
     sequential one, cell for cell.  A worker crash or timeout turns
     into an escape-shaped cell ([c_ok = false], the pool message in
     [c_msg]) rather than aborting the grid.  [progress] is called
-    after each cell -- in completion order when parallel. *)
+    after each cell -- in completion order when parallel.
+
+    [perf] threads through to {!Workflow.run_verified}: pipeline
+    tracers are attached but cells are pure verdict data, so the
+    summary is bit-identical with it on or off. *)
 
 val string_of_cell : cell -> string

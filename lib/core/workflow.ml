@@ -19,6 +19,9 @@ type debug_report = {
   drains_near_failure : Xiangshan.Probe.store_drain list;
   snapshots_taken : int;
   snapshot_seconds : float;
+  replay_traces : Perf.Pipetrace.t array;
+      (* with ~perf:true, per-hart pipeline trace windows around the
+         failure, captured during the debug-mode replay *)
 }
 
 type outcome =
@@ -66,11 +69,15 @@ let restore_shared (dt : Difftest.t) (snap : Lightsss.snapshot) : Difftest.t =
    [inject] can plant a fault after construction (used by the tests
    and the debugging example). *)
 let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
-    ?(inject = fun (_ : Xiangshan.Soc.t) -> ()) ?ref_kind
+    ?(inject = fun (_ : Xiangshan.Soc.t) -> ()) ?ref_kind ?(perf = false)
     ~(prog : Riscv.Asm.program) (cfg : Xiangshan.Config.t) : outcome =
   let soc = Xiangshan.Soc.create cfg in
   Xiangshan.Soc.load_program soc prog;
   inject soc;
+  (* counters are always on (pure observation); [perf] additionally
+     attaches pipeline tracers, which ride inside LightSSS snapshots
+     so a debug replay reproduces the trace window around the failure *)
+  if perf then ignore (Xiangshan.Soc.attach_tracers soc);
   let dt = Difftest.create ?ref_kind ~prog soc in
   let subject = subject_of dt in
   let mgr = Lightsss.manager ~interval:snapshot_interval subject in
@@ -105,6 +112,7 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
               drains_near_failure = [];
               snapshots_taken = mgr.Lightsss.snapshots_taken;
               snapshot_seconds = mgr.Lightsss.total_snapshot_seconds;
+              replay_traces = [||];
             }
       | Some snap ->
           let dt' : Difftest.t = restore_shared dt snap in
@@ -136,6 +144,20 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
                 Archdb.drains_for_line db ~addr:f.Rule.f_pc
             | Some _ | None -> []
           in
+          (* persist the replayed instance's final counters; the trace
+             windows were restored from the snapshot and replayed to
+             the failure *)
+          Archdb.record_counters db (Difftest.soc dt');
+          let replay_traces =
+            if perf then
+              Array.map
+                (fun (c : Xiangshan.Core.t) ->
+                  match c.Xiangshan.Core.tracer with
+                  | Some tr -> tr
+                  | None -> Perf.Pipetrace.create ~capacity:16 ())
+                (Difftest.soc dt').Xiangshan.Soc.cores
+            else [||]
+          in
           Debugged
             {
               first_failure;
@@ -148,4 +170,5 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
               drains_near_failure;
               snapshots_taken = mgr.Lightsss.snapshots_taken;
               snapshot_seconds = mgr.Lightsss.total_snapshot_seconds;
+              replay_traces;
             })

@@ -20,6 +20,10 @@ type debug_report = {
   drains_near_failure : Xiangshan.Probe.store_drain list;
   snapshots_taken : int;
   snapshot_seconds : float;
+  replay_traces : Perf.Pipetrace.t array;
+      (** with [~perf:true], per-hart pipeline trace windows around the
+          failure (ring buffers restored from the snapshot and replayed
+          to the failure); empty otherwise *)
 }
 
 type outcome = Verified of int (** exit code *) | Debugged of debug_report
@@ -42,9 +46,13 @@ val run_verified :
   ?max_cycles:int ->
   ?inject:(Xiangshan.Soc.t -> unit) ->
   ?ref_kind:Ref_model.kind ->
+  ?perf:bool ->
   prog:Riscv.Asm.program ->
   Xiangshan.Config.t ->
   outcome
 (** Build the SoC, apply the optional fault [inject]ion, and run the
     full fast-mode -> replay -> diagnose loop.  [ref_kind] selects
-    the reference-model backend (default: {!Ref_model.kind_of_env}). *)
+    the reference-model backend (default: {!Ref_model.kind_of_env}).
+    [perf] (default false) attaches pipeline tracers whose windows
+    are reported in [replay_traces] on failure; counters themselves
+    are always on, and neither affects any verdict. *)

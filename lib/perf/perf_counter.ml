@@ -1,0 +1,58 @@
+type t = {
+  mutable names : string array;
+  mutable values : int array;
+  mutable n : int;
+}
+
+type id = int
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { names = Array.make capacity ""; values = Array.make capacity 0; n = 0 }
+
+let grow t =
+  let cap = Array.length t.names in
+  let names = Array.make (cap * 2) "" and values = Array.make (cap * 2) 0 in
+  Array.blit t.names 0 names 0 cap;
+  Array.blit t.values 0 values 0 cap;
+  t.names <- names;
+  t.values <- values
+
+let register t name =
+  for i = 0 to t.n - 1 do
+    if String.equal t.names.(i) name then
+      invalid_arg (Printf.sprintf "Perf_counter.register: duplicate %S" name)
+  done;
+  if t.n = Array.length t.names then grow t;
+  let id = t.n in
+  t.names.(id) <- name;
+  t.values.(id) <- 0;
+  t.n <- t.n + 1;
+  id
+
+let incr t id = t.values.(id) <- t.values.(id) + 1
+let add t id k = t.values.(id) <- t.values.(id) + k
+let get t id = t.values.(id)
+let set t id v = t.values.(id) <- v
+let length t = t.n
+let name t id = t.names.(id)
+
+let find t n =
+  let rec go i =
+    if i >= t.n then None
+    else if String.equal t.names.(i) n then Some t.values.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let to_alist t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((t.names.(i), t.values.(i)) :: acc)
+  in
+  go (t.n - 1) []
+
+let reset t = Array.fill t.values 0 t.n 0
+
+let ratio t ~num ~den =
+  let d = t.values.(den) in
+  if d = 0 then 0.0 else float_of_int t.values.(num) /. float_of_int d

@@ -1,0 +1,48 @@
+(* Allocation-free named counter registry.
+
+   A registry is a pair of flat arrays (names, values) plus a length.
+   Registration is O(n) and happens once at core-construction time;
+   the hot path (incr/add) is a bounds-checked array store with no
+   allocation, so counters can ride inside the simulated core and be
+   bumped every cycle without disturbing the GC.
+
+   The whole structure is plain data (no closures, no hashtables with
+   functorial seeds), so it marshals byte-stably inside LightSSS
+   snapshots: replaying from a snapshot replays the counter state too,
+   which is what makes fast-mode and debug-mode counter vectors
+   provably identical. *)
+
+type t
+
+(* Dense handle returned by [register]; store it once, use it forever. *)
+type id = int
+
+val create : ?capacity:int -> unit -> t
+
+(* [register t name] adds a counter (initially 0) and returns its id.
+   Raises [Invalid_argument] on duplicate names. *)
+val register : t -> string -> id
+
+val incr : t -> id -> unit
+val add : t -> id -> int -> unit
+val get : t -> id -> int
+val set : t -> id -> int -> unit
+
+(* Number of registered counters. *)
+val length : t -> int
+
+(* Name of a registered counter. *)
+val name : t -> id -> string
+
+(* Value by name; [None] if never registered. *)
+val find : t -> string -> int option
+
+(* All (name, value) pairs in registration order. *)
+val to_alist : t -> (string * int) list
+
+(* Zero every counter, keeping the registrations. *)
+val reset : t -> unit
+
+(* Derived ratio [num/den] as a float; 0.0 when the denominator is 0.
+   Handy for rates like mispredicts/lookups without division traps. *)
+val ratio : t -> num:id -> den:id -> float

@@ -1,0 +1,148 @@
+type rec_ = {
+  mutable r_valid : bool;
+  mutable r_seq : int;
+  mutable r_uid : int;  (* dispatch order, monotone across the run *)
+  mutable r_pc : int64;
+  mutable r_label : string;
+  mutable r_fetch : int;
+  mutable r_dispatch : int;
+  mutable r_issue : int;  (* -1 until issued *)
+  mutable r_complete : int;  (* -1 until completed *)
+  mutable r_commit : int;  (* -1 until committed *)
+  mutable r_flush : int;  (* -1 unless squashed *)
+}
+
+type t = { ring : rec_ array; cap : int; mutable written : int }
+
+let fresh_rec () =
+  {
+    r_valid = false;
+    r_seq = -1;
+    r_uid = -1;
+    r_pc = 0L;
+    r_label = "";
+    r_fetch = 0;
+    r_dispatch = 0;
+    r_issue = -1;
+    r_complete = -1;
+    r_commit = -1;
+    r_flush = -1;
+  }
+
+let create ?(capacity = 4096) () =
+  let capacity = max capacity 16 in
+  { ring = Array.init capacity (fun _ -> fresh_rec ()); cap = capacity; written = 0 }
+
+let recorded t = t.written
+let capacity t = t.cap
+
+let live t =
+  Array.fold_left (fun acc r -> if r.r_valid then acc + 1 else acc) 0 t.ring
+
+let on_dispatch t ~seq ~pc ~label ~fetched_at ~now =
+  if seq >= 0 then begin
+    let r = t.ring.(seq mod t.cap) in
+    r.r_valid <- true;
+    r.r_seq <- seq;
+    r.r_uid <- t.written;
+    r.r_pc <- pc;
+    r.r_label <- label;
+    r.r_fetch <- min fetched_at now;
+    r.r_dispatch <- now;
+    r.r_issue <- -1;
+    r.r_complete <- -1;
+    r.r_commit <- -1;
+    r.r_flush <- -1;
+    t.written <- t.written + 1
+  end
+
+(* Seq numbers are reused after a flush; only touch the slot if it
+   still belongs to this uop. *)
+let slot_for t seq =
+  if seq < 0 then None
+  else
+    let r = t.ring.(seq mod t.cap) in
+    if r.r_valid && r.r_seq = seq then Some r else None
+
+let on_issue t ~seq ~now =
+  match slot_for t seq with
+  | Some r -> if r.r_issue < 0 then r.r_issue <- now
+  | None -> ()
+
+let on_complete t ~seq ~at =
+  match slot_for t seq with
+  | Some r ->
+      (* execute-at-commit uops complete without a separate issue hook *)
+      if r.r_issue < 0 then r.r_issue <- at;
+      r.r_complete <- max at r.r_issue
+  | None -> ()
+
+let on_commit t ~seq ~now =
+  match slot_for t seq with Some r -> r.r_commit <- now | None -> ()
+
+let on_flush t ~seq ~now =
+  match slot_for t seq with Some r -> r.r_flush <- now | None -> ()
+
+(* --- Konata rendering ------------------------------------------------ *)
+
+let end_cycle r =
+  if r.r_commit >= 0 then r.r_commit
+  else if r.r_flush >= 0 then r.r_flush
+  else max r.r_dispatch (max r.r_issue r.r_complete)
+
+let to_konata t =
+  let recs =
+    Array.to_list t.ring
+    |> List.filter (fun r -> r.r_valid)
+    |> List.sort (fun a b -> compare a.r_uid b.r_uid)
+  in
+  (* (cycle, tie-order, line) — tie-order preserves per-uop stage order
+     and inter-uop dispatch order within a cycle *)
+  let events = ref [] in
+  let tie = ref 0 in
+  let ev c line =
+    incr tie;
+    events := (c, !tie, line) :: !events
+  in
+  List.iteri
+    (fun id r ->
+      let fin = end_cycle r in
+      let stage c lane name =
+        if c >= 0 && c <= fin then ev c (Printf.sprintf "S\t%d\t%d\t%s" id lane name)
+      in
+      ev r.r_fetch (Printf.sprintf "I\t%d\t%d\t0" id id);
+      ev r.r_fetch
+        (Printf.sprintf "L\t%d\t0\t%Lx: %s" id r.r_pc r.r_label);
+      stage r.r_fetch 0 "F";
+      stage r.r_dispatch 0 "D";
+      stage r.r_issue 0 "X";
+      stage r.r_complete 0 "C";
+      if r.r_commit >= 0 then
+        ev r.r_commit (Printf.sprintf "R\t%d\t%d\t0" id (id + 1))
+      else
+        (* flushed, or still in flight when the window ends: close the
+           lane with a flush-type retire so viewers render it *)
+        ev fin (Printf.sprintf "R\t%d\t%d\t1" id (id + 1)))
+    recs;
+  let events =
+    List.sort
+      (fun (c1, t1, _) (c2, t2, _) -> if c1 <> c2 then compare c1 c2 else compare t1 t2)
+      !events
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Kanata\t0004\n";
+  let cur = ref min_int in
+  List.iter
+    (fun (c, _, line) ->
+      if !cur = min_int then begin
+        Buffer.add_string buf (Printf.sprintf "C=\t%d\n" c);
+        cur := c
+      end
+      else if c > !cur then begin
+        Buffer.add_string buf (Printf.sprintf "C\t%d\n" (c - !cur));
+        cur := c
+      end;
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(* Opt-in per-uop pipeline lifecycle tracer.
+
+   Records dispatch→issue→complete→commit/flush timestamps for the
+   most recent [capacity] uops in a ring buffer keyed by the uop
+   sequence number (slot = seq mod capacity). Sequence numbers are
+   reused after a pipeline flush, so every update is guarded by a
+   stored-seq match: a stale hook aimed at a reclaimed slot is simply
+   dropped instead of corrupting the newer record.
+
+   The ring is plain mutable data (no closures), so when a core
+   carrying a tracer is snapshotted by LightSSS the trace window rides
+   along and the debug-mode replay can dump the exact uop lifecycles
+   leading up to a failure.
+
+   [to_konata] renders the window in the Konata pipeline-viewer text
+   format (header "Kanata\t0004"; I/L/S/E/R records with C cycle
+   advance commands), with lanes F (fetch→dispatch), D
+   (dispatch→issue), X (issue→complete) and C (complete→retire). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(* Number of dispatch records ever written (may exceed capacity). *)
+val recorded : t -> int
+
+val capacity : t -> int
+
+(* Hooks, called by the core. All are no-ops for negative seqs (the
+   synthetic interrupt probe uses seq -1). *)
+val on_dispatch :
+  t -> seq:int -> pc:int64 -> label:string -> fetched_at:int -> now:int -> unit
+
+val on_issue : t -> seq:int -> now:int -> unit
+
+(* [at] may be in the future (execute-at-issue folds the latency into
+   the completion time). *)
+val on_complete : t -> seq:int -> at:int -> unit
+val on_commit : t -> seq:int -> now:int -> unit
+val on_flush : t -> seq:int -> now:int -> unit
+
+(* Render the current window as Konata text. Records are emitted in
+   dispatch order; flushed uops retire with type 1, committed with 0. *)
+val to_konata : t -> string
+
+(* Number of live (valid) records currently in the window. *)
+val live : t -> int

@@ -1,0 +1,158 @@
+type bucket =
+  | Base
+  | Frontend_icache
+  | Frontend_fetch
+  | Badspec_mispredict
+  | Badspec_flush
+  | Mem_load
+  | Mem_store
+  | Core_exec
+  | Core_dep
+
+let all =
+  [
+    Base;
+    Frontend_icache;
+    Frontend_fetch;
+    Badspec_mispredict;
+    Badspec_flush;
+    Mem_load;
+    Mem_store;
+    Core_exec;
+    Core_dep;
+  ]
+
+let n_buckets = List.length all
+
+let index = function
+  | Base -> 0
+  | Frontend_icache -> 1
+  | Frontend_fetch -> 2
+  | Badspec_mispredict -> 3
+  | Badspec_flush -> 4
+  | Mem_load -> 5
+  | Mem_store -> 6
+  | Core_exec -> 7
+  | Core_dep -> 8
+
+let counter_name = function
+  | Base -> "td.base"
+  | Frontend_icache -> "td.frontend_icache"
+  | Frontend_fetch -> "td.frontend_fetch"
+  | Badspec_mispredict -> "td.badspec_mispredict"
+  | Badspec_flush -> "td.badspec_flush"
+  | Mem_load -> "td.mem_load"
+  | Mem_store -> "td.mem_store"
+  | Core_exec -> "td.core_exec"
+  | Core_dep -> "td.core_dep"
+
+type level1 = L1_base | L1_frontend | L1_badspec | L1_backend_mem | L1_backend_core
+
+let level1_all = [ L1_base; L1_frontend; L1_badspec; L1_backend_mem; L1_backend_core ]
+
+let level1_name = function
+  | L1_base -> "base"
+  | L1_frontend -> "frontend"
+  | L1_badspec -> "bad_speculation"
+  | L1_backend_mem -> "backend_memory"
+  | L1_backend_core -> "backend_core"
+
+let level1_of = function
+  | Base -> L1_base
+  | Frontend_icache | Frontend_fetch -> L1_frontend
+  | Badspec_mispredict | Badspec_flush -> L1_badspec
+  | Mem_load | Mem_store -> L1_backend_mem
+  | Core_exec | Core_dep -> L1_backend_core
+
+type stack = { ts_cycles : int; ts_instrs : int; ts_buckets : int array }
+
+let of_counters counters =
+  let lookup name =
+    match List.assoc_opt name counters with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing counter %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* cycles = lookup "core.cycles" in
+  let* instrs = lookup "core.instrs" in
+  let buckets = Array.make n_buckets 0 in
+  let rec fill = function
+    | [] -> Ok ()
+    | b :: rest ->
+        let* v = lookup (counter_name b) in
+        buckets.(index b) <- v;
+        fill rest
+  in
+  let* () = fill all in
+  Ok { ts_cycles = cycles; ts_instrs = instrs; ts_buckets = buckets }
+
+let check s =
+  let sum = Array.fold_left ( + ) 0 s.ts_buckets in
+  if sum = s.ts_cycles then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "CPI-stack buckets sum to %d but the core measured %d cycles (delta \
+          %d): %s"
+         sum s.ts_cycles (sum - s.ts_cycles)
+         (String.concat ", "
+            (List.map
+               (fun b ->
+                 Printf.sprintf "%s=%d" (counter_name b) s.ts_buckets.(index b))
+               all)))
+
+let cycles_of s b = s.ts_buckets.(index b)
+
+let level1_cycles s =
+  List.map
+    (fun l1 ->
+      let c =
+        List.fold_left
+          (fun acc b -> if level1_of b = l1 then acc + cycles_of s b else acc)
+          0 all
+      in
+      (l1, c))
+    level1_all
+
+let cpi s =
+  if s.ts_instrs = 0 then 0.0
+  else float_of_int s.ts_cycles /. float_of_int s.ts_instrs
+
+let ipc s =
+  if s.ts_cycles = 0 then 0.0
+  else float_of_int s.ts_instrs /. float_of_int s.ts_cycles
+
+let frac s b =
+  if s.ts_cycles = 0 then 0.0
+  else float_of_int (cycles_of s b) /. float_of_int s.ts_cycles
+
+let level1_frac s l1 =
+  if s.ts_cycles = 0 then 0.0
+  else
+    let c = List.assoc l1 (level1_cycles s) in
+    float_of_int c /. float_of_int s.ts_cycles
+
+let render ?label s =
+  let b = Buffer.create 512 in
+  (match label with
+  | Some l -> Buffer.add_string b (Printf.sprintf "top-down stack: %s\n" l)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "  cycles %d, instrs %d, IPC %.3f, CPI %.3f\n" s.ts_cycles
+       s.ts_instrs (ipc s) (cpi s));
+  List.iter
+    (fun l1 ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-16s %6.2f%%\n" (level1_name l1)
+           (100.0 *. level1_frac s l1));
+      List.iter
+        (fun bk ->
+          if level1_of bk = l1 then
+            Buffer.add_string b
+              (Printf.sprintf "    %-22s %6.2f%%  (%d cycles)\n"
+                 (counter_name bk)
+                 (100.0 *. frac s bk)
+                 (cycles_of s bk)))
+        all)
+    level1_all;
+  Buffer.contents b

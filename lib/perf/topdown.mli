@@ -1,0 +1,64 @@
+(* Top-down CPI-stack analysis over counter snapshots.
+
+   The core attributes every simulated cycle to exactly one Level-2
+   bucket at runtime (a single counter increment per cycle), so the
+   invariant "buckets sum to measured cycles" holds by construction
+   and [check] can assert it exactly — there is no post-hoc
+   apportioning of overlap. The Level-1 stack is a fixed grouping of
+   the Level-2 buckets. *)
+
+(* Level-2 buckets. *)
+type bucket =
+  | Base  (* at least one uop committed this cycle *)
+  | Frontend_icache  (* ROB empty while an L1I miss refill is in flight *)
+  | Frontend_fetch  (* ROB empty: fetch/decode could not supply uops *)
+  | Badspec_mispredict  (* redirect/recovery window after a mispredict *)
+  | Badspec_flush  (* recovery window after a trap/interrupt/serialise flush *)
+  | Mem_load  (* ROB head is a load waiting on memory *)
+  | Mem_store  (* ROB head is a store/amo blocked on memory or SB drain *)
+  | Core_exec  (* ROB head issued/completing in a non-memory unit *)
+  | Core_dep  (* ROB head waiting on operands (dependency chain) *)
+
+val n_buckets : int
+val all : bucket list
+val index : bucket -> int
+
+(* Canonical counter name of a bucket ("td.base", "td.mem_load", ...).
+   The core registers its per-cycle attribution counters under exactly
+   these names so [of_counters] can find them. *)
+val counter_name : bucket -> string
+
+(* Level-1 groups and the Level-2 buckets they fold. *)
+type level1 = L1_base | L1_frontend | L1_badspec | L1_backend_mem | L1_backend_core
+
+val level1_all : level1 list
+val level1_name : level1 -> string
+val level1_of : bucket -> level1
+
+type stack = {
+  ts_cycles : int;  (* measured cycles ("core.cycles") *)
+  ts_instrs : int;  (* committed instructions ("core.instrs") *)
+  ts_buckets : int array;  (* indexed by [index], length [n_buckets] *)
+}
+
+(* Build a stack from a counter snapshot (as produced by
+   [Xiangshan.Core.counter_snapshot]). [Error] names the first missing
+   counter. *)
+val of_counters : (string * int) list -> (stack, string) result
+
+(* Assert the invariant: sum of Level-2 buckets = measured cycles.
+   [Error] carries a human-readable account of the discrepancy. *)
+val check : stack -> (unit, string) result
+
+val cycles_of : stack -> bucket -> int
+val level1_cycles : stack -> (level1 * int) list
+val cpi : stack -> float
+val ipc : stack -> float
+
+(* Fraction of total cycles in a bucket / level-1 group (0 when
+   cycles = 0). *)
+val frac : stack -> bucket -> float
+val level1_frac : stack -> level1 -> float
+
+(* Multi-line human-readable rendering of the L1/L2 stack. *)
+val render : ?label:string -> stack -> string

@@ -31,6 +31,7 @@ type t = {
   ras : int64 array;
   mutable ras_top : int;
   ras_size : int;
+  mutable ras_depth : int; (* live entries, saturating at ras_size *)
   (* ITTAGE-lite *)
   ittage : btb_entry array;
   ittage_size : int;
@@ -42,6 +43,19 @@ type t = {
   mutable lookups : int;
   mutable cond_branches : int;
   mutable mispredicts : int;
+  (* per-component mispredict attribution *)
+  mutable misp_branch : int;
+  mutable misp_jal : int;
+  mutable misp_jalr : int;
+  mutable misp_ret : int;
+  (* direction-predictor provider accounting *)
+  mutable tage_provided : int;
+  mutable bimodal_provided : int;
+  (* RAS traffic *)
+  mutable ras_pushes : int;
+  mutable ras_pops : int;
+  mutable ras_overflows : int;
+  mutable ras_underflows : int;
 }
 
 let create (cfg : Config.t) : t =
@@ -65,6 +79,7 @@ let create (cfg : Config.t) : t =
     ras = Array.make cfg.ras_size 0L;
     ras_top = 0;
     ras_size = cfg.ras_size;
+    ras_depth = 0;
     ittage =
       Array.init (max 16 (cfg.btb_entries / 4)) (fun _ ->
           { b_tag = -1L; b_target = 0L });
@@ -75,6 +90,16 @@ let create (cfg : Config.t) : t =
     lookups = 0;
     cond_branches = 0;
     mispredicts = 0;
+    misp_branch = 0;
+    misp_jal = 0;
+    misp_jalr = 0;
+    misp_ret = 0;
+    tage_provided = 0;
+    bimodal_provided = 0;
+    ras_pushes = 0;
+    ras_pops = 0;
+    ras_overflows = 0;
+    ras_underflows = 0;
   }
 
 let pc_bits pc = Int64.to_int (Int64.shift_right_logical pc 2)
@@ -136,11 +161,21 @@ let btb_update t pc target =
     e0.b_target <- target
   end
 
+(* The stack is circular and never refuses a push: on overflow the
+   oldest return address is silently overwritten (counted), and a pop
+   of an empty stack returns whatever is in the slot (counted).  The
+   counters are observation only -- behaviour is unchanged. *)
 let ras_push t v =
+  t.ras_pushes <- t.ras_pushes + 1;
+  if t.ras_depth >= t.ras_size then t.ras_overflows <- t.ras_overflows + 1
+  else t.ras_depth <- t.ras_depth + 1;
   t.ras.(t.ras_top) <- v;
   t.ras_top <- (t.ras_top + 1) mod t.ras_size
 
 let ras_pop t =
+  t.ras_pops <- t.ras_pops + 1;
+  if t.ras_depth = 0 then t.ras_underflows <- t.ras_underflows + 1
+  else t.ras_depth <- t.ras_depth - 1;
   t.ras_top <- (t.ras_top + t.ras_size - 1) mod t.ras_size;
   t.ras.(t.ras_top)
 
@@ -162,7 +197,9 @@ let predict (t : t) ~(pc : int64) ~(insn : Riscv.Insn.t) : prediction =
   match insn with
   | Branch (_, _, _, off) ->
       t.cond_branches <- t.cond_branches + 1;
-      let dir, _ = predict_direction t pc in
+      let dir, provider = predict_direction t pc in
+      if provider >= 0 then t.tage_provided <- t.tage_provided + 1
+      else t.bimodal_provided <- t.bimodal_provided + 1;
       {
         taken = dir;
         target = (if dir then Int64.add pc off else next);
@@ -204,7 +241,16 @@ let predict (t : t) ~(pc : int64) ~(insn : Riscv.Insn.t) : prediction =
 (* Resolve-time update. *)
 let update (t : t) ~(pc : int64) ~(insn : Riscv.Insn.t) ~(taken : bool)
     ~(target : int64) ~(mispredicted : bool) =
-  if mispredicted then t.mispredicts <- t.mispredicts + 1;
+  if mispredicted then begin
+    t.mispredicts <- t.mispredicts + 1;
+    match insn with
+    | Branch _ -> t.misp_branch <- t.misp_branch + 1
+    | Jal _ -> t.misp_jal <- t.misp_jal + 1
+    | Jalr _ ->
+        if is_ret insn then t.misp_ret <- t.misp_ret + 1
+        else t.misp_jalr <- t.misp_jalr + 1
+    | _ -> ()
+  end;
   (* confidence table for PUBS *)
   let ci = pc_bits pc land (t.conf_size - 1) in
   if mispredicted then t.conf.(ci) <- 0

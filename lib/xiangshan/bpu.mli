@@ -17,6 +17,7 @@ type t = {
   ras : int64 array;
   mutable ras_top : int;
   ras_size : int;
+  mutable ras_depth : int;
   ittage : btb_entry array;
   ittage_size : int;
   use_ittage : bool;
@@ -25,6 +26,16 @@ type t = {
   mutable lookups : int;
   mutable cond_branches : int;
   mutable mispredicts : int;
+  mutable misp_branch : int;
+  mutable misp_jal : int;
+  mutable misp_jalr : int;
+  mutable misp_ret : int;
+  mutable tage_provided : int;
+  mutable bimodal_provided : int;
+  mutable ras_pushes : int;
+  mutable ras_pops : int;
+  mutable ras_overflows : int;
+  mutable ras_underflows : int;
 }
 
 and btb_entry = { mutable b_tag : int64; mutable b_target : int64 }

@@ -21,6 +21,7 @@ type fetch_item = {
   fi_insn : Insn.t;
   fi_pred_next : int64;
   fi_fault : (Trap.exc * int64) option;
+  mutable fi_fetched_at : int; (* cycle the item entered the fetch queue *)
 }
 
 type fetch_bundle = { fb_ready_at : int; fb_items : fetch_item list }
@@ -58,6 +59,23 @@ let make_perf () =
     p_hi_prio = 0;
   }
 
+(* Dense Perf_counter handles, resolved once at [create] so the
+   per-cycle hot paths are plain array stores. *)
+type ids = {
+  i_td : Perf.Perf_counter.id array; (* indexed by Perf.Topdown.index *)
+  i_disp_rob_full : Perf.Perf_counter.id;
+  i_disp_iq_full : Perf.Perf_counter.id;
+  i_disp_lq_full : Perf.Perf_counter.id;
+  i_disp_sq_full : Perf.Perf_counter.id;
+  i_disp_freelist_int : Perf.Perf_counter.id;
+  i_disp_freelist_fp : Perf.Perf_counter.id;
+  i_commit_sb_full : Perf.Perf_counter.id;
+  i_fetch_bubble : Perf.Perf_counter.id;
+  i_icache_miss : Perf.Perf_counter.id;
+  i_rob_walk : Perf.Perf_counter.id;
+  i_commit_w : Perf.Perf_counter.id array; (* commit width 0..8+ *)
+}
+
 type t = {
   cfg : Config.t;
   hartid : int;
@@ -73,6 +91,8 @@ type t = {
   lsu : Lsu.t;
   probes : Probe.sinks;
   perf : perf;
+  ctrs : Perf.Perf_counter.t; (* named counter registry (observation only) *)
+  ids : ids;
   def_table : int array; (* arch int reg -> seq of last producer *)
   mutable now : int;
   mutable seq : int; (* next uop sequence number *)
@@ -81,6 +101,13 @@ type t = {
   mutable inflight : fetch_bundle option;
   fetch_queue : fetch_item Queue.t;
   mutable commit_busy_until : int; (* at-commit execution occupancy *)
+  (* top-down attribution state: a flush opens a bad-speculation
+     recovery window; an L1I miss opens a frontend-icache window *)
+  mutable recover_until : int;
+  mutable recover_misp : bool; (* window opened by a mispredict redirect? *)
+  mutable icache_stall_until : int;
+  (* opt-in pipeline tracer; [None] keeps the hot paths allocation-free *)
+  mutable tracer : Perf.Pipetrace.t option;
   mutable halted : bool;
   (* hook used by the SoC to invalidate sibling reservations *)
   mutable on_store_drain : int64 -> int -> unit;
@@ -89,12 +116,52 @@ type t = {
   mutable bug_trust_bpu : int;
 }
 
+let make_ids () =
+  let ctrs = Perf.Perf_counter.create ~capacity:64 () in
+  let reg = Perf.Perf_counter.register ctrs in
+  (* bind in sequence: record-field expressions evaluate in an
+     unspecified order, but the registration order is what to_alist
+     (and every counter dump) presents *)
+  let i_td =
+    Array.of_list
+      (List.map (fun b -> reg (Perf.Topdown.counter_name b)) Perf.Topdown.all)
+  in
+  let i_disp_rob_full = reg "stall.dispatch.rob_full" in
+  let i_disp_iq_full = reg "stall.dispatch.iq_full" in
+  let i_disp_lq_full = reg "stall.dispatch.lq_full" in
+  let i_disp_sq_full = reg "stall.dispatch.sq_full" in
+  let i_disp_freelist_int = reg "stall.dispatch.freelist_int" in
+  let i_disp_freelist_fp = reg "stall.dispatch.freelist_fp" in
+  let i_commit_sb_full = reg "stall.commit.sb_full" in
+  let i_fetch_bubble = reg "frontend.fetch_bubbles" in
+  let i_icache_miss = reg "frontend.icache_misses" in
+  let i_rob_walk = reg "rob.walked_uops" in
+  let i_commit_w =
+    Array.init 9 (fun w -> reg (Printf.sprintf "commit.width_%d" w))
+  in
+  ( ctrs,
+    {
+      i_td;
+      i_disp_rob_full;
+      i_disp_iq_full;
+      i_disp_lq_full;
+      i_disp_sq_full;
+      i_disp_freelist_int;
+      i_disp_freelist_fp;
+      i_commit_sb_full;
+      i_fetch_bubble;
+      i_icache_miss;
+      i_rob_walk;
+      i_commit_w;
+    } )
+
 let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
     ~(l1i : Softmem.Cache.t) ~(l1d : Softmem.Cache.t)
     ~(ptw_port : Softmem.Cache.t) : t =
   let arch = Arch_state.create ~hartid () in
   arch.Arch_state.csr.Csr.time_source <-
     (fun () -> plat.Platform.clint.Platform.Clint.mtime);
+  let ctrs, ids = make_ids () in
   {
     cfg;
     hartid;
@@ -110,6 +177,8 @@ let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
     lsu = Lsu.create cfg ~dcache:l1d;
     probes = Probe.null_sinks ();
     perf = make_perf ();
+    ctrs;
+    ids;
     def_table = Array.make 32 (-1);
     now = 0;
     seq = 0;
@@ -118,6 +187,10 @@ let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
     inflight = None;
     fetch_queue = Queue.create ();
     commit_busy_until = 0;
+    recover_until = 0;
+    recover_misp = false;
+    icache_stall_until = 0;
+    tracer = None;
     halted = false;
     on_store_drain = (fun _ _ -> ());
     bug_trust_bpu = 0;
@@ -141,11 +214,21 @@ let sync_regfile_from_arch t =
 
 (* ---------------- flush / redirect ---------------------------------- *)
 
+(* Mispredict penalty beyond frontend refill: resolve + recovery. *)
+let mispredict_penalty = 6
+
 (* Squash all uops younger than [after] (-1 = everything) and restart
    fetch at [target]. *)
 let flush t ~after ~target =
   t.perf.p_flushes <- t.perf.p_flushes + 1;
   let squashed = Rob.squash_younger t.rob ~after in
+  Perf.Perf_counter.add t.ctrs t.ids.i_rob_walk (List.length squashed);
+  (match t.tracer with
+  | Some tr ->
+      List.iter
+        (fun (u : Uop.t) -> Perf.Pipetrace.on_flush tr ~seq:u.Uop.seq ~now:t.now)
+        squashed
+  | None -> ());
   List.iter (fun u -> Rename.rollback t.rename u) squashed;
   t.seq <- t.rob.Rob.tail;
   Array.iter Iq.drop_squashed t.iqs;
@@ -153,7 +236,11 @@ let flush t ~after ~target =
   Queue.clear t.fetch_queue;
   t.inflight <- None;
   t.fetch_stalled <- false;
-  t.fetch_pc <- target
+  t.fetch_pc <- target;
+  (* open a bad-speculation recovery window for top-down attribution;
+     a mispredict redirect overrides [recover_misp] at its call site *)
+  t.recover_until <- max t.recover_until (t.now + mispredict_penalty);
+  t.recover_misp <- false
 
 (* ---------------- fetch ---------------------------------------------- *)
 
@@ -163,7 +250,11 @@ let do_fetch t =
   (* bundle completion *)
   (match t.inflight with
   | Some b when t.now >= b.fb_ready_at ->
-      List.iter (fun it -> Queue.add it t.fetch_queue) b.fb_items;
+      List.iter
+        (fun it ->
+          it.fi_fetched_at <- t.now;
+          Queue.add it t.fetch_queue)
+        b.fb_items;
       t.inflight <- None
   | Some _ | None -> ());
   (* new bundle *)
@@ -186,6 +277,7 @@ let do_fetch t =
                     fi_insn = Insn.Illegal 0l;
                     fi_pred_next = Int64.add pc0 4L;
                     fi_fault = Some (exc, tval);
+                    fi_fetched_at = t.now;
                   };
                 ];
             };
@@ -203,6 +295,7 @@ let do_fetch t =
                       fi_insn = Insn.Illegal 0l;
                       fi_pred_next = Int64.add pc0 4L;
                       fi_fault = Some (Trap.Fetch_access, pc0);
+                      fi_fetched_at = t.now;
                     };
                   ];
               };
@@ -210,6 +303,11 @@ let do_fetch t =
         end
         else begin
           let icache_lat = Softmem.Cache.fetch t.l1i ~addr:pa0 in
+          if icache_lat > t.l1i.Softmem.Cache.hit_latency then begin
+            Perf.Perf_counter.incr t.ctrs t.ids.i_icache_miss;
+            t.icache_stall_until <-
+              max t.icache_stall_until (t.now + tlb_lat + icache_lat)
+          end;
           let items = ref [] in
           let next_fetch = ref (Int64.add pc0 (Int64.of_int 4)) in
           let stop = ref false in
@@ -233,6 +331,7 @@ let do_fetch t =
                   fi_insn = insn;
                   fi_pred_next = pred_next;
                   fi_fault = None;
+                  fi_fetched_at = t.now;
                 }
                 :: !items;
               next_fetch := pred_next;
@@ -272,7 +371,10 @@ let rec mark_slice t ~depth (arch_srcs : int list) =
 
 let dispatch_one t (it : fetch_item) (second : fetch_item option) : bool =
   (* returns true if dispatched (resources available) *)
-  if Rob.is_full t.rob then false
+  if Rob.is_full t.rob then begin
+    Perf.Perf_counter.incr t.ctrs t.ids.i_disp_rob_full;
+    false
+  end
   else begin
     let fusion =
       match second with
@@ -316,11 +418,27 @@ let dispatch_one t (it : fetch_item) (second : fetch_item option) : bool =
       (not (Uop.is_load u) || not (Lsu.lq_full t.lsu))
       && ((not (Uop.is_store u)) || not (Lsu.sq_full t.lsu))
     in
-    if
-      (not iq_ok) || (not lsu_ok)
-      || (needs_int_rd && not (Rename.can_alloc t.rename ~is_fp:false))
-      || (needs_fp_rd && not (Rename.can_alloc t.rename ~is_fp:true))
-    then false
+    let int_free_ok =
+      (not needs_int_rd) || Rename.can_alloc t.rename ~is_fp:false
+    in
+    let fp_free_ok =
+      (not needs_fp_rd) || Rename.can_alloc t.rename ~is_fp:true
+    in
+    if (not iq_ok) || (not lsu_ok) || (not int_free_ok) || not fp_free_ok
+    then begin
+      (* attribute the stall to the first scarce resource *)
+      (if not iq_ok then
+         Perf.Perf_counter.incr t.ctrs t.ids.i_disp_iq_full
+       else if not lsu_ok then begin
+         if Uop.is_load u && Lsu.lq_full t.lsu then
+           Perf.Perf_counter.incr t.ctrs t.ids.i_disp_lq_full
+         else Perf.Perf_counter.incr t.ctrs t.ids.i_disp_sq_full
+       end
+       else if not int_free_ok then
+         Perf.Perf_counter.incr t.ctrs t.ids.i_disp_freelist_int
+       else Perf.Perf_counter.incr t.ctrs t.ids.i_disp_freelist_fp);
+      false
+    end
     else begin
       (* rename sources *)
       let psrc =
@@ -400,6 +518,18 @@ let dispatch_one t (it : fetch_item) (second : fetch_item option) : bool =
              t.perf.p_hi_prio <- t.perf.p_hi_prio + 1;
              mark_slice t ~depth:2 int_srcs
          | _ -> ());
+      (match t.tracer with
+      | Some tr ->
+          Perf.Pipetrace.on_dispatch tr ~seq:u.Uop.seq ~pc:u.Uop.pc
+            ~label:(Insn.show it.fi_insn) ~fetched_at:it.fi_fetched_at
+            ~now:t.now;
+          (* eliminated moves and faulting fetches never issue; close
+             their execute window at dispatch *)
+          if eliminated || it.fi_fault <> None then begin
+            Perf.Pipetrace.on_issue tr ~seq:u.Uop.seq ~now:t.now;
+            Perf.Pipetrace.on_complete tr ~seq:u.Uop.seq ~at:u.Uop.done_at
+          end
+      | None -> ());
       true
     end
   end
@@ -450,6 +580,9 @@ let src_values t (u : Uop.t) : int64 array =
 let complete t (u : Uop.t) ~at =
   u.Uop.state <- Uop.Completed;
   u.Uop.done_at <- at;
+  (match t.tracer with
+  | Some tr -> Perf.Pipetrace.on_complete tr ~seq:u.Uop.seq ~at
+  | None -> ());
   if u.Uop.prd >= 0 then
     Rename.set_result t.rename ~is_fp:u.Uop.rd_is_fp ~prd:u.Uop.prd
       ~value:u.Uop.result ~ready_at:at
@@ -586,9 +719,6 @@ let uop_ready t (u : Uop.t) =
   && (u.Uop.exec_class <> Config.LOAD
      || Lsu.older_stores_known t.lsu ~seq:u.Uop.seq)
 
-(* Mispredict penalty beyond frontend refill: resolve + recovery. *)
-let mispredict_penalty = 6
-
 let do_issue t =
   (* Figure 15 instrumentation: how many instructions are ready for
      issue this cycle (before selection) *)
@@ -607,6 +737,9 @@ let do_issue t =
         (fun (u : Uop.t) ->
           if not u.Uop.squashed then
             if issue_uop t u then begin
+              (match t.tracer with
+              | Some tr -> Perf.Pipetrace.on_issue tr ~seq:u.Uop.seq ~now:t.now
+              | None -> ());
               if u.Uop.state <> Uop.Waiting then Iq.remove iq u;
               if u.Uop.mispredicted && u.Uop.exc = None then
                 match !redirect with
@@ -618,6 +751,7 @@ let do_issue t =
   match !redirect with
   | Some (seq, target) ->
       flush t ~after:seq ~target;
+      t.recover_misp <- true;
       (* model the resolve + refill bubble *)
       t.inflight <-
         Some { fb_ready_at = t.now + mispredict_penalty; fb_items = [] }
@@ -930,7 +1064,11 @@ let do_commit t =
                           t.commit_busy_until <- t.now + lat + 20
                         end
                         else begin
-                          if Lsu.sb_full t.lsu then raise Stop_commit;
+                          if Lsu.sb_full t.lsu then begin
+                            Perf.Perf_counter.incr t.ctrs
+                              t.ids.i_commit_sb_full;
+                            raise Stop_commit
+                          end;
                           Lsu.commit_store t.lsu u
                         end
                       end;
@@ -950,6 +1088,10 @@ let do_commit t =
                       t.perf.p_instrs <- t.perf.p_instrs + u.Uop.n_insns;
                       t.perf.p_uops <- t.perf.p_uops + 1;
                       emit_probe t u ~trap:None ~interrupt:None;
+                      (match t.tracer with
+                      | Some tr ->
+                          Perf.Pipetrace.on_commit tr ~seq:u.Uop.seq ~now:t.now
+                      | None -> ());
                       Rename.commit_release t.rename ~is_fp:u.Uop.rd_is_fp
                         ~old_prd:u.Uop.old_prd;
                       Rob.pop_head t.rob;
@@ -977,21 +1119,133 @@ let do_commit t =
 
 (* ---------------- per-cycle driver ------------------------------------ *)
 
+(* Top-down CPI stack: attribute this cycle to exactly one Level-2
+   bucket (one counter increment per cycle, so the buckets sum to
+   measured cycles by construction).  Decision order: useful work,
+   then speculation recovery, then an empty window (frontend), then
+   whatever the ROB head is blocked on (backend). *)
+let attribute_topdown t ~committed =
+  let open Perf in
+  let bucket =
+    if committed > 0 then Topdown.Base
+    else if t.now < t.recover_until then
+      if t.recover_misp then Topdown.Badspec_mispredict
+      else Topdown.Badspec_flush
+    else
+      match Rob.peek_head t.rob with
+      | None ->
+          if t.now < t.icache_stall_until then Topdown.Frontend_icache
+          else Topdown.Frontend_fetch
+      | Some u -> (
+          let mem_bucket () =
+            match u.Uop.insn with
+            | Insn.Sc _ | Insn.Amo _ -> Topdown.Mem_store
+            | _ -> Topdown.Mem_load
+          in
+          match u.Uop.state with
+          | Uop.Completed ->
+              if u.Uop.done_at > t.now || t.now < t.commit_busy_until then (
+                (* head still finishing: charge its execution class *)
+                match u.Uop.exec_class with
+                | Config.LOAD -> mem_bucket ()
+                | Config.STORE -> Topdown.Mem_store
+                | _ -> Topdown.Core_exec)
+              else
+                (* done and commit idle, yet nothing retired: the head
+                   store is blocked on a store-buffer slot *)
+                Topdown.Mem_store
+          | Uop.Issued -> (
+              match u.Uop.exec_class with
+              | Config.LOAD -> mem_bucket ()
+              | Config.STORE -> Topdown.Mem_store
+              | _ -> Topdown.Core_exec)
+          | Uop.Waiting -> (
+              match u.Uop.exec_class with
+              | Config.LOAD -> mem_bucket ()
+              | Config.STORE -> Topdown.Mem_store
+              | _ -> Topdown.Core_dep))
+  in
+  Perf_counter.incr t.ctrs t.ids.i_td.(Topdown.index bucket)
+
 let cycle t =
   t.now <- t.now + 1;
   t.perf.p_cycles <- t.perf.p_cycles + 1;
   t.arch.Arch_state.csr.Csr.reg_mcycle <- Int64.of_int t.now;
   Softmem.Cache.set_now t.l1i t.now;
   Softmem.Cache.set_now t.l1d t.now;
+  let uops_before = t.perf.p_uops in
   do_commit t;
+  let committed = t.perf.p_uops - uops_before in
+  Perf.Perf_counter.incr t.ctrs t.ids.i_commit_w.(min committed 8);
+  attribute_topdown t ~committed;
   do_issue t;
   Lsu.drain t.lsu ~now:t.now ~on_drain:(drain_notify t);
+  if Queue.is_empty t.fetch_queue then
+    Perf.Perf_counter.incr t.ctrs t.ids.i_fetch_bubble;
   do_dispatch t;
   do_fetch t
 
 let ipc t =
   if t.perf.p_cycles = 0 then 0.0
   else float_of_int t.perf.p_instrs /. float_of_int t.perf.p_cycles
+
+let set_tracer t tr = t.tracer <- tr
+
+(* Merge every counter source into one named snapshot: the registry
+   (top-down buckets, stall reasons, histograms), the legacy perf
+   block, and the per-structure stats kept by the BPU/LSU/TLB/caches.
+   This is the interchange format consumed by [Perf.Topdown],
+   [Archdb.record_counters] and the CLI/bench reporters. *)
+let counter_snapshot t : (string * int) list =
+  let p = t.perf and b = t.bpu and l = t.lsu and tlb = t.tlb in
+  let cache prefix c =
+    let s = Softmem.Cache.stats c in
+    [
+      (prefix ^ ".accesses", s.Softmem.Cache.accesses);
+      (prefix ^ ".misses", s.Softmem.Cache.misses);
+      (prefix ^ ".refills", s.Softmem.Cache.misses);
+      (prefix ^ ".probes", s.Softmem.Cache.probes);
+      (prefix ^ ".evictions", s.Softmem.Cache.evictions);
+    ]
+  in
+  Perf.Perf_counter.to_alist t.ctrs
+  @ [
+      ("core.cycles", p.p_cycles);
+      ("core.instrs", p.p_instrs);
+      ("core.uops", p.p_uops);
+      ("core.fused", p.p_fused);
+      ("core.moves_eliminated", p.p_moves_eliminated);
+      ("core.loads", p.p_loads);
+      ("core.stores", p.p_stores);
+      ("core.traps", p.p_traps);
+      ("core.interrupts", p.p_interrupts);
+      ("core.flushes", p.p_flushes);
+      ("core.dispatched", p.p_dispatched);
+      ("core.hi_prio", p.p_hi_prio);
+      ("bpu.lookups", b.Bpu.lookups);
+      ("bpu.cond_branches", b.Bpu.cond_branches);
+      ("bpu.mispredicts", b.Bpu.mispredicts);
+      ("bpu.misp_branch", b.Bpu.misp_branch);
+      ("bpu.misp_jal", b.Bpu.misp_jal);
+      ("bpu.misp_jalr", b.Bpu.misp_jalr);
+      ("bpu.misp_ret", b.Bpu.misp_ret);
+      ("bpu.tage_provided", b.Bpu.tage_provided);
+      ("bpu.bimodal_provided", b.Bpu.bimodal_provided);
+      ("bpu.ras_pushes", b.Bpu.ras_pushes);
+      ("bpu.ras_pops", b.Bpu.ras_pops);
+      ("bpu.ras_overflows", b.Bpu.ras_overflows);
+      ("bpu.ras_underflows", b.Bpu.ras_underflows);
+      ("lsu.forward_hits", l.Lsu.forwards);
+      ("lsu.forward_blocked", l.Lsu.blocked_loads);
+      ("lsu.forward_misses", l.Lsu.forward_misses);
+      ("lsu.sb_drains", l.Lsu.drains);
+      ("tlb.walks", tlb.Tlb.walks);
+      ("tlb.itlb_misses", tlb.Tlb.itlb_misses);
+      ("tlb.dtlb_misses", tlb.Tlb.dtlb_misses);
+      ("tlb.stlb_hits", tlb.Tlb.stlb_hits);
+      ("tlb.cached_fault_hits", tlb.Tlb.cached_fault_hits);
+    ]
+  @ cache "l1i" t.l1i @ cache "l1d" t.l1d
 
 (* Where is commit stuck?  Snapshot of the retirement bottleneck for
    the hang watchdog's failure report. *)

@@ -17,6 +17,7 @@ type fetch_item = {
   fi_insn : Insn.t;
   fi_pred_next : int64;
   fi_fault : (Trap.exc * int64) option;
+  mutable fi_fetched_at : int;  (** cycle the item entered the fetch queue *)
 }
 
 type fetch_bundle = { fb_ready_at : int; fb_items : fetch_item list }
@@ -39,6 +40,10 @@ type perf = {
   mutable p_hi_prio : int;
 }
 
+(** Dense handles into the counter registry, resolved at [create] so
+    the per-cycle instrumentation is a plain array store. *)
+type ids
+
 type t = {
   cfg : Config.t;
   hartid : int;
@@ -54,6 +59,10 @@ type t = {
   lsu : Lsu.t;
   probes : Probe.sinks;
   perf : perf;
+  ctrs : Perf.Perf_counter.t;
+      (** named counter registry; pure observation, never consulted by
+          the pipeline *)
+  ids : ids;
   def_table : int array;
   mutable now : int;
   mutable seq : int;
@@ -62,6 +71,12 @@ type t = {
   mutable inflight : fetch_bundle option;
   fetch_queue : fetch_item Queue.t;
   mutable commit_busy_until : int;
+  mutable recover_until : int;
+  mutable recover_misp : bool;
+  mutable icache_stall_until : int;
+  mutable tracer : Perf.Pipetrace.t option;
+      (** opt-in pipeline tracer; [None] (the default) keeps the hot
+          paths allocation-free *)
   mutable halted : bool;
   mutable on_store_drain : int64 -> int -> unit;
   mutable bug_trust_bpu : int;
@@ -96,6 +111,15 @@ val cycle : t -> unit
     fetch. *)
 
 val ipc : t -> float
+
+val set_tracer : t -> Perf.Pipetrace.t option -> unit
+
+val counter_snapshot : t -> (string * int) list
+(** Every counter the core maintains, as (name, value) pairs: the
+    registry (top-down buckets [td.*], stall attribution [stall.*],
+    frontend/ROB/commit histograms), the legacy perf block [core.*],
+    and the per-structure stats [bpu.* lsu.* tlb.* l1i.* l1d.*].
+    Suitable for [Perf.Topdown.of_counters]. *)
 
 val stall_site : t -> string
 (** One-line snapshot of the retirement bottleneck (ROB head uop and

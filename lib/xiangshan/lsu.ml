@@ -21,6 +21,7 @@ type t = {
   (* stats *)
   mutable forwards : int;
   mutable blocked_loads : int;
+  mutable forward_misses : int; (* loads with no older-store match *)
   mutable drains : int;
   (* fault-injection knobs (campaign harness) *)
   mutable bug_drop_drains : int; (* discard next N drained entries *)
@@ -42,6 +43,7 @@ let create (cfg : Config.t) ~dcache =
     reservation = None;
     forwards = 0;
     blocked_loads = 0;
+    forward_misses = 0;
     drains = 0;
     bug_drop_drains = 0;
     bug_reorder_drains = 0;
@@ -94,7 +96,10 @@ let extract ~(data : int64) ~(from_addr : int64) ~(at : int64) ~(size : int) =
 (* Look for the youngest older store (SQ, then store buffer) providing
    the bytes of a load. *)
 let forward t ~(seq : int) ~(paddr : int64) ~(size : int) : forward_result =
-  if t.bug_no_forward then No_match
+  if t.bug_no_forward then begin
+    t.forward_misses <- t.forward_misses + 1;
+    No_match
+  end
   else begin
   let best : forward_result ref = ref No_match in
   (* store buffer first (all older than any in-flight load), oldest to
@@ -121,7 +126,7 @@ let forward t ~(seq : int) ~(paddr : int64) ~(size : int) : forward_result =
   (match !best with
   | Forward _ -> t.forwards <- t.forwards + 1
   | Blocked -> t.blocked_loads <- t.blocked_loads + 1
-  | No_match -> ());
+  | No_match -> t.forward_misses <- t.forward_misses + 1);
   (* fault: the forwarding mux picks the wrong lanes *)
   match !best with
   | Forward v when t.bug_forward_mask <> 0L ->

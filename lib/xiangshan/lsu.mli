@@ -20,6 +20,7 @@ type t = {
   mutable reservation : (int64 * int) option;
   mutable forwards : int;
   mutable blocked_loads : int;
+  mutable forward_misses : int;
   mutable drains : int;
   mutable bug_drop_drains : int;
       (** fault: discard the next N drained entries (they leave the

@@ -118,6 +118,16 @@ let exited (t : t) = Platform.exited t.plat
 
 let exit_code (t : t) = Platform.exit_code t.plat
 
+let attach_tracers ?(capacity = 4096) (t : t) =
+  Array.map
+    (fun (core : Core.t) ->
+      let tr = Perf.Pipetrace.create ~capacity () in
+      Core.set_tracer core (Some tr);
+      tr)
+    t.cores
+
+let counter_snapshot (t : t) ~hartid = Core.counter_snapshot t.cores.(hartid)
+
 (* Run until exit, a cycle budget, or [stop] returns true. *)
 let run ?(max_cycles = 100_000_000) ?(stop = fun () -> false) (t : t) : int =
   let start = t.now in

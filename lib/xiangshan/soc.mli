@@ -44,6 +44,14 @@ val exited : t -> bool
 
 val exit_code : t -> int option
 
+val attach_tracers : ?capacity:int -> t -> Perf.Pipetrace.t array
+(** Install a fresh pipeline tracer on every core (index = hartid) and
+    return them.  Tracers are plain data inside the core graph, so
+    LightSSS snapshots carry the trace window into replays. *)
+
+val counter_snapshot : t -> hartid:int -> (string * int) list
+(** [Core.counter_snapshot] of one hart. *)
+
 val inject_l2_race_bug : t -> core:int -> unit
 (** Plant the §IV-C fault: the core's private L2 mishandles Probes
     overlapping in-flight Acquires and later serves stale data. *)

@@ -66,6 +66,7 @@ type t = {
   mutable walks : int;
   mutable itlb_misses : int;
   mutable dtlb_misses : int;
+  mutable stlb_hits : int; (* L1 misses served by the shared L2 TLB *)
   mutable cached_fault_hits : int;
 }
 
@@ -78,6 +79,7 @@ let create (cfg : Config.t) ~ptw_port =
     walks = 0;
     itlb_misses = 0;
     dtlb_misses = 0;
+    stlb_hits = 0;
     cached_fault_hits = 0;
   }
 
@@ -195,6 +197,7 @@ let translate (t : t) (csr : Csr.t) (va : int64) (access : access) :
           | Load | Store -> t.dtlb_misses <- t.dtlb_misses + 1);
           match arr_lookup t.stlb vpn with
           | Some r ->
+              t.stlb_hits <- t.stlb_hits + 1;
               arr_insert l1 vpn r;
               (r, 2)
           | None ->

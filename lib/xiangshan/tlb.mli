@@ -25,6 +25,7 @@ type t = {
   mutable walks : int;
   mutable itlb_misses : int;
   mutable dtlb_misses : int;
+  mutable stlb_hits : int;
   mutable cached_fault_hits : int;
 }
 

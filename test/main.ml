@@ -24,4 +24,5 @@ let () =
       ("determinism", Test_determinism.tests);
       ("fuzz", Test_fuzz.tests);
       ("workloads", Test_workloads.tests);
+      ("perf", Test_perf.tests);
     ]
