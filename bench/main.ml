@@ -97,7 +97,7 @@ let json_file : string option ref = ref None
 let json_records : Json.t list ref = ref []
 let record r = json_records := Json.Obj r :: !json_records
 
-let record_engine_run ~experiment ~group ~workload ~engine
+let record_engine_run ~experiment ~group ~workload ~engine ~megablocks
     (s : Nemu.Engine.stats) =
   record
     [
@@ -105,6 +105,7 @@ let record_engine_run ~experiment ~group ~workload ~engine
       ("group", Json.Str group);
       ("workload", Json.Str workload);
       ("engine", Json.Str engine);
+      ("megablocks", Json.Bool megablocks);
       ("insns", Json.Int s.Nemu.Engine.insns);
       ("seconds", Json.Num s.Nemu.Engine.seconds);
       ("mips", Json.Num (Nemu.Engine.mips s.Nemu.Engine.insns s.Nemu.Engine.seconds));
@@ -113,6 +114,13 @@ let record_engine_run ~experiment ~group ~workload ~engine
       ("uop_compiled", Json.Int s.Nemu.Engine.compiled);
       ("uop_evictions", Json.Int s.Nemu.Engine.evictions);
       ("uop_recompiles", Json.Int s.Nemu.Engine.recompiles);
+      ("megablocks_built", Json.Int s.Nemu.Engine.megablocks);
+      ("mega_exits", Json.Int s.Nemu.Engine.mega_exits);
+      ("ic_hits", Json.Int s.Nemu.Engine.ic_hits);
+      ("ic_misses", Json.Int s.Nemu.Engine.ic_misses);
+      ("branch_folds", Json.Int s.Nemu.Engine.branch_folds);
+      ("tlb_dedups", Json.Int s.Nemu.Engine.tlb_dedups);
+      ("addr_fuses", Json.Int s.Nemu.Engine.addr_fuses);
     ]
 
 let write_json () =
@@ -124,6 +132,17 @@ let write_json () =
           [
             ("schema", Json.Str "minjie-bench-v1");
             ("big", Json.Bool !big);
+            (* re-runs are only comparable on a known substrate: a
+               1-core host serialises the pooled fan-outs, and a
+               different compiler changes absolute MIPS *)
+            ( "host",
+              Json.Obj
+                [
+                  ("nproc", Json.Int (Minjie.Pool.host_cores ()));
+                  ("ocaml_version", Json.Str Sys.ocaml_version);
+                  ("os_type", Json.Str Sys.os_type);
+                  ("word_size", Json.Int Sys.word_size);
+                ] );
             ("experiments", Json.Arr (List.rev !json_records));
           ]
       in
@@ -294,22 +313,35 @@ let bench_fig8 () =
      noise only ever subtracts from it, so each cell is the best of
      [reps] runs (every engine gets the same treatment) *)
   let reps = 3 in
+  (* the NEMU column honours MINJIE_MEGABLOCKS (on unless disabled);
+     NEMU-nomb pins trace megablocks off, giving an A/B pair in every
+     fig8 table and JSON *)
+  let cols =
+    [
+      ("NEMU", Nemu.Engine.Nemu, None);
+      ("NEMU-nomb", Nemu.Engine.Nemu, Some false);
+      ("Spike-like", Nemu.Engine.Spike_like, None);
+      ("QEMU-TCI-like", Nemu.Engine.Qemu_tci_like, None);
+      ("Dromajo-like", Nemu.Engine.Dromajo_like, None);
+    ]
+  in
   let header =
-    Printf.sprintf "%-15s %12s %12s %14s %14s" "workload" "NEMU" "Spike-like"
-      "QEMU-TCI-like" "Dromajo-like"
+    Printf.sprintf "%-15s %12s %12s %12s %14s %14s" "workload" "NEMU"
+      "NEMU-nomb" "Spike-like" "QEMU-TCI-like" "Dromajo-like"
   in
   (* each rep is one pool job (fork-isolated when --jobs > 1); the
      best-of merge below is order-independent, and with jobs=1 the
      pool degenerates to the original in-process rep loop *)
-  let run_reps kind wl_name prog =
+  let run_reps label kind mb wl_name prog =
     let rep_jobs =
       List.init reps (fun r ->
           {
-            Minjie.Pool.j_label =
-              Printf.sprintf "%s/%s#%d" wl_name (Nemu.Engine.name kind) r;
+            Minjie.Pool.j_label = Printf.sprintf "%s/%s#%d" wl_name label r;
             j_cost = 1.0;
             j_run =
-              (fun () -> Nemu.Engine.run_program_stats ~max_insns kind prog);
+              (fun () ->
+                Nemu.Engine.run_program_stats ~max_insns ?megablocks:mb kind
+                  prog);
           })
     in
     let results, _ = Minjie.Pool.map ~jobs:(effective_jobs ()) rep_jobs in
@@ -330,7 +362,7 @@ let bench_fig8 () =
   let run_row group_name per_engine (wl_name : string) prog =
     let mips =
       List.map
-        (fun kind ->
+        (fun (label, kind, mb) ->
           let best = ref None in
           List.iter
             (fun s ->
@@ -340,42 +372,53 @@ let bench_fig8 () =
               match !best with
               | Some (bm, _) when bm >= m -> ()
               | _ -> best := Some (m, s))
-            (run_reps kind wl_name prog);
+            (run_reps label kind mb wl_name prog);
           let m, s = Option.get !best in
-          record_engine_run ~experiment:"fig8" ~group:group_name
-            ~workload:wl_name ~engine:(Nemu.Engine.name kind) s;
-          let prev =
-            Option.value (Hashtbl.find_opt per_engine kind) ~default:[]
+          let megablocks =
+            match mb with
+            | Some b -> b
+            | None -> kind = Nemu.Engine.Nemu && Nemu.Fast.megablocks_default ()
           in
-          Hashtbl.replace per_engine kind (m :: prev);
+          record_engine_run ~experiment:"fig8" ~group:group_name
+            ~workload:wl_name ~engine:label ~megablocks s;
+          let prev =
+            Option.value (Hashtbl.find_opt per_engine label) ~default:[]
+          in
+          Hashtbl.replace per_engine label (m :: prev);
           m)
-        Nemu.Engine.all
+        cols
     in
     match mips with
-    | [ a; b; c; d ] ->
-        Printf.printf "%-15s %12.1f %12.1f %14.1f %14.1f\n" wl_name a b c d
+    | [ a; b; c; d; e ] ->
+        Printf.printf "%-15s %12.1f %12.1f %12.1f %14.1f %14.1f\n" wl_name a b
+          c d e
     | _ -> ()
   in
   let finish_group group_name per_engine =
-    let g kind =
-      geomean (Option.value (Hashtbl.find_opt per_engine kind) ~default:[])
+    let g label =
+      geomean (Option.value (Hashtbl.find_opt per_engine label) ~default:[])
     in
-    let nemu = g Nemu.Engine.Nemu and spike = g Nemu.Engine.Spike_like in
-    Printf.printf "%-15s %12.1f %12.1f %14.1f %14.1f\n" "geomean" nemu spike
-      (g Nemu.Engine.Qemu_tci_like)
-      (g Nemu.Engine.Dromajo_like);
+    let nemu = g "NEMU" and nomb = g "NEMU-nomb" and spike = g "Spike-like" in
+    Printf.printf "%-15s %12.1f %12.1f %12.1f %14.1f %14.1f\n" "geomean" nemu
+      nomb spike
+      (g "QEMU-TCI-like")
+      (g "Dromajo-like");
     record
       [
         ("experiment", Json.Str "fig8");
         ("group", Json.Str group_name);
         ("workload", Json.Str "geomean");
         ("nemu_mips", Json.Num nemu);
+        ("nemu_nomb_mips", Json.Num nomb);
         ("spike_like_mips", Json.Num spike);
-        ("qemu_tci_like_mips", Json.Num (g Nemu.Engine.Qemu_tci_like));
-        ("dromajo_like_mips", Json.Num (g Nemu.Engine.Dromajo_like));
+        ("qemu_tci_like_mips", Json.Num (g "QEMU-TCI-like"));
+        ("dromajo_like_mips", Json.Num (g "Dromajo-like"));
         ("nemu_vs_spike", Json.Num (nemu /. max 1e-9 spike));
+        ("nemu_megablock_speedup", Json.Num (nemu /. max 1e-9 nomb));
       ];
-    Printf.printf "NEMU / Spike-like ratio: %.2fx\n\n" (nemu /. spike)
+    Printf.printf "NEMU / Spike-like ratio: %.2fx   megablock speedup: %.2fx\n\n"
+      (nemu /. spike)
+      (nemu /. max 1e-9 nomb)
   in
   (* MIPS is a steady-state measure: grow the workload scale until the
      run is long enough that compile/startup costs are amortised, so

@@ -297,8 +297,15 @@ let () =
   (* bare `minjie` (or `minjie --help`) prints the subcommand listing
      instead of exiting silently *)
   let default = Term.(ret (const (`Help (`Pager, None)))) in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default
-          (Cmd.info "minjie" ~doc)
-          [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; debug_cmd ]))
+  let cmd =
+    Cmd.group ~default
+      (Cmd.info "minjie" ~doc)
+      [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; debug_cmd ]
+  in
+  (* match the bench driver's convention: usage errors (unknown
+     subcommand, bad flags) report on stderr -- which Cmdliner already
+     does -- and exit 2, not Cmdliner's default 124 *)
+  match Cmd.eval_value cmd with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

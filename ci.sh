@@ -17,7 +17,22 @@ echo "== bench smoke (fig8, small scales) =="
 dune exec bench/main.exe -- fig8 --json ci_bench.json
 test -s ci_bench.json
 grep -q '"experiment": "fig8"' ci_bench.json
-rm -f ci_bench.json
+# megablock A/B column, trace-compiler counters, host metadata
+grep -q '"engine": "NEMU-nomb"' ci_bench.json
+grep -q '"megablocks_built"' ci_bench.json
+grep -q '"nemu_megablock_speedup"' ci_bench.json
+grep -q '"nproc"' ci_bench.json
+grep -q '"ocaml_version"' ci_bench.json
+
+echo "== fig8 with MINJIE_MEGABLOCKS=0: architectural results must be identical =="
+MINJIE_MEGABLOCKS=0 dune exec bench/main.exe -- fig8 --json ci_bench_nomb.json
+test -s ci_bench_nomb.json
+# timings differ run to run; the architectural outcome (instructions
+# retired per workload/engine cell) must be byte-identical
+grep '"insns"' ci_bench.json > ci_insns_on.txt
+grep '"insns"' ci_bench_nomb.json > ci_insns_off.txt
+diff ci_insns_on.txt ci_insns_off.txt
+rm -f ci_bench.json ci_bench_nomb.json ci_insns_on.txt ci_insns_off.txt
 
 echo "== pool tests (fork pool: ordering, crash isolation, timeouts) =="
 dune exec test/main.exe -- test pool
@@ -59,7 +74,14 @@ echo "== campaign smoke with the NEMU REF backend =="
 MINJIE_REF=nemu dune exec bench/main.exe -- campaign --smoke --json ci_campaign_nemu.json
 test -s ci_campaign_nemu.json
 grep -q '"escapes": 0' ci_campaign_nemu.json
-rm -f ci_campaign_nemu.json
+
+echo "== NEMU REF with megablocks disabled: verdicts must equal megablocks on =="
+MINJIE_REF=nemu MINJIE_MEGABLOCKS=0 dune exec bench/main.exe -- campaign --smoke --json ci_campaign_nemu_nomb.json
+test -s ci_campaign_nemu_nomb.json
+# every campaign record field is deterministic, so the REF's inline
+# caches must not change a byte of the verdict JSON
+diff ci_campaign_nemu.json ci_campaign_nemu_nomb.json
+rm -f ci_campaign_nemu.json ci_campaign_nemu_nomb.json
 
 echo "== topdown smoke (CPI stacks must sum to measured cycles) =="
 dune exec bench/main.exe -- topdown --smoke --json ci_topdown.json
@@ -81,8 +103,8 @@ grep -q '^R' ci_trace.kanata
 test "$(grep -c '^I' ci_trace.kanata)" = "$(grep -c '^R' ci_trace.kanata)"
 rm -f ci_trace.kanata
 
-echo "== cosim smoke (ISS REF vs NEMU REF throughput) =="
-dune exec bench/main.exe -- cosim --json ci_cosim.json
+echo "== cosim smoke (ISS REF vs NEMU REF throughput, megablocks on) =="
+MINJIE_MEGABLOCKS=1 dune exec bench/main.exe -- cosim --json ci_cosim.json
 test -s ci_cosim.json
 grep -q '"experiment": "cosim"' ci_cosim.json
 grep -q '"group": "run"' ci_cosim.json

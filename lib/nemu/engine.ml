@@ -20,45 +20,72 @@ type stats = {
   compiled : int;
   evictions : int;
   recompiles : int;
+  (* NEMU trace-megablock counters; zero elsewhere *)
+  megablocks : int;
+  mega_exits : int;
+  ic_hits : int;
+  ic_misses : int;
+  branch_folds : int;
+  tlb_dedups : int;
+  addr_fuses : int;
 }
 
 (* Run [prog] on a fresh machine; returns run statistics. *)
 let run_program_stats ?(max_insns = 2_000_000_000)
-    ?(dram_size = 64 * 1024 * 1024) (kind : kind) (prog : Riscv.Asm.program) :
-    stats =
+    ?(dram_size = 64 * 1024 * 1024) ?megablocks (kind : kind)
+    (prog : Riscv.Asm.program) : stats =
   let m = Mach.create ~dram_size () in
   Mach.load_program m prog;
   let t0 = Unix.gettimeofday () in
   let n, counters =
     match kind with
     | Nemu ->
-        let t = Fast.create m in
+        let t = Fast.create ?megablocks m in
         let n = Fast.run t ~max_insns in
-        ( n,
-          Some
-            Fast.
-              (t.flushes, t.slow_lookups, t.compiled, t.evictions, t.recompiles)
-        )
+        (n, Some t)
     | Spike_like -> (Spike_like.run m ~max_insns, None)
     | Qemu_tci_like -> (Qemu_tci_like.run m ~max_insns, None)
     | Dromajo_like -> (Dromajo_like.run m ~max_insns, None)
   in
   let t1 = Unix.gettimeofday () in
-  let flushes, slow_lookups, compiled, evictions, recompiles =
-    match counters with Some c -> c | None -> (0, 0, 0, 0, 0)
-  in
-  {
-    insns = n;
-    seconds = t1 -. t0;
-    flushes;
-    slow_lookups;
-    compiled;
-    evictions;
-    recompiles;
-  }
+  match counters with
+  | Some t ->
+      {
+        insns = n;
+        seconds = t1 -. t0;
+        flushes = t.Fast.flushes;
+        slow_lookups = t.Fast.slow_lookups;
+        compiled = t.Fast.compiled;
+        evictions = t.Fast.evictions;
+        recompiles = t.Fast.recompiles;
+        megablocks = t.Fast.megablocks;
+        mega_exits = t.Fast.mega_exits;
+        ic_hits = t.Fast.ic_hits;
+        ic_misses = t.Fast.ic_misses;
+        branch_folds = t.Fast.branch_folds;
+        tlb_dedups = t.Fast.tlb_dedups;
+        addr_fuses = t.Fast.addr_fuses;
+      }
+  | None ->
+      {
+        insns = n;
+        seconds = t1 -. t0;
+        flushes = 0;
+        slow_lookups = 0;
+        compiled = 0;
+        evictions = 0;
+        recompiles = 0;
+        megablocks = 0;
+        mega_exits = 0;
+        ic_hits = 0;
+        ic_misses = 0;
+        branch_folds = 0;
+        tlb_dedups = 0;
+        addr_fuses = 0;
+      }
 
-let run_program ?max_insns ?dram_size kind prog =
-  let s = run_program_stats ?max_insns ?dram_size kind prog in
+let run_program ?max_insns ?dram_size ?megablocks kind prog =
+  let s = run_program_stats ?max_insns ?dram_size ?megablocks kind prog in
   (s.insns, s.seconds)
 
 let mips n secs = if secs <= 0.0 then 0.0 else float_of_int n /. secs /. 1e6

@@ -234,6 +234,180 @@ let test_exact_budget_stops () =
       Alcotest.(check int) "total instret" ref_m.Nemu.Mach.instret (budget + rest))
     [ 1; 2; 3; 7; 50; 1234; 9_999 ]
 
+(* --- trace megablocks --------------------------------------------------
+
+   The trace compiler must be architecturally invisible: megablocks-on
+   vs -off vs generic stepping agree on all state, traps from inside a
+   trace retire a precise count and epc, budget stops inside a trace
+   are exact, and fence.i / sfence.vma / self-modifying stores
+   invalidate trace members.  hot_threshold:1 promotes every block on
+   its first re-dispatch so even short tests run almost entirely
+   inside traces. *)
+
+let nemu_mega ?megablocks ?(hot_threshold = 1) ?(max_insns = 50_000_000) prog =
+  let m = Nemu.Mach.create () in
+  Nemu.Mach.load_program m prog;
+  let t = Nemu.Fast.create ?megablocks ~hot_threshold m in
+  let _ = Nemu.Fast.run t ~max_insns in
+  (m, t)
+
+let test_megablock_vs_step_fuzz () =
+  for seed = 1 to 12 do
+    let prog = Workloads.Testgen.program ~seed () in
+    let ref_m = step_reference prog in
+    let m_on, _ = nemu_mega ~megablocks:true prog in
+    check_same_arch (Printf.sprintf "testgen seed %d (mega on)" seed) ref_m m_on;
+    let m_off, _ = nemu_mega ~megablocks:false prog in
+    check_same_arch
+      (Printf.sprintf "testgen seed %d (mega off)" seed)
+      ref_m m_off
+  done
+
+let test_megablock_paging () =
+  List.iter
+    (fun (name, prog) ->
+      let ref_m = step_reference prog in
+      let m, _ = nemu_mega ~megablocks:true prog in
+      check_same_arch (name ^ " (mega)") ref_m m)
+    [
+      ("vm_kernel", Workloads.Vm_kernel.program ~rounds:3 ~scale:2 ());
+      ("user_mode", Workloads.User_mode.program ~scale:2 ());
+    ]
+
+let test_megablock_midtrace_traps () =
+  let ref_m = step_reference trap_torture_program in
+  let m, t = nemu_mega ~megablocks:true trap_torture_program in
+  Alcotest.(check bool) "traces were built" true (t.Nemu.Fast.megablocks > 0);
+  check_same_arch "mega trap torture" ref_m m
+
+let test_megablock_exact_budget_stops () =
+  let prog = (Workloads.Suite.find "coremark_like").program ~scale:1 in
+  let ref_m = step_reference prog in
+  List.iter
+    (fun budget ->
+      let m = Nemu.Mach.create () in
+      Nemu.Mach.load_program m prog;
+      let t = Nemu.Fast.create ~megablocks:true ~hot_threshold:1 m in
+      let n = Nemu.Fast.run t ~max_insns:budget in
+      Alcotest.(check int)
+        (Printf.sprintf "retired exactly %d" budget)
+        budget n;
+      Alcotest.(check int)
+        (Printf.sprintf "instret at %d" budget)
+        budget m.Nemu.Mach.instret;
+      (* resume: the partial stop must be a clean suspension point *)
+      let rest = Nemu.Fast.run t ~max_insns:50_000_000 in
+      Alcotest.(check int) "total instret" ref_m.Nemu.Mach.instret
+        (budget + rest);
+      check_same_arch (Printf.sprintf "resumed after %d" budget) ref_m m)
+    [ 1; 2; 3; 7; 50; 1234; 9_999; 14_000 ]
+
+(* Self-modifying code: a hot loop is promoted to a trace, then the
+   program overwrites an instruction inside the trace and issues
+   fence.i -- the second pass must execute the patched instruction.
+   Pass 1 adds 1 per iteration, the patch turns the addi into +5, so
+   the exit code separates stale-trace execution from correct
+   invalidation. *)
+let selfmod_fencei_program =
+  let open Riscv in
+  let open Workloads.Wl_common.Ops in
+  Asm.assemble
+    ([
+       Asm.la Asm.t3 "site";
+       Asm.li Asm.t4 0x00550513L (* addi a0, a0, 5 *);
+       Asm.li Asm.s2 0L;
+       Asm.li Asm.s1 20L;
+       Asm.li Asm.a0 0L;
+       Asm.label "loop";
+       Asm.label "site";
+       addi Asm.a0 Asm.a0 1;
+       addi Asm.s1 Asm.s1 (-1);
+       Asm.bnez Asm.s1 "loop";
+       Asm.bnez Asm.s2 "done";
+       Asm.li Asm.s2 1L;
+       sw Asm.t4 Asm.t3 0;
+       Asm.i Insn.Fence_i;
+       Asm.li Asm.s1 20L;
+       Asm.j "loop";
+       Asm.label "done";
+     ]
+    @ Workloads.Wl_common.exit_with Asm.a0)
+
+let test_megablock_selfmod_fencei () =
+  let ref_m = step_reference selfmod_fencei_program in
+  Alcotest.(check (option int))
+    "reference executes the patched code" (Some 120)
+    (Nemu.Mach.exit_code ref_m);
+  let m, t = nemu_mega ~megablocks:true selfmod_fencei_program in
+  Alcotest.(check bool) "traces were built" true (t.Nemu.Fast.megablocks > 0);
+  check_same_arch "self-modifying store + fence.i" ref_m m;
+  let m_off, _ = nemu_mega ~megablocks:false selfmod_fencei_program in
+  check_same_arch "self-modifying (mega off)" ref_m m_off
+
+(* Indirect jumps: a call site alternating between two callees through
+   a register, so the jalr terminal's 2-way inline cache sees both
+   targets (and the callees' rets return through their own ICs). *)
+let indirect_call_program =
+  let open Riscv in
+  let open Workloads.Wl_common.Ops in
+  Asm.assemble
+    ([
+       Asm.la Asm.t0 "f1";
+       Asm.la Asm.t1 "f2";
+       Asm.li Asm.s1 60L;
+       Asm.li Asm.a0 0L;
+       Asm.label "loop";
+       Asm.i (Insn.Jalr (Asm.ra, Asm.t0, 0L));
+       Asm.mv Asm.t2 Asm.t0;
+       Asm.mv Asm.t0 Asm.t1;
+       Asm.mv Asm.t1 Asm.t2;
+       addi Asm.s1 Asm.s1 (-1);
+       Asm.bnez Asm.s1 "loop";
+       Asm.j "done";
+       Asm.label "f1";
+       addi Asm.a0 Asm.a0 1;
+       Asm.ret;
+       Asm.label "f2";
+       addi Asm.a0 Asm.a0 3;
+       Asm.ret;
+       Asm.label "done";
+     ]
+    @ Workloads.Wl_common.exit_with Asm.a0)
+
+let test_megablock_indirect_ic () =
+  let ref_m = step_reference indirect_call_program in
+  Alcotest.(check (option int))
+    "reference exit" (Some 120)
+    (Nemu.Mach.exit_code ref_m);
+  let m, t = nemu_mega ~megablocks:true indirect_call_program in
+  check_same_arch "indirect calls" ref_m m;
+  Alcotest.(check bool)
+    (Printf.sprintf "inline cache hits (%d hits / %d misses)"
+       t.Nemu.Fast.ic_hits t.Nemu.Fast.ic_misses)
+    true
+    (t.Nemu.Fast.ic_hits > t.Nemu.Fast.ic_misses);
+  let m_off, _ = nemu_mega ~megablocks:false indirect_call_program in
+  check_same_arch "indirect calls (mega off)" ref_m m_off
+
+(* Acceptance gate: megablocks-on vs -off identical architectural
+   state across the full workload suite (exact budget stops make the
+   two runs comparable even when a workload doesn't exit). *)
+let test_megablock_suite_identity () =
+  let built = ref 0 in
+  List.iter
+    (fun (w : Workloads.Wl_common.t) ->
+      let prog = w.program ~scale:w.small in
+      let m_on, t_on =
+        nemu_mega ~megablocks:true ~hot_threshold:8 ~max_insns:3_000_000 prog
+      in
+      let m_off, _ =
+        nemu_mega ~megablocks:false ~max_insns:3_000_000 prog
+      in
+      built := !built + t_on.Nemu.Fast.megablocks;
+      check_same_arch (w.wl_name ^ " mega on/off") m_off m_on)
+    (Workloads.Suite.all @ Workloads.Suite.llc_stress);
+  Alcotest.(check bool) "suite exercised the trace compiler" true (!built > 0)
+
 let test_spike_decode_cache_conflicts () =
   let prog = (Workloads.Suite.find "sort_like").program ~scale:1 in
   let m = Nemu.Mach.create () in
@@ -299,6 +473,20 @@ let tests =
         test_superblock_vs_step_midblock_traps;
       Alcotest.test_case "superblock: exact budget stops" `Quick
         test_exact_budget_stops;
+      Alcotest.test_case "megablocks vs step: testgen fuzz (on and off)" `Quick
+        test_megablock_vs_step_fuzz;
+      Alcotest.test_case "megablocks vs step: paging workloads" `Quick
+        test_megablock_paging;
+      Alcotest.test_case "megablocks: mid-trace traps are precise" `Quick
+        test_megablock_midtrace_traps;
+      Alcotest.test_case "megablocks: exact budget stops inside traces" `Quick
+        test_megablock_exact_budget_stops;
+      Alcotest.test_case "megablocks: self-modifying store + fence.i" `Quick
+        test_megablock_selfmod_fencei;
+      Alcotest.test_case "megablocks: indirect-jump inline cache" `Quick
+        test_megablock_indirect_ic;
+      Alcotest.test_case "megablocks: on/off architectural identity (suite)"
+        `Slow test_megablock_suite_identity;
       Alcotest.test_case "spike-like decode cache conflicts" `Quick
         test_spike_decode_cache_conflicts;
       Alcotest.test_case "engine performance ordering (Figure 8 shape)" `Slow
