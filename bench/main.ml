@@ -146,13 +146,9 @@ let write_json () =
             ("experiments", Json.Arr (List.rev !json_records));
           ]
       in
-      (* atomic: write a sibling temp file, then rename over the
-         target, so a killed run can never leave a truncated JSON *)
-      let tmp = path ^ ".tmp" in
-      let oc = open_out tmp in
-      output_string oc (Json.to_string doc);
-      close_out oc;
-      Sys.rename tmp path;
+      (* atomic (temp + fsync + rename): a killed run can never leave
+         a truncated or missing JSON once this returns *)
+      Minjie.Journal.atomic_write_file ~path (Json.to_string doc);
       Printf.printf "\n[json] wrote %d records to %s\n"
         (List.length !json_records) path
 
@@ -799,6 +795,25 @@ let campaign_ref : Minjie.Ref_model.kind option ref = ref None
    byte-identical with or without this flag (ci.sh asserts it). *)
 let campaign_perf = ref false
 
+(* --journal FILE / --resume / --retries N: crash-safe campaign
+   running.  With a journal every completed cell is persisted as it
+   lands; --resume replays a matching journal and recomputes only the
+   rest, producing byte-identical output (ci.sh SIGKILLs a run mid-
+   campaign and asserts exactly that).  Defaults honour MINJIE_RESUME
+   and MINJIE_RETRIES. *)
+let campaign_journal : string option ref = ref None
+let campaign_resume = ref false
+let campaign_retries : int option ref = ref None
+
+let effective_resume () = !campaign_resume || Minjie.Journal.env_resume ()
+
+let effective_journal () =
+  match !campaign_journal with
+  | Some p -> Some p
+  | None ->
+      (* --resume without --journal still needs a stable path *)
+      if effective_resume () then Some "minjie-campaign.journal" else None
+
 (* faults whose cells resolve in a few thousand cycles; enough for CI
    to validate the whole detect->replay->report pipeline *)
 let smoke_faults = [ "csr-mtvec-corrupt"; "rob-commit-reorder"; "lsu-sb-drop" ]
@@ -822,10 +837,20 @@ let bench_campaign () =
     Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref
       ~perf:!campaign_perf
       ~jobs:(effective_jobs ())
+      ?journal:(effective_journal ())
+      ~resume:(effective_resume ()) ?retries:!campaign_retries
       ~progress:(fun c ->
         Printf.printf "  %s\n%!" (Minjie.Campaign.string_of_cell c))
       ()
   in
+  (* stdout only: the JSON must stay byte-identical between a clean
+     run and an interrupted-then-resumed one *)
+  if s.Minjie.Campaign.resumed > 0 || s.Minjie.Campaign.retried > 0 then
+    Printf.printf
+      "\n(journal: %d cell(s) resumed, %d supervised re-run(s), %d \
+       recovered)\n"
+      s.Minjie.Campaign.resumed s.Minjie.Campaign.retried
+      s.Minjie.Campaign.recovered;
   List.iter
     (fun (c : Minjie.Campaign.cell) ->
       record
@@ -878,6 +903,165 @@ let bench_campaign () =
     Printf.printf "CAMPAIGN FAILED: the verification stack missed a fault\n"
   end
   else Printf.printf "zero escapes: every injected fault was caught\n"
+
+(* ---------------------------------------------------------------- *)
+(* Host-chaos suite: inject harness-level host faults (worker kills, *)
+(* EINTR storms, short writes, stalls, journal ENOSPC) and assert    *)
+(* the campaign verdict is byte-identical to the clean run's under   *)
+(* every schedule                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let bench_chaos () =
+  section "Host-chaos suite: the harness survives the host";
+  let faults = if !campaign_smoke then Some smoke_faults else None in
+  let seeds =
+    if !campaign_smoke then [ !campaign_seed ]
+    else [ !campaign_seed; !campaign_seed + 1 ]
+  in
+  let jobs = max 2 (effective_jobs ()) in
+  let chaos_seed = !campaign_seed in
+  Printf.printf
+    "(every schedule below is a deterministic function of seed %d; the \
+     campaign runs at\n\
+    \ jobs=%d with a retry budget of 2, and its verdict must be \
+     byte-identical to the\n\
+    \ clean run's under every schedule)\n\n"
+    chaos_seed jobs;
+  (* cell labels exactly as Campaign.run builds them, for the
+     planned-injection counts *)
+  let fault_names =
+    match faults with
+    | Some names -> names
+    | None -> List.map (fun f -> f.Minjie.Fault.f_name) Minjie.Fault.all
+  in
+  let labels =
+    List.concat_map
+      (fun f -> List.map (fun s -> Printf.sprintf "%s#%d" f s) seeds)
+      fault_names
+  in
+  (* clean baseline: no chaos, sequential *)
+  let clean, clean_secs =
+    time (fun () ->
+        Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref ~jobs:1 ())
+  in
+  Printf.printf "clean baseline: %d cells, %d escapes, %.2f s\n\n"
+    clean.Minjie.Campaign.total clean.Minjie.Campaign.escapes clean_secs;
+  let all_identical = ref true in
+  List.iter
+    (fun cls ->
+      let name = Minjie.Host_chaos.class_name cls in
+      (* stalled workers must overrun the deadline, and real cells must
+         never get near it *)
+      let timeout =
+        match cls with Minjie.Host_chaos.Slow_worker -> Some 3.0 | _ -> None
+      in
+      let journal =
+        match cls with
+        | Minjie.Host_chaos.Journal_enospc ->
+            Some (Filename.temp_file "minjie-chaos" ".journal")
+        | _ -> None
+      in
+      Minjie.Host_chaos.arm ~slow_delay:8.0 ~seed:chaos_seed [ cls ];
+      let injected =
+        match List.assoc_opt name (Minjie.Host_chaos.planned ~labels) with
+        | Some n -> n
+        | None -> 0
+      in
+      let s, secs =
+        time (fun () ->
+            Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref ~jobs
+              ~retries:2 ?timeout ?journal ())
+      in
+      let parent_fired =
+        List.fold_left (fun a (_, n) -> a + n) 0 (Minjie.Host_chaos.fired ())
+      in
+      Minjie.Host_chaos.disarm ();
+      (match journal with
+      | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+      | None -> ());
+      let identical = s.Minjie.Campaign.cells = clean.Minjie.Campaign.cells in
+      if not identical then all_identical := false;
+      Printf.printf
+        "%-15s: %3d planned injection(s), %2d re-run(s), %2d recovered; \
+         %d/%d detected, %d escapes, verdict %s  (%.2f s)\n\
+         %!"
+        name injected s.Minjie.Campaign.retried s.Minjie.Campaign.recovered
+        s.Minjie.Campaign.detected s.Minjie.Campaign.total
+        s.Minjie.Campaign.escapes
+        (if identical then "== clean" else "DIVERGED")
+        secs;
+      record
+        [
+          ("experiment", Json.Str "chaos");
+          ("group", Json.Str "schedule");
+          ("class", Json.Str name);
+          ("chaos_seed", Json.Int chaos_seed);
+          ("workers", Json.Int jobs);
+          ("planned_injections", Json.Int injected);
+          ("parent_fired", Json.Int parent_fired);
+          ("retried", Json.Int s.Minjie.Campaign.retried);
+          ("recovered", Json.Int s.Minjie.Campaign.recovered);
+          ("cells", Json.Int s.Minjie.Campaign.total);
+          ("detected", Json.Int s.Minjie.Campaign.detected);
+          ("escapes", Json.Int s.Minjie.Campaign.escapes);
+          ("seconds", Json.Num secs);
+          ("verdict_identical", Json.Bool identical);
+        ];
+      if not identical then begin
+        campaign_failed := true;
+        Printf.printf "CHAOS FAILED: %s diverged from the clean verdict\n" name
+      end)
+    Minjie.Host_chaos.all_classes;
+  (* resume overhead: journal the grid once, then resume from the
+     complete journal -- the replay must recompute nothing *)
+  let jpath = Filename.temp_file "minjie-resume" ".journal" in
+  let _first, first_secs =
+    time (fun () ->
+        Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref ~jobs:1
+          ~journal:jpath ())
+  in
+  let resumed, resumed_secs =
+    time (fun () ->
+        Minjie.Campaign.run ?faults ~seeds ?ref_kind:!campaign_ref ~jobs:1
+          ~journal:jpath ~resume:true ())
+  in
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let resume_identical =
+    resumed.Minjie.Campaign.cells = clean.Minjie.Campaign.cells
+  in
+  Printf.printf
+    "\n\
+     resume overhead: journaled run %.2f s, full-journal resume %.2f s \
+     (%d/%d cells replayed, verdict %s)\n"
+    first_secs resumed_secs resumed.Minjie.Campaign.resumed
+    resumed.Minjie.Campaign.total
+    (if resume_identical then "== clean" else "DIVERGED");
+  record
+    [
+      ("experiment", Json.Str "chaos");
+      ("group", Json.Str "resume");
+      ("journaled_seconds", Json.Num first_secs);
+      ("resume_seconds", Json.Num resumed_secs);
+      ("cells_resumed", Json.Int resumed.Minjie.Campaign.resumed);
+      ("cells", Json.Int resumed.Minjie.Campaign.total);
+      ("verdict_identical", Json.Bool resume_identical);
+    ];
+  if not resume_identical then begin
+    campaign_failed := true;
+    Printf.printf "CHAOS FAILED: full-journal resume diverged\n"
+  end;
+  record
+    [
+      ("experiment", Json.Str "chaos");
+      ("group", Json.Str "summary");
+      ("classes", Json.Int (List.length Minjie.Host_chaos.all_classes));
+      ("all_verdicts_identical", Json.Bool !all_identical);
+    ];
+  if !all_identical && resume_identical then
+    Printf.printf
+      "\n\
+       all %d chaos schedules recovered to the clean verdict, cell for cell\n"
+      (List.length Minjie.Host_chaos.all_classes)
 
 (* ---------------------------------------------------------------- *)
 (* Co-simulation throughput: the pluggable REF interface lets the    *)
@@ -1271,6 +1455,10 @@ let all_benches =
     ( "campaign",
       bench_campaign,
       "fault-injection campaign (honours --smoke/--seed/--ref/--jobs)" );
+    ( "chaos",
+      bench_chaos,
+      "host-chaos suite: campaign verdict identity under injected host \
+       faults" );
     ("cosim", bench_cosim, "co-simulation throughput, ISS REF vs NEMU REF");
     ( "parallel",
       bench_parallel,
@@ -1302,9 +1490,21 @@ let usage oc =
      else iss)\n\
     \  --perf        campaign: attach pipeline tracers (verdicts must be \
      identical)\n\
+    \  --journal F   campaign: journal completed cells to F (checksummed, \
+     fsynced)\n\
+    \  --resume      campaign: replay a matching journal, recompute only \
+     the rest\n\
+    \                (default: MINJIE_RESUME; implies --journal at a \
+     default path)\n\
+    \  --retries N   supervised retry budget per failed cell (default: \
+     MINJIE_RETRIES, else 0)\n\
     \  --help        this listing\n"
 
 let () =
+  (* SIGINT/SIGTERM: kill and reap every pool worker, run registered
+     cleanups (journal close), exit 130/143 -- no orphans, no torn
+     files *)
+  Minjie.Supervisor.install_signal_handlers ();
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -1345,6 +1545,26 @@ let () =
     | "--smoke" :: rest ->
         campaign_smoke := true;
         parse acc rest
+    | "--resume" :: rest ->
+        campaign_resume := true;
+        parse acc rest
+    | "--journal" :: file :: rest ->
+        campaign_journal := Some file;
+        parse acc rest
+    | [ "--journal" ] ->
+        Printf.eprintf "--journal requires a file argument\n";
+        exit 2
+    | "--retries" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            campaign_retries := Some n;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--retries requires a non-negative integer\n";
+            exit 2)
+    | [ "--retries" ] ->
+        Printf.eprintf "--retries requires a non-negative integer\n";
+        exit 2
     | "--perf" :: rest ->
         campaign_perf := true;
         parse acc rest

@@ -249,6 +249,148 @@ let checkpoint_cmd =
     Term.(
       const run $ workload_arg $ scale_arg $ config_arg $ interval $ k $ jobs)
 
+(* ---- campaign (crash-safe fault-injection runs) -------------------------- *)
+
+let campaign_cmd =
+  let run seed smoke jobs ref_kind journal resume retries chaos chaos_seed =
+    let smoke_faults =
+      [ "csr-mtvec-corrupt"; "rob-commit-reorder"; "lsu-sb-drop" ]
+    in
+    let faults = if smoke then Some smoke_faults else None in
+    let seeds = if smoke then [ seed ] else [ seed; seed + 1 ] in
+    let resume = resume || Minjie.Journal.env_resume () in
+    let journal =
+      match journal with
+      | Some _ as j -> j
+      | None -> if resume then Some "minjie-campaign.journal" else None
+    in
+    (match chaos with
+    | [] -> (
+        (* MINJIE_CHAOS can arm a plan even without the flag *)
+        match Minjie.Host_chaos.env_plan () with
+        | Some (s, classes) -> Minjie.Host_chaos.arm ~seed:s classes
+        | None -> ())
+    | names ->
+        let classes =
+          List.concat_map
+            (fun n ->
+              if n = "all" then Minjie.Host_chaos.all_classes
+              else
+                match Minjie.Host_chaos.class_of_string n with
+                | Some c -> [ c ]
+                | None ->
+                    Printf.eprintf
+                      "unknown chaos class %s (worker-kill | eintr | \
+                       short-write | slow-worker | journal-enospc | all)\n"
+                      n;
+                    exit 2)
+            names
+        in
+        Minjie.Host_chaos.arm ~seed:chaos_seed classes);
+    let s =
+      Minjie.Campaign.run ?faults ~seeds ?ref_kind ?jobs ?journal ~resume
+        ?retries
+        ~progress:(fun c ->
+          Printf.printf "  %s\n%!" (Minjie.Campaign.string_of_cell c))
+        ()
+    in
+    Minjie.Host_chaos.disarm ();
+    Printf.printf
+      "\n\
+       campaign: %d cells, %d detected, %d escapes, %d rule mismatches, %d \
+       replay misses\n"
+      s.Minjie.Campaign.total s.Minjie.Campaign.detected
+      s.Minjie.Campaign.escapes s.Minjie.Campaign.rule_mismatches
+      s.Minjie.Campaign.replay_misses;
+    if s.Minjie.Campaign.resumed > 0 || s.Minjie.Campaign.retried > 0 then
+      Printf.printf
+        "(journal: %d cell(s) resumed, %d supervised re-run(s), %d \
+         recovered)\n"
+        s.Minjie.Campaign.resumed s.Minjie.Campaign.retried
+        s.Minjie.Campaign.recovered;
+    if
+      s.Minjie.Campaign.escapes > 0
+      || s.Minjie.Campaign.rule_mismatches > 0
+      || s.Minjie.Campaign.replay_misses > 0
+    then exit 1
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"3-fault subset, one seed (CI-sized grid).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run cells across $(docv) forked pool workers (default: \
+             MINJIE_JOBS, else 1).")
+  in
+  let ref_kind =
+    let ref_conv =
+      Arg.enum [ ("iss", Minjie.Ref_model.Iss); ("nemu", Minjie.Ref_model.Nemu) ]
+    in
+    Arg.(
+      value
+      & opt (some ref_conv) None
+      & info [ "ref" ] ~docv:"REF"
+          ~doc:"REF backend (default: MINJIE_REF, else iss).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed cells to $(docv) (checksummed, fsynced \
+             append-only log).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay a matching journal and recompute only the missing \
+             cells; output is byte-identical to an uninterrupted run \
+             (default: MINJIE_RESUME).")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Supervised retry budget per failed cell (default: \
+             MINJIE_RETRIES, else 0).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "chaos" ] ~docv:"CLASS"
+          ~doc:
+            "Arm a host-chaos class (worker-kill, eintr, short-write, \
+             slow-worker, journal-enospc, or all); repeatable.")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Chaos schedule seed.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run the fault-injection campaign with crash-safe journaling, \
+          resume, supervised retries, and optional host-chaos injection.")
+    Term.(
+      const run $ seed $ smoke $ jobs $ ref_kind $ journal $ resume $ retries
+      $ chaos $ chaos_seed)
+
 (* ---- debug (the §IV-C workflow) ----------------------------------------- *)
 
 let debug_cmd =
@@ -293,6 +435,9 @@ let debug_cmd =
     Term.(const run $ inject)
 
 let () =
+  (* SIGINT/SIGTERM: kill and reap every pool worker, run registered
+     cleanups, exit 130/143 -- no orphans, no torn files *)
+  Minjie.Supervisor.install_signal_handlers ();
   let doc = "MINJIE: agile RISC-V processor development platform (OCaml)" in
   (* bare `minjie` (or `minjie --help`) prints the subcommand listing
      instead of exiting silently *)
@@ -300,7 +445,7 @@ let () =
   let cmd =
     Cmd.group ~default
       (Cmd.info "minjie" ~doc)
-      [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; debug_cmd ]
+      [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; campaign_cmd; debug_cmd ]
   in
   (* match the bench driver's convention: usage errors (unknown
      subcommand, bad flags) report on stderr -- which Cmdliner already

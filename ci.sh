@@ -83,6 +83,52 @@ test -s ci_campaign_nemu_nomb.json
 diff ci_campaign_nemu.json ci_campaign_nemu_nomb.json
 rm -f ci_campaign_nemu.json ci_campaign_nemu_nomb.json
 
+echo "== chaos smoke (host-fault injection: every schedule recovers the clean verdict) =="
+dune exec bench/main.exe -- chaos --smoke --json ci_chaos.json
+test -s ci_chaos.json
+grep -q '"experiment": "chaos"' ci_chaos.json
+grep -q '"group": "schedule"' ci_chaos.json
+grep -q '"group": "resume"' ci_chaos.json
+grep -q '"all_verdicts_identical": true' ci_chaos.json
+if grep -q '"verdict_identical": false' ci_chaos.json; then
+  echo "chaos smoke recorded a verdict divergence"; exit 1
+fi
+rm -f ci_chaos.json
+
+echo "== kill-and-resume smoke (SIGKILL mid-campaign; --resume must reproduce the clean JSON byte for byte) =="
+BENCH=./_build/default/bench/main.exe
+"$BENCH" campaign --json ci_resume_clean.json >/dev/null
+rm -f ci_resume.journal ci_resume_killed.json
+"$BENCH" campaign --json ci_resume_killed.json --journal ci_resume.journal >/dev/null &
+victim=$!
+sleep 0.5
+kill -9 "$victim" 2>/dev/null || true
+set +e; wait "$victim" >/dev/null 2>&1; set -e
+test -s ci_resume.journal
+"$BENCH" campaign --json ci_resume_done.json --journal ci_resume.journal --resume
+# the resumed run's JSON must be byte-identical to the uninterrupted one
+diff ci_resume_clean.json ci_resume_done.json
+rm -f ci_resume_clean.json ci_resume_killed.json ci_resume_done.json ci_resume.journal
+
+echo "== clean shutdown: SIGTERM exits 143 and leaves no orphan workers =="
+"$BENCH" campaign --jobs 2 --json ci_term.json >/dev/null &
+victim=$!
+sleep 0.5
+kill -TERM "$victim"
+set +e; wait "$victim"; code=$?; set -e
+if [ "$code" != 143 ]; then
+  echo "SIGTERM exit code was $code, wanted 143"; exit 1
+fi
+sleep 0.3
+# -x: exact process-name match, so shells whose command line merely
+# mentions the binary path can never count as orphans
+if pgrep -x main.exe >/dev/null; then
+  echo "orphan bench workers survived SIGTERM:"
+  pgrep -ax main.exe || true
+  exit 1
+fi
+rm -f ci_term.json
+
 echo "== topdown smoke (CPI stacks must sum to measured cycles) =="
 dune exec bench/main.exe -- topdown --smoke --json ci_topdown.json
 test -s ci_topdown.json

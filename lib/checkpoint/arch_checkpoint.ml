@@ -108,10 +108,10 @@ let restore_interp (t : t) (r : Iss.Interp.t) =
 
 (* --- (de)serialisation ------------------------------------------------ *)
 
+(* Atomic: a kill mid-save leaves the previous checkpoint (or no
+   file), never a torn one a later restore would decode garbage from. *)
 let save (t : t) ~(path : string) =
-  let oc = open_out_bin path in
-  Marshal.to_channel oc t [];
-  close_out oc
+  Minjie.Journal.atomic_write_file ~path (Marshal.to_string t [])
 
 let load ~(path : string) : t =
   let ic = open_in_bin path in

@@ -34,6 +34,8 @@ val restore_soc : t -> Xiangshan.Soc.t -> unit
 val restore_interp : t -> Iss.Interp.t -> unit
 
 val save : t -> path:string -> unit
+(** Atomic (temp file + fsync + rename): a crash mid-save leaves the
+    previous checkpoint or none, never a torn file. *)
 
 val load : path:string -> t
 

@@ -121,11 +121,16 @@ let simulate_checkpoint ?(warmup = 20_000) ?(measure = 20_000)
    order either way; a crashed or timed-out worker drops its sample
    (with a warning) exactly like a checkpoint that measured nothing,
    rather than poisoning the weighted estimate. *)
-let simulate_all ?(warmup = 20_000) ?(measure = 20_000) ?jobs
+let simulate_all ?(warmup = 20_000) ?(measure = 20_000) ?jobs ?retries
     (cfg : Xiangshan.Config.t) (cks : sampled_checkpoint list) :
     sample_result list =
   let jobs = Minjie.Pool.resolve_jobs ?jobs () in
-  if jobs <= 1 then
+  let retries =
+    match retries with
+    | Some n -> max 0 n
+    | None -> Option.value (Minjie.Supervisor.env_retries ()) ~default:0
+  in
+  if jobs <= 1 && retries = 0 then
     List.map (fun sc -> simulate_checkpoint ~warmup ~measure cfg sc) cks
   else begin
     let pool_jobs =
@@ -140,7 +145,12 @@ let simulate_all ?(warmup = 20_000) ?(measure = 20_000) ?jobs
           })
         cks
     in
-    let results, _stats = Minjie.Pool.map ~jobs pool_jobs in
+    let policy =
+      { Minjie.Supervisor.default_policy with sp_retries = retries }
+    in
+    let results, _stats, _report =
+      Minjie.Supervisor.map ~jobs ~policy pool_jobs
+    in
     List.filter_map
       (fun (r : sample_result Minjie.Pool.result) ->
         match r.Minjie.Pool.r_outcome with
@@ -167,9 +177,9 @@ let weighted_ipc (results : sample_result list) : float =
 
 (* Full flow. *)
 let estimate ?(interval = 100_000) ?(max_k = 8) ?(warmup = 20_000)
-    ?(measure = 20_000) ?jobs (cfg : Xiangshan.Config.t)
+    ?(measure = 20_000) ?jobs ?retries (cfg : Xiangshan.Config.t)
     (prog : Riscv.Asm.program) : float * sample_result list * generation_stats
     =
   let cks, stats = generate ~interval ~max_k prog in
-  let results = simulate_all ~warmup ~measure ?jobs cfg cks in
+  let results = simulate_all ~warmup ~measure ?jobs ?retries cfg cks in
   (weighted_ipc results, results, stats)

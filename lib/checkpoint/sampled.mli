@@ -50,16 +50,19 @@ val simulate_all :
   ?warmup:int ->
   ?measure:int ->
   ?jobs:int ->
+  ?retries:int ->
   Xiangshan.Config.t ->
   sampled_checkpoint list ->
   sample_result list
 (** Simulate every checkpoint -- the paper's "parallel RTL
     simulation" analogue.  [jobs] defaults to
     {!Minjie.Pool.resolve_jobs} ([MINJIE_JOBS], else 1); with
-    [jobs = 1] this is exactly [List.map simulate_checkpoint].  With
-    [jobs > 1] samples run in forked {!Minjie.Pool} workers; results
-    keep submission order, and a crashed or timed-out worker drops
-    its sample with a warning on stderr. *)
+    [jobs = 1] and no retry budget this is exactly
+    [List.map simulate_checkpoint].  Otherwise samples run under
+    {!Minjie.Supervisor} supervision ([retries] defaults to
+    [MINJIE_RETRIES], else 0): a transient worker crash or timeout is
+    retried with backoff before its sample is dropped with a warning
+    on stderr.  Results keep submission order. *)
 
 val weighted_ipc : sample_result list -> float
 
@@ -69,6 +72,7 @@ val estimate :
   ?warmup:int ->
   ?measure:int ->
   ?jobs:int ->
+  ?retries:int ->
   Xiangshan.Config.t ->
   Riscv.Asm.program ->
   float * sample_result list * generation_stats

@@ -155,6 +155,43 @@ let drains_for_line (db : t) ~(addr : int64) : drain_row list =
   filter db.drains (fun (d : drain_row) ->
       Int64.shift_right_logical d.Xiangshan.Probe.d_paddr 6 = line)
 
+(* ---- persistence ------------------------------------------------------ *)
+
+(* On-disk shape: plain lists, so the file does not depend on Queue's
+   internal representation. *)
+type disk = {
+  dk_capacity : int;
+  dk_commits : commit_row list;
+  dk_drains : drain_row list;
+  dk_cache : cache_row list;
+  dk_counters : counter_row list;
+}
+
+let save (db : t) ~path =
+  let d =
+    {
+      dk_capacity = db.commits.capacity;
+      dk_commits = to_list db.commits;
+      dk_drains = to_list db.drains;
+      dk_cache = to_list db.cache_events;
+      dk_counters = to_list db.counters;
+    }
+  in
+  Journal.atomic_write_file ~path (Marshal.to_string d [])
+
+let load ~path : t =
+  let ic = open_in_bin path in
+  let d : disk =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        Marshal.from_channel ic)
+  in
+  let db = create ~capacity:d.dk_capacity () in
+  List.iter (insert db.commits) d.dk_commits;
+  List.iter (insert db.drains) d.dk_drains;
+  List.iter (insert db.cache_events) d.dk_cache;
+  List.iter (insert db.counters) d.dk_counters;
+  db
+
 let pp_summary fmt (db : t) =
   Format.fprintf fmt
     "ArchDB: %d commits, %d store drains, %d cache transactions, %d counters"

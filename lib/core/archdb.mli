@@ -67,4 +67,15 @@ val drains_for_line : t -> addr:int64 -> drain_row list
 val final_counters : t -> hartid:int -> (string * int) list
 (** Latest recorded value of every counter of one hart. *)
 
+(** {1 Persistence} *)
+
+val save : t -> path:string -> unit
+(** Dump the database (atomically: temp file + fsync + rename) so a
+    campaign or debug session's evidence survives the process.  A
+    crash mid-save leaves the previous dump or none, never a torn
+    file. *)
+
+val load : path:string -> t
+(** Load a {!save}d database. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -35,6 +35,9 @@ type summary = {
   rule_mismatches : int;
   replay_misses : int;
   snapshot_interval : int;
+  resumed : int;
+  retried : int;
+  recovered : int;
 }
 
 (* Sv39 steady state: many read-back rounds over the lazily allocated
@@ -166,8 +169,20 @@ let cell_of_pool_failure ~(fault : Fault.t) ~seed msg : cell =
     c_ok = false;
   }
 
+(* The journal key encodes the run's identity: resuming against a
+   journal written by a different grid, REF backend or interval set
+   must start fresh, never splice foreign cells in. *)
+let journal_key ~faults ~seeds ~ref_kind ~snapshot_interval ~max_cycles =
+  let kind = match ref_kind with Some k -> k | None -> Ref_model.kind_of_env () in
+  Printf.sprintf "campaign|faults=%s|seeds=%s|ref=%s|si=%d|mc=%d"
+    (String.concat "," (List.map (fun f -> f.Fault.f_name) faults))
+    (String.concat "," (List.map string_of_int seeds))
+    (Ref_model.kind_name kind)
+    snapshot_interval max_cycles
+
 let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
-    ?(max_cycles = 400_000) ?ref_kind ?perf ?jobs
+    ?(max_cycles = 400_000) ?ref_kind ?perf ?jobs ?journal
+    ?(resume = false) ?retries ?timeout
     ?(progress = fun (_ : cell) -> ()) () : summary =
   let faults =
     match faults with
@@ -179,22 +194,66 @@ let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
       faults
   in
   let jobs = Pool.resolve_jobs ?jobs () in
-  let cells =
-    if jobs <= 1 then
+  let retries =
+    match retries with
+    | Some n -> max 0 n
+    | None -> Option.value (Supervisor.env_retries ()) ~default:0
+  in
+  (* journal replay: completed (fault, seed) cells are not recomputed.
+     Only Done cells were ever appended, so a resumed run re-attempts
+     every cell the interrupted run failed or never reached. *)
+  let done_tbl : (string * int, cell) Hashtbl.t = Hashtbl.create 64 in
+  let jnl =
+    match journal with
+    | None -> None
+    | Some path ->
+        let key =
+          journal_key ~faults ~seeds ~ref_kind ~snapshot_interval ~max_cycles
+        in
+        if not resume then (try Sys.remove path with Sys_error _ -> ());
+        let j, (replayed : cell list) = Journal.open_ ~path ~key in
+        List.iter (fun c -> Hashtbl.replace done_tbl (c.c_fault, c.c_seed) c)
+          replayed;
+        Supervisor.at_shutdown (fun () -> Journal.close j);
+        Some j
+  in
+  let resumed = Hashtbl.length done_tbl in
+  List.iter
+    (fun (fault, seed) ->
+      match Hashtbl.find_opt done_tbl (fault.Fault.f_name, seed) with
+      | Some c -> progress c
+      | None -> ())
+    grid;
+  let todo =
+    List.filter
+      (fun (fault, seed) ->
+        not (Hashtbl.mem done_tbl (fault.Fault.f_name, seed)))
+      grid
+  in
+  let record c =
+    (match jnl with Some j -> Journal.append j c | None -> ());
+    progress c
+  in
+  let fresh_cells, retried, recovered =
+    if todo = [] then ([], 0, 0)
+    else if jobs <= 1 && retries = 0 then
       (* the original in-process path, unchanged *)
-      List.map
-        (fun (fault, seed) ->
-          let c =
-            run_cell ~snapshot_interval ~max_cycles ?ref_kind ?perf ~fault
-              ~seed ()
-          in
-          progress c;
-          c)
-        grid
+      ( List.map
+          (fun (fault, seed) ->
+            let c =
+              run_cell ~snapshot_interval ~max_cycles ?ref_kind ?perf ~fault
+                ~seed ()
+            in
+            record c;
+            c)
+          todo,
+        0,
+        0 )
     else begin
-      (* one pool job per cell.  The injection trigger cycle is the
-         best static proxy for cell cost: later triggers mean more
-         fast-mode cycles before detection can even start. *)
+      (* one pool job per cell, under supervision.  The injection
+         trigger cycle is the best static proxy for cell cost: later
+         triggers mean more fast-mode cycles before detection can even
+         start. *)
       let pool_jobs =
         List.map
           (fun (fault, seed) ->
@@ -207,34 +266,51 @@ let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
                   run_cell ~snapshot_interval ~max_cycles ?ref_kind ?perf
                     ~fault ~seed ());
             })
-          grid
+          todo
       in
-      let grid_arr = Array.of_list grid in
-      let results, _stats =
-        Pool.map ~jobs
+      let todo_arr = Array.of_list todo in
+      let policy = { Supervisor.default_policy with sp_retries = retries } in
+      let cell_of (r : cell Pool.result) =
+        let fault, seed = todo_arr.(r.Pool.r_index) in
+        match r.Pool.r_outcome with
+        | Pool.Done c -> c
+        | Pool.Job_error msg | Pool.Crashed msg ->
+            cell_of_pool_failure ~fault ~seed msg
+        | Pool.Timed_out secs ->
+            cell_of_pool_failure ~fault ~seed
+              (Printf.sprintf "timed out after %.1fs" secs)
+      in
+      let results, _stats, rep =
+        Supervisor.map ~jobs ?timeout ~policy
           ~progress:(fun (r : cell Pool.result) ->
-            let fault, seed = grid_arr.(r.Pool.r_index) in
+            (* fires once per job, on its final outcome; only real
+               verdicts reach the journal *)
             match r.Pool.r_outcome with
-            | Pool.Done c -> progress c
-            | Pool.Job_error msg | Pool.Crashed msg ->
-                progress (cell_of_pool_failure ~fault ~seed msg)
-            | Pool.Timed_out secs ->
-                progress
-                  (cell_of_pool_failure ~fault ~seed
-                     (Printf.sprintf "timed out after %.1fs" secs)))
+            | Pool.Done c -> record c
+            | _ -> progress (cell_of r))
           pool_jobs
       in
-      List.map2
-        (fun (fault, seed) (r : cell Pool.result) ->
-          match r.Pool.r_outcome with
-          | Pool.Done c -> c
-          | Pool.Job_error msg | Pool.Crashed msg ->
-              cell_of_pool_failure ~fault ~seed msg
-          | Pool.Timed_out secs ->
-              cell_of_pool_failure ~fault ~seed
-                (Printf.sprintf "timed out after %.1fs" secs))
-        grid results
+      ( List.map cell_of results,
+        rep.Supervisor.sup_retried,
+        rep.Supervisor.sup_recovered )
     end
+  in
+  (match jnl with Some j -> Journal.close j | None -> ());
+  let fresh_tbl : (string * int, cell) Hashtbl.t = Hashtbl.create 64 in
+  List.iter2
+    (fun (fault, seed) c ->
+      Hashtbl.replace fresh_tbl (fault.Fault.f_name, seed) c)
+    todo fresh_cells;
+  (* merge in grid order, wherever each cell came from: the summary is
+     byte-identical whether the run was interrupted and resumed or ran
+     straight through *)
+  let cells =
+    List.map
+      (fun (fault, seed) ->
+        match Hashtbl.find_opt done_tbl (fault.Fault.f_name, seed) with
+        | Some c -> c
+        | None -> Hashtbl.find fresh_tbl (fault.Fault.f_name, seed))
+      grid
   in
   let count p = List.length (List.filter p cells) in
   {
@@ -246,6 +322,9 @@ let run ?faults ?(seeds = [ 1; 2 ]) ?(snapshot_interval = 1_500)
     replay_misses =
       count (fun c -> c.c_detected && not (c.c_replayed && c.c_replay_within));
     snapshot_interval;
+    resumed;
+    retried;
+    recovered;
   }
 
 let string_of_cell (c : cell) : string =

@@ -46,6 +46,9 @@ type summary = {
   rule_mismatches : int;
   replay_misses : int;
   snapshot_interval : int;
+  resumed : int;  (** cells replayed from the journal, not recomputed *)
+  retried : int;  (** supervised job re-runs (see {!Supervisor}) *)
+  recovered : int;  (** failed cells that converged to a verdict *)
 }
 
 val find_workload : string -> Workloads.Wl_common.t
@@ -71,6 +74,10 @@ val run :
   ?ref_kind:Ref_model.kind ->
   ?perf:bool ->
   ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?retries:int ->
+  ?timeout:float ->
   ?progress:(cell -> unit) ->
   unit ->
   summary
@@ -78,13 +85,28 @@ val run :
     [seeds] to [[1; 2]], [ref_kind] to {!Ref_model.kind_of_env},
     [jobs] to {!Pool.resolve_jobs} (i.e. [MINJIE_JOBS], else 1).
 
-    With [jobs = 1] cells run in-process on the original sequential
-    path.  With [jobs > 1] each cell is one {!Pool} job; cells are
-    deterministic, so the parallel summary is identical to the
-    sequential one, cell for cell.  A worker crash or timeout turns
-    into an escape-shaped cell ([c_ok = false], the pool message in
-    [c_msg]) rather than aborting the grid.  [progress] is called
-    after each cell -- in completion order when parallel.
+    With [jobs = 1] and no retry budget cells run in-process on the
+    original sequential path.  Otherwise each cell is one {!Pool} job
+    under {!Supervisor} supervision; cells are deterministic, so the
+    parallel summary is identical to the sequential one, cell for
+    cell.  A worker crash or timeout that survives the retry budget
+    turns into an escape-shaped cell ([c_ok = false], the pool message
+    in [c_msg]) rather than aborting the grid.  [progress] is called
+    once per cell with its final verdict -- in completion order when
+    parallel.
+
+    [journal] names a {!Journal} file: every completed cell is
+    appended (checksummed, fsynced) as it lands.  With
+    [resume = true], cells already in a matching-key journal are
+    replayed instead of recomputed and only the remainder runs; the
+    merged summary is byte-identical to an uninterrupted run's,
+    because cells are deterministic and merging is in grid order.
+    Without [resume] an existing journal at that path is discarded.
+
+    [retries] (default [MINJIE_RETRIES], else 0) is the supervised
+    retry budget per failed cell; [timeout] is the per-cell pool
+    timeout in seconds.  Failed cells are never journaled, so a resume
+    also re-attempts them.
 
     [perf] threads through to {!Workflow.run_verified}: pipeline
     tracers are attached but cells are pure verdict data, so the

@@ -74,12 +74,20 @@ let host_cores () =
 let now () = Unix.gettimeofday ()
 
 (* ---------------------------------------------------------------- *)
-(* EINTR-safe primitives                                             *)
+(* EINTR-/short-transfer-safe primitives.  Every read and write on a
+   worker pipe goes through these wrappers: they retry on EINTR
+   (real or synthetic -- Host_chaos raises ahead of the syscall when
+   an EINTR storm is armed) and tolerate partial transfers, so a
+   Marshal frame split across short writes still arrives whole.      *)
 (* ---------------------------------------------------------------- *)
 
 let rec waitpid_retry pid =
-  try snd (Unix.waitpid [] pid)
-  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+  match
+    Host_chaos.pipe_io_interrupt ();
+    Unix.waitpid [] pid
+  with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
 
 let select_retry fds tmo =
   try
@@ -89,11 +97,38 @@ let select_retry fds tmo =
 
 let rec write_all fd bytes off len =
   if len > 0 then begin
-    match Unix.write fd bytes off len with
+    match
+      Host_chaos.pipe_io_interrupt ();
+      Unix.write fd bytes off (Host_chaos.clamp_write len)
+    with
     | n -> write_all fd bytes (off + n) (len - n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
         write_all fd bytes off len
   end
+
+(* ---------------------------------------------------------------- *)
+(* live-worker registry: every forked worker pid, so a SIGINT/SIGTERM
+   shutdown handler (Supervisor.install_signal_handlers) can kill the
+   whole brood and leave no orphans                                  *)
+(* ---------------------------------------------------------------- *)
+
+let live_pids : (int, unit) Hashtbl.t = Hashtbl.create 16
+
+let live_worker_pids () = Hashtbl.fold (fun pid () acc -> pid :: acc) live_pids []
+
+let kill_live_workers () =
+  let pids = live_worker_pids () in
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    pids;
+  if pids <> [] then Unix.sleepf 0.05;
+  List.iter
+    (fun pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (* reap so the worker cannot linger as a zombie past our exit *)
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      Hashtbl.remove live_pids pid)
+    pids
 
 (* ---------------------------------------------------------------- *)
 (* sequential path: jobs = 1 -- the pre-pool in-process code path    *)
@@ -151,15 +186,49 @@ type 'r active = {
   mutable a_timed_out : bool;
 }
 
+(* exit code a worker uses when its Gc alarm finds the heap past the
+   per-worker memory ceiling; decode_result maps it to a Crashed
+   outcome that names the ceiling *)
+let mem_ceiling_exit_code = 97
+
 (* The worker body: run the job, marshal an [('r, string) result] to
    the pipe, and _exit without running the parent's at_exit chain
    (which would re-flush inherited channel buffers).  A result that
    cannot be marshalled (closures, custom blocks) is reported as the
    job's error rather than tearing the pipe mid-write. *)
-let worker wr job =
+let worker ~attempt ~mem_limit_mb wr job =
   (* if the parent is gone the write must fail with EPIPE (handled
      below), not kill us through the default SIGPIPE action *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* the parent's SIGINT/SIGTERM handlers (shutdown cleanup) must not
+     run here: a worker dies plainly so the parent's SIGTERM->SIGKILL
+     escalation works as designed *)
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  (* per-worker memory ceiling.  OCaml's Unix module has no setrlimit
+     binding, so the ceiling is enforced cooperatively: a Gc alarm
+     checks the major heap after every major collection and exits with
+     a distinct code when it is past the budget.  A worker that leaks
+     gets reaped as a Crashed outcome instead of OOMing the host. *)
+  (match mem_limit_mb with
+  | Some mb when mb > 0 ->
+      let limit_words = mb * 1024 * 1024 / (Sys.word_size / 8) in
+      ignore
+        (Gc.create_alarm (fun () ->
+             if (Gc.quick_stat ()).Gc.heap_words > limit_words then
+               Unix._exit mem_ceiling_exit_code))
+  | Some _ | None -> ());
+  (* host-chaos worker fates (no-ops unless a chaos plan is armed) *)
+  (match Host_chaos.worker_fate ~label:job.j_label ~attempt with
+  | Host_chaos.Run -> ()
+  | Host_chaos.Kill_before_run -> Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Host_chaos.Die_mid_write ->
+      (* a torn result frame: a few bytes, then death mid-write *)
+      let junk = Bytes.of_string "torn!" in
+      (try write_all wr junk 0 (Bytes.length junk)
+       with Unix.Unix_error _ -> ());
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Host_chaos.Stall secs -> Unix.sleepf secs);
   let payload =
     try Ok (job.j_run ()) with e -> Error (Printexc.to_string e)
   in
@@ -180,7 +249,8 @@ let worker wr job =
   (try Unix.close wr with Unix.Unix_error _ -> ());
   Unix._exit 0
 
-let spawn ~timeout index slot (job : 'r job) : 'r active =
+let spawn ~timeout ~attempt ~mem_limit_mb index slot (job : 'r job) :
+    'r active =
   let rd, wr = Unix.pipe () in
   (* the child inherits channel buffers; empty them first so nothing
      is printed twice *)
@@ -189,10 +259,11 @@ let spawn ~timeout index slot (job : 'r job) : 'r active =
   match Unix.fork () with
   | 0 ->
       Unix.close rd;
-      worker wr job
+      worker ~attempt ~mem_limit_mb wr job
   | pid ->
       Unix.close wr;
       Unix.set_nonblock rd;
+      Hashtbl.replace live_pids pid ();
       {
         a_index = index;
         a_label = job.j_label;
@@ -206,11 +277,15 @@ let spawn ~timeout index slot (job : 'r job) : 'r active =
         a_timed_out = false;
       }
 
-(* Drain whatever the pipe has; true on EOF. *)
+(* Drain whatever the pipe has; true on EOF.  EINTR (real or a chaos
+   storm) retries; a short read just comes back for more. *)
 let drain a =
   let chunk = Bytes.create 65536 in
   let rec go () =
-    match Unix.read a.a_fd chunk 0 (Bytes.length chunk) with
+    match
+      Host_chaos.pipe_io_interrupt ();
+      Unix.read a.a_fd chunk 0 (Bytes.length chunk)
+    with
     | 0 -> true
     | n ->
         Buffer.add_subbytes a.a_buf chunk 0 n;
@@ -239,6 +314,10 @@ let decode_result (a : 'r active) status : 'r outcome =
               Crashed
                 (Printf.sprintf "worker for %S returned an undecodable result"
                    a.a_label))
+    | Unix.WEXITED c when c = mem_ceiling_exit_code ->
+        Crashed
+          (Printf.sprintf "worker for %S exceeded its memory ceiling"
+             a.a_label)
     | Unix.WEXITED c ->
         Crashed (Printf.sprintf "worker for %S exited with code %d" a.a_label c)
     | Unix.WSIGNALED s ->
@@ -246,10 +325,11 @@ let decode_result (a : 'r active) status : 'r outcome =
     | Unix.WSTOPPED s ->
         Crashed (Printf.sprintf "worker for %S stopped by signal %d" a.a_label s)
 
-let map ?jobs ?timeout ?(kill_grace = 2.0) ?(progress = fun _ -> ())
-    (jobs_list : 'r job list) : 'r result list * stats =
+let map ?jobs ?timeout ?(kill_grace = 2.0) ?(attempt = 0) ?mem_limit_mb
+    ?(isolate = false) ?(progress = fun _ -> ()) (jobs_list : 'r job list) :
+    'r result list * stats =
   let workers = resolve_jobs ?jobs () in
-  if workers <= 1 then map_sequential ~progress jobs_list
+  if workers <= 1 && not isolate then map_sequential ~progress jobs_list
   else begin
     let t0 = now () in
     (* trim the heap before the first fork: children inherit every
@@ -278,6 +358,7 @@ let map ?jobs ?timeout ?(kill_grace = 2.0) ?(progress = fun _ -> ())
     let finish a =
       (try Unix.close a.a_fd with Unix.Unix_error _ -> ());
       let status = waitpid_retry a.a_pid in
+      Hashtbl.remove live_pids a.a_pid;
       let secs = now () -. a.a_start in
       let outcome = decode_result a status in
       (match outcome with
@@ -307,7 +388,7 @@ let map ?jobs ?timeout ?(kill_grace = 2.0) ?(progress = fun _ -> ())
         | (i, j) :: qrest, slot :: frest ->
             queue := qrest;
             free := frest;
-            active := spawn ~timeout i slot j :: !active
+            active := spawn ~timeout ~attempt ~mem_limit_mb i slot j :: !active
         | _ -> assert false
       done;
       (* wait for output or the nearest deadline *)

@@ -79,10 +79,28 @@ val host_cores : unit -> int
 (** Online CPUs on this host (from /proc/cpuinfo; 1 if unreadable).
     Scaling beyond this is bookkeeping, not speedup. *)
 
+val mem_ceiling_exit_code : int
+(** Exit code a worker uses to report that it breached its cooperative
+    memory ceiling (OCaml's [Unix] has no [setrlimit] binding, so the
+    ceiling is a [Gc] alarm checking the major heap, not a hard kernel
+    limit).  Decoded by the parent as a {!Crashed} outcome naming the
+    ceiling. *)
+
+val live_worker_pids : unit -> int list
+(** Pids of worker processes currently forked by this process's pools.
+    Empty outside {!map}; used by shutdown handlers. *)
+
+val kill_live_workers : unit -> unit
+(** SIGTERM, then SIGKILL and reap, every live worker.  Safe to call
+    from a signal handler path; idempotent. *)
+
 val map :
   ?jobs:int ->
   ?timeout:float ->
   ?kill_grace:float ->
+  ?attempt:int ->
+  ?mem_limit_mb:int ->
+  ?isolate:bool ->
   ?progress:('r result -> unit) ->
   'r job list ->
   'r result list * stats
@@ -90,4 +108,11 @@ val map :
     stats.  [timeout] (seconds, default none) applies per job;
     [kill_grace] (default 2s) is the SIGTERM-to-SIGKILL escalation
     delay.  [progress] is called in the parent as each result
-    completes -- completion order, not submission order. *)
+    completes -- completion order, not submission order.
+
+    [attempt] (default 0) is forwarded to {!Host_chaos.worker_fate} so
+    chaos schedules can spare retries.  [mem_limit_mb] arms the
+    cooperative per-worker memory ceiling (see
+    {!mem_ceiling_exit_code}).  [isolate] forces the forked code path
+    even at one worker -- a supervisor re-running a job that crashed
+    the last process must not run it in the parent. *)

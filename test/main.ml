@@ -15,6 +15,9 @@ let () =
       ("ref-model", Test_ref_model.tests);
       ("fault", Test_fault.tests);
       ("pool", Test_pool.tests);
+      ("journal", Test_journal.tests);
+      ("supervisor", Test_supervisor.tests);
+      ("chaos", Test_chaos.tests);
       ("lightsss", Test_lightsss.tests);
       ("checkpoint", Test_checkpoint.tests);
       ("archdb", Test_archdb.tests);

@@ -1,0 +1,267 @@
+(* The crash-safe result journal: framed-record roundtrips, the
+   truncate-at-every-byte recovery property, atomic whole-file writes,
+   and campaign resume equivalence -- an interrupted-and-resumed
+   campaign must produce byte-identical cells to an uninterrupted
+   one, on both REF backends. *)
+
+let tmpfile () = Filename.temp_file "minjie-test-journal" ".jnl"
+
+let with_tmp f =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_crc32_vectors () =
+  (* the standard IEEE 802.3 check values *)
+  Alcotest.(check int32) "empty" 0l (Minjie.Journal.crc32 "");
+  Alcotest.(check int32) "123456789" 0xCBF43926l
+    (Minjie.Journal.crc32 "123456789")
+
+let test_roundtrip () =
+  with_tmp (fun path ->
+      let j, replayed = Minjie.Journal.open_ ~path ~key:"k1" in
+      Alcotest.(check int) "fresh journal is empty" 0 (List.length replayed);
+      let records = [ (1, "one"); (2, "two"); (3, "three") ] in
+      List.iter (fun r -> Minjie.Journal.append j r) records;
+      Alcotest.(check int) "appended" 3 (Minjie.Journal.appended j);
+      Alcotest.(check bool) "active" true (Minjie.Journal.active j);
+      Minjie.Journal.close j;
+      let key, (back : (int * string) list) = Minjie.Journal.scan ~path in
+      Alcotest.(check (option string)) "key" (Some "k1") key;
+      Alcotest.(check bool) "records roundtrip" true (back = records))
+
+let test_resume_append () =
+  with_tmp (fun path ->
+      let j, _ = Minjie.Journal.open_ ~path ~key:"k1" in
+      Minjie.Journal.append j 10;
+      Minjie.Journal.append j 20;
+      Minjie.Journal.close j;
+      (* reopen with a matching key: replay, then extend *)
+      let j2, (replayed : int list) = Minjie.Journal.open_ ~path ~key:"k1" in
+      Alcotest.(check (list int)) "replayed" [ 10; 20 ] replayed;
+      Minjie.Journal.append j2 30;
+      Minjie.Journal.close j2;
+      let _, (all : int list) = Minjie.Journal.scan ~path in
+      Alcotest.(check (list int)) "extended" [ 10; 20; 30 ] all)
+
+let test_key_mismatch_starts_fresh () =
+  with_tmp (fun path ->
+      let j, _ = Minjie.Journal.open_ ~path ~key:"grid-A" in
+      Minjie.Journal.append j 1;
+      Minjie.Journal.close j;
+      (* a journal of a different run must be ignored wholesale *)
+      let j2, (replayed : int list) =
+        Minjie.Journal.open_ ~path ~key:"grid-B"
+      in
+      Alcotest.(check (list int)) "foreign journal discarded" [] replayed;
+      Minjie.Journal.append j2 42;
+      Minjie.Journal.close j2;
+      let key, (back : int list) = Minjie.Journal.scan ~path in
+      Alcotest.(check (option string)) "new key" (Some "grid-B") key;
+      Alcotest.(check (list int)) "only new records" [ 42 ] back)
+
+let test_torn_tail_truncated () =
+  with_tmp (fun path ->
+      let j, _ = Minjie.Journal.open_ ~path ~key:"k" in
+      Minjie.Journal.append j "alpha";
+      Minjie.Journal.append j "beta";
+      Minjie.Journal.close j;
+      (* simulate a crash mid-append: garbage after the valid prefix *)
+      let valid = read_file path in
+      write_file path (valid ^ "\x40\x00\x00\x00torn-frame");
+      let _, (back : string list) = Minjie.Journal.scan ~path in
+      Alcotest.(check (list string)) "torn tail ignored on scan"
+        [ "alpha"; "beta" ] back;
+      (* reopening truncates the tail so appends extend the valid part *)
+      let j2, (replayed : string list) = Minjie.Journal.open_ ~path ~key:"k" in
+      Alcotest.(check (list string)) "replayed" [ "alpha"; "beta" ] replayed;
+      Minjie.Journal.append j2 "gamma";
+      Minjie.Journal.close j2;
+      Alcotest.(check bool) "no garbage left behind" true
+        (String.length (read_file path) < String.length valid + 64);
+      let _, (all : string list) = Minjie.Journal.scan ~path in
+      Alcotest.(check (list string)) "clean extension"
+        [ "alpha"; "beta"; "gamma" ] all)
+
+let test_truncate_every_byte () =
+  (* THE recovery property: whatever byte the power failed at, replay
+     yields a valid prefix of the appended records -- never an error,
+     never a corrupt record, never records out of order *)
+  with_tmp (fun path ->
+      let j, _ = Minjie.Journal.open_ ~path ~key:"prop" in
+      let records =
+        List.init 6 (fun i -> (i, String.make (7 * (i + 1)) (Char.chr (65 + i))))
+      in
+      List.iter (fun r -> Minjie.Journal.append j r) records;
+      Minjie.Journal.close j;
+      let full = read_file path in
+      let is_prefix l =
+        let rec go = function
+          | [], _ -> true
+          | x :: xs, y :: ys -> x = y && go (xs, ys)
+          | _ :: _, [] -> false
+        in
+        go (l, records)
+      in
+      with_tmp (fun cut ->
+          for len = 0 to String.length full do
+            write_file cut (String.sub full 0 len);
+            let _, (back : (int * string) list) =
+              Minjie.Journal.scan ~path:cut
+            in
+            if not (is_prefix back) then
+              Alcotest.failf
+                "truncation at byte %d replayed a non-prefix (%d records)"
+                len (List.length back)
+          done))
+
+let test_flipped_byte_stops_replay () =
+  (* a CRC failure ends the journal at that frame; earlier records
+     survive untouched *)
+  with_tmp (fun path ->
+      let j, _ = Minjie.Journal.open_ ~path ~key:"crc" in
+      List.iter (fun r -> Minjie.Journal.append j r) [ 111; 222; 333 ];
+      Minjie.Journal.close j;
+      let full = Bytes.of_string (read_file path) in
+      (* flip one byte inside the *last* record's payload *)
+      let pos = Bytes.length full - 2 in
+      Bytes.set full pos (Char.chr (Char.code (Bytes.get full pos) lxor 0xFF));
+      write_file path (Bytes.to_string full);
+      let _, (back : int list) = Minjie.Journal.scan ~path in
+      Alcotest.(check (list int)) "prefix before the corrupt frame"
+        [ 111; 222 ] back)
+
+let test_atomic_write_file () =
+  with_tmp (fun path ->
+      Minjie.Journal.atomic_write_file ~path "first version";
+      Alcotest.(check string) "written" "first version" (read_file path);
+      Minjie.Journal.atomic_write_file ~path "second version";
+      Alcotest.(check string) "replaced" "second version" (read_file path);
+      Alcotest.(check bool) "no temp file left" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+(* ---- campaign resume equivalence --------------------------------- *)
+
+let smoke_faults = [ "csr-mtvec-corrupt"; "rob-commit-reorder"; "lsu-sb-drop" ]
+
+exception Simulated_crash
+
+(* Run the smoke campaign but abort (as a crash would) after [k] cells
+   have been journaled; then resume and check the merged cells are
+   byte-identical to an uninterrupted run's. *)
+let check_resume_equivalence ~ref_kind ~jobs k =
+  with_tmp (fun path ->
+      let run ?(jobs = 1) ?journal ?resume ?progress () =
+        Minjie.Campaign.run ~faults:smoke_faults ~seeds:[ 1 ]
+          ~ref_kind ~jobs ?journal ?resume ?progress ()
+      in
+      let clean = run () in
+      let completed = ref 0 in
+      (* the interrupted run stays sequential: raising from a pool
+         parent's progress callback would strand forked workers.
+         k = 0 means killed before any cell was journaled: an empty
+         journal file is exactly what such a crash leaves behind. *)
+      if k > 0 then (
+        match
+          run ~journal:path
+            ~progress:(fun _ ->
+              incr completed;
+              if !completed >= k then raise Simulated_crash)
+            ()
+        with
+        | exception Simulated_crash -> ()
+        | _ when k > List.length clean.Minjie.Campaign.cells -> ()
+        | _ -> Alcotest.failf "interrupted run at k=%d was not interrupted" k);
+      let resumed = run ~jobs ~journal:path ~resume:true () in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d: cells resumed from journal" k)
+        (min k (List.length clean.Minjie.Campaign.cells))
+        resumed.Minjie.Campaign.resumed;
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: resumed cells structurally equal" k)
+        true
+        (resumed.Minjie.Campaign.cells = clean.Minjie.Campaign.cells);
+      (* byte-diff, literally: marshalled cell lists compared as
+         bytes.  No_sharing canonicalises the representation --
+         replayed cells lose the inter-cell string sharing of
+         freshly computed ones, which is invisible to every consumer
+         (the JSON printer included) but changes default Marshal
+         output. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: resumed cells byte-identical" k)
+        true
+        (Marshal.to_string resumed.Minjie.Campaign.cells
+           [ Marshal.No_sharing ]
+        = Marshal.to_string clean.Minjie.Campaign.cells
+            [ Marshal.No_sharing ]))
+
+let test_resume_equivalence_iss () =
+  (* kill after cell k for k in {0 (nothing journaled), 1, mid, last} *)
+  List.iter
+    (fun k -> check_resume_equivalence ~ref_kind:Minjie.Ref_model.Iss ~jobs:1 k)
+    [ 0; 1; 2; 3 ]
+
+let test_resume_equivalence_nemu () =
+  List.iter
+    (fun k ->
+      check_resume_equivalence ~ref_kind:Minjie.Ref_model.Nemu ~jobs:1 k)
+    [ 0; 2 ]
+
+let test_resume_equivalence_parallel () =
+  (* same property with the interrupted run's remainder recomputed by
+     the forked pool *)
+  List.iter
+    (fun k -> check_resume_equivalence ~ref_kind:Minjie.Ref_model.Iss ~jobs:4 k)
+    [ 1; 2 ]
+
+let test_resume_from_missing_journal () =
+  (* --resume with no journal on disk is just a full run *)
+  with_tmp (fun path ->
+      Sys.remove path;
+      let clean =
+        Minjie.Campaign.run ~faults:smoke_faults ~seeds:[ 1 ]
+          ~ref_kind:Minjie.Ref_model.Iss ()
+      in
+      let resumed =
+        Minjie.Campaign.run ~faults:smoke_faults ~seeds:[ 1 ]
+          ~ref_kind:Minjie.Ref_model.Iss ~journal:path ~resume:true ()
+      in
+      Alcotest.(check int) "nothing resumed" 0 resumed.Minjie.Campaign.resumed;
+      Alcotest.(check bool) "cells identical" true
+        (resumed.Minjie.Campaign.cells = clean.Minjie.Campaign.cells))
+
+let tests =
+  [
+    Alcotest.test_case "crc32 known vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "append/scan roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "reopen replays and extends" `Quick test_resume_append;
+    Alcotest.test_case "key mismatch starts fresh" `Quick
+      test_key_mismatch_starts_fresh;
+    Alcotest.test_case "torn tail truncated on reopen" `Quick
+      test_torn_tail_truncated;
+    Alcotest.test_case "truncate at every byte = valid prefix" `Quick
+      test_truncate_every_byte;
+    Alcotest.test_case "corrupt frame ends replay" `Quick
+      test_flipped_byte_stops_replay;
+    Alcotest.test_case "atomic whole-file write" `Quick test_atomic_write_file;
+    Alcotest.test_case "campaign resume equivalence (iss)" `Quick
+      test_resume_equivalence_iss;
+    Alcotest.test_case "campaign resume equivalence (nemu)" `Quick
+      test_resume_equivalence_nemu;
+    Alcotest.test_case "campaign resume equivalence (jobs=4)" `Quick
+      test_resume_equivalence_parallel;
+    Alcotest.test_case "resume from missing journal" `Quick
+      test_resume_from_missing_journal;
+  ]

@@ -1,0 +1,266 @@
+(* Worker supervision: transient flakes converge under retry, while
+   deterministic failures reproduce and are never retried away; the
+   cooperative memory ceiling fires as a crash; SIGINT shutdown leaves
+   no orphan workers behind. *)
+
+let mk ?(cost = 1.0) label f =
+  { Minjie.Pool.j_label = label; j_cost = cost; j_run = f }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let tmpmarker () = Filename.temp_file "minjie-test-sup" ".marker"
+
+let test_flake_converges () =
+  (* the classic transient fault: the first attempt dies, the re-run
+     succeeds.  Cross-process state lives in a marker file because the
+     first attempt runs in a forked worker. *)
+  let marker = tmpmarker () in
+  Sys.remove marker;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+    (fun () ->
+      let flaky =
+        mk "flaky" (fun () ->
+            if Sys.file_exists marker then 42
+            else begin
+              close_out (open_out marker);
+              (* die the way an OOM-killed worker does *)
+              Unix.kill (Unix.getpid ()) Sys.sigkill;
+              0
+            end)
+      in
+      let results, _, rep =
+        Minjie.Supervisor.map ~jobs:2
+          ~policy:{ Minjie.Supervisor.default_policy with sp_retries = 2 }
+          [ mk "steady" (fun () -> 7); flaky ]
+      in
+      (match results with
+      | [ a; b ] ->
+          Alcotest.(check bool) "steady done" true
+            (a.Minjie.Pool.r_outcome = Minjie.Pool.Done 7);
+          Alcotest.(check bool) "flake recovered to Done" true
+            (b.Minjie.Pool.r_outcome = Minjie.Pool.Done 42)
+      | _ -> Alcotest.fail "wrong result count");
+      Alcotest.(check int) "one retry" 1 rep.Minjie.Supervisor.sup_retried;
+      Alcotest.(check int) "one recovery" 1
+        rep.Minjie.Supervisor.sup_recovered;
+      Alcotest.(check int) "no deterministic failures" 0
+        rep.Minjie.Supervisor.sup_deterministic)
+
+let test_deterministic_error_not_retried_away () =
+  (* a failure that reproduces with the same signature is final after
+     ONE confirming re-run, even with budget left -- a real bug must
+     never be retried into silence *)
+  let results, _, rep =
+    Minjie.Supervisor.map ~jobs:2
+      ~policy:{ Minjie.Supervisor.default_policy with sp_retries = 5 }
+      [ mk "buggy" (fun () : int -> failwith "the same bug every time") ]
+  in
+  (match results with
+  | [ r ] -> (
+      match r.Minjie.Pool.r_outcome with
+      | Minjie.Pool.Job_error msg ->
+          Alcotest.(check bool) "carries the error" true
+            (contains ~sub:"the same bug every time" msg)
+      | _ -> Alcotest.fail "expected Job_error")
+  | _ -> Alcotest.fail "wrong result count");
+  Alcotest.(check int) "confirmed deterministic after one re-run" 1
+    rep.Minjie.Supervisor.sup_deterministic;
+  Alcotest.(check int) "only one retry spent of the five" 1
+    rep.Minjie.Supervisor.sup_retried;
+  Alcotest.(check int) "nothing recovered" 0
+    rep.Minjie.Supervisor.sup_recovered
+
+let test_deterministic_crash_isolated_retry () =
+  (* a deterministically-crashing job's retry runs at the bottom of
+     the degradation ladder -- a single-worker Pool.map -- where it
+     must stay fork-isolated: the supervisor survives to report it as
+     Crashed instead of dying with its job *)
+  let results, _, rep =
+    Minjie.Supervisor.map ~jobs:2
+      ~policy:{ Minjie.Supervisor.default_policy with sp_retries = 3 }
+      [
+        mk "always-dies" (fun () ->
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+            0);
+        mk "fine" (fun () -> 5);
+      ]
+  in
+  (match results with
+  | [ a; b ] ->
+      (match a.Minjie.Pool.r_outcome with
+      | Minjie.Pool.Crashed _ -> ()
+      | _ -> Alcotest.fail "expected Crashed");
+      Alcotest.(check bool) "other job unharmed" true
+        (b.Minjie.Pool.r_outcome = Minjie.Pool.Done 5)
+  | _ -> Alcotest.fail "wrong result count");
+  Alcotest.(check int) "confirmed deterministic" 1
+    rep.Minjie.Supervisor.sup_deterministic
+
+let test_mem_ceiling () =
+  (* a worker that blows through its cooperative memory ceiling exits
+     with the dedicated code and surfaces as a ceiling crash *)
+  let results, _, _ =
+    Minjie.Supervisor.map ~jobs:2
+      ~policy:
+        {
+          Minjie.Supervisor.default_policy with
+          sp_retries = 1;
+          sp_mem_limit_mb = Some 16;
+        }
+      [
+        mk "hog" (fun () ->
+            let acc = ref [] in
+            for _ = 1 to 256 do
+              acc := Bytes.create (1 lsl 20) :: !acc;
+              (* the ceiling is checked at the end of major cycles *)
+              Gc.major ()
+            done;
+            List.length !acc);
+        mk "modest" (fun () -> 3);
+      ]
+  in
+  match results with
+  | [ hog; modest ] ->
+      (match hog.Minjie.Pool.r_outcome with
+      | Minjie.Pool.Crashed msg ->
+          Alcotest.(check bool) "names the ceiling" true
+            (contains ~sub:"memory ceiling" msg)
+      | _ -> Alcotest.fail "expected a memory-ceiling crash");
+      Alcotest.(check bool) "modest job unaffected" true
+        (modest.Minjie.Pool.r_outcome = Minjie.Pool.Done 3)
+  | _ -> Alcotest.fail "wrong result count"
+
+let test_backoff_applied () =
+  (* the retry round waits at least the base backoff *)
+  let marker = tmpmarker () in
+  Sys.remove marker;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+    (fun () ->
+      let flaky =
+        mk "flaky" (fun () ->
+            if Sys.file_exists marker then 1
+            else begin
+              close_out (open_out marker);
+              Unix.kill (Unix.getpid ()) Sys.sigkill;
+              0
+            end)
+      in
+      let t0 = Unix.gettimeofday () in
+      let _, _, rep =
+        Minjie.Supervisor.map ~jobs:2
+          ~policy:
+            {
+              Minjie.Supervisor.default_policy with
+              sp_retries = 1;
+              sp_backoff_base = 0.2;
+            }
+          [ flaky ]
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "recovered" 1 rep.Minjie.Supervisor.sup_recovered;
+      Alcotest.(check bool)
+        (Printf.sprintf "waited the backoff (%.3fs)" elapsed)
+        true (elapsed >= 0.2))
+
+let test_progress_fires_once_per_job () =
+  let marker = tmpmarker () in
+  Sys.remove marker;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+    (fun () ->
+      let seen = Hashtbl.create 8 in
+      let flaky =
+        mk "flaky" (fun () ->
+            if Sys.file_exists marker then 9
+            else begin
+              close_out (open_out marker);
+              Unix.kill (Unix.getpid ()) Sys.sigkill;
+              0
+            end)
+      in
+      let jobs = [ mk "a" (fun () -> 1); flaky; mk "b" (fun () -> 2) ] in
+      let _, _, _ =
+        Minjie.Supervisor.map ~jobs:2
+          ~policy:{ Minjie.Supervisor.default_policy with sp_retries = 2 }
+          ~progress:(fun r ->
+            Hashtbl.replace seen r.Minjie.Pool.r_index
+              (1
+              + Option.value
+                  (Hashtbl.find_opt seen r.Minjie.Pool.r_index)
+                  ~default:0))
+          jobs
+      in
+      Alcotest.(check int) "three progress events" 3 (Hashtbl.length seen);
+      Hashtbl.iter
+        (fun idx n ->
+          if n <> 1 then Alcotest.failf "job %d saw %d progress events" idx n)
+        seen)
+
+(* ---- clean shutdown: no orphan workers --------------------------- *)
+
+let test_sigint_leaves_no_orphans () =
+  (* a driver process (own session) runs a pool of long sleepers and
+     gets SIGINT: it must exit 130 and leave NOTHING alive in its
+     process group -- the workers are SIGTERM/SIGKILLed and reaped *)
+  flush stdout;
+  flush stderr;
+  let driver = Unix.fork () in
+  if driver = 0 then begin
+    ignore (Unix.setsid ());
+    Minjie.Supervisor.install_signal_handlers ();
+    let jobs =
+      List.init 3 (fun i ->
+          mk (Printf.sprintf "sleeper%d" i) (fun () ->
+              Unix.sleepf 30.0;
+              i))
+    in
+    let _ = Minjie.Pool.map ~jobs:3 jobs in
+    (* unreachable if the signal arrived *)
+    Unix._exit 99
+  end
+  else begin
+    (* give the driver time to fork its workers *)
+    Unix.sleepf 0.6;
+    Unix.kill driver Sys.sigint;
+    let _, status = Unix.waitpid [] driver in
+    (match status with
+    | Unix.WEXITED 130 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "driver exited %d, wanted 130" c
+    | Unix.WSIGNALED s -> Alcotest.failf "driver died on signal %d" s
+    | Unix.WSTOPPED _ -> Alcotest.fail "driver stopped");
+    (* the driver was its own process group (setsid): once every
+       worker is gone, signalling the group raises ESRCH *)
+    let deadline = Unix.gettimeofday () +. 3.0 in
+    let rec wait_empty () =
+      match Unix.kill (-driver) 0 with
+      | () ->
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "orphan workers survived SIGINT"
+          else begin
+            Unix.sleepf 0.05;
+            wait_empty ()
+          end
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+    in
+    wait_empty ()
+  end
+
+let tests =
+  [
+    Alcotest.test_case "transient flake converges" `Quick test_flake_converges;
+    Alcotest.test_case "deterministic error not retried away" `Quick
+      test_deterministic_error_not_retried_away;
+    Alcotest.test_case "deterministic crash retried in isolation" `Quick
+      test_deterministic_crash_isolated_retry;
+    Alcotest.test_case "memory ceiling crash" `Quick test_mem_ceiling;
+    Alcotest.test_case "retry backoff applied" `Quick test_backoff_applied;
+    Alcotest.test_case "progress fires once per job" `Quick
+      test_progress_fires_once_per_job;
+    Alcotest.test_case "SIGINT leaves no orphans" `Quick
+      test_sigint_leaves_no_orphans;
+  ]
