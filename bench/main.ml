@@ -123,6 +123,24 @@ let record_engine_run ~experiment ~group ~workload ~engine ~megablocks
       ("addr_fuses", Json.Int s.Nemu.Engine.addr_fuses);
     ]
 
+(* Fixed-size cycle-model calibration for the --json host header:
+   coremark_like at scale 1 under a bounded cycle budget, so committed
+   BENCH files expose DUT-throughput regressions even when the
+   experiment itself measures something else.  Forced only by the
+   simspeed experiment; other experiments' JSON stays free of host
+   timing so the CI byte-diff contracts (parallel/perf/resume runs
+   identical to sequential) keep holding. *)
+let simspeed_calibration =
+  lazy
+    (let w = Workloads.Suite.find "coremark_like" in
+     let prog = w.Workloads.Wl_common.program ~scale:1 in
+     let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+     Xiangshan.Soc.load_program soc prog;
+     let t0 = Unix.gettimeofday () in
+     let cycles = Xiangshan.Soc.run ~max_cycles:120_000 soc in
+     let secs = Unix.gettimeofday () -. t0 in
+     float_of_int cycles /. 1000.0 /. Float.max 1e-9 secs)
+
 let write_json () =
   match !json_file with
   | None -> ()
@@ -137,12 +155,24 @@ let write_json () =
                different compiler changes absolute MIPS *)
             ( "host",
               Json.Obj
-                [
-                  ("nproc", Json.Int (Minjie.Pool.host_cores ()));
-                  ("ocaml_version", Json.Str Sys.ocaml_version);
-                  ("os_type", Json.Str Sys.os_type);
-                  ("word_size", Json.Int Sys.word_size);
-                ] );
+                ([
+                   ("nproc", Json.Int (Minjie.Pool.host_cores ()));
+                   ("ocaml_version", Json.Str Sys.ocaml_version);
+                   ("os_type", Json.Str Sys.os_type);
+                   ("word_size", Json.Int Sys.word_size);
+                 ]
+                (* kilocycles of Soc.tick per wall-second on the
+                   calibration run; present only when the simspeed
+                   experiment forced it (wall clock is volatile, and
+                   every other experiment's JSON must stay
+                   byte-reproducible) *)
+                @
+                if Lazy.is_val simspeed_calibration then
+                  [
+                    ( "simspeed_kcps",
+                      Json.Num (Lazy.force simspeed_calibration) );
+                  ]
+                else []) );
             ("experiments", Json.Arr (List.rev !json_records));
           ]
       in
@@ -1438,6 +1468,58 @@ let bench_topdown () =
       !ok
 
 (* ---------------------------------------------------------------- *)
+(* Cycle-model throughput: kilocycles of Soc.tick per wall-second.   *)
+(* The A/B instrument for DUT-stepping refactors (EXPERIMENTS.md).   *)
+(* ---------------------------------------------------------------- *)
+
+let bench_simspeed () =
+  section "Cycle-model throughput (kilocycles of Soc.tick per wall-second)";
+  (* force the host-header calibration so --json carries simspeed_kcps *)
+  ignore (Lazy.force simspeed_calibration : float);
+  let workloads =
+    if !campaign_smoke then
+      List.map Minjie.Campaign.find_workload topdown_smoke_workloads
+    else Workloads.Suite.all
+  in
+  (* sequential and in-process on purpose: per-run wall clock IS the
+     measurement, so fork/pipe scheduling noise must stay out of it *)
+  Printf.printf "%-16s %12s %9s %12s\n" "workload" "cycles" "seconds"
+    "kcycles/s";
+  let kcps_all =
+    List.map
+      (fun (w : Workloads.Wl_common.t) ->
+        let prog = w.Workloads.Wl_common.program ~scale:(wl_scale w) in
+        let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+        Xiangshan.Soc.load_program soc prog;
+        let cycles, secs =
+          time (fun () -> Xiangshan.Soc.run ~max_cycles:400_000_000 soc)
+        in
+        let kcps = float_of_int cycles /. 1000.0 /. Float.max 1e-9 secs in
+        Printf.printf "%-16s %12d %9.3f %12.1f\n" w.Workloads.Wl_common.wl_name
+          cycles secs kcps;
+        record
+          [
+            ("experiment", Json.Str "simspeed");
+            ("group", Json.Str "run");
+            ("workload", Json.Str w.Workloads.Wl_common.wl_name);
+            ("cycles", Json.Int cycles);
+            ("seconds", Json.Num secs);
+            ("kcps", Json.Num kcps);
+          ];
+        kcps)
+      workloads
+  in
+  let g = geomean kcps_all in
+  Printf.printf "%-16s %12s %9s %12.1f  (geomean)\n" "geomean" "" "" g;
+  record
+    [
+      ("experiment", Json.Str "simspeed");
+      ("group", Json.Str "summary");
+      ("workloads", Json.Int (List.length workloads));
+      ("geomean_kcps", Json.Num g);
+    ]
+
+(* ---------------------------------------------------------------- *)
 
 let all_benches =
   [
@@ -1466,6 +1548,9 @@ let all_benches =
     ( "topdown",
       bench_topdown,
       "top-down CPI stacks per workload (honours --smoke/--jobs)" );
+    ( "simspeed",
+      bench_simspeed,
+      "cycle-model throughput in kilocycles/s (honours --smoke)" );
   ]
 
 let usage oc =

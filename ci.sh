@@ -57,7 +57,22 @@ dune exec bench/main.exe -- campaign --smoke --perf --json ci_campaign_perf.json
 test -s ci_campaign_perf.json
 # perf instrumentation must not perturb a single verdict field
 diff ci_campaign.json ci_campaign_perf.json
-rm -f ci_campaign.json ci_campaign_par.json ci_campaign_perf.json
+
+echo "== campaign smoke under MINJIE_PHASE_ORDER=shuffle: phase-1 order cannot move a byte =="
+MINJIE_PHASE_ORDER=shuffle:13 dune exec bench/main.exe -- campaign --smoke --json ci_campaign_perm.json
+test -s ci_campaign_perm.json
+diff ci_campaign.json ci_campaign_perm.json
+rm -f ci_campaign.json ci_campaign_par.json ci_campaign_perf.json ci_campaign_perm.json
+
+echo "== phase-order permutation smoke (two-phase purity: shuffled planners byte-identical) =="
+dune exec bin/minjie_cli.exe -- run coremark_like --perf > ci_perm_default.txt
+MINJIE_PHASE_ORDER=shuffle:42 dune exec bin/minjie_cli.exe -- run coremark_like --perf > ci_perm_shuffled.txt
+# the "simulated ... in ...s" line carries host wall clock; every
+# model-visible line (verdict, counters, CPI stack) must match exactly
+grep -v '^simulated ' ci_perm_default.txt > ci_perm_default_model.txt
+grep -v '^simulated ' ci_perm_shuffled.txt > ci_perm_shuffled_model.txt
+diff ci_perm_default_model.txt ci_perm_shuffled_model.txt
+rm -f ci_perm_default.txt ci_perm_shuffled.txt ci_perm_default_model.txt ci_perm_shuffled_model.txt
 
 echo "== parallel-pool scaling smoke (verdict identity at every worker count) =="
 dune exec bench/main.exe -- parallel --smoke --json ci_parallel.json
@@ -128,6 +143,14 @@ if pgrep -x main.exe >/dev/null; then
   exit 1
 fi
 rm -f ci_term.json
+
+echo "== simspeed smoke (cycle-model throughput; host header carries the calibration) =="
+dune exec bench/main.exe -- simspeed --smoke --json ci_simspeed.json
+test -s ci_simspeed.json
+grep -q '"experiment": "simspeed"' ci_simspeed.json
+grep -q '"geomean_kcps"' ci_simspeed.json
+grep -q '"simspeed_kcps"' ci_simspeed.json
+rm -f ci_simspeed.json
 
 echo "== topdown smoke (CPI stacks must sum to measured cycles) =="
 dune exec bench/main.exe -- topdown --smoke --json ci_topdown.json

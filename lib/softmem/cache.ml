@@ -50,6 +50,7 @@ and t = {
   (* statistics *)
   mutable s_accesses : int;
   mutable s_misses : int;
+  mutable s_refills : int;
   mutable s_probes : int;
   mutable s_evictions : int;
 }
@@ -90,6 +91,7 @@ let create ~name ~size_bytes ~ways ~line_shift ~hit_latency ~backing () =
     poisoned = Hashtbl.create 8;
     s_accesses = 0;
     s_misses = 0;
+    s_refills = 0;
     s_probes = 0;
     s_evictions = 0;
   }
@@ -227,7 +229,7 @@ let rec ensure (t : t) ~la ~(want : Perm.t) : int =
       line.last_use <- t.now;
       t.hit_latency
   | Some line ->
-      (* permission upgrade *)
+      (* permission upgrade: a miss, but no line install (refill) *)
       t.s_misses <- t.s_misses + 1;
       let pl = acquire_from_parent t ~la ~want in
       line.perm <- want;
@@ -236,6 +238,7 @@ let rec ensure (t : t) ~la ~(want : Perm.t) : int =
       t.hit_latency + pl
   | None ->
       t.s_misses <- t.s_misses + 1;
+      t.s_refills <- t.s_refills + 1;
       let v = victim t la in
       if v.perm <> Perm.Nothing then begin
         t.s_evictions <- t.s_evictions + 1;
@@ -357,12 +360,19 @@ let tick (t : t) = t.now <- t.now + 1
 
 let set_now (t : t) n = t.now <- n
 
-type stats = { accesses : int; misses : int; probes : int; evictions : int }
+type stats = {
+  accesses : int;
+  misses : int;
+  refills : int; (* line installs; a permission-upgrade miss is not a refill *)
+  probes : int;
+  evictions : int;
+}
 
 let stats t =
   {
     accesses = t.s_accesses;
     misses = t.s_misses;
+    refills = t.s_refills;
     probes = t.s_probes;
     evictions = t.s_evictions;
   }

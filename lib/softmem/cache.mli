@@ -47,6 +47,8 @@ and t = {
   poisoned : (int64, Bytes.t) Hashtbl.t;
   mutable s_accesses : int;
   mutable s_misses : int;
+  mutable s_refills : int;
+      (** misses that installed a line (permission upgrades excluded) *)
   mutable s_probes : int;
   mutable s_evictions : int;
 }
@@ -104,6 +106,12 @@ val tick : t -> unit
 
 val set_now : t -> int -> unit
 
-type stats = { accesses : int; misses : int; probes : int; evictions : int }
+type stats = {
+  accesses : int;
+  misses : int;
+  refills : int;  (** line installs; a permission-upgrade miss is not a refill *)
+  probes : int;
+  evictions : int;
+}
 
 val stats : t -> stats

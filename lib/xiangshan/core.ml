@@ -8,6 +8,19 @@
    observed by DiffTest.  System instructions, atomics and MMIO
    accesses execute at the ROB head.
 
+   Cycle semantics are two-phase (DESIGN.md "Two-phase cycle
+   semantics"): phase 1 ([step]) lets every unit -- commit, issue,
+   store-buffer drain, dispatch, fetch -- compute its plan for the
+   cycle from the read-only start-of-cycle state and return it as a
+   typed effect record; phase 2 ([apply]) commits all effects in one
+   canonical order with explicit arbitration for the structural
+   hazards (snapshot-claimed ROB/IQ/LSU slots, redirect-vs-commit
+   priority, fault hooks firing at the effect boundary).  Phase-1
+   purity is not enforced by the type system (OCaml has no const);
+   it is enforced by the seeded permutation harness: stepping the
+   units in any order must produce byte-identical behaviour
+   (MINJIE_PHASE_ORDER=shuffle:SEED, test/test_twophase.ml).
+
    Fidelity notes (see DESIGN.md): results are computed when an
    instruction issues, using values in the physical register file, and
    timing is tracked via ready/done cycles; loads never speculate past
@@ -76,6 +89,22 @@ type ids = {
   i_commit_w : Perf.Perf_counter.id array; (* commit width 0..8+ *)
 }
 
+(* Phase-1 evaluation order.  [Default_order] runs the unit planners
+   in a fixed order; [Shuffle seed] runs them in a fresh seeded
+   permutation every cycle.  Both must be indistinguishable -- the
+   permutation mode exists purely to enforce that property. *)
+type phase_order = Default_order | Shuffle of int
+
+let phase_order_of_env () =
+  match Sys.getenv_opt "MINJIE_PHASE_ORDER" with
+  | Some "shuffle" -> Shuffle 1
+  | Some s
+    when String.length s > 8 && String.sub s 0 8 = "shuffle:" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some seed -> Shuffle seed
+      | None -> Default_order)
+  | _ -> Default_order
+
 type t = {
   cfg : Config.t;
   hartid : int;
@@ -114,6 +143,11 @@ type t = {
   (* fault injection: for the next N resolved mispredictions, trust
      the predictor instead of redirecting (wrong-path commits) *)
   mutable bug_trust_bpu : int;
+  (* two-phase machinery: the cycle of the most recent flush (apply
+     cancels younger plans when it equals [now]), and the phase-1
+     evaluation order *)
+  mutable flushed_at : int;
+  mutable phase_order : phase_order;
 }
 
 let make_ids () =
@@ -194,7 +228,11 @@ let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
     halted = false;
     on_store_drain = (fun _ _ -> ());
     bug_trust_bpu = 0;
+    flushed_at = -1;
+    phase_order = phase_order_of_env ();
   }
+
+let set_phase_order t o = t.phase_order <- o
 
 let set_boot_pc t pc =
   t.fetch_pc <- pc;
@@ -218,9 +256,12 @@ let sync_regfile_from_arch t =
 let mispredict_penalty = 6
 
 (* Squash all uops younger than [after] (-1 = everything) and restart
-   fetch at [target]. *)
+   fetch at [target].  Records the flush cycle: plans computed in
+   phase 1 of the same cycle are invalidated by it (apply skips
+   dispatch outright and re-evaluates fetch live). *)
 let flush t ~after ~target =
   t.perf.p_flushes <- t.perf.p_flushes + 1;
+  t.flushed_at <- t.now;
   let squashed = Rob.squash_younger t.rob ~after in
   Perf.Perf_counter.add t.ctrs t.ids.i_rob_walk (List.length squashed);
   (match t.tracer with
@@ -242,13 +283,74 @@ let flush t ~after ~target =
   t.recover_until <- max t.recover_until (t.now + mispredict_penalty);
   t.recover_misp <- false
 
+(* ================= effect records (phase-1 output) =================== *)
+
+(* Each unit's phase-1 planner reads only start-of-cycle state and
+   returns one of these records; phase 2 applies them in the canonical
+   order (commit, issue, drain, dispatch, fetch).  The records are
+   deliberately plans, not state deltas: application still performs
+   the mutation through the same unit code paths, after revalidating
+   any claim a flush or a boundary fault hook may have invalidated. *)
+
+type commit_eff = {
+  ce_mtip : bool; (* CLINT timer-interrupt line, sampled *)
+  ce_msip : bool; (* CLINT software-interrupt line, sampled *)
+}
+
+type issue_eff = {
+  ie_ready_total : int; (* Figure 15: ready instructions before selection *)
+  ie_chosen : Uop.t list array; (* per-IQ selection (age/PUBS policy) *)
+}
+
+type drain_eff = { de_fire : bool (* store buffer eligible to drain one entry *) }
+
+type stall_kind =
+  | Rob_full
+  | Iq_full
+  | Lq_full
+  | Sq_full
+  | Freelist_int
+  | Freelist_fp
+
+type disp_plan = {
+  pl_uop : Uop.t; (* pre-built uop, seq pre-assigned from the snapshot *)
+  pl_item : fetch_item; (* head fetch-queue item consumed *)
+  pl_second : fetch_item option; (* second item consumed when fused *)
+  pl_iq : int; (* target IQ index, -1 = none (at-commit / fault) *)
+  pl_eliminated : bool; (* move elimination: alias, no alloc, no issue *)
+  (* Fusion.fused_regs of pl_uop, cached so apply never recomputes;
+     pl_int_rd is normalised (x0 writes dropped) *)
+  pl_int_srcs : int list;
+  pl_fp_srcs : int list;
+  pl_int_rd : int option;
+  pl_fp_rd : int option;
+}
+
+type dispatch_eff = {
+  dp_plans : disp_plan list; (* in program order *)
+  dp_stall : stall_kind option; (* first scarce resource, if any *)
+}
+
+type fetch_eff = {
+  fe_complete : bool; (* the in-flight bundle reaches the fetch queue *)
+  fe_start : bool; (* a new bundle may start (headroom from snapshot) *)
+}
+
+type effects = {
+  ef_commit : commit_eff;
+  ef_issue : issue_eff;
+  ef_drain : drain_eff;
+  ef_dispatch : dispatch_eff;
+  ef_fetch : fetch_eff;
+}
+
 (* ---------------- fetch ---------------------------------------------- *)
 
 let fetch_block_bytes = 32
 
-let do_fetch t =
-  (* bundle completion *)
-  (match t.inflight with
+(* Move a completed bundle's items into the fetch queue. *)
+let fetch_complete_now t =
+  match t.inflight with
   | Some b when t.now >= b.fb_ready_at ->
       List.iter
         (fun it ->
@@ -256,97 +358,141 @@ let do_fetch t =
           Queue.add it t.fetch_queue)
         b.fb_items;
       t.inflight <- None
-  | Some _ | None -> ());
-  (* new bundle *)
-  if
-    t.inflight = None
-    && (not t.fetch_stalled)
-    && Queue.length t.fetch_queue + t.cfg.fetch_width <= t.cfg.fetch_buffer
-  then begin
-    let pc0 = t.fetch_pc in
-    match Tlb.translate t.tlb t.arch.Arch_state.csr pc0 Tlb.Fetch with
-    | Tlb.Page_fault (exc, tval), lat ->
+  | Some _ | None -> ()
+
+(* Start a new fetch bundle at [t.fetch_pc]: translate, probe the
+   icache, decode and predict up to fetch_width sequential slots.
+   Mutates the TLB, L1I and BPU -- phase 2 only. *)
+let fetch_start_bundle t =
+  let pc0 = t.fetch_pc in
+  match Tlb.translate t.tlb t.arch.Arch_state.csr pc0 Tlb.Fetch with
+  | Tlb.Page_fault (exc, tval), lat ->
+      t.inflight <-
+        Some
+          {
+            fb_ready_at = t.now + lat + 2;
+            fb_items =
+              [
+                {
+                  fi_pc = pc0;
+                  fi_insn = Insn.Illegal 0l;
+                  fi_pred_next = Int64.add pc0 4L;
+                  fi_fault = Some (exc, tval);
+                  fi_fetched_at = t.now;
+                };
+              ];
+          };
+      t.fetch_stalled <- true
+  | Tlb.Translated pa0, tlb_lat ->
+      if not (Memory.in_range t.plat.Platform.mem pa0) then begin
         t.inflight <-
           Some
             {
-              fb_ready_at = t.now + lat + 2;
+              fb_ready_at = t.now + tlb_lat + 2;
               fb_items =
                 [
                   {
                     fi_pc = pc0;
                     fi_insn = Insn.Illegal 0l;
                     fi_pred_next = Int64.add pc0 4L;
-                    fi_fault = Some (exc, tval);
+                    fi_fault = Some (Trap.Fetch_access, pc0);
                     fi_fetched_at = t.now;
                   };
                 ];
             };
         t.fetch_stalled <- true
-    | Tlb.Translated pa0, tlb_lat ->
-        if not (Memory.in_range t.plat.Platform.mem pa0) then begin
-          t.inflight <-
-            Some
+      end
+      else begin
+        let icache_lat = Softmem.Cache.fetch t.l1i ~addr:pa0 in
+        if icache_lat > t.l1i.Softmem.Cache.hit_latency then begin
+          Perf.Perf_counter.incr t.ctrs t.ids.i_icache_miss;
+          t.icache_stall_until <-
+            max t.icache_stall_until (t.now + tlb_lat + icache_lat)
+        end;
+        let items = ref [] in
+        let next_fetch = ref (Int64.add pc0 (Int64.of_int 4)) in
+        let stop = ref false in
+        let i = ref 0 in
+        let block = Int64.div pc0 (Int64.of_int fetch_block_bytes) in
+        while (not !stop) && !i < t.cfg.fetch_width do
+          let pc = Int64.add pc0 (Int64.of_int (4 * !i)) in
+          if Int64.div pc (Int64.of_int fetch_block_bytes) <> block then
+            stop := true
+          else begin
+            let pa = Int64.add pa0 (Int64.of_int (4 * !i)) in
+            let word = Memory.read_u32 t.plat.Platform.mem pa in
+            let insn = Riscv.Decode.decode_int word in
+            let pred = Bpu.predict t.bpu ~pc ~insn in
+            let pred_next =
+              if pred.Bpu.taken then pred.Bpu.target else Int64.add pc 4L
+            in
+            items :=
               {
-                fb_ready_at = t.now + tlb_lat + 2;
-                fb_items =
-                  [
-                    {
-                      fi_pc = pc0;
-                      fi_insn = Insn.Illegal 0l;
-                      fi_pred_next = Int64.add pc0 4L;
-                      fi_fault = Some (Trap.Fetch_access, pc0);
-                      fi_fetched_at = t.now;
-                    };
-                  ];
-              };
-          t.fetch_stalled <- true
-        end
-        else begin
-          let icache_lat = Softmem.Cache.fetch t.l1i ~addr:pa0 in
-          if icache_lat > t.l1i.Softmem.Cache.hit_latency then begin
-            Perf.Perf_counter.incr t.ctrs t.ids.i_icache_miss;
-            t.icache_stall_until <-
-              max t.icache_stall_until (t.now + tlb_lat + icache_lat)
-          end;
-          let items = ref [] in
-          let next_fetch = ref (Int64.add pc0 (Int64.of_int 4)) in
-          let stop = ref false in
-          let i = ref 0 in
-          let block = Int64.div pc0 (Int64.of_int fetch_block_bytes) in
-          while (not !stop) && !i < t.cfg.fetch_width do
-            let pc = Int64.add pc0 (Int64.of_int (4 * !i)) in
-            if Int64.div pc (Int64.of_int fetch_block_bytes) <> block then
-              stop := true
-            else begin
-              let pa = Int64.add pa0 (Int64.of_int (4 * !i)) in
-              let word = Memory.read_u32 t.plat.Platform.mem pa in
-              let insn = Riscv.Decode.decode_int word in
-              let pred = Bpu.predict t.bpu ~pc ~insn in
-              let pred_next =
-                if pred.Bpu.taken then pred.Bpu.target else Int64.add pc 4L
-              in
-              items :=
-                {
-                  fi_pc = pc;
-                  fi_insn = insn;
-                  fi_pred_next = pred_next;
-                  fi_fault = None;
-                  fi_fetched_at = t.now;
-                }
-                :: !items;
-              next_fetch := pred_next;
-              if pred.Bpu.taken then stop := true;
-              incr i
-            end
-          done;
-          t.fetch_pc <- !next_fetch;
-          t.inflight <-
-            Some
-              {
-                fb_ready_at = t.now + tlb_lat + icache_lat + 2;
-                fb_items = List.rev !items;
+                fi_pc = pc;
+                fi_insn = insn;
+                fi_pred_next = pred_next;
+                fi_fault = None;
+                fi_fetched_at = t.now;
               }
-        end
+              :: !items;
+            next_fetch := pred_next;
+            if pred.Bpu.taken then stop := true;
+            incr i
+          end
+        done;
+        t.fetch_pc <- !next_fetch;
+        t.inflight <-
+          Some
+            {
+              fb_ready_at = t.now + tlb_lat + icache_lat + 2;
+              fb_items = List.rev !items;
+            }
+      end
+
+(* Live fetch evaluation (the pre-refactor do_fetch).  Used when a
+   flush in this cycle invalidated the phase-1 fetch plan: the
+   redirected target starts fetching in the same cycle, exactly as
+   the ordered model did. *)
+let fetch_live t =
+  fetch_complete_now t;
+  if
+    t.inflight = None
+    && (not t.fetch_stalled)
+    && Queue.length t.fetch_queue + t.cfg.fetch_width <= t.cfg.fetch_buffer
+  then fetch_start_bundle t
+
+(* Phase 1: decide bundle completion and new-bundle start from the
+   snapshot.  Headroom counts the start-of-cycle queue plus the items
+   a completion would add -- NOT the slots dispatch will free this
+   cycle (conservative snapshot claim; see the arbitration table). *)
+let step_fetch t : fetch_eff =
+  let v_now = t.now + 1 in
+  let fe_complete =
+    match t.inflight with Some b -> v_now >= b.fb_ready_at | None -> false
+  in
+  let qlen =
+    Queue.length t.fetch_queue
+    + (match t.inflight with
+      | Some b when v_now >= b.fb_ready_at -> List.length b.fb_items
+      | _ -> 0)
+  in
+  let fe_start =
+    (t.inflight = None || fe_complete)
+    && (not t.fetch_stalled)
+    && qlen + t.cfg.fetch_width <= t.cfg.fetch_buffer
+  in
+  { fe_complete; fe_start }
+
+let apply_fetch t (eff : fetch_eff) =
+  if t.flushed_at = t.now then
+    (* the plan predates a redirect: re-evaluate live so the new
+       target starts fetching this cycle (a mispredict redirect left
+       a refill bubble in [inflight], which blocks the new bundle) *)
+    fetch_live t
+  else begin
+    if eff.fe_complete then fetch_complete_now t;
+    if eff.fe_start && t.inflight = None && not t.fetch_stalled then
+      fetch_start_bundle t
   end
 
 (* ---------------- dispatch (decode + rename) ------------------------- *)
@@ -369,206 +515,294 @@ let rec mark_slice t ~depth (arch_srcs : int list) =
             | Some _ | None -> ())
       arch_srcs
 
-let dispatch_one t (it : fetch_item) (second : fetch_item option) : bool =
-  (* returns true if dispatched (resources available) *)
-  if Rob.is_full t.rob then begin
-    Perf.Perf_counter.incr t.ctrs t.ids.i_disp_rob_full;
-    false
-  end
+(* Is this instruction a move-eliminable register copy? *)
+let move_eliminable t (it : fetch_item) ~fused =
+  t.cfg.move_elim && (not fused) && it.fi_fault = None
+  &&
+  match it.fi_insn with
+  | Op_imm (ADD, rd, rs, 0L) when rd <> 0 && rs <> 0 -> true
+  | _ -> false
+
+(* Phase 1: plan this cycle's dispatch group against the snapshot.
+   Structural claims (ROB/IQ/LQ/SQ slots, free physical registers) are
+   threaded through the plan so the group can never over-subscribe the
+   start-of-cycle occupancies; slots freed by commit or issue in the
+   same cycle become usable next cycle.  The fetch queue is walked
+   lazily via [Queue.to_seq] -- the queue is unmodified during phase 1,
+   so forcing a node is O(1) and only the decode_width prefix is ever
+   touched (this also retires the old per-item Queue.copy fusion
+   probe). *)
+let step_dispatch t : dispatch_eff =
+  if Queue.is_empty t.fetch_queue then { dp_plans = []; dp_stall = None }
   else begin
-    let fusion =
-      match second with
-      | Some s -> Fusion.try_fuse it.fi_insn s.fi_insn
-      | None -> None
-    in
-    let second_insn, pred_next =
-      match (fusion, second) with
-      | Some _, Some s -> (Some s.fi_insn, s.fi_pred_next)
-      | _ -> (None, it.fi_pred_next)
-    in
-    let u =
-      Uop.make ~seq:t.seq ~pc:it.fi_pc ~insn:it.fi_insn ~second:second_insn
-        ~fusion ~pred_next
-    in
-    (match it.fi_fault with Some e -> u.Uop.exc <- Some e | None -> ());
-    let int_srcs, fp_srcs, int_rd, fp_rd = Fusion.fused_regs u in
-    let int_rd = match int_rd with Some 0 -> None | r -> r in
-    (* structural checks *)
-    let needs_int_rd = int_rd <> None in
-    let needs_fp_rd = fp_rd <> None in
-    let iq_target =
-      if u.Uop.where = Uop.In_iq && it.fi_fault = None then begin
-        (* choose the least-occupied accepting IQ *)
-        let best = ref None in
-        Array.iter
-          (fun iq ->
-            if Iq.accepts iq u.Uop.exec_class && not (Iq.is_full iq) then
-              match !best with
-              | None -> best := Some iq
-              | Some b -> if Iq.occupancy iq < Iq.occupancy b then best := Some iq)
-          t.iqs;
-        !best
-      end
-      else None
-    in
-    let iq_ok =
-      u.Uop.where <> Uop.In_iq || it.fi_fault <> None || iq_target <> None
-    in
-    let lsu_ok =
-      (not (Uop.is_load u) || not (Lsu.lq_full t.lsu))
-      && ((not (Uop.is_store u)) || not (Lsu.sq_full t.lsu))
-    in
-    let int_free_ok =
-      (not needs_int_rd) || Rename.can_alloc t.rename ~is_fp:false
-    in
-    let fp_free_ok =
-      (not needs_fp_rd) || Rename.can_alloc t.rename ~is_fp:true
-    in
-    if (not iq_ok) || (not lsu_ok) || (not int_free_ok) || not fp_free_ok
-    then begin
-      (* attribute the stall to the first scarce resource *)
-      (if not iq_ok then
-         Perf.Perf_counter.incr t.ctrs t.ids.i_disp_iq_full
-       else if not lsu_ok then begin
-         if Uop.is_load u && Lsu.lq_full t.lsu then
-           Perf.Perf_counter.incr t.ctrs t.ids.i_disp_lq_full
-         else Perf.Perf_counter.incr t.ctrs t.ids.i_disp_sq_full
-       end
-       else if not int_free_ok then
-         Perf.Perf_counter.incr t.ctrs t.ids.i_disp_freelist_int
-       else Perf.Perf_counter.incr t.ctrs t.ids.i_disp_freelist_fp);
-      false
-    end
-    else begin
-      (* rename sources *)
-      let psrc =
-        Array.of_list
-          (List.map (fun r -> Rename.lookup t.rename ~is_fp:false r) int_srcs
-          @ List.map (fun r -> Rename.lookup t.rename ~is_fp:true r) fp_srcs)
-      in
-      let psrc_fp =
-        Array.of_list
-          (List.map (fun _ -> false) int_srcs @ List.map (fun _ -> true) fp_srcs)
-      in
-      u.Uop.psrc <- psrc;
-      u.Uop.psrc_fp <- psrc_fp;
-      (* move elimination *)
-      let eliminated =
-        t.cfg.move_elim && fusion = None && it.fi_fault = None
-        &&
-        match it.fi_insn with
-        | Op_imm (ADD, rd, rs, 0L) when rd <> 0 && rs <> 0 -> true
-        | _ -> false
-      in
-      (match (eliminated, it.fi_insn) with
-      | true, Op_imm (ADD, rd, rs, _) ->
-          let prd, old_prd = Rename.alias t.rename ~arch_rd:rd ~arch_rs:rs in
-          u.Uop.arch_rd <- rd;
-          u.Uop.prd <- prd;
-          u.Uop.old_prd <- old_prd;
-          u.Uop.state <- Uop.Completed;
-          u.Uop.done_at <- t.now;
-          u.Uop.eliminated <- true;
-          t.perf.p_moves_eliminated <- t.perf.p_moves_eliminated + 1;
-          t.def_table.(rd) <- u.Uop.seq
-      | _ -> (
-          (match int_rd with
-          | Some rd ->
-              let prd, old_prd =
-                Rename.alloc t.rename ~is_fp:false ~arch:rd ~now:t.now
+    let rob_free = ref (t.cfg.rob_size - Rob.count t.rob) in
+    let iq_occ = Array.map Iq.occupancy t.iqs in
+    let lq_free = ref (t.cfg.lq_size - Lsu.lq_occupancy t.lsu) in
+    let sq_free = ref (t.cfg.sq_size - Lsu.sq_occupancy t.lsu) in
+    let int_free = ref (Rename.free_count t.rename ~is_fp:false) in
+    let fp_free = ref (Rename.free_count t.rename ~is_fp:true) in
+    let seq = ref t.seq in
+    let budget = ref t.cfg.decode_width in
+    let plans = ref [] in
+    let stall = ref None in
+    let rec go (node : fetch_item Seq.node) =
+      if !budget > 0 && !stall = None then
+        match node with
+        | Seq.Nil -> ()
+        | Seq.Cons (it, rest) ->
+            if !rob_free <= 0 then stall := Some Rob_full
+            else begin
+              let tail = Lazy.from_fun rest in
+              (* fusion candidate: the next queued instruction, only if
+                 it is the sequential successor *)
+              let second =
+                if
+                  t.cfg.fusion && !budget >= 2
+                  && it.fi_pred_next = Int64.add it.fi_pc 4L
+                then
+                  match Lazy.force tail with
+                  | Seq.Cons (s, _) when s.fi_pc = Int64.add it.fi_pc 4L ->
+                      Some s
+                  | _ -> None
+                else None
               in
-              u.Uop.arch_rd <- rd;
-              u.Uop.rd_is_fp <- false;
-              u.Uop.prd <- prd;
-              u.Uop.old_prd <- old_prd;
-              t.def_table.(rd) <- u.Uop.seq
-          | None -> ());
-          (match fp_rd with
-          | Some rd ->
-              let prd, old_prd =
-                Rename.alloc t.rename ~is_fp:true ~arch:rd ~now:t.now
+              let fusion =
+                match second with
+                | Some s -> Fusion.try_fuse it.fi_insn s.fi_insn
+                | None -> None
               in
-              u.Uop.arch_rd <- rd;
-              u.Uop.rd_is_fp <- true;
-              u.Uop.prd <- prd;
-              u.Uop.old_prd <- old_prd
-          | None -> ())));
-      (* allocate in ROB + queues *)
-      t.seq <- t.seq + 1;
-      Rob.push t.rob u;
-      if fusion <> None then t.perf.p_fused <- t.perf.p_fused + 1;
-      t.perf.p_dispatched <- t.perf.p_dispatched + 1;
-      if it.fi_fault = None && not eliminated then begin
-        (match iq_target with
-        | Some iq when u.Uop.where = Uop.In_iq -> Iq.insert iq u
-        | Some _ | None -> ());
-        if Uop.is_load u then Lsu.insert_load t.lsu u;
-        if Uop.is_store u then Lsu.insert_store t.lsu u
-      end
-      else if it.fi_fault <> None then begin
-        (* faulting fetch: deliver the exception at commit *)
-        u.Uop.state <- Uop.Completed;
-        u.Uop.done_at <- t.now
-      end;
-      (* PUBS: mark unconfident branch slices *)
-      (if t.cfg.issue_policy = Config.Pubs then
-         match it.fi_insn with
-         | Branch _ when Bpu.unconfident t.bpu ~pc:it.fi_pc ->
-             u.Uop.priority <- true;
-             t.perf.p_hi_prio <- t.perf.p_hi_prio + 1;
-             mark_slice t ~depth:2 int_srcs
-         | _ -> ());
-      (match t.tracer with
-      | Some tr ->
-          Perf.Pipetrace.on_dispatch tr ~seq:u.Uop.seq ~pc:u.Uop.pc
-            ~label:(Insn.show it.fi_insn) ~fetched_at:it.fi_fetched_at
-            ~now:t.now;
-          (* eliminated moves and faulting fetches never issue; close
-             their execute window at dispatch *)
-          if eliminated || it.fi_fault <> None then begin
-            Perf.Pipetrace.on_issue tr ~seq:u.Uop.seq ~now:t.now;
-            Perf.Pipetrace.on_complete tr ~seq:u.Uop.seq ~at:u.Uop.done_at
-          end
-      | None -> ());
-      true
-    end
+              let second_item = if fusion = None then None else second in
+              let second_insn, pred_next =
+                match (fusion, second_item) with
+                | Some _, Some s -> (Some s.fi_insn, s.fi_pred_next)
+                | _ -> (None, it.fi_pred_next)
+              in
+              let u =
+                Uop.make ~seq:!seq ~pc:it.fi_pc ~insn:it.fi_insn
+                  ~second:second_insn ~fusion ~pred_next
+              in
+              (match it.fi_fault with
+              | Some e -> u.Uop.exc <- Some e
+              | None -> ());
+              let int_srcs, fp_srcs, int_rd, fp_rd = Fusion.fused_regs u in
+              let int_rd = match int_rd with Some 0 -> None | r -> r in
+              let needs_int_rd = int_rd <> None in
+              let needs_fp_rd = fp_rd <> None in
+              let iq_target =
+                if u.Uop.where = Uop.In_iq && it.fi_fault = None then begin
+                  (* least-occupied accepting IQ, snapshot + planned *)
+                  let best = ref (-1) in
+                  Array.iteri
+                    (fun i iq ->
+                      if
+                        Iq.accepts iq u.Uop.exec_class
+                        && iq_occ.(i) < Iq.capacity iq
+                      then
+                        match !best with
+                        | -1 -> best := i
+                        | b -> if iq_occ.(i) < iq_occ.(b) then best := i)
+                    t.iqs;
+                  !best
+                end
+                else -1
+              in
+              let iq_ok =
+                u.Uop.where <> Uop.In_iq || it.fi_fault <> None || iq_target >= 0
+              in
+              let lsu_ok =
+                (not (Uop.is_load u) || !lq_free > 0)
+                && ((not (Uop.is_store u)) || !sq_free > 0)
+              in
+              let int_free_ok = (not needs_int_rd) || !int_free > 0 in
+              let fp_free_ok = (not needs_fp_rd) || !fp_free > 0 in
+              if
+                (not iq_ok) || (not lsu_ok) || (not int_free_ok)
+                || not fp_free_ok
+              then
+                (* attribute the stall to the first scarce resource *)
+                stall :=
+                  Some
+                    (if not iq_ok then Iq_full
+                     else if not lsu_ok then
+                       if Uop.is_load u && !lq_free <= 0 then Lq_full
+                       else Sq_full
+                     else if not int_free_ok then Freelist_int
+                     else Freelist_fp)
+              else begin
+                let eliminated = move_eliminable t it ~fused:(fusion <> None) in
+                (* thread the claims the group has now taken *)
+                decr rob_free;
+                if it.fi_fault = None && not eliminated then begin
+                  if iq_target >= 0 then
+                    iq_occ.(iq_target) <- iq_occ.(iq_target) + 1;
+                  if Uop.is_load u then decr lq_free;
+                  if Uop.is_store u then decr sq_free
+                end;
+                if not eliminated then begin
+                  if needs_int_rd then decr int_free;
+                  if needs_fp_rd then decr fp_free
+                end;
+                incr seq;
+                plans :=
+                  {
+                    pl_uop = u;
+                    pl_item = it;
+                    pl_second = second_item;
+                    pl_iq = (if it.fi_fault = None then iq_target else -1);
+                    pl_eliminated = eliminated;
+                    pl_int_srcs = int_srcs;
+                    pl_fp_srcs = fp_srcs;
+                    pl_int_rd = int_rd;
+                    pl_fp_rd = fp_rd;
+                  }
+                  :: !plans;
+                if second_item <> None then begin
+                  budget := !budget - 2;
+                  (* skip the fused successor *)
+                  match Lazy.force tail with
+                  | Seq.Cons (_, rest2) -> go (rest2 ())
+                  | Seq.Nil -> ()
+                end
+                else begin
+                  decr budget;
+                  go (Lazy.force tail)
+                end
+              end
+            end
+    in
+    go (Queue.to_seq t.fetch_queue ());
+    { dp_plans = List.rev !plans; dp_stall = !stall }
   end
 
-let do_dispatch t =
-  let budget = ref t.cfg.decode_width in
-  let continue_ = ref true in
-  while !continue_ && !budget > 0 && not (Queue.is_empty t.fetch_queue) do
-    let it = Queue.peek t.fetch_queue in
-    (* fusion candidate: the next queued instruction, only if it is the
-       sequential successor *)
-    let second =
-      if
-        t.cfg.fusion && !budget >= 2 && Queue.length t.fetch_queue >= 2
-        && it.fi_pred_next = Int64.add it.fi_pc 4L
-      then begin
-        let copy = Queue.copy t.fetch_queue in
-        ignore (Queue.pop copy);
-        let s = Queue.peek copy in
-        if s.fi_pc = Int64.add it.fi_pc 4L then Some s else None
-      end
-      else None
-    in
-    let fusible =
-      match second with
-      | Some s -> Fusion.try_fuse it.fi_insn s.fi_insn <> None
-      | None -> false
-    in
-    let used_second = if fusible then second else None in
-    if dispatch_one t it used_second then begin
-      ignore (Queue.pop t.fetch_queue);
-      if used_second <> None then begin
-        ignore (Queue.pop t.fetch_queue);
-        budget := !budget - 2
-      end
-      else decr budget
-    end
-    else continue_ := false
-  done
+(* Phase 2: execute the dispatch plan -- rename, allocate, push into
+   ROB/IQ/LSU.  A flush earlier in this cycle's application (commit
+   trap/serialise/interrupt or an issue redirect) cancels the whole
+   plan: the planned uops were never architecturally visible.  Claims
+   are also revalidated against the live structures: a fault hook
+   firing at the effect boundary may have consumed what the plan
+   reserved, in which case dispatch degrades to a stall and retries
+   next cycle. *)
+let apply_dispatch t (eff : dispatch_eff) =
+  if t.flushed_at = t.now then ()
+  else begin
+    let aborted = ref false in
+    List.iter
+      (fun (p : disp_plan) ->
+        if not !aborted then begin
+          let u = p.pl_uop and it = p.pl_item in
+          let int_srcs = p.pl_int_srcs and fp_srcs = p.pl_fp_srcs in
+          let int_rd = p.pl_int_rd and fp_rd = p.pl_fp_rd in
+          if
+            Rob.is_full t.rob
+            || u.Uop.seq <> t.seq
+            (* the planned head item must still be queued (physical
+               identity): a boundary-hook flush cleared the fetch
+               queue, even if it left seq/ROB looking untouched *)
+            || (match Queue.peek_opt t.fetch_queue with
+               | Some live -> live != it
+               | None -> true)
+            || (int_rd <> None && (not p.pl_eliminated)
+               && not (Rename.can_alloc t.rename ~is_fp:false))
+            || (fp_rd <> None && not (Rename.can_alloc t.rename ~is_fp:true))
+          then aborted := true
+          else begin
+            (* consume the planned queue items *)
+            ignore (Queue.pop t.fetch_queue);
+            if p.pl_second <> None then ignore (Queue.pop t.fetch_queue);
+            (* rename sources *)
+            let psrc =
+              Array.of_list
+                (List.map (fun r -> Rename.lookup t.rename ~is_fp:false r) int_srcs
+                @ List.map (fun r -> Rename.lookup t.rename ~is_fp:true r) fp_srcs)
+            in
+            let psrc_fp =
+              Array.of_list
+                (List.map (fun _ -> false) int_srcs
+                @ List.map (fun _ -> true) fp_srcs)
+            in
+            u.Uop.psrc <- psrc;
+            u.Uop.psrc_fp <- psrc_fp;
+            (match (p.pl_eliminated, it.fi_insn) with
+            | true, Op_imm (ADD, rd, rs, _) ->
+                let prd, old_prd = Rename.alias t.rename ~arch_rd:rd ~arch_rs:rs in
+                u.Uop.arch_rd <- rd;
+                u.Uop.prd <- prd;
+                u.Uop.old_prd <- old_prd;
+                u.Uop.state <- Uop.Completed;
+                u.Uop.done_at <- t.now;
+                u.Uop.eliminated <- true;
+                t.perf.p_moves_eliminated <- t.perf.p_moves_eliminated + 1;
+                t.def_table.(rd) <- u.Uop.seq
+            | _ -> (
+                (match int_rd with
+                | Some rd ->
+                    let prd, old_prd =
+                      Rename.alloc t.rename ~is_fp:false ~arch:rd ~now:t.now
+                    in
+                    u.Uop.arch_rd <- rd;
+                    u.Uop.rd_is_fp <- false;
+                    u.Uop.prd <- prd;
+                    u.Uop.old_prd <- old_prd;
+                    t.def_table.(rd) <- u.Uop.seq
+                | None -> ());
+                (match fp_rd with
+                | Some rd ->
+                    let prd, old_prd =
+                      Rename.alloc t.rename ~is_fp:true ~arch:rd ~now:t.now
+                    in
+                    u.Uop.arch_rd <- rd;
+                    u.Uop.rd_is_fp <- true;
+                    u.Uop.prd <- prd;
+                    u.Uop.old_prd <- old_prd
+                | None -> ())));
+            (* allocate in ROB + queues *)
+            t.seq <- t.seq + 1;
+            Rob.push t.rob u;
+            if p.pl_second <> None then t.perf.p_fused <- t.perf.p_fused + 1;
+            t.perf.p_dispatched <- t.perf.p_dispatched + 1;
+            if it.fi_fault = None && not p.pl_eliminated then begin
+              if p.pl_iq >= 0 then Iq.insert t.iqs.(p.pl_iq) u;
+              if Uop.is_load u then Lsu.insert_load t.lsu u;
+              if Uop.is_store u then Lsu.insert_store t.lsu u
+            end
+            else if it.fi_fault <> None then begin
+              (* faulting fetch: deliver the exception at commit *)
+              u.Uop.state <- Uop.Completed;
+              u.Uop.done_at <- t.now
+            end;
+            (* PUBS: mark unconfident branch slices *)
+            (if t.cfg.issue_policy = Config.Pubs then
+               match it.fi_insn with
+               | Branch _ when Bpu.unconfident t.bpu ~pc:it.fi_pc ->
+                   u.Uop.priority <- true;
+                   t.perf.p_hi_prio <- t.perf.p_hi_prio + 1;
+                   mark_slice t ~depth:2 int_srcs
+               | _ -> ());
+            match t.tracer with
+            | Some tr ->
+                Perf.Pipetrace.on_dispatch tr ~seq:u.Uop.seq ~pc:u.Uop.pc
+                  ~label:(Insn.show it.fi_insn) ~fetched_at:it.fi_fetched_at
+                  ~now:t.now;
+                (* eliminated moves and faulting fetches never issue;
+                   close their execute window at dispatch *)
+                if p.pl_eliminated || it.fi_fault <> None then begin
+                  Perf.Pipetrace.on_issue tr ~seq:u.Uop.seq ~now:t.now;
+                  Perf.Pipetrace.on_complete tr ~seq:u.Uop.seq ~at:u.Uop.done_at
+                end
+            | None -> ()
+          end
+        end)
+      eff.dp_plans;
+    match eff.dp_stall with
+    | Some Rob_full -> Perf.Perf_counter.incr t.ctrs t.ids.i_disp_rob_full
+    | Some Iq_full -> Perf.Perf_counter.incr t.ctrs t.ids.i_disp_iq_full
+    | Some Lq_full -> Perf.Perf_counter.incr t.ctrs t.ids.i_disp_lq_full
+    | Some Sq_full -> Perf.Perf_counter.incr t.ctrs t.ids.i_disp_sq_full
+    | Some Freelist_int ->
+        Perf.Perf_counter.incr t.ctrs t.ids.i_disp_freelist_int
+    | Some Freelist_fp -> Perf.Perf_counter.incr t.ctrs t.ids.i_disp_freelist_fp
+    | None -> ()
+  end
 
 (* ---------------- issue / execute ------------------------------------ *)
 
@@ -714,28 +948,50 @@ let issue_uop t (u : Uop.t) : bool =
       | _ -> ());
       true
 
-let uop_ready t (u : Uop.t) =
-  Rename.srcs_ready t.rename u ~now:t.now
+(* Readiness against an explicit clock: phase 1 evaluates it at the
+   cycle being planned (now + 1), which is the value [t.now] holds
+   when phase 2 applies the plan. *)
+let uop_ready_at t ~now (u : Uop.t) =
+  Rename.srcs_ready t.rename u ~now
   && (u.Uop.exec_class <> Config.LOAD
      || Lsu.older_stores_known t.lsu ~seq:u.Uop.seq)
 
-let do_issue t =
-  (* Figure 15 instrumentation: how many instructions are ready for
-     issue this cycle (before selection) *)
-  let total_ready =
-    Array.fold_left
-      (fun acc iq -> acc + Iq.count_ready iq ~ready:(uop_ready t))
-      0 t.iqs
+(* Phase 1: per-IQ selection under the configured policy, plus the
+   Figure 15 ready-count, from one readiness scan per queue
+   ([Iq.select_counted] is pure); the pre-selected uops are
+   revalidated at application. *)
+let step_issue t : issue_eff =
+  let now = t.now + 1 in
+  let ready = uop_ready_at t ~now in
+  let total = ref 0 in
+  let chosen =
+    Array.map
+      (fun iq ->
+        let sel, n = Iq.select_counted iq ~ready in
+        total := !total + n;
+        sel)
+      t.iqs
   in
-  t.perf.ready_hist.(min total_ready 16) <-
-    t.perf.ready_hist.(min total_ready 16) + 1;
+  { ie_ready_total = !total; ie_chosen = chosen }
+
+let apply_issue t (eff : issue_eff) =
+  t.perf.ready_hist.(min eff.ie_ready_total 16) <-
+    t.perf.ready_hist.(min eff.ie_ready_total 16) + 1;
   let redirect = ref None in
-  Array.iter
-    (fun iq ->
-      let chosen = Iq.select iq ~ready:(uop_ready t) in
+  Array.iteri
+    (fun i chosen ->
+      let iq = t.iqs.(i) in
       List.iter
         (fun (u : Uop.t) ->
-          if not u.Uop.squashed then
+          (* revalidate the phase-1 selection: a commit-side flush in
+             this cycle squashed it, or a boundary fault hook stole it
+             from the queue (Iq.steal_waiting, observable as the O(1)
+             in_iq flag) -- issuing it anyway would mask the fault *)
+          if
+            (not u.Uop.squashed)
+            && u.Uop.state = Uop.Waiting
+            && u.Uop.in_iq
+          then
             if issue_uop t u then begin
               (match t.tracer with
               | Some tr -> Perf.Pipetrace.on_issue tr ~seq:u.Uop.seq ~now:t.now
@@ -747,9 +1003,13 @@ let do_issue t =
                 | Some _ | None -> redirect := Some (u.Uop.seq, u.Uop.next_pc)
             end)
         chosen)
-    t.iqs;
+    eff.ie_chosen;
   match !redirect with
   | Some (seq, target) ->
+      (* redirect-vs-commit arbitration: the oldest resolved
+         mispredict wins among this cycle's issues; commit already
+         applied, so an older trap/serialise flush has squashed the
+         issuing uop and suppressed the redirect via revalidation *)
       flush t ~after:seq ~target;
       t.recover_misp <- true;
       (* model the resolve + refill bubble *)
@@ -1012,15 +1272,24 @@ let nop_uop t =
   Uop.make ~seq:(-1) ~pc:t.arch.Arch_state.pc ~insn:(Insn.Op_imm (ADD, 0, 0, 0L))
     ~second:None ~fusion:None ~pred_next:t.arch.Arch_state.pc
 
-let do_commit t =
+(* Phase 1: sample the interrupt lines the commit stage will observe.
+   The CLINT is SoC-shared mutable state; snapshotting the two wires
+   here keeps the retire walk (inherently sequential, every retired
+   uop mutates architectural state) deterministic regardless of when
+   other units evaluate. *)
+let step_commit t : commit_eff =
+  {
+    ce_mtip = Platform.Clint.mtip t.plat.Platform.clint t.hartid;
+    ce_msip = Platform.Clint.msip t.plat.Platform.clint t.hartid;
+  }
+
+let apply_commit t (eff : commit_eff) =
   if t.now < t.commit_busy_until then ()
   else begin
     (* interrupts are taken at commit boundaries *)
     let csr = t.arch.Arch_state.csr in
-    Csr.set_mip_bit csr Csr.ip_mtip
-      (Platform.Clint.mtip t.plat.Platform.clint t.hartid);
-    Csr.set_mip_bit csr Csr.ip_msip
-      (Platform.Clint.msip t.plat.Platform.clint t.hartid);
+    Csr.set_mip_bit csr Csr.ip_mtip eff.ce_mtip;
+    Csr.set_mip_bit csr Csr.ip_msip eff.ce_msip;
     match Trap.pending_interrupt csr with
     | Some irq ->
         let epc = t.arch.Arch_state.pc in
@@ -1117,13 +1386,26 @@ let do_commit t =
         with Stop_commit -> ())
   end
 
+(* ---------------- store-buffer drain ---------------------------------- *)
+
+(* Phase 1: snapshot drain eligibility.  A store committed in this
+   cycle's application enters the buffer after this decision, so it
+   becomes drain-eligible the following cycle (the "commit enqueues
+   before drain dequeues, drain decides from the snapshot"
+   arbitration row). *)
+let step_drain t : drain_eff =
+  { de_fire = Lsu.drain_ready t.lsu ~now:(t.now + 1) }
+
 (* ---------------- per-cycle driver ------------------------------------ *)
 
 (* Top-down CPI stack: attribute this cycle to exactly one Level-2
    bucket (one counter increment per cycle, so the buckets sum to
    measured cycles by construction).  Decision order: useful work,
    then speculation recovery, then an empty window (frontend), then
-   whatever the ROB head is blocked on (backend). *)
+   whatever the ROB head is blocked on (backend).  Runs in phase 2,
+   right after commit applies: the attribution inputs (ROB head,
+   recovery windows) are this cycle's retirement outcome, which no
+   phase-1 ordering can perturb. *)
 let attribute_topdown t ~committed =
   let open Perf in
   let bucket =
@@ -1167,23 +1449,87 @@ let attribute_topdown t ~committed =
   in
   Perf_counter.incr t.ctrs t.ids.i_td.(Topdown.index bucket)
 
-let cycle t =
+(* Phase 1: evaluate every unit's planner against the read-only
+   start-of-cycle state.  Under [Default_order] the planners run in
+   the canonical order; under [Shuffle seed] they run in a fresh
+   seeded permutation each cycle.  Because phase 1 is pure, the two
+   must be byte-identical -- the permutation harness exists to catch
+   any unit that sneaks a mutation or a cross-unit read into its
+   planning. *)
+let step t : effects =
+  match t.phase_order with
+  | Default_order ->
+      {
+        ef_commit = step_commit t;
+        ef_issue = step_issue t;
+        ef_drain = step_drain t;
+        ef_dispatch = step_dispatch t;
+        ef_fetch = step_fetch t;
+      }
+  | Shuffle seed ->
+      let commit = ref None
+      and issue = ref None
+      and drain = ref None
+      and dispatch = ref None
+      and fetch = ref None in
+      let thunks =
+        [|
+          (fun () -> commit := Some (step_commit t));
+          (fun () -> issue := Some (step_issue t));
+          (fun () -> drain := Some (step_drain t));
+          (fun () -> dispatch := Some (step_dispatch t));
+          (fun () -> fetch := Some (step_fetch t));
+        |]
+      in
+      (* Fisher-Yates over the five planners, driven by a small LCG
+         seeded from (seed, cycle): deterministic per cycle, different
+         across cycles, marshal-safe (no global RNG state) *)
+      let state = ref ((seed * 0x9E3779B9) + ((t.now + 1) * 0x85EBCA6B)) in
+      let rand n =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod n
+      in
+      for i = 4 downto 1 do
+        let j = rand (i + 1) in
+        let tmp = thunks.(i) in
+        thunks.(i) <- thunks.(j);
+        thunks.(j) <- tmp
+      done;
+      Array.iter (fun f -> f ()) thunks;
+      let get = function Some x -> x | None -> assert false in
+      {
+        ef_commit = get !commit;
+        ef_issue = get !issue;
+        ef_drain = get !drain;
+        ef_dispatch = get !dispatch;
+        ef_fetch = get !fetch;
+      }
+
+(* Phase 2: advance the clock and commit every effect in the one
+   canonical order.  This order -- and the revalidation each
+   application performs -- IS the arbitration; see the DESIGN.md
+   table.  Fault hooks registered on the SoC fire between [step] and
+   [apply] (the effect boundary). *)
+let apply t (e : effects) =
   t.now <- t.now + 1;
   t.perf.p_cycles <- t.perf.p_cycles + 1;
   t.arch.Arch_state.csr.Csr.reg_mcycle <- Int64.of_int t.now;
   Softmem.Cache.set_now t.l1i t.now;
   Softmem.Cache.set_now t.l1d t.now;
   let uops_before = t.perf.p_uops in
-  do_commit t;
+  apply_commit t e.ef_commit;
   let committed = t.perf.p_uops - uops_before in
   Perf.Perf_counter.incr t.ctrs t.ids.i_commit_w.(min committed 8);
   attribute_topdown t ~committed;
-  do_issue t;
-  Lsu.drain t.lsu ~now:t.now ~on_drain:(drain_notify t);
+  apply_issue t e.ef_issue;
+  if e.ef_drain.de_fire then
+    Lsu.drain t.lsu ~now:t.now ~on_drain:(drain_notify t);
   if Queue.is_empty t.fetch_queue then
     Perf.Perf_counter.incr t.ctrs t.ids.i_fetch_bubble;
-  do_dispatch t;
-  do_fetch t
+  apply_dispatch t e.ef_dispatch;
+  apply_fetch t e.ef_fetch
+
+let cycle t = apply t (step t)
 
 let ipc t =
   if t.perf.p_cycles = 0 then 0.0
@@ -1203,7 +1549,7 @@ let counter_snapshot t : (string * int) list =
     [
       (prefix ^ ".accesses", s.Softmem.Cache.accesses);
       (prefix ^ ".misses", s.Softmem.Cache.misses);
-      (prefix ^ ".refills", s.Softmem.Cache.misses);
+      (prefix ^ ".refills", s.Softmem.Cache.refills);
       (prefix ^ ".probes", s.Softmem.Cache.probes);
       (prefix ^ ".evictions", s.Softmem.Cache.evictions);
     ]
@@ -1248,14 +1594,16 @@ let counter_snapshot t : (string * int) list =
   @ cache "l1i" t.l1i @ cache "l1d" t.l1d
 
 (* Where is commit stuck?  Snapshot of the retirement bottleneck for
-   the hang watchdog's failure report. *)
+   the hang watchdog's failure report.  Occupancies come from the same
+   O(1) accessors dispatch admission reads, so the two can never
+   disagree. *)
 let stall_site t : string =
   let occupancy =
     Printf.sprintf "rob=%d/%d iq=%d lq=%d sq=%d sb=%d/%d%s"
       (Rob.count t.rob) t.cfg.Config.rob_size
       (Array.fold_left (fun a iq -> a + Iq.occupancy iq) 0 t.iqs)
-      (List.length t.lsu.Lsu.lq) (List.length t.lsu.Lsu.sq)
-      (Queue.length t.lsu.Lsu.sb)
+      (Lsu.lq_occupancy t.lsu) (Lsu.sq_occupancy t.lsu)
+      (Lsu.sb_occupancy t.lsu)
       t.cfg.Config.store_buffer_size
       (if t.halted then " halted" else "")
   in

@@ -8,7 +8,15 @@
     in-order commit maintaining the architectural state DiffTest
     observes.  System instructions, atomics and MMIO execute at the
     ROB head; `sfence.vma` drains the store buffer and flushes the
-    TLBs.  Fidelity notes are in DESIGN.md. *)
+    TLBs.  Fidelity notes are in DESIGN.md.
+
+    Cycle semantics are two-phase (DESIGN.md "Two-phase cycle
+    semantics"): [step] evaluates every unit against the read-only
+    start-of-cycle state and returns a typed {!effects} record;
+    [apply] commits those effects in one canonical order with explicit
+    arbitration for structural hazards.  [cycle] is the composition.
+    Phase-1 order independence is enforced by the seeded permutation
+    harness ([Shuffle], MINJIE_PHASE_ORDER, test/test_twophase.ml). *)
 
 open Riscv
 
@@ -43,6 +51,15 @@ type perf = {
 (** Dense handles into the counter registry, resolved at [create] so
     the per-cycle instrumentation is a plain array store. *)
 type ids
+
+(** Phase-1 evaluation order.  [Default_order] runs the unit planners
+    in the canonical fixed order; [Shuffle seed] runs them in a fresh
+    seeded permutation every cycle.  The two must be byte-identical in
+    every observable (DiffTest verdicts, ArchDB, counter snapshots) --
+    the shuffle mode exists purely to enforce phase-1 purity.
+    Initialised from MINJIE_PHASE_ORDER ("default" | "shuffle" |
+    "shuffle:SEED") at [create]. *)
+type phase_order = Default_order | Shuffle of int
 
 type t = {
   cfg : Config.t;
@@ -83,6 +100,73 @@ type t = {
       (** fault injection: for the next N resolved mispredictions,
           follow the (possibly corrupted) prediction instead of
           redirecting -- wrong-path instructions then commit *)
+  mutable flushed_at : int;
+      (** cycle of the most recent flush; [apply] uses it to cancel
+          same-cycle plans that the redirect invalidated *)
+  mutable phase_order : phase_order;
+}
+
+(** {1 Phase-1 effect records}
+
+    Each unit's planner returns one of these from the read-only
+    start-of-cycle state; {!apply} commits them in the canonical
+    order.  They are plans, not state deltas: application performs the
+    mutation through the unit's own code path after revalidating any
+    claim a flush or a boundary fault hook may have invalidated. *)
+
+type commit_eff = {
+  ce_mtip : bool;  (** CLINT timer-interrupt line, sampled *)
+  ce_msip : bool;  (** CLINT software-interrupt line, sampled *)
+}
+
+type issue_eff = {
+  ie_ready_total : int;  (** Figure 15: ready instructions before selection *)
+  ie_chosen : Uop.t list array;  (** per-IQ selection (age/PUBS policy) *)
+}
+
+type drain_eff = {
+  de_fire : bool;  (** store buffer eligible to drain one entry *)
+}
+
+type stall_kind =
+  | Rob_full
+  | Iq_full
+  | Lq_full
+  | Sq_full
+  | Freelist_int
+  | Freelist_fp
+
+type disp_plan = {
+  pl_uop : Uop.t;  (** pre-built uop, seq pre-assigned from the snapshot *)
+  pl_item : fetch_item;  (** head fetch-queue item consumed *)
+  pl_second : fetch_item option;  (** second item consumed when fused *)
+  pl_iq : int;  (** target IQ index, -1 = none (at-commit / fault) *)
+  pl_eliminated : bool;  (** move elimination: alias, no alloc, no issue *)
+  pl_int_srcs : int list;
+      (** [Fusion.fused_regs] of [pl_uop], cached at plan time so phase
+          2 never recomputes it; [pl_int_rd] is normalised (x0 writes
+          dropped). *)
+  pl_fp_srcs : int list;
+  pl_int_rd : int option;
+  pl_fp_rd : int option;
+}
+
+type dispatch_eff = {
+  dp_plans : disp_plan list;  (** in program order *)
+  dp_stall : stall_kind option;  (** first scarce resource, if any *)
+}
+
+type fetch_eff = {
+  fe_complete : bool;  (** the in-flight bundle reaches the fetch queue *)
+  fe_start : bool;  (** a new bundle may start (headroom from snapshot) *)
+}
+
+type effects = {
+  ef_commit : commit_eff;
+  ef_issue : issue_eff;
+  ef_drain : drain_eff;
+  ef_dispatch : dispatch_eff;
+  ef_fetch : fetch_eff;
 }
 
 val create :
@@ -94,6 +178,8 @@ val create :
   ptw_port:Softmem.Cache.t ->
   t
 
+val set_phase_order : t -> phase_order -> unit
+
 val set_boot_pc : t -> int64 -> unit
 
 val sync_regfile_from_arch : t -> unit
@@ -102,13 +188,25 @@ val sync_regfile_from_arch : t -> unit
 
 val flush : t -> after:int -> target:int64 -> unit
 (** Squash every uop with seq > [after], roll the rename state back,
-    and restart fetch at [target]. *)
+    and restart fetch at [target].  Records [flushed_at] so [apply]
+    cancels plans the redirect invalidated. *)
 
 val mispredict_penalty : int
 
+val step : t -> effects
+(** Phase 1: evaluate every unit planner against the read-only
+    start-of-cycle state, in the configured {!phase_order}.  Performs
+    no mutation. *)
+
+val apply : t -> effects -> unit
+(** Phase 2: advance the clock and commit the effects in the canonical
+    order (commit, issue, drain, dispatch, fetch), revalidating
+    snapshot claims against the live structures. *)
+
 val cycle : t -> unit
-(** One clock: commit, issue/execute, store-buffer drain, dispatch,
-    fetch. *)
+(** One clock: [apply t (step t)].  Fault hooks that must fire at the
+    effect boundary go through [Soc.tick], which separates the two
+    calls. *)
 
 val ipc : t -> float
 

@@ -7,29 +7,51 @@ type t = {
   cfg : Config.iq_config;
   policy : Config.issue_policy;
   mutable slots : Uop.t list; (* kept in insertion (age) order *)
+  mutable n : int; (* O(1) occupancy mirror of [slots] *)
 }
 
-let create (cfg : Config.iq_config) ~policy = { cfg; policy; slots = [] }
+let create (cfg : Config.iq_config) ~policy = { cfg; policy; slots = []; n = 0 }
 
 let accepts t (cls : Config.exec_class) = List.mem cls t.cfg.iq_classes
 
-let occupancy t = List.length t.slots
+let occupancy t = t.n
 
-let is_full t = occupancy t >= t.cfg.iq_size
+let capacity t = t.cfg.iq_size
 
-let insert t u =
+let is_full t = t.n >= t.cfg.iq_size
+
+let mem t (u : Uop.t) = List.exists (fun v -> v.Uop.seq = u.Uop.seq) t.slots
+
+let insert t (u : Uop.t) =
   assert (not (is_full t));
-  t.slots <- t.slots @ [ u ]
+  u.Uop.in_iq <- true;
+  t.slots <- t.slots @ [ u ];
+  t.n <- t.n + 1
 
 let drop_squashed t =
-  t.slots <- List.filter (fun u -> not u.Uop.squashed) t.slots
+  t.slots <-
+    List.filter
+      (fun (u : Uop.t) ->
+        if u.Uop.squashed then u.Uop.in_iq <- false;
+        not u.Uop.squashed)
+      t.slots;
+  t.n <- List.length t.slots
 
-let clear t = t.slots <- []
+let clear t =
+  List.iter (fun (u : Uop.t) -> u.Uop.in_iq <- false) t.slots;
+  t.slots <- [];
+  t.n <- 0
+
+let rec take n = function
+  | [] -> []
+  | u :: rest -> if n = 0 then [] else u :: take (n - 1) rest
 
 (* Select up to iq_issue ready uops under the policy; [ready] decides
    per-uop readiness (register sources plus LSU ordering for loads). *)
 let select t ~(ready : Uop.t -> bool) : Uop.t list =
-  let candidates = List.filter (fun u -> u.Uop.state = Uop.Waiting && ready u) t.slots in
+  let candidates =
+    List.filter (fun u -> u.Uop.state = Uop.Waiting && ready u) t.slots
+  in
   let ordered =
     match t.policy with
     | Config.Age -> candidates (* slots are age-ordered *)
@@ -38,18 +60,34 @@ let select t ~(ready : Uop.t -> bool) : Uop.t list =
         let hi, lo = List.partition (fun u -> u.Uop.priority) candidates in
         hi @ lo
   in
-  let rec take n = function
-    | [] -> []
-    | u :: rest -> if n = 0 then [] else u :: take (n - 1) rest
-  in
   take t.cfg.iq_issue ordered
 
 let count_ready t ~(ready : Uop.t -> bool) : int =
   List.length
     (List.filter (fun u -> u.Uop.state = Uop.Waiting && ready u) t.slots)
 
+(* One readiness scan serving both consumers: the selection (capped at
+   iq_issue, policy-ordered) and the Figure 15 ready count.  [ready]
+   can be expensive (rename lookups + LSU ordering), so the per-cycle
+   issue path must evaluate it once per slot, not twice. *)
+let select_counted t ~(ready : Uop.t -> bool) : Uop.t list * int =
+  let candidates =
+    List.filter (fun u -> u.Uop.state = Uop.Waiting && ready u) t.slots
+  in
+  let total = List.length candidates in
+  let ordered =
+    match t.policy with
+    | Config.Age -> candidates
+    | Config.Pubs ->
+        let hi, lo = List.partition (fun u -> u.Uop.priority) candidates in
+        hi @ lo
+  in
+  (take t.cfg.iq_issue ordered, total)
+
 let remove t (u : Uop.t) =
-  t.slots <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.slots
+  u.Uop.in_iq <- false;
+  t.slots <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.slots;
+  t.n <- List.length t.slots
 
 (* Fault injection: silently lose the oldest waiting uop.  It stays
    Waiting in the ROB forever, so commit wedges on it -- unless a

@@ -6,7 +6,8 @@
 type t = {
   cfg : Config.iq_config;
   policy : Config.issue_policy;
-  mutable slots : Uop.t list; (** kept in age (insertion) order *)
+  mutable slots : Uop.t list;  (** kept in age (insertion) order *)
+  mutable n : int;  (** O(1) occupancy mirror of [slots] *)
 }
 
 val create : Config.iq_config -> policy:Config.issue_policy -> t
@@ -15,7 +16,14 @@ val accepts : t -> Config.exec_class -> bool
 
 val occupancy : t -> int
 
+val capacity : t -> int
+
 val is_full : t -> bool
+
+val mem : t -> Uop.t -> bool
+(** Is the uop (by sequence number) still queued?  The hot phase-2
+    revalidation path uses the O(1) [Uop.in_iq] flag [Iq] maintains
+    instead; this scan remains for assertions and tests. *)
 
 val insert : t -> Uop.t -> unit
 
@@ -28,6 +36,11 @@ val select : t -> ready:(Uop.t -> bool) -> Uop.t list
 
 val count_ready : t -> ready:(Uop.t -> bool) -> int
 (** The Figure 15 instrumentation: ready entries before selection. *)
+
+val select_counted : t -> ready:(Uop.t -> bool) -> Uop.t list * int
+(** [select] and [count_ready] from a single readiness scan -- the
+    per-cycle phase-1 issue planner, where [ready] is the expensive
+    part. *)
 
 val remove : t -> Uop.t -> unit
 

@@ -15,6 +15,11 @@ type t = {
   dcache : Softmem.Cache.t;
   mutable lq : Uop.t list; (* age order *)
   mutable sq : Uop.t list; (* age order *)
+  (* O(1) occupancy mirrors of lq/sq (the lists are walked only for
+     forwarding and ordering checks; admission and the stall reports
+     read these) *)
+  mutable lq_n : int;
+  mutable sq_n : int;
   sb : sb_entry Queue.t;
   mutable sb_next_drain : int;
   mutable reservation : (int64 * int) option; (* line addr, cycle set *)
@@ -38,6 +43,8 @@ let create (cfg : Config.t) ~dcache =
     dcache;
     lq = [];
     sq = [];
+    lq_n = 0;
+    sq_n = 0;
     sb = Queue.create ();
     sb_next_drain = 0;
     reservation = None;
@@ -53,21 +60,33 @@ let create (cfg : Config.t) ~dcache =
     bug_forward_mask = 0L;
   }
 
-let lq_full t = List.length t.lq >= t.cfg.lq_size
+let lq_occupancy t = t.lq_n
 
-let sq_full t = List.length t.sq >= t.cfg.sq_size
+let sq_occupancy t = t.sq_n
+
+let sb_occupancy t = Queue.length t.sb
+
+let lq_full t = t.lq_n >= t.cfg.lq_size
+
+let sq_full t = t.sq_n >= t.cfg.sq_size
 
 let sb_full t = Queue.length t.sb >= t.cfg.store_buffer_size
 
 let sb_empty t = Queue.is_empty t.sb
 
-let insert_load t u = t.lq <- t.lq @ [ u ]
+let insert_load t u =
+  t.lq <- t.lq @ [ u ];
+  t.lq_n <- t.lq_n + 1
 
-let insert_store t u = t.sq <- t.sq @ [ u ]
+let insert_store t u =
+  t.sq <- t.sq @ [ u ];
+  t.sq_n <- t.sq_n + 1
 
 let drop_squashed t =
   t.lq <- List.filter (fun u -> not u.Uop.squashed) t.lq;
-  t.sq <- List.filter (fun u -> not u.Uop.squashed) t.sq
+  t.sq <- List.filter (fun u -> not u.Uop.squashed) t.sq;
+  t.lq_n <- List.length t.lq;
+  t.sq_n <- List.length t.sq
 
 (* All older stores have known addresses (conservative load
    scheduling: no memory-dependence speculation, hence no ordering
@@ -139,10 +158,12 @@ let forward t ~(seq : int) ~(paddr : int64) ~(size : int) : forward_result =
 let commit_store t (u : Uop.t) =
   assert (not (sb_full t));
   Queue.add { sb_paddr = u.Uop.paddr; sb_size = u.Uop.msize; sb_data = u.Uop.sdata } t.sb;
-  t.sq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.sq
+  t.sq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.sq;
+  t.sq_n <- List.length t.sq
 
 let remove_load t (u : Uop.t) =
-  t.lq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.lq
+  t.lq <- List.filter (fun v -> v.Uop.seq <> u.Uop.seq) t.lq;
+  t.lq_n <- List.length t.lq
 
 (* Write one entry through to the cache and announce it; the fault
    knobs model drains that are lost, unannounced, or misordered. *)
@@ -152,6 +173,15 @@ let drain_one t ~now ~(on_drain : int64 -> int -> unit) (e : sb_entry) =
   t.sb_next_drain <- now + max t.cfg.sb_drain_interval (lat / 4);
   if t.bug_silent_drains > 0 then t.bug_silent_drains <- t.bug_silent_drains - 1
   else on_drain e.sb_paddr e.sb_size
+
+(* Pure: would [drain] dequeue an entry at [now]?  Phase 1 of the
+   two-phase cycle snapshots this; [drain] itself stays authoritative
+   (it re-checks, so a fence that force-drained the buffer between
+   snapshot and application degrades to a no-op). *)
+let drain_ready t ~now =
+  (not t.bug_stall_drain)
+  && (not (Queue.is_empty t.sb))
+  && now >= t.sb_next_drain
 
 (* Drain at most one store-buffer entry into the cache hierarchy.
    [on_drain] lets the SoC invalidate other cores' LR reservations. *)

@@ -15,6 +15,8 @@ type t = {
   dcache : Softmem.Cache.t;
   mutable lq : Uop.t list;
   mutable sq : Uop.t list;
+  mutable lq_n : int;  (** O(1) occupancy mirror of [lq] *)
+  mutable sq_n : int;  (** O(1) occupancy mirror of [sq] *)
   sb : sb_entry Queue.t;
   mutable sb_next_drain : int;
   mutable reservation : (int64 * int) option;
@@ -39,6 +41,12 @@ type t = {
 }
 
 val create : Config.t -> dcache:Softmem.Cache.t -> t
+
+val lq_occupancy : t -> int
+val sq_occupancy : t -> int
+val sb_occupancy : t -> int
+(** O(1) occupancies; dispatch admission and [Core.stall_site] read
+    these, so the two can never disagree. *)
 
 val lq_full : t -> bool
 val sq_full : t -> bool
@@ -65,6 +73,10 @@ val commit_store : t -> Uop.t -> unit
     caller checks [sb_full]). *)
 
 val remove_load : t -> Uop.t -> unit
+
+val drain_ready : t -> now:int -> bool
+(** Pure: would [drain] dequeue an entry at [now]?  Snapshotted by
+    phase 1 of the two-phase cycle. *)
 
 val drain : t -> now:int -> on_drain:(int64 -> int -> unit) -> unit
 (** Drain at most one store-buffer entry into the cache hierarchy,

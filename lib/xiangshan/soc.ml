@@ -101,10 +101,15 @@ let load_program (t : t) (p : Asm.program) =
 
 let add_fault_hook (t : t) f = t.fault_hooks <- t.fault_hooks @ [ f ]
 
+(* One SoC clock, two-phase: advance the shared clock domain, let
+   every core plan its cycle against the frozen snapshot (phase 1),
+   fire the fault hooks at the effect boundary, then apply all plans
+   in hart order (phase 2).  Hooks mutating pipeline structures
+   between the phases are exactly the hazard the appliers revalidate
+   against (e.g. Iq.steal_waiting vs a pre-selected issue). *)
 let tick (t : t) =
   t.now <- t.now + 1;
   Platform.Clint.tick t.plat.Platform.clint 1;
-  List.iter (fun f -> f t) t.fault_hooks;
   (match t.l3 with
   | Some l3 -> Softmem.Cache.iter_tree l3 (fun n -> Softmem.Cache.set_now n t.now)
   | None ->
@@ -112,7 +117,9 @@ let tick (t : t) =
         (fun l2 ->
           Softmem.Cache.iter_tree l2 (fun n -> Softmem.Cache.set_now n t.now))
         t.l2s);
-  Array.iter Core.cycle t.cores
+  let effects = Array.map Core.step t.cores in
+  List.iter (fun f -> f t) t.fault_hooks;
+  Array.iteri (fun i core -> Core.apply core effects.(i)) t.cores
 
 let exited (t : t) = Platform.exited t.plat
 

@@ -29,13 +29,17 @@ val load_program : t -> Riscv.Asm.program -> unit
 (** Load the image and point every hart's boot pc at the entry. *)
 
 val add_fault_hook : t -> (t -> unit) -> unit
-(** Register a hook run at the top of every [tick] (after the cycle
-    counter advances, before the cores cycle).  Fault models use this
-    as their cycle-triggered injection point; hooks are part of the
-    SoC graph, so LightSSS snapshots carry them into replays. *)
+(** Register a hook run at the effect boundary of every [tick]: after
+    all cores have planned the cycle ([Core.step]) and before any plan
+    is applied ([Core.apply]).  Fault models use this as their
+    cycle-triggered injection point; a mutation made here is exactly
+    the hazard phase-2 revalidation defends against.  Hooks are part
+    of the SoC graph, so LightSSS snapshots carry them into replays. *)
 
 val tick : t -> unit
-(** One clock cycle: CLINT, cache clocks, fault hooks, every core. *)
+(** One clock cycle, two-phase: CLINT and cache clocks advance, every
+    core plans against the frozen snapshot, fault hooks fire, then the
+    plans are applied in hart order. *)
 
 val run : ?max_cycles:int -> ?stop:(unit -> bool) -> t -> int
 (** Run to exit / budget / [stop]; returns cycles simulated. *)

@@ -40,6 +40,8 @@ type t = {
   mutable exc : (Trap.exc * int64) option;
   mutable priority : bool; (* PUBS high priority *)
   mutable squashed : bool;
+  mutable in_iq : bool; (* resident in an issue queue: O(1) membership
+                           for phase-2 issue revalidation *)
   mutable eliminated : bool; (* move-eliminated: result read at commit *)
   (* memory *)
   mutable vaddr : int64;
@@ -138,6 +140,7 @@ let make ~seq ~pc ~insn ~second ~fusion ~pred_next : t =
     exc = None;
     priority = false;
     squashed = false;
+    in_iq = false;
     eliminated = false;
     vaddr = 0L;
     paddr = 0L;

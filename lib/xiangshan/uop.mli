@@ -41,6 +41,10 @@ type t = {
   mutable exc : (Trap.exc * int64) option;
   mutable priority : bool; (** PUBS high priority *)
   mutable squashed : bool;
+  mutable in_iq : bool;
+      (** resident in an issue queue; maintained by [Iq] so phase-2
+          issue revalidation is O(1) (a boundary fault hook may have
+          stolen the slot) *)
   mutable eliminated : bool;
   mutable vaddr : int64;
   mutable paddr : int64;

@@ -27,5 +27,6 @@ let () =
       ("determinism", Test_determinism.tests);
       ("fuzz", Test_fuzz.tests);
       ("workloads", Test_workloads.tests);
+      ("twophase", Test_twophase.tests);
       ("perf", Test_perf.tests);
     ]
