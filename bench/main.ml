@@ -1358,7 +1358,132 @@ let bench_parallel () =
         campaign_failed := true;
         Printf.printf "PARALLEL SAMPLED SWEEP DIVERGED at jobs=%d\n" j
       end)
-    worker_counts
+    worker_counts;
+  (* dispatch policy A/B: the same heterogeneous job mix (one full
+     cycle-model run per workload -- runtimes span more than an order
+     of magnitude across the suite) under longest-first vs FIFO
+     ordering.  Pass 1 at jobs=1 doubles as the cost oracle: each
+     job's observed r_seconds becomes its j_cost for the scheduled
+     passes, the same observed-runtime feedback the serve daemon's
+     EWMA provides. *)
+  let dispatch_workloads =
+    if !campaign_smoke then
+      List.map Minjie.Campaign.find_workload
+        [ "coremark_like"; "sjeng_like"; "mcf_like" ]
+    else Workloads.Suite.all
+  in
+  let dispatch_counts =
+    if !campaign_smoke then [ 1; 2 ] else [ 1; 2; 4; 8; 16 ]
+  in
+  let mk_job cost (w : Workloads.Wl_common.t) =
+    {
+      Minjie.Pool.j_label = w.Workloads.Wl_common.wl_name;
+      j_cost = cost w.Workloads.Wl_common.wl_name;
+      j_run =
+        (fun () ->
+          let prog = w.Workloads.Wl_common.program ~scale:(wl_scale w) in
+          let soc = Xiangshan.Soc.create Xiangshan.Config.yqh in
+          Xiangshan.Soc.load_program soc prog;
+          Xiangshan.Soc.run ~max_cycles:400_000_000 soc);
+    }
+  in
+  Printf.printf "\ndispatch policy A/B (%d-job heterogeneous mix):\n"
+    (List.length dispatch_workloads);
+  let (base_results, _), base_secs =
+    time (fun () ->
+        Minjie.Pool.map ~jobs:1 ~dispatch:`Fifo
+          (List.map (mk_job (fun _ -> 1.0)) dispatch_workloads))
+  in
+  let observed =
+    List.map
+      (fun (r : int Minjie.Pool.result) ->
+        (r.Minjie.Pool.r_label, r.Minjie.Pool.r_seconds))
+      base_results
+  in
+  let cost_of label = try List.assoc label observed with Not_found -> 1.0 in
+  let base_cycles =
+    List.map
+      (fun (r : int Minjie.Pool.result) ->
+        ( r.Minjie.Pool.r_label,
+          match r.Minjie.Pool.r_outcome with
+          | Minjie.Pool.Done c -> c
+          | _ -> -1 ))
+      base_results
+  in
+  Printf.printf "  jobs=1 baseline: %6.2f s (per-job runtimes observed)\n%!"
+    base_secs;
+  let best_lf = ref infinity in
+  let lf_times = ref [] in
+  List.iter
+    (fun dispatch ->
+      let dname =
+        match dispatch with `Fifo -> "fifo" | `Longest_first -> "longest-first"
+      in
+      List.iter
+        (fun j ->
+          let (results, _), secs =
+            time (fun () ->
+                Minjie.Pool.map ~jobs:j ~dispatch
+                  (List.map (mk_job cost_of) dispatch_workloads))
+          in
+          let cycles =
+            List.map
+              (fun (r : int Minjie.Pool.result) ->
+                ( r.Minjie.Pool.r_label,
+                  match r.Minjie.Pool.r_outcome with
+                  | Minjie.Pool.Done c -> c
+                  | _ -> -2 ))
+              results
+          in
+          let matches =
+            List.sort compare cycles = List.sort compare base_cycles
+          in
+          let speedup = base_secs /. max 1e-9 secs in
+          if dispatch = `Longest_first then begin
+            best_lf := Float.min !best_lf secs;
+            lf_times := (j, secs) :: !lf_times
+          end;
+          Printf.printf
+            "  %-13s jobs=%2d : %6.2f s  speedup %5.2fx  results %s\n%!" dname
+            j secs speedup
+            (if matches then "== sequential" else "DIVERGED");
+          record
+            [
+              ("experiment", Json.Str "parallel");
+              ("group", Json.Str "dispatch");
+              ("policy", Json.Str dname);
+              ("workers", Json.Int j);
+              ("mix_jobs", Json.Int (List.length dispatch_workloads));
+              ("seconds", Json.Num secs);
+              ("speedup_vs_jobs1", Json.Num speedup);
+              ("results_match_sequential", Json.Bool matches);
+            ];
+          if not matches then begin
+            campaign_failed := true;
+            Printf.printf "DISPATCH A/B DIVERGED (%s, jobs=%d)\n" dname j
+          end)
+        dispatch_counts)
+    [ `Fifo; `Longest_first ];
+  (* the saturation knee: the smallest worker count whose wall clock
+     is within 5%% of the best longest-first time.  On a 1-core host
+     every count serialises onto the same core, so the knee lands at
+     1 -- the record keeps that honest rather than hiding it *)
+  let knee =
+    List.fold_left
+      (fun acc (j, secs) ->
+        if secs <= !best_lf *. 1.05 then min acc j else acc)
+      max_int !lf_times
+  in
+  Printf.printf
+    "  saturation knee: %d worker(s) (host has %d online core(s))\n" knee host;
+  record
+    [
+      ("experiment", Json.Str "parallel");
+      ("group", Json.Str "dispatch_summary");
+      ("knee_workers", Json.Int knee);
+      ("host_cores", Json.Int host);
+      ("baseline_seconds", Json.Num base_secs);
+    ]
 
 (* ---------------------------------------------------------------- *)
 (* Top-down CPI stacks: every workload's cycles folded into the      *)
@@ -1520,6 +1645,209 @@ let bench_simspeed () =
     ]
 
 (* ---------------------------------------------------------------- *)
+(* Serve: the persistent warm-state service.  Cold-vs-warm latency   *)
+(* per job class -- with every served reply asserted byte-identical  *)
+(* to the cold-start execution path -- and sustained jobs/sec under  *)
+(* a two-client mixed load.                                          *)
+(* ---------------------------------------------------------------- *)
+
+let bench_serve () =
+  section "Serve: warm-state service latency and throughput";
+  let sock =
+    Printf.sprintf "%s/minjie_bench_serve_%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  (* the server and its pool workers inherit this buffer on fork;
+     flush so nothing in it can be re-emitted by a child's exit *)
+  flush stdout;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 null Unix.stderr;
+    let cfg =
+      {
+        (Serve.Server.default_config ~socket_path:sock) with
+        jobs = effective_jobs ();
+        queue_depth = 512;
+        batch_max = 8;
+        quiet = true;
+      }
+    in
+    Unix._exit (try Serve.Server.serve cfg with _ -> 10)
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+  @@ fun () ->
+  if not (Serve.Client.wait_ready ~timeout:30.0 sock) then begin
+    campaign_failed := true;
+    Printf.printf "SERVE FAILED: server never answered a ping\n"
+  end
+  else begin
+    (* one spec per job class; distinct workloads so each class's
+       first submit is genuinely cold at the server (run and topdown
+       share a warm key ("prog:<wl>") when given the same workload) *)
+    let blocks = if !big then 120_000 else 30_000 in
+    let classes =
+      [
+        ( "engine",
+          Serve.Proto.Engine
+            {
+              en_workload = Printf.sprintf "testgen:5:%d:16" blocks;
+              en_max_insns = 100_000_000;
+            },
+          true );
+        ( "checkpoint",
+          Serve.Proto.Checkpoint
+            {
+              ck_workload = Printf.sprintf "testgen:3:%d:16" blocks;
+              ck_config = "YQH";
+              ck_interval = 100_000;
+              ck_max_k = 3;
+              ck_warmup = 200;
+              ck_measure = 600;
+            },
+          true );
+        ( "run",
+          Serve.Proto.Run
+            {
+              rn_workload = "coremark_like";
+              rn_config = "YQH";
+              rn_max_cycles = 200_000;
+              rn_ref = "iss";
+            },
+          false );
+        ( "topdown",
+          Serve.Proto.Topdown
+            {
+              td_workload = "sjeng_like";
+              td_config = "YQH";
+              td_max_cycles = 200_000;
+            },
+          false );
+      ]
+    in
+    let result_of = function
+      | Serve.Proto.Result r -> Some (r.r_warm, r.r_result)
+      | _ -> None
+    in
+    let c = Serve.Client.connect sock in
+    Printf.printf "%-12s %9s %9s %9s  %-5s %s\n" "class" "cold(s)" "warm(s)"
+      "speedup" "warm?" "bytes-vs-cold";
+    List.iter
+      (fun (name, spec, must_2x) ->
+        (* the reference: the same spec through the cold-start path,
+           in this process, against a throwaway cache *)
+        let cold_ref = Marshal.to_string (Serve.Server.exec_cold spec) [] in
+        let reply0, t_cold = time (fun () -> Serve.Client.submit c spec) in
+        let warm3 =
+          List.init 3 (fun _ -> time (fun () -> Serve.Client.submit c spec))
+        in
+        let t_warm =
+          match List.sort compare (List.map snd warm3) with
+          | [ _; m; _ ] -> m
+          | _ -> assert false
+        in
+        let replies = reply0 :: List.map fst warm3 in
+        let results = List.filter_map result_of replies in
+        let ok_count = List.length results = 4 in
+        let identical =
+          ok_count
+          && List.for_all
+               (fun (_, r) -> Marshal.to_string r [] = cold_ref)
+               results
+        in
+        let warm_flag =
+          match List.rev results with (w, _) :: _ -> w | [] -> false
+        in
+        let speedup = t_cold /. max 1e-9 t_warm in
+        Printf.printf "%-12s %9.3f %9.3f %8.1fx  %-5b %s\n%!" name t_cold
+          t_warm speedup warm_flag
+          (if identical then "identical" else "DIVERGED");
+        record
+          [
+            ("experiment", Json.Str "serve");
+            ("group", Json.Str "latency");
+            ("class", Json.Str name);
+            ("cold_seconds", Json.Num t_cold);
+            ("warm_seconds_median3", Json.Num t_warm);
+            ("warm_speedup", Json.Num speedup);
+            ("warm_flag", Json.Bool warm_flag);
+            ("byte_identical_to_cold", Json.Bool identical);
+            ("warm_2x_required", Json.Bool must_2x);
+          ];
+        if not identical then begin
+          campaign_failed := true;
+          Printf.printf "SERVE FAILED: %s served result diverged from cold\n"
+            name
+        end;
+        if must_2x && speedup < 2.0 then begin
+          campaign_failed := true;
+          Printf.printf
+            "SERVE FAILED: %s warm speedup %.2fx below the 2x floor\n" name
+            speedup
+        end)
+      classes;
+    (* sustained throughput: two clients flood a mixed engine+run
+       load without waiting, then drain all replies *)
+    let per_client = if !campaign_smoke then 4 else 10 in
+    let tiny_engine =
+      Serve.Proto.Engine
+        { en_workload = "testgen:7:400:12"; en_max_insns = 1_000_000 }
+    in
+    let tiny_run =
+      Serve.Proto.Run
+        {
+          rn_workload = "coremark_like";
+          rn_config = "YQH";
+          rn_max_cycles = 20_000;
+          rn_ref = "iss";
+        }
+    in
+    let a = Serve.Client.connect sock in
+    let b = Serve.Client.connect sock in
+    let (), wall =
+      time (fun () ->
+          for i = 1 to per_client do
+            Serve.Client.submit_nowait a
+              (if i mod 2 = 0 then tiny_engine else tiny_run);
+            Serve.Client.submit_nowait b
+              (if i mod 2 = 0 then tiny_run else tiny_engine)
+          done;
+          for _ = 1 to per_client do
+            ignore (Serve.Client.read_reply a);
+            ignore (Serve.Client.read_reply b)
+          done)
+    in
+    let total = 2 * per_client in
+    let jps = float_of_int total /. max 1e-9 wall in
+    Printf.printf
+      "\nsustained: %d mixed jobs from 2 clients in %.2f s = %.1f jobs/s\n"
+      total wall jps;
+    record
+      [
+        ("experiment", Json.Str "serve");
+        ("group", Json.Str "throughput");
+        ("clients", Json.Int 2);
+        ("jobs", Json.Int total);
+        ("seconds", Json.Num wall);
+        ("jobs_per_sec", Json.Num jps);
+      ];
+    Serve.Client.close a;
+    Serve.Client.close b;
+    (match Serve.Client.request c Serve.Proto.Shutdown with
+    | Serve.Proto.Shutting_down -> ()
+    | _ ->
+        campaign_failed := true;
+        Printf.printf "SERVE FAILED: shutdown not acknowledged\n");
+    Serve.Client.close c
+  end
+
+(* ---------------------------------------------------------------- *)
 
 let all_benches =
   [
@@ -1544,7 +1872,10 @@ let all_benches =
     ("cosim", bench_cosim, "co-simulation throughput, ISS REF vs NEMU REF");
     ( "parallel",
       bench_parallel,
-      "pool scaling: campaign + sampled simulation at 1/2/4/8 workers" );
+      "pool scaling: campaign + sampled simulation + dispatch A/B" );
+    ( "serve",
+      bench_serve,
+      "warm-state service: cold-vs-warm latency per job class, jobs/sec" );
     ( "topdown",
       bench_topdown,
       "top-down CPI stacks per workload (honours --smoke/--jobs)" );

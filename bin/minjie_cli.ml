@@ -434,6 +434,305 @@ let debug_cmd =
        ~doc:"Run the DiffTest + LightSSS + ArchDB workflow (§IV-C).")
     Term.(const run $ inject)
 
+(* ---- serve (persistent warm-state simulation service) ------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let serve_cmd =
+  let run socket jobs depth batch journal resume quiet =
+    let cfg =
+      {
+        Serve.Server.socket_path = socket;
+        jobs;
+        queue_depth = depth;
+        batch_max = (match batch with Some b -> max 1 b | None -> max 2 (2 * jobs));
+        journal_path = journal;
+        resume;
+        quiet;
+      }
+    in
+    exit (Serve.Server.serve cfg)
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Pool workers for job batches.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Max queued jobs before clients get Busy.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max jobs dispatched per loop round (default 2*jobs).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Crash-safe job accounting journal.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Re-run journaled jobs the previous server never finished.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-job logs.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent simulation service: a Unix-socket job server \
+          with resident warm state (assembled images, decoded superblock \
+          caches, generated checkpoints), batching, backpressure, and \
+          per-client fairness.")
+    Term.(
+      const run $ socket_arg $ jobs $ depth $ batch $ journal $ resume $ quiet)
+
+(* ---- submit (serve client) --------------------------------------------- *)
+
+let submit_cmd =
+  let run klass socket cold workload config max_cycles max_insns interval max_k
+      warmup measure faults seeds ref_kind duration tag retries =
+    let split s = if s = "" then [] else String.split_on_char ',' s in
+    let spec () : Serve.Proto.job_spec =
+      match klass with
+      | "run" ->
+          Serve.Proto.Run
+            {
+              rn_workload = workload;
+              rn_config = config;
+              rn_max_cycles = max_cycles;
+              rn_ref = ref_kind;
+            }
+      | "engine" ->
+          Serve.Proto.Engine
+            { en_workload = workload; en_max_insns = max_insns }
+      | "checkpoint" ->
+          Serve.Proto.Checkpoint
+            {
+              ck_workload = workload;
+              ck_config = config;
+              ck_interval = interval;
+              ck_max_k = max_k;
+              ck_warmup = warmup;
+              ck_measure = measure;
+            }
+      | "campaign" ->
+          Serve.Proto.Campaign
+            {
+              ca_faults = split faults;
+              ca_seeds = List.map int_of_string (split seeds);
+              ca_ref = ref_kind;
+            }
+      | "topdown" ->
+          Serve.Proto.Topdown
+            {
+              td_workload = workload;
+              td_config = config;
+              td_max_cycles = max_cycles;
+            }
+      | "sleep" ->
+          Serve.Proto.Sleep { sl_seconds = duration; sl_tag = tag }
+      | other ->
+          Printf.eprintf
+            "unknown job class %s (run | engine | checkpoint | campaign | \
+             topdown | sleep | ping | stats | shutdown)\n"
+            other;
+          exit 2
+    in
+    let with_conn f =
+      match socket with
+      | None ->
+          Printf.eprintf "submit: --socket is required (or use --cold)\n";
+          exit 2
+      | Some path -> (
+          match Serve.Client.connect path with
+          | c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+          | exception Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "submit: cannot connect to %s: %s\n" path
+                (Unix.error_message e);
+              exit 1)
+    in
+    match klass with
+    | "ping" ->
+        with_conn (fun c ->
+            match Serve.Client.request c Serve.Proto.Ping with
+            | Serve.Proto.Pong p ->
+                Printf.printf "pong: %d pool worker(s), %d job(s) queued\n"
+                  p.p_jobs p.p_queued
+            | _ ->
+                Printf.eprintf "unexpected reply to ping\n";
+                exit 1)
+    | "stats" ->
+        with_conn (fun c ->
+            match Serve.Client.request c Serve.Proto.Stats with
+            | Serve.Proto.Stats_reply s ->
+                Printf.printf
+                  "jobs done %d | warm hits %d | misses %d | queued %d | \
+                   clients %d\n"
+                  s.st_jobs_done s.st_warm_hits s.st_warm_misses
+                  s.st_queue_depth s.st_clients;
+                List.iter
+                  (fun (k, v) -> Printf.printf "  ewma %-32s %.4fs\n" k v)
+                  s.st_ewma
+            | _ ->
+                Printf.eprintf "unexpected reply to stats\n";
+                exit 1)
+    | "shutdown" ->
+        with_conn (fun c ->
+            match Serve.Client.request c Serve.Proto.Shutdown with
+            | Serve.Proto.Shutting_down -> Printf.printf "server shutting down\n"
+            | _ ->
+                Printf.eprintf "unexpected reply to shutdown\n";
+                exit 1)
+    | _ ->
+        let spec = spec () in
+        let finish (result : Serve.Proto.job_result) =
+          print_string (Serve.Client.render_result result);
+          match result with Serve.Proto.R_error _ -> exit 3 | _ -> exit 0
+        in
+        if cold then begin
+          let t0 = Unix.gettimeofday () in
+          let result = Serve.Server.exec_cold spec in
+          Printf.eprintf "cold-start in %.3fs\n" (Unix.gettimeofday () -. t0);
+          finish result
+        end
+        else
+          with_conn (fun c ->
+              let t0 = Unix.gettimeofday () in
+              match Serve.Client.submit ~retries c spec with
+              | Serve.Proto.Result r ->
+                  Printf.eprintf "served job %d in %.3fs%s\n" r.r_id
+                    (Unix.gettimeofday () -. t0)
+                    (if r.r_warm then " [warm]" else "");
+                  finish r.r_result
+              | Serve.Proto.Busy b ->
+                  Printf.eprintf "server busy (queue depth %d); try again\n"
+                    b.b_depth;
+                  exit 4
+              | Serve.Proto.Shutting_down ->
+                  Printf.eprintf "server is shutting down\n";
+                  exit 4
+              | Serve.Proto.Err msg ->
+                  Printf.eprintf "protocol error: %s\n" msg;
+                  exit 1
+              | _ ->
+                  Printf.eprintf "unexpected reply\n";
+                  exit 1)
+  in
+  let klass =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CLASS")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Server socket path.")
+  in
+  let cold =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Execute in-process on the cold-start path instead of a server \
+             (the byte-identity reference).")
+  in
+  let workload =
+    Arg.(
+      value & opt string "coremark_like"
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:
+            "Workload name; engine jobs also accept \
+             testgen:SEED:BLOCKS:BLOCKLEN.")
+  in
+  let config =
+    Arg.(
+      value & opt string "YQH"
+      & info [ "config"; "c" ] ~docv:"NAME" ~doc:"Config preset name.")
+  in
+  let max_cycles =
+    Arg.(
+      value & opt int 400_000
+      & info [ "max-cycles" ] ~docv:"N" ~doc:"Cycle budget (run/topdown).")
+  in
+  let max_insns =
+    Arg.(
+      value & opt int 50_000_000
+      & info [ "max-insns" ] ~docv:"N" ~doc:"Instruction budget (engine).")
+  in
+  let interval =
+    Arg.(
+      value & opt int 20_000
+      & info [ "interval" ] ~docv:"N" ~doc:"Checkpoint interval (insns).")
+  in
+  let max_k =
+    Arg.(
+      value & opt int 4
+      & info [ "max-k" ] ~docv:"N" ~doc:"Max SimPoint clusters.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 5_000
+      & info [ "warmup" ] ~docv:"N" ~doc:"Checkpoint warmup instructions.")
+  in
+  let measure =
+    Arg.(
+      value & opt int 10_000
+      & info [ "measure" ] ~docv:"N" ~doc:"Checkpoint measured instructions.")
+  in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"A,B,C"
+          ~doc:"Campaign fault subset (empty = full registry).")
+  in
+  let seeds =
+    Arg.(
+      value & opt string "1"
+      & info [ "seeds" ] ~docv:"1,2" ~doc:"Campaign seeds.")
+  in
+  let ref_kind =
+    Arg.(
+      value & opt string "iss"
+      & info [ "ref" ] ~docv:"iss|nemu" ~doc:"REF backend.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.5
+      & info [ "duration" ] ~docv:"SECS" ~doc:"Sleep duration.")
+  in
+  let tag =
+    Arg.(value & opt string "t" & info [ "tag" ] ~docv:"TAG" ~doc:"Sleep tag.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N" ~doc:"Retries on a Busy reply.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a job to a running `minjie serve` (or execute it cold with \
+          --cold).  CLASS is run | engine | checkpoint | campaign | topdown \
+          | sleep | ping | stats | shutdown.")
+    Term.(
+      const run $ klass $ socket $ cold $ workload $ config $ max_cycles
+      $ max_insns $ interval $ max_k $ warmup $ measure $ faults $ seeds
+      $ ref_kind $ duration $ tag $ retries)
+
 let () =
   (* SIGINT/SIGTERM: kill and reap every pool worker, run registered
      cleanups, exit 130/143 -- no orphans, no torn files *)
@@ -445,7 +744,16 @@ let () =
   let cmd =
     Cmd.group ~default
       (Cmd.info "minjie" ~doc)
-      [ list_cmd; run_cmd; engines_cmd; checkpoint_cmd; campaign_cmd; debug_cmd ]
+      [
+        list_cmd;
+        run_cmd;
+        engines_cmd;
+        checkpoint_cmd;
+        campaign_cmd;
+        debug_cmd;
+        serve_cmd;
+        submit_cmd;
+      ]
   in
   (* match the bench driver's convention: usage errors (unknown
      subcommand, bad flags) report on stderr -- which Cmdliner already

@@ -182,4 +182,52 @@ grep -q '"ref_step_speedup"' ci_cosim.json
 grep -q '"geomean_ref_step_speedup"' ci_cosim.json
 rm -f ci_cosim.json
 
+echo "== serve smoke (warm-state service: served output byte-identical to cold, clean shutdown, no orphans) =="
+CLI=./_build/default/bin/minjie_cli.exe
+SOCK=./ci_serve.sock
+rm -f "$SOCK"
+"$CLI" serve --socket "$SOCK" --quiet >/dev/null 2>&1 &
+server=$!
+# wait for the server to answer a ping (it assembles nothing at boot,
+# so this converges in well under a second)
+ready=0
+for _ in $(seq 1 100); do
+  if "$CLI" submit ping --socket "$SOCK" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.1
+done
+if [ "$ready" != 1 ]; then echo "serve never answered a ping"; exit 1; fi
+# every served job's stdout must be byte-identical to the cold-start
+# path's (`submit --cold` executes in-process against a fresh cache);
+# the run is submitted twice so the second reply exercises the warm
+# cache, not just the protocol
+"$CLI" submit run --socket "$SOCK" -w coremark_like --max-cycles 200000 >ci_serve_run.txt 2>/dev/null
+"$CLI" submit run --socket "$SOCK" -w coremark_like --max-cycles 200000 >ci_serve_run_warm.txt 2>/dev/null
+"$CLI" submit run --cold             -w coremark_like --max-cycles 200000 >ci_serve_run_cold.txt 2>/dev/null
+diff ci_serve_run.txt ci_serve_run_cold.txt
+diff ci_serve_run_warm.txt ci_serve_run_cold.txt
+"$CLI" submit campaign --socket "$SOCK" --faults csr-mtvec-corrupt,rob-commit-reorder,lsu-sb-drop --seeds 1 >ci_serve_camp.txt 2>/dev/null
+"$CLI" submit campaign --cold             --faults csr-mtvec-corrupt,rob-commit-reorder,lsu-sb-drop --seeds 1 >ci_serve_camp_cold.txt 2>/dev/null
+diff ci_serve_camp.txt ci_serve_camp_cold.txt
+grep -q 'escape' ci_serve_camp.txt
+"$CLI" submit topdown --socket "$SOCK" -w sjeng_like --max-cycles 200000 >ci_serve_td.txt 2>/dev/null
+"$CLI" submit topdown --cold             -w sjeng_like --max-cycles 200000 >ci_serve_td_cold.txt 2>/dev/null
+diff ci_serve_td.txt ci_serve_td_cold.txt
+# SIGTERM: supervised shutdown (exit 143), socket unlinked, no orphans
+kill -TERM "$server"
+set +e; wait "$server"; code=$?; set -e
+if [ "$code" != 143 ]; then
+  echo "serve SIGTERM exit code was $code, wanted 143"; exit 1
+fi
+sleep 0.3
+if [ -e "$SOCK" ]; then
+  echo "serve left its socket behind"; exit 1
+fi
+if pgrep -x minjie_cli.exe >/dev/null; then
+  echo "orphan serve workers survived SIGTERM:"
+  pgrep -ax minjie_cli.exe || true
+  exit 1
+fi
+rm -f ci_serve_run.txt ci_serve_run_warm.txt ci_serve_run_cold.txt \
+  ci_serve_camp.txt ci_serve_camp_cold.txt ci_serve_td.txt ci_serve_td_cold.txt
+
 echo "CI OK"

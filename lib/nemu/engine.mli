@@ -59,3 +59,35 @@ val run_program :
 
 val mips : int -> float -> float
 (** Million instructions per second. *)
+
+type warm
+(** A resident NEMU instance for one program: the machine and its
+    decoded superblock/megablock caches stay alive across runs, and
+    each {!warm_run} first rolls the architectural state back to the
+    post-load reset point (guest memory via a COW snapshot, CSRs via a
+    pristine copy, registers/pc/CLINT/console by hand).  Compiled code
+    is retained only when the previous run performed no cache-flush
+    event (fence.i / sfence.vma / satp write); otherwise the caches
+    are conservatively dropped, so results are architecturally
+    identical to a cold run regardless of warmth. *)
+
+val warm_create :
+  ?dram_size:int -> ?megablocks:bool -> Riscv.Asm.program -> warm
+
+val warm_run : warm -> max_insns:int -> int
+(** Run the program from reset; returns instructions retired.  The
+    first run executes on the freshly loaded machine; later runs reset
+    architectural state first and reuse warm decoded code when it is
+    provably clean. *)
+
+val warm_mach : warm -> Mach.t
+(** The underlying machine, for reading exit code / console output /
+    {!Mach.arch_state_digest} after a run. *)
+
+val warm_runs : warm -> int
+(** Number of {!warm_run}s performed so far. *)
+
+val warm_compiled : warm -> int
+(** Total instructions compiled by the engine since creation (does not
+    reset across runs — a second run that recompiles nothing keeps
+    this flat, which tests use to prove cache reuse). *)

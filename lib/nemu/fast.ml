@@ -228,6 +228,15 @@ let[@inline] retarget (t : t) =
   t.patch <- None;
   t.patch_slot <- Patch_none
 
+(* Re-arm the engine for a fresh run of the *same* program image
+   without dropping compiled code: point [cache] back at the table for
+   the machine's (restored) privilege and clear any pending patch from
+   the previous run's final dispatch.  Callers that restored guest
+   memory are responsible for flushing instead when the previous run
+   saw any flush event (fence.i / sfence / satp write) -- see
+   {!Engine.warm_run}. *)
+let rewind (t : t) = retarget t
+
 let flush (t : t) =
   Array.iter Hashtbl.reset t.caches;
   t.cache <- t.caches.(priv_ix t.m.Mach.csr.Csr.priv);

@@ -151,6 +151,16 @@ val create : ?capacity:int -> ?megablocks:bool -> ?hot_threshold:int ->
 
 val flush : t -> unit
 
+val rewind : t -> unit
+(** Re-arm the engine for another run of the same program image while
+    keeping all compiled superblocks/megablocks: re-selects the cache
+    table for the machine's current privilege and clears any pending
+    chain patch.  Only sound when guest code is unchanged since the
+    blocks were compiled; callers that restored memory must [flush]
+    instead whenever the previous run performed any flush event
+    (compare {!type:t}'s [flushes] counter across runs, as
+    [Engine.warm_run] does). *)
+
 val run : t -> max_insns:int -> int
 (** Run to machine exit or the instruction budget; returns
     instructions retired. *)

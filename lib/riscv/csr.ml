@@ -156,6 +156,37 @@ let create ~hartid =
 
 let copy t = { t with priv = t.priv }
 
+(* Restore every mutable field of [dst] from [src] (typically a
+   pristine [copy] taken right after reset).  [hartid] is immutable
+   and [time_source] is a closure over the live platform, so both are
+   left alone: a restored CSR file keeps reading the *current*
+   machine's CLINT. *)
+let restore dst src =
+  dst.priv <- src.priv;
+  dst.reg_mstatus <- src.reg_mstatus;
+  dst.reg_misa <- src.reg_misa;
+  dst.reg_medeleg <- src.reg_medeleg;
+  dst.reg_mideleg <- src.reg_mideleg;
+  dst.reg_mie <- src.reg_mie;
+  dst.reg_mtvec <- src.reg_mtvec;
+  dst.reg_mscratch <- src.reg_mscratch;
+  dst.reg_mepc <- src.reg_mepc;
+  dst.reg_mcause <- src.reg_mcause;
+  dst.reg_mtval <- src.reg_mtval;
+  dst.reg_mip <- src.reg_mip;
+  dst.reg_mcycle <- src.reg_mcycle;
+  dst.reg_minstret <- src.reg_minstret;
+  dst.reg_mcounteren <- src.reg_mcounteren;
+  dst.reg_scounteren <- src.reg_scounteren;
+  dst.reg_stvec <- src.reg_stvec;
+  dst.reg_sscratch <- src.reg_sscratch;
+  dst.reg_sepc <- src.reg_sepc;
+  dst.reg_scause <- src.reg_scause;
+  dst.reg_stval <- src.reg_stval;
+  dst.reg_satp <- src.reg_satp;
+  dst.reg_fflags <- src.reg_fflags;
+  dst.reg_frm <- src.reg_frm
+
 (* sstatus is a restricted view of mstatus *)
 let sstatus_mask =
   Int64.logor (bit st_sie)

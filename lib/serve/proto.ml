@@ -1,0 +1,255 @@
+(* Wire protocol for `minjie serve`: framed Marshal payloads over a
+   Unix domain socket.  See proto.mli for the format. *)
+
+type job_spec =
+  | Run of {
+      rn_workload : string;
+      rn_config : string;
+      rn_max_cycles : int;
+      rn_ref : string;
+    }
+  | Engine of { en_workload : string; en_max_insns : int }
+  | Checkpoint of {
+      ck_workload : string;
+      ck_config : string;
+      ck_interval : int;
+      ck_max_k : int;
+      ck_warmup : int;
+      ck_measure : int;
+    }
+  | Campaign of { ca_faults : string list; ca_seeds : int list; ca_ref : string }
+  | Topdown of { td_workload : string; td_config : string; td_max_cycles : int }
+  | Sleep of { sl_seconds : float; sl_tag : string }
+
+type run_status =
+  | Rs_finished of int
+  | Rs_failed of { rf_rule : string; rf_cycle : int; rf_msg : string }
+  | Rs_timeout
+
+type sample = {
+  sa_index : int;
+  sa_weight : float;
+  sa_instructions : int;
+  sa_cycles : int;
+}
+
+type job_result =
+  | R_run of {
+      rr_status : run_status;
+      rr_cycles : int;
+      rr_instrs : int;
+      rr_commits : int;
+      rr_rules : (string * int) list;
+    }
+  | R_engine of {
+      re_insns : int;
+      re_exit : int option;
+      re_digest : int64 * int64 array * int64 array;
+    }
+  | R_checkpoint of {
+      rc_intervals : int;
+      rc_selected : int;
+      rc_samples : sample list;
+      rc_weighted_ipc : float;
+    }
+  | R_campaign of {
+      rca_total : int;
+      rca_detected : int;
+      rca_escapes : int;
+      rca_cells : string list;
+    }
+  | R_topdown of {
+      rt_cycles : int;
+      rt_instrs : int;
+      rt_counters : (string * int) list;
+    }
+  | R_sleep of { rs_tag : string }
+  | R_error of string
+
+type request = Submit of job_spec | Ping | Stats | Shutdown
+
+type stats_summary = {
+  st_jobs_done : int;
+  st_warm_hits : int;
+  st_warm_misses : int;
+  st_queue_depth : int;
+  st_clients : int;
+  st_ewma : (string * float) list;
+}
+
+type reply =
+  | Result of { r_id : int; r_warm : bool; r_result : job_result }
+  | Busy of { b_depth : int }
+  | Pong of { p_jobs : int; p_queued : int }
+  | Stats_reply of stats_summary
+  | Shutting_down
+  | Err of string
+
+(* --- keys ------------------------------------------------------------- *)
+
+let class_key = function
+  | Run r -> Printf.sprintf "run:%s:%s" r.rn_workload r.rn_config
+  | Engine e -> Printf.sprintf "engine:%s" e.en_workload
+  | Checkpoint c -> Printf.sprintf "checkpoint:%s:%s" c.ck_workload c.ck_config
+  | Campaign _ -> "campaign"
+  | Topdown t -> Printf.sprintf "topdown:%s:%s" t.td_workload t.td_config
+  | Sleep _ -> "sleep"
+
+let warm_key = function
+  | Run r -> Some ("prog:" ^ r.rn_workload)
+  | Engine e -> Some ("engine:" ^ e.en_workload)
+  | Checkpoint c ->
+      Some (Printf.sprintf "ckpt:%s:%d:%d" c.ck_workload c.ck_interval c.ck_max_k)
+  | Topdown t -> Some ("prog:" ^ t.td_workload)
+  | Campaign _ | Sleep _ -> None
+
+let describe = function
+  | Run r -> Printf.sprintf "run %s on %s (ref %s)" r.rn_workload r.rn_config r.rn_ref
+  | Engine e ->
+      Printf.sprintf "engine %s (budget %d)" e.en_workload e.en_max_insns
+  | Checkpoint c ->
+      Printf.sprintf "checkpoint %s on %s (interval %d, k<=%d)" c.ck_workload
+        c.ck_config c.ck_interval c.ck_max_k
+  | Campaign c ->
+      Printf.sprintf "campaign %s x %d seed(s)"
+        (match c.ca_faults with
+        | [] -> "full-registry"
+        | fs -> String.concat "," fs)
+        (List.length c.ca_seeds)
+  | Topdown t -> Printf.sprintf "topdown %s on %s" t.td_workload t.td_config
+  | Sleep s -> Printf.sprintf "sleep %.3fs (%s)" s.sl_seconds s.sl_tag
+
+(* --- framing ---------------------------------------------------------- *)
+
+exception Frame_error of string
+
+let max_frame = 64 * 1024 * 1024
+
+let crc payload = Minjie.Journal.crc32 (Bytes.unsafe_to_string payload)
+
+let put32 b off (v : int32) =
+  Bytes.set b off (Char.chr (Int32.to_int (Int32.logand v 0xffl)));
+  Bytes.set b (off + 1)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xffl)));
+  Bytes.set b (off + 2)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xffl)));
+  Bytes.set b (off + 3)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xffl)))
+
+let get32 b off =
+  let byte i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let frame payload =
+  let n = Bytes.length payload in
+  if n > max_frame then raise (Frame_error "frame too large");
+  let b = Bytes.create (8 + n) in
+  put32 b 0 (Int32.of_int n);
+  put32 b 4 (crc payload);
+  Bytes.blit payload 0 b 8 n;
+  b
+
+let request_to_bytes (r : request) = Marshal.to_bytes r []
+let reply_to_bytes (r : reply) = Marshal.to_bytes r []
+
+(* A Marshal payload for the wrong type would decode into garbage, so
+   both decoders re-check the variant shape by matching: an exception
+   anywhere becomes a Frame_error. *)
+let request_of_payload b : request =
+  match (Marshal.from_bytes b 0 : request) with
+  | r -> r
+  | exception _ -> raise (Frame_error "undecodable request payload")
+
+let reply_of_payload b : reply =
+  match (Marshal.from_bytes b 0 : reply) with
+  | r -> r
+  | exception _ -> raise (Frame_error "undecodable reply payload")
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error (Unix.EAGAIN, _, _) ->
+          ignore (Unix.select [] [ fd ] [] 1.0);
+          0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let b = frame payload in
+  write_all fd b 0 (Bytes.length b)
+
+let rec read_exact fd b off len =
+  if len = 0 then true
+  else
+    match Unix.read fd b off len with
+    | 0 -> false
+    | n -> read_exact fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd b off len
+
+let read_frame fd =
+  let hdr = Bytes.create 8 in
+  (* distinguish clean EOF (no header bytes at all) from truncation *)
+  let first =
+    let rec rd () =
+      try Unix.read fd hdr 0 1
+      with Unix.Unix_error (Unix.EINTR, _, _) -> rd ()
+    in
+    rd ()
+  in
+  if first = 0 then None
+  else begin
+    if not (read_exact fd hdr 1 7) then
+      raise (Frame_error "truncated frame header");
+    let len = Int32.to_int (get32 hdr 0) in
+    if len < 0 || len > max_frame then
+      raise (Frame_error (Printf.sprintf "bad frame length %d" len));
+    let want = get32 hdr 4 in
+    let payload = Bytes.create len in
+    if not (read_exact fd payload 0 len) then
+      raise (Frame_error "truncated frame payload");
+    if crc payload <> want then raise (Frame_error "frame CRC mismatch");
+    Some payload
+  end
+
+module Accum = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let feed t chunk n =
+    let need = t.len + n in
+    if need > Bytes.length t.buf then begin
+      let cap = max need (2 * Bytes.length t.buf) in
+      let b = Bytes.create cap in
+      Bytes.blit t.buf 0 b 0 t.len;
+      t.buf <- b
+    end;
+    Bytes.blit chunk 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let next t =
+    if t.len < 8 then None
+    else begin
+      let len = Int32.to_int (get32 t.buf 0) in
+      if len < 0 || len > max_frame then
+        Some (Error (Printf.sprintf "bad frame length %d" len))
+      else if t.len < 8 + len then None
+      else begin
+        let want = get32 t.buf 4 in
+        let payload = Bytes.sub t.buf 8 len in
+        if crc payload <> want then Some (Error "frame CRC mismatch")
+        else begin
+          let rest = t.len - (8 + len) in
+          Bytes.blit t.buf (8 + len) t.buf 0 rest;
+          t.len <- rest;
+          Some (Ok payload)
+        end
+      end
+    end
+end

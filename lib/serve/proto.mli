@@ -1,0 +1,182 @@
+(** The `minjie serve` wire protocol.
+
+    Transport: a Unix domain socket carrying length-prefixed frames,
+
+    {v [payload length (4B LE)] [crc32 of payload (4B LE)] [payload] v}
+
+    where the payload is a [Marshal]-encoded {!request} (client to
+    server) or {!reply} (server to client).  The CRC is the same
+    polynomial the {!Minjie.Journal} uses, so a corrupted or truncated
+    frame is detected before [Marshal] ever sees it.  Every request
+    gets exactly one reply; [Submit] replies only once the job has a
+    result (or immediately with [Busy] when the queue is full), so a
+    client is also a completion waiter.
+
+    Job specs and results deliberately contain no wall-clock or
+    host-dependent fields: a result computed by the warm server must
+    be byte-identical ([Marshal]-equal) to one computed by a cold
+    one-shot process, and tests/CI assert exactly that. *)
+
+(** {1 Jobs} *)
+
+type job_spec =
+  | Run of {
+      rn_workload : string;
+      rn_config : string;  (** a {!Xiangshan.Config} preset name *)
+      rn_max_cycles : int;
+      rn_ref : string;  (** "iss" | "nemu" *)
+    }  (** a DiffTest-verified simulation of one workload *)
+  | Engine of { en_workload : string; en_max_insns : int }
+      (** a bare NEMU run; [en_workload] accepts catalogue names or
+          ["testgen:SEED:BLOCKS:BLOCKLEN"] for generated programs *)
+  | Checkpoint of {
+      ck_workload : string;
+      ck_config : string;
+      ck_interval : int;
+      ck_max_k : int;
+      ck_warmup : int;
+      ck_measure : int;
+    }  (** SimPoint checkpoint generation + sampled simulation *)
+  | Campaign of {
+      ca_faults : string list;  (** empty = full fault registry *)
+      ca_seeds : int list;
+      ca_ref : string;
+    }  (** a fault-injection campaign slice *)
+  | Topdown of {
+      td_workload : string;
+      td_config : string;
+      td_max_cycles : int;
+    }  (** performance counters + top-down CPI stack *)
+  | Sleep of { sl_seconds : float; sl_tag : string }
+      (** test/bench aid: occupies a queue slot for a fixed duration *)
+
+type run_status =
+  | Rs_finished of int
+  | Rs_failed of { rf_rule : string; rf_cycle : int; rf_msg : string }
+  | Rs_timeout
+
+type sample = {
+  sa_index : int;
+  sa_weight : float;
+  sa_instructions : int;
+  sa_cycles : int;
+}
+
+type job_result =
+  | R_run of {
+      rr_status : run_status;
+      rr_cycles : int;
+      rr_instrs : int;
+      rr_commits : int;
+      rr_rules : (string * int) list;
+    }
+  | R_engine of {
+      re_insns : int;
+      re_exit : int option;
+      re_digest : int64 * int64 array * int64 array;
+          (** {!Nemu.Mach.arch_state_digest}: pc, xregs, fregs *)
+    }
+  | R_checkpoint of {
+      rc_intervals : int;
+      rc_selected : int;
+      rc_samples : sample list;
+      rc_weighted_ipc : float;
+    }
+  | R_campaign of {
+      rca_total : int;
+      rca_detected : int;
+      rca_escapes : int;
+      rca_cells : string list;  (** {!Minjie.Campaign.string_of_cell} lines *)
+    }
+  | R_topdown of {
+      rt_cycles : int;
+      rt_instrs : int;
+      rt_counters : (string * int) list;
+    }
+  | R_sleep of { rs_tag : string }
+  | R_error of string  (** the job raised; message is deterministic *)
+
+(** {1 Requests and replies} *)
+
+type request = Submit of job_spec | Ping | Stats | Shutdown
+
+type stats_summary = {
+  st_jobs_done : int;
+  st_warm_hits : int;
+  st_warm_misses : int;
+  st_queue_depth : int;
+  st_clients : int;
+  st_ewma : (string * float) list;
+      (** observed mean runtime per job class, sorted by class key *)
+}
+
+type reply =
+  | Result of { r_id : int; r_warm : bool; r_result : job_result }
+  | Busy of { b_depth : int }
+      (** queue full: the job was NOT accepted; retry later *)
+  | Pong of { p_jobs : int; p_queued : int }
+  | Stats_reply of stats_summary
+  | Shutting_down
+  | Err of string  (** protocol error; the server closes the connection *)
+
+(** {1 Keys} *)
+
+val class_key : job_spec -> string
+(** EWMA key: job class plus the workload/config axes that dominate
+    its runtime, e.g. ["run:coremark_like:YQH"]. *)
+
+val warm_key : job_spec -> string option
+(** Warm-state cache key, [None] for classes with no reusable state.
+    Jobs sharing a key are coalesced back-to-back within a batch. *)
+
+val describe : job_spec -> string
+(** One-line human description for logs. *)
+
+(** {1 Framing} *)
+
+exception Frame_error of string
+(** Raised on oversized frames, CRC mismatches, or undecodable
+    payloads. *)
+
+val max_frame : int
+(** Upper bound on payload size (refuse absurd lengths before
+    allocating). *)
+
+val frame : bytes -> bytes
+(** Wrap a payload in a [length | crc | payload] frame. *)
+
+val request_to_bytes : request -> bytes
+val reply_to_bytes : reply -> bytes
+
+val request_of_payload : bytes -> request
+(** @raise Frame_error if the payload is not a request. *)
+
+val reply_of_payload : bytes -> reply
+(** @raise Frame_error if the payload is not a reply. *)
+
+val write_frame : Unix.file_descr -> bytes -> unit
+(** Write [frame payload] fully, retrying on [EINTR] and short
+    writes.  Raises the underlying [Unix.Unix_error] on a dead peer
+    ([EPIPE]); callers decide whether that matters. *)
+
+val read_frame : Unix.file_descr -> bytes option
+(** Blocking read of one complete frame's payload; [None] on clean
+    EOF before the first header byte.
+    @raise Frame_error on truncation mid-frame or CRC mismatch. *)
+
+(** {1 Incremental parsing (server side)} *)
+
+module Accum : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> unit
+  (** Append the first [n] bytes of a chunk. *)
+
+  val next : t -> (bytes, string) result option
+  (** [Some (Ok payload)] when a complete, CRC-valid frame is
+      buffered; [Some (Error msg)] when the stream is unrecoverably
+      malformed (the connection should be closed); [None] when more
+      bytes are needed. *)
+end

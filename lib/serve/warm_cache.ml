@@ -1,0 +1,130 @@
+(* Server-resident warm state.  See warm_cache.mli. *)
+
+module Ewma = struct
+  type cell = { mutable value : float; mutable n : int }
+
+  type t = { alpha : float; tbl : (string, cell) Hashtbl.t }
+
+  let create ?(alpha = 0.3) () = { alpha; tbl = Hashtbl.create 32 }
+
+  let observe t key x =
+    match Hashtbl.find_opt t.tbl key with
+    | None -> Hashtbl.replace t.tbl key { value = x; n = 1 }
+    | Some c ->
+        c.value <- (t.alpha *. x) +. ((1.0 -. t.alpha) *. c.value);
+        c.n <- c.n + 1
+
+  let expect t key ~default =
+    match Hashtbl.find_opt t.tbl key with
+    | Some c -> c.value
+    | None -> default
+
+  let snapshot t =
+    Hashtbl.fold (fun k c acc -> (k, c.value) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
+
+type entry =
+  | W_prog of Riscv.Asm.program
+  | W_engine of Nemu.Engine.warm
+  | W_ckpt of
+      Checkpoint.Sampled.sampled_checkpoint list
+      * Checkpoint.Sampled.generation_stats
+
+type slot = { mutable e : entry; mutable last_used : int }
+
+type t = {
+  entries : (string, slot) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;  (** logical access clock for LRU *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 64) () =
+  { entries = Hashtbl.create 32; capacity; tick = 0; hits = 0; misses = 0 }
+
+let hits t = t.hits
+let misses t = t.misses
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k s acc ->
+        match acc with
+        | Some (_, age) when age <= s.last_used -> acc
+        | _ -> Some (k, s.last_used))
+      t.entries None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.entries k | None -> ()
+
+let get t key build =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.entries key with
+  | Some s ->
+      s.last_used <- t.tick;
+      t.hits <- t.hits + 1;
+      s.e
+  | None ->
+      t.misses <- t.misses + 1;
+      let e = build () in
+      if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+      Hashtbl.replace t.entries key { e; last_used = t.tick };
+      e
+
+(* --- program resolution ----------------------------------------------- *)
+
+let resolve_program name =
+  match String.split_on_char ':' name with
+  | [ "testgen"; seed; blocks; len ] -> (
+      match
+        (int_of_string_opt seed, int_of_string_opt blocks, int_of_string_opt len)
+      with
+      | Some seed, Some blocks, Some block_len ->
+          Workloads.Testgen.program ~seed ~blocks ~block_len ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "serve: malformed testgen workload %S" name))
+  | _ ->
+      let w = Minjie.Campaign.find_workload name in
+      w.Workloads.Wl_common.program ~scale:w.Workloads.Wl_common.small
+
+let program t name =
+  match get t ("prog:" ^ name) (fun () -> W_prog (resolve_program name)) with
+  | W_prog p -> p
+  | _ -> assert false
+
+let engine t name =
+  match
+    get t
+      ("engine:" ^ name)
+      (fun () -> W_engine (Nemu.Engine.warm_create (resolve_program name)))
+  with
+  | W_engine w -> w
+  | _ -> assert false
+
+let checkpoints t ~workload ~interval ~max_k =
+  match
+    get t
+      (Printf.sprintf "ckpt:%s:%d:%d" workload interval max_k)
+      (fun () ->
+        let prog = resolve_program workload in
+        let cks, stats = Checkpoint.Sampled.generate ~interval ~max_k prog in
+        W_ckpt (cks, stats))
+  with
+  | W_ckpt (cks, stats) -> (cks, stats)
+  | _ -> assert false
+
+(* --- configs ---------------------------------------------------------- *)
+
+let config_of_name name =
+  match
+    List.find_opt
+      (fun (c : Xiangshan.Config.t) -> c.Xiangshan.Config.cfg_name = name)
+      Xiangshan.Config.all_presets
+  with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "serve: unknown config %S" name)
+
+let config_fingerprint (cfg : Xiangshan.Config.t) =
+  String.sub (Digest.to_hex (Digest.string (Marshal.to_string cfg []))) 0 12

@@ -29,4 +29,5 @@ let () =
       ("workloads", Test_workloads.tests);
       ("twophase", Test_twophase.tests);
       ("perf", Test_perf.tests);
+      ("serve", Test_serve.tests);
     ]

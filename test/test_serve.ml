@@ -1,0 +1,443 @@
+(* The `minjie serve` subsystem: wire-protocol framing and its failure
+   edges, served-vs-cold byte identity, warm-state reuse, queue-full
+   backpressure, per-client fairness, client disconnect mid-job, and
+   crash-safe queue resume. *)
+
+module Proto = Serve.Proto
+module Client = Serve.Client
+module Server = Serve.Server
+
+(* a tiny generated program: deterministic, flush-free, ~5k insns *)
+let tiny_engine =
+  Proto.Engine { en_workload = "testgen:7:400:12"; en_max_insns = 1_000_000 }
+
+let sleep_spec ?(secs = 0.15) tag =
+  Proto.Sleep { sl_seconds = secs; sl_tag = tag }
+
+let marshal_result (r : Proto.job_result) = Marshal.to_string r []
+
+(* Run [f sock] against a freshly forked server process; always kills
+   and reaps the server and removes the socket. *)
+let with_server ?(jobs = 1) ?(depth = 64) ?(batch = 2) ?journal
+    ?(resume = false) f =
+  let sock =
+    Printf.sprintf "%s/minjie_serve_test_%d_%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) (int_of_float (Unix.gettimeofday () *. 1e3) mod 100_000)
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  (* children inherit the stdout buffer on fork; flush so a worker's
+     exit cannot re-emit buffered alcotest output *)
+  flush stdout;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 null Unix.stderr;
+    let cfg =
+      {
+        Server.socket_path = sock;
+        jobs;
+        queue_depth = depth;
+        batch_max = batch;
+        journal_path = journal;
+        resume;
+        quiet = true;
+      }
+    in
+    let code = try Server.serve cfg with _ -> 10 in
+    Unix._exit code
+  end
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        try Sys.remove sock with Sys_error _ -> ())
+      (fun () ->
+        Alcotest.(check bool) "server came up" true (Client.wait_ready sock);
+        f sock)
+
+let result_of_reply = function
+  | Proto.Result r -> (r.r_id, r.r_warm, r.r_result)
+  | Proto.Busy _ -> Alcotest.fail "unexpected Busy"
+  | Proto.Err m -> Alcotest.fail ("unexpected Err: " ^ m)
+  | _ -> Alcotest.fail "unexpected reply"
+
+(* --- protocol framing ------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let reqs =
+    [
+      Proto.Ping;
+      Proto.Stats;
+      Proto.Shutdown;
+      Proto.Submit tiny_engine;
+      Proto.Submit
+        (Proto.Campaign
+           { ca_faults = [ "a"; "b" ]; ca_seeds = [ 1; 2 ]; ca_ref = "iss" });
+    ]
+  in
+  List.iter
+    (fun req ->
+      let framed = Proto.frame (Proto.request_to_bytes req) in
+      (* feed byte-by-byte: the accumulator must stay incomplete until
+         the last byte, then yield exactly one frame *)
+      let acc = Proto.Accum.create () in
+      let n = Bytes.length framed in
+      for i = 0 to n - 2 do
+        Proto.Accum.feed acc (Bytes.sub framed i 1) 1;
+        match Proto.Accum.next acc with
+        | None -> ()
+        | Some _ -> Alcotest.fail "frame complete before its last byte"
+      done;
+      Proto.Accum.feed acc (Bytes.sub framed (n - 1) 1) 1;
+      (match Proto.Accum.next acc with
+      | Some (Ok payload) ->
+          Alcotest.(check bool)
+            "request survives the roundtrip" true
+            (Proto.request_of_payload payload = req)
+      | _ -> Alcotest.fail "no frame after the last byte");
+      Alcotest.(check bool)
+        "accumulator drained" true
+        (Proto.Accum.next acc = None))
+    reqs
+
+let test_frame_corruption () =
+  let framed = Proto.frame (Proto.request_to_bytes Proto.Ping) in
+  (* flip one payload byte: CRC must catch it *)
+  let corrupt = Bytes.copy framed in
+  Bytes.set corrupt 8 (Char.chr (Char.code (Bytes.get corrupt 8) lxor 0x40));
+  let acc = Proto.Accum.create () in
+  Proto.Accum.feed acc corrupt (Bytes.length corrupt);
+  (match Proto.Accum.next acc with
+  | Some (Error msg) ->
+      Alcotest.(check bool)
+        "CRC error named" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "corrupted frame not rejected");
+  (* an absurd length field is rejected before any allocation *)
+  let huge = Bytes.make 8 '\xff' in
+  let acc2 = Proto.Accum.create () in
+  Proto.Accum.feed acc2 huge 8;
+  match Proto.Accum.next acc2 with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "oversized frame length not rejected"
+
+(* --- served results vs the cold-start path ---------------------------- *)
+
+let test_served_byte_identical_to_cold () =
+  let specs =
+    [
+      tiny_engine;
+      Proto.Run
+        {
+          rn_workload = "coremark_like";
+          rn_config = "YQH";
+          rn_max_cycles = 100_000;
+          rn_ref = "iss";
+        };
+      sleep_spec ~secs:0.01 "identity";
+    ]
+  in
+  with_server (fun sock ->
+      List.iter
+        (fun spec ->
+          let cold = marshal_result (Server.exec_cold spec) in
+          let c = Client.connect sock in
+          let _, _, r1 = result_of_reply (Client.submit c spec) in
+          let _, warm2, r2 = result_of_reply (Client.submit c spec) in
+          Client.close c;
+          Alcotest.(check bool)
+            "first served result byte-identical to cold" true
+            (marshal_result r1 = cold);
+          Alcotest.(check bool)
+            "repeat served result byte-identical to cold" true
+            (marshal_result r2 = cold);
+          match Proto.warm_key spec with
+          | Some _ ->
+              Alcotest.(check bool) "repeat job reported warm" true warm2
+          | None -> ())
+        specs)
+
+let test_warm_engine_in_process () =
+  (* the same property the server leans on, without sockets: a warm
+     engine re-run retires the same instructions to the same digest as
+     a cold engine, and compiles nothing new *)
+  let cache = Serve.Warm_cache.create () in
+  let r1 = Server.exec cache ~jobs:1 tiny_engine in
+  let w = Serve.Warm_cache.engine cache "testgen:7:400:12" in
+  let compiled_after_first = Nemu.Engine.warm_compiled w in
+  let r2 = Server.exec cache ~jobs:1 tiny_engine in
+  Alcotest.(check bool)
+    "warm rerun result identical" true
+    (marshal_result r1 = marshal_result r2);
+  Alcotest.(check int) "warm rerun compiled nothing new" compiled_after_first
+    (Nemu.Engine.warm_compiled w);
+  Alcotest.(check bool)
+    "matches the cold path" true
+    (marshal_result (Server.exec_cold tiny_engine) = marshal_result r1)
+
+(* --- failure edges ---------------------------------------------------- *)
+
+let test_malformed_frame_closes_connection () =
+  with_server (fun sock ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      (* valid length header, garbage payload: CRC cannot match *)
+      let framed = Proto.frame (Proto.request_to_bytes Proto.Ping) in
+      Bytes.set framed 8 '\x00';
+      Bytes.set framed 9 '\x00';
+      let _ = Unix.write fd framed 0 (Bytes.length framed) in
+      (match Proto.read_frame fd with
+      | Some payload -> (
+          match Proto.reply_of_payload payload with
+          | Proto.Err _ -> ()
+          | _ -> Alcotest.fail "expected an Err reply")
+      | None -> Alcotest.fail "server closed without an Err reply");
+      (* ...then the connection is closed *)
+      Alcotest.(check bool)
+        "connection closed after the error" true
+        (match Proto.read_frame fd with
+        | None -> true
+        | Some _ -> false
+        | exception _ -> true);
+      Unix.close fd;
+      (* ...and the server is still healthy for new clients *)
+      let c = Client.connect sock in
+      let _, _, _ = result_of_reply (Client.submit c tiny_engine) in
+      Client.close c)
+
+let test_disconnect_mid_job () =
+  let journal =
+    Filename.temp_file "serve_disconnect" ".journal"
+  in
+  Sys.remove journal;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+    (fun () ->
+      with_server ~journal (fun sock ->
+          (* submit a job and vanish before it completes *)
+          let c = Client.connect sock in
+          Client.submit_nowait c (sleep_spec ~secs:0.4 "abandoned");
+          Unix.sleepf 0.1;
+          Client.close c;
+          (* the job still runs to completion: watch jobs_done *)
+          let c2 = Client.connect sock in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec wait_done () =
+            match Client.request c2 Proto.Stats with
+            | Proto.Stats_reply s when s.st_jobs_done >= 1 -> ()
+            | _ when Unix.gettimeofday () > deadline ->
+                Alcotest.fail "abandoned job never completed"
+            | _ ->
+                Unix.sleepf 0.05;
+                wait_done ()
+          in
+          wait_done ();
+          (* server still serves *)
+          let _, _, _ = result_of_reply (Client.submit c2 tiny_engine) in
+          (match Client.request c2 Proto.Shutdown with
+          | Proto.Shutting_down -> ()
+          | _ -> Alcotest.fail "shutdown not acknowledged");
+          Client.close c2);
+      (* the journal accounts for the abandoned job: accepted AND done *)
+      let j, (records : Server.jrec list) =
+        Minjie.Journal.open_ ~path:journal ~key:Server.journal_key
+      in
+      Minjie.Journal.close j;
+      let acc_sleep =
+        List.exists
+          (function
+            | Server.J_acc (_, Proto.Sleep s) -> s.sl_tag = "abandoned"
+            | _ -> false)
+          records
+      in
+      Alcotest.(check bool) "abandoned job journaled as accepted" true
+        acc_sleep;
+      Alcotest.(check bool)
+        "abandoned job journaled as done" true
+        (List.exists
+           (function
+             | Server.J_done (_, Proto.R_sleep s) -> s.rs_tag = "abandoned"
+             | _ -> false)
+           records);
+      Alcotest.(check int) "no pending jobs left in the journal" 0
+        (List.length (Server.pending_of_records records)))
+
+let test_busy_backpressure () =
+  with_server ~jobs:1 ~depth:1 ~batch:1 (fun sock ->
+      (* occupy the server: batch execution blocks its event loop *)
+      let blocker = Client.connect sock in
+      Client.submit_nowait blocker (sleep_spec ~secs:0.8 "blocker");
+      Unix.sleepf 0.2;
+      (* while it runs, flood three submits; the server drains them in
+         one round: one fills the queue (depth 1), the rest get Busy *)
+      let c = Client.connect sock in
+      Client.submit_nowait c (sleep_spec ~secs:0.01 "q1");
+      Client.submit_nowait c (sleep_spec ~secs:0.01 "q2");
+      Client.submit_nowait c (sleep_spec ~secs:0.01 "q3");
+      let r1 = Client.read_reply c in
+      let r2 = Client.read_reply c in
+      let busy = function Proto.Busy _ -> true | _ -> false in
+      Alcotest.(check bool) "excess submits got Busy" true
+        (busy r1 && busy r2);
+      (* the accepted one completes *)
+      (match Client.read_reply c with
+      | Proto.Result { r_result = Proto.R_sleep s; _ } ->
+          Alcotest.(check string) "accepted job was the first" "q1" s.rs_tag
+      | _ -> Alcotest.fail "queued job did not complete");
+      (* a later retry succeeds *)
+      (match Client.submit c (sleep_spec ~secs:0.01 "retry") with
+      | Proto.Result { r_result = Proto.R_sleep s; _ } ->
+          Alcotest.(check string) "retry accepted" "retry" s.rs_tag
+      | _ -> Alcotest.fail "retry after Busy failed");
+      (match Client.read_reply blocker with
+      | Proto.Result { r_result = Proto.R_sleep s; _ } ->
+          Alcotest.(check string) "blocker completed" "blocker" s.rs_tag
+      | _ -> Alcotest.fail "blocker lost");
+      Client.close blocker;
+      Client.close c)
+
+let test_round_robin_fairness () =
+  with_server ~jobs:1 ~depth:64 ~batch:2 (fun sock ->
+      (* block the loop so both clients' floods queue up together *)
+      let blocker = Client.connect sock in
+      Client.submit_nowait blocker (sleep_spec ~secs:0.5 "blocker");
+      Unix.sleepf 0.15;
+      let a = Client.connect sock in
+      let b = Client.connect sock in
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to 4 do
+        Client.submit_nowait a (sleep_spec ~secs:0.15 (Printf.sprintf "a%d" i))
+      done;
+      Client.submit_nowait b (sleep_spec ~secs:0.15 "b1");
+      (* round-robin batching must schedule b1 in the first batch
+         alongside a1, so b's latency beats a's 4th job by the width
+         of at least one batch *)
+      let _ = Client.read_reply b in
+      let t_b = Unix.gettimeofday () -. t0 in
+      for _ = 1 to 4 do
+        ignore (Client.read_reply a)
+      done;
+      let t_a4 = Unix.gettimeofday () -. t0 in
+      ignore (Client.read_reply blocker);
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "one job from the quiet client lands before the flood drains \
+            (b %.2fs vs a4 %.2fs)"
+           t_b t_a4)
+        true
+        (t_b < t_a4 -. 0.1);
+      Client.close a;
+      Client.close b;
+      Client.close blocker)
+
+(* --- crash-safe queue resume ------------------------------------------ *)
+
+let test_pending_of_records () =
+  let spec = tiny_engine in
+  let records =
+    [
+      Server.J_acc (0, spec);
+      Server.J_done (0, Proto.R_sleep { rs_tag = "x" });
+      Server.J_acc (1, spec);
+      Server.J_acc (2, sleep_spec "z");
+      Server.J_done (2, Proto.R_sleep { rs_tag = "z" });
+      Server.J_acc (3, spec);
+    ]
+  in
+  let pending = Server.pending_of_records records in
+  Alcotest.(check (list int))
+    "unfinished ids, in acceptance order" [ 1; 3 ]
+    (List.map fst pending)
+
+let test_resume_reruns_pending () =
+  let journal = Filename.temp_file "serve_resume" ".journal" in
+  Sys.remove journal;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+    (fun () ->
+      (* forge the journal of a server that died with one accepted,
+         unfinished job *)
+      let j, (_ : Server.jrec list) =
+        Minjie.Journal.open_ ~path:journal ~key:Server.journal_key
+      in
+      Minjie.Journal.append j (Server.J_acc (41, tiny_engine));
+      Minjie.Journal.close j;
+      (* a resumed server must re-run it before serving new clients *)
+      with_server ~journal ~resume:true (fun sock ->
+          let c = Client.connect sock in
+          (match Client.request c Proto.Shutdown with
+          | Proto.Shutting_down -> ()
+          | _ -> Alcotest.fail "shutdown not acknowledged");
+          Client.close c);
+      let j, (records : Server.jrec list) =
+        Minjie.Journal.open_ ~path:journal ~key:Server.journal_key
+      in
+      Minjie.Journal.close j;
+      let orphan_done =
+        List.exists
+          (function
+            | Server.J_done (41, Proto.R_engine _) -> true
+            | _ -> false)
+          records
+      in
+      Alcotest.(check bool) "orphan re-ran and journaled its result" true
+        orphan_done;
+      Alcotest.(check int) "journal shows nothing pending" 0
+        (List.length (Server.pending_of_records records));
+      (* and its result equals the cold-start result *)
+      let cold = Server.exec_cold tiny_engine in
+      let orphan_result =
+        List.find_map
+          (function
+            | Server.J_done (41, r) -> Some r
+            | _ -> None)
+          records
+      in
+      Alcotest.(check bool)
+        "orphan result byte-identical to cold" true
+        (Some (marshal_result cold) = Option.map marshal_result orphan_result))
+
+(* --- EWMA runtime feedback -------------------------------------------- *)
+
+let test_ewma () =
+  let e = Serve.Warm_cache.Ewma.create ~alpha:0.5 () in
+  Alcotest.(check (float 1e-9))
+    "default before any sample" 7.0
+    (Serve.Warm_cache.Ewma.expect e "k" ~default:7.0);
+  Serve.Warm_cache.Ewma.observe e "k" 1.0;
+  Alcotest.(check (float 1e-9))
+    "first sample taken verbatim" 1.0
+    (Serve.Warm_cache.Ewma.expect e "k" ~default:0.0);
+  Serve.Warm_cache.Ewma.observe e "k" 3.0;
+  Alcotest.(check (float 1e-9))
+    "EWMA blends" 2.0
+    (Serve.Warm_cache.Ewma.expect e "k" ~default:0.0);
+  Serve.Warm_cache.Ewma.observe e "other" 5.0;
+  Alcotest.(check bool)
+    "snapshot sorted by key" true
+    (List.map fst (Serve.Warm_cache.Ewma.snapshot e) = [ "k"; "other" ])
+
+let tests =
+  [
+    Alcotest.test_case "frame roundtrip (byte-at-a-time)" `Quick
+      test_frame_roundtrip;
+    Alcotest.test_case "frame corruption rejected" `Quick test_frame_corruption;
+    Alcotest.test_case "served == cold, byte for byte" `Quick
+      test_served_byte_identical_to_cold;
+    Alcotest.test_case "warm engine identity + no recompiles" `Quick
+      test_warm_engine_in_process;
+    Alcotest.test_case "malformed frame: Err, close, stay healthy" `Quick
+      test_malformed_frame_closes_connection;
+    Alcotest.test_case "client disconnect mid-job" `Quick
+      test_disconnect_mid_job;
+    Alcotest.test_case "queue-full backpressure (Busy, then retry)" `Quick
+      test_busy_backpressure;
+    Alcotest.test_case "per-client round-robin fairness" `Quick
+      test_round_robin_fairness;
+    Alcotest.test_case "pending_of_records" `Quick test_pending_of_records;
+    Alcotest.test_case "resume re-runs journaled pending jobs" `Quick
+      test_resume_reruns_pending;
+    Alcotest.test_case "EWMA runtime feedback" `Quick test_ewma;
+  ]
