@@ -141,6 +141,18 @@ let simspeed_calibration =
      let secs = Unix.gettimeofday () -. t0 in
      float_of_int cycles /. 1000.0 /. Float.max 1e-9 secs)
 
+(* Every emitter that wants host context uses this one helper, so the
+   top-level header and any per-experiment host record carry the same
+   fields -- static per host, never wall-clock, so the CI byte-diff
+   contracts keep holding *)
+let host_fields () =
+  [
+    ("nproc", Json.Int (Minjie.Pool.host_cores ()));
+    ("ocaml_version", Json.Str Sys.ocaml_version);
+    ("os_type", Json.Str Sys.os_type);
+    ("word_size", Json.Int Sys.word_size);
+  ]
+
 let write_json () =
   match !json_file with
   | None -> ()
@@ -155,13 +167,8 @@ let write_json () =
                different compiler changes absolute MIPS *)
             ( "host",
               Json.Obj
-                ([
-                   ("nproc", Json.Int (Minjie.Pool.host_cores ()));
-                   ("ocaml_version", Json.Str Sys.ocaml_version);
-                   ("os_type", Json.Str Sys.os_type);
-                   ("word_size", Json.Int Sys.word_size);
-                 ]
-                (* kilocycles of Soc.tick per wall-second on the
+                (host_fields ()
+                 (* kilocycles of Soc.tick per wall-second on the
                    calibration run; present only when the simspeed
                    experiment forced it (wall clock is volatile, and
                    every other experiment's JSON must stay
@@ -935,6 +942,114 @@ let bench_campaign () =
   else Printf.printf "zero escapes: every injected fault was caught\n"
 
 (* ---------------------------------------------------------------- *)
+(* Coverage-guided fuzz campaign: mutate testgen programs, run them  *)
+(* under DiffTest on a (config x REF) grid, keep what reaches new    *)
+(* microarchitectural coverage                                       *)
+(* ---------------------------------------------------------------- *)
+
+let fuzz_journal () =
+  match !campaign_journal with
+  | Some p -> Some p
+  | None -> if effective_resume () then Some "minjie-fuzz.journal" else None
+
+let bench_fuzz () =
+  section "Coverage-guided fuzz campaign: chase new microarchitectural states";
+  let p =
+    let base = if !campaign_smoke then Fuzz.smoke else Fuzz.default in
+    let base = { base with Fuzz.fz_seed = !campaign_seed } in
+    match !campaign_ref with
+    | Some k -> { base with Fuzz.fz_refs = [ k ] }
+    | None -> base
+  in
+  Printf.printf
+    "grid: %d round(s) x %d candidate(s) over %s, REF %s, base seed %d\n\n"
+    p.Fuzz.fz_rounds p.Fuzz.fz_cands
+    (String.concat "/" p.Fuzz.fz_configs)
+    (String.concat "+" (List.map Minjie.Ref_model.kind_name p.Fuzz.fz_refs))
+    p.Fuzz.fz_seed;
+  let s =
+    Fuzz.run ~p
+      ~jobs:(effective_jobs ())
+      ?journal:(fuzz_journal ())
+      ~resume:(effective_resume ()) ?retries:!campaign_retries
+      ~progress:(fun e -> Printf.printf "  %s\n%!" (Fuzz.string_of_exec e))
+      ()
+  in
+  (* stdout only: the JSON must stay byte-identical between a clean
+     run and an interrupted-then-resumed one *)
+  if s.Fuzz.fz_resumed > 0 || s.Fuzz.fz_retried > 0 then
+    Printf.printf
+      "\n(journal: %d exec(s) resumed, %d supervised re-run(s), %d recovered)\n"
+      s.Fuzz.fz_resumed s.Fuzz.fz_retried s.Fuzz.fz_recovered;
+  print_newline ();
+  List.iter
+    (fun (r : Fuzz.round_stat) ->
+      Printf.printf "  %s\n" (Fuzz.string_of_round r);
+      record
+        [
+          ("experiment", Json.Str "fuzz");
+          ("group", Json.Str "round");
+          ("round", Json.Int r.Fuzz.rs_round);
+          ("execs", Json.Int r.Fuzz.rs_execs);
+          ("new_points", Json.Int r.Fuzz.rs_new_points);
+          ("points", Json.Int r.Fuzz.rs_points);
+          ("cells", Json.Int r.Fuzz.rs_cells);
+          ("corpus", Json.Int r.Fuzz.rs_corpus);
+          ("mismatches", Json.Int r.Fuzz.rs_mismatches);
+        ])
+    s.Fuzz.fz_round_stats;
+  (* every rule-fire find gets its own record: seed + mutation history
+     is the reproducer *)
+  List.iter
+    (fun (e : Fuzz.exec) ->
+      if Fuzz.is_mismatch e then
+        record
+          [
+            ("experiment", Json.Str "fuzz");
+            ("group", Json.Str "find");
+            ("round", Json.Int e.Fuzz.x_round);
+            ("cand", Json.Int e.Fuzz.x_cand);
+            ("seed", Json.Int e.Fuzz.x_seed);
+            ("ops", Json.Str e.Fuzz.x_ops);
+            ("config", Json.Str e.Fuzz.x_cfg);
+            ("ref", Json.Str e.Fuzz.x_ref);
+            ("rule", Json.Str e.Fuzz.x_rule);
+            ("replayed", Json.Bool e.Fuzz.x_replayed);
+            ("replay_rule", Json.Str e.Fuzz.x_replay_rule);
+          ])
+    s.Fuzz.fz_execs;
+  record
+    [
+      ("experiment", Json.Str "fuzz");
+      ("group", Json.Str "summary");
+      ("seed", Json.Int p.Fuzz.fz_seed);
+      ("rounds", Json.Int (List.length s.Fuzz.fz_round_stats));
+      ("execs", Json.Int (List.length s.Fuzz.fz_execs));
+      ("points", Json.Int s.Fuzz.fz_points);
+      ("cells", Json.Int s.Fuzz.fz_cells);
+      ("corpus", Json.Int s.Fuzz.fz_corpus);
+      ("mismatches", Json.Int s.Fuzz.fz_mismatches);
+    ];
+  Printf.printf
+    "\n\
+     fuzz summary: %d exec(s), %d coverage point(s) over %d cell(s), \
+     corpus %d, %d mismatch(es)\n"
+    (List.length s.Fuzz.fz_execs)
+    s.Fuzz.fz_points s.Fuzz.fz_cells s.Fuzz.fz_corpus s.Fuzz.fz_mismatches;
+  let bad =
+    List.exists
+      (fun (e : Fuzz.exec) ->
+        e.Fuzz.x_exit = -2 || (Fuzz.is_mismatch e && not e.Fuzz.x_replayed))
+      s.Fuzz.fz_execs
+  in
+  if bad then begin
+    campaign_failed := true;
+    Printf.printf
+      "FUZZ FAILED: a pool failure or a mismatch that did not reproduce in \
+       replay\n"
+  end
+
+(* ---------------------------------------------------------------- *)
 (* Host-chaos suite: inject harness-level host faults (worker kills, *)
 (* EINTR storms, short writes, stalls, journal ENOSPC) and assert    *)
 (* the campaign verdict is byte-identical to the clean run's under   *)
@@ -1084,6 +1199,7 @@ let bench_chaos () =
     [
       ("experiment", Json.Str "chaos");
       ("group", Json.Str "summary");
+      ("host", Json.Obj (host_fields ()));
       ("classes", Json.Int (List.length Minjie.Host_chaos.all_classes));
       ("all_verdicts_identical", Json.Bool !all_identical);
     ];
@@ -1255,7 +1371,7 @@ let bench_parallel () =
     [
       ("experiment", Json.Str "parallel");
       ("group", Json.Str "host");
-      ("host_cores", Json.Int host);
+      ("host", Json.Obj (host_fields ()));
     ];
   (* campaign scaling, both REF backends *)
   let faults = if !campaign_smoke then Some smoke_faults else None in
@@ -1481,7 +1597,7 @@ let bench_parallel () =
       ("experiment", Json.Str "parallel");
       ("group", Json.Str "dispatch_summary");
       ("knee_workers", Json.Int knee);
-      ("host_cores", Json.Int host);
+      ("host", Json.Obj (host_fields ()));
       ("baseline_seconds", Json.Num base_secs);
     ]
 
@@ -1865,6 +1981,10 @@ let all_benches =
     ( "campaign",
       bench_campaign,
       "fault-injection campaign (honours --smoke/--seed/--ref/--jobs)" );
+    ( "fuzz",
+      bench_fuzz,
+      "coverage-guided fuzz campaign (honours \
+       --smoke/--seed/--ref/--jobs/--journal/--resume)" );
     ( "chaos",
       bench_chaos,
       "host-chaos suite: campaign verdict identity under injected host \

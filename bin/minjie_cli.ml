@@ -391,6 +391,151 @@ let campaign_cmd =
       const run $ seed $ smoke $ jobs $ ref_kind $ journal $ resume $ retries
       $ chaos $ chaos_seed)
 
+(* ---- fuzz (coverage-guided campaign) ------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed rounds cands smoke jobs ref_kind journal resume retries corpus
+      fault =
+    let resume = resume || Minjie.Journal.env_resume () in
+    let journal =
+      match journal with
+      | Some _ as j -> j
+      | None -> if resume then Some "minjie-fuzz.journal" else None
+    in
+    let base = if smoke then Fuzz.smoke else Fuzz.default in
+    let p =
+      {
+        base with
+        Fuzz.fz_seed = seed;
+        fz_rounds = Option.value rounds ~default:base.Fuzz.fz_rounds;
+        fz_cands = Option.value cands ~default:base.Fuzz.fz_cands;
+        fz_refs =
+          (match ref_kind with
+          | Some k -> [ k ]
+          | None -> base.Fuzz.fz_refs);
+        fz_fault = fault;
+      }
+    in
+    let s =
+      Fuzz.run ~p ?jobs ?journal ~resume ?retries ?corpus_path:corpus
+        ~progress:(fun e -> Printf.printf "  %s\n%!" (Fuzz.string_of_exec e))
+        ()
+    in
+    Printf.printf "\n";
+    List.iter
+      (fun r -> Printf.printf "%s\n" (Fuzz.string_of_round r))
+      s.Fuzz.fz_round_stats;
+    Printf.printf
+      "\nfuzz: %d exec(s), %d coverage point(s) over %d cell(s), corpus %d, \
+       %d mismatch(es)\n"
+      (List.length s.Fuzz.fz_execs)
+      s.Fuzz.fz_points s.Fuzz.fz_cells s.Fuzz.fz_corpus s.Fuzz.fz_mismatches;
+    if s.Fuzz.fz_resumed > 0 || s.Fuzz.fz_retried > 0 then
+      Printf.printf
+        "(journal: %d exec(s) resumed, %d supervised re-run(s), %d recovered)\n"
+        s.Fuzz.fz_resumed s.Fuzz.fz_retried s.Fuzz.fz_recovered;
+    let replay_missed =
+      List.exists
+        (fun e -> Fuzz.is_mismatch e && not e.Fuzz.x_replayed)
+        s.Fuzz.fz_execs
+    in
+    let pool_failed =
+      List.exists (fun e -> e.Fuzz.x_exit = -2) s.Fuzz.fz_execs
+    in
+    if replay_missed || pool_failed then exit 1
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"N" ~doc:"Fuzz rounds (default 6; smoke 2).")
+  in
+  let cands =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cands" ] ~docv:"N"
+          ~doc:"Candidates per round (default 6; smoke 3).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI-sized campaign: 2 rounds x 3 candidates on YQH + NH.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run candidates across $(docv) forked pool workers (default: \
+             MINJIE_JOBS, else 1).")
+  in
+  let ref_kind =
+    let ref_conv =
+      Arg.enum [ ("iss", Minjie.Ref_model.Iss); ("nemu", Minjie.Ref_model.Nemu) ]
+    in
+    Arg.(
+      value
+      & opt (some ref_conv) None
+      & info [ "ref" ] ~docv:"REF"
+          ~doc:"Restrict to one REF backend (default: both).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Journal completed candidate executions to $(docv).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay a matching journal and run only the missing candidates; \
+             output is byte-identical to an uninterrupted run (default: \
+             MINJIE_RESUME).")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Supervised retry budget per failed candidate (default: \
+             MINJIE_RETRIES, else 0).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Persist the final corpus to $(docv) (atomic write).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"NAME"
+          ~doc:
+            "Plant this fault-registry model in every run (mismatch finds \
+             then reproduce through the LightSSS replay).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the coverage-guided fuzz campaign: rounds of mutate, run, \
+          coverage-merge, corpus-update over both REF backends and \
+          1/2/4-hart configs, with crash-safe journaling and resume.")
+    Term.(
+      const run $ seed $ rounds $ cands $ smoke $ jobs $ ref_kind $ journal
+      $ resume $ retries $ corpus $ fault)
+
 (* ---- debug (the §IV-C workflow) ----------------------------------------- *)
 
 let debug_cmd =
@@ -505,7 +650,8 @@ let serve_cmd =
 
 let submit_cmd =
   let run klass socket cold workload config max_cycles max_insns interval max_k
-      warmup measure faults seeds ref_kind duration tag retries =
+      warmup measure faults seeds ref_kind duration tag retries fuzz_seed
+      fuzz_rounds fuzz_cands =
     let split s = if s = "" then [] else String.split_on_char ',' s in
     let spec () : Serve.Proto.job_spec =
       match klass with
@@ -537,6 +683,16 @@ let submit_cmd =
               ca_seeds = List.map int_of_string (split seeds);
               ca_ref = ref_kind;
             }
+      | "fuzz" ->
+          Serve.Proto.Fuzz
+            {
+              fu_seed = fuzz_seed;
+              fu_rounds = fuzz_rounds;
+              fu_cands = fuzz_cands;
+              (* "iss"/"nemu" restricts the grid; "both" (or "")
+                 keeps the smoke campaign's two-backend rotation *)
+              fu_ref = (if ref_kind = "both" then "" else ref_kind);
+            }
       | "topdown" ->
           Serve.Proto.Topdown
             {
@@ -549,7 +705,7 @@ let submit_cmd =
       | other ->
           Printf.eprintf
             "unknown job class %s (run | engine | checkpoint | campaign | \
-             topdown | sleep | ping | stats | shutdown)\n"
+             fuzz | topdown | sleep | ping | stats | shutdown)\n"
             other;
           exit 2
     in
@@ -722,16 +878,32 @@ let submit_cmd =
       value & opt int 0
       & info [ "retries" ] ~docv:"N" ~doc:"Retries on a Busy reply.")
   in
+  let fuzz_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Fuzz campaign seed.")
+  in
+  let fuzz_rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"N" ~doc:"Fuzz rounds (smoke-sized default).")
+  in
+  let fuzz_cands =
+    Arg.(
+      value & opt int 3
+      & info [ "cands" ] ~docv:"N" ~doc:"Fuzz candidates per round.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
          "Submit a job to a running `minjie serve` (or execute it cold with \
-          --cold).  CLASS is run | engine | checkpoint | campaign | topdown \
-          | sleep | ping | stats | shutdown.")
+          --cold).  CLASS is run | engine | checkpoint | campaign | fuzz | \
+          topdown | sleep | ping | stats | shutdown.")
     Term.(
       const run $ klass $ socket $ cold $ workload $ config $ max_cycles
       $ max_insns $ interval $ max_k $ warmup $ measure $ faults $ seeds
-      $ ref_kind $ duration $ tag $ retries)
+      $ ref_kind $ duration $ tag $ retries $ fuzz_seed $ fuzz_rounds
+      $ fuzz_cands)
 
 let () =
   (* SIGINT/SIGTERM: kill and reap every pool worker, run registered
@@ -750,6 +922,7 @@ let () =
         engines_cmd;
         checkpoint_cmd;
         campaign_cmd;
+        fuzz_cmd;
         debug_cmd;
         serve_cmd;
         submit_cmd;

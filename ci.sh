@@ -125,6 +125,37 @@ test -s ci_resume.journal
 diff ci_resume_clean.json ci_resume_done.json
 rm -f ci_resume_clean.json ci_resume_killed.json ci_resume_done.json ci_resume.journal
 
+echo "== fuzz smoke (coverage-guided campaign; same seed must be byte-identical) =="
+dune exec bench/main.exe -- fuzz --smoke --seed 1 --json ci_fuzz_a.json
+test -s ci_fuzz_a.json
+grep -q '"experiment": "fuzz"' ci_fuzz_a.json
+grep -q '"group": "round"' ci_fuzz_a.json
+grep -q '"group": "summary"' ci_fuzz_a.json
+dune exec bench/main.exe -- fuzz --smoke --seed 1 --json ci_fuzz_b.json >/dev/null
+# coverage buckets, corpus ranking and mutation planning are all
+# seed-derived: two same-seed runs must agree byte for byte
+diff ci_fuzz_a.json ci_fuzz_b.json
+rm -f ci_fuzz_a.json ci_fuzz_b.json
+# the CLI front-end shares the determinism contract
+./_build/default/bin/minjie_cli.exe fuzz --smoke --seed 1 > ci_fuzz_cli_a.txt
+./_build/default/bin/minjie_cli.exe fuzz --smoke --seed 1 > ci_fuzz_cli_b.txt
+diff ci_fuzz_cli_a.txt ci_fuzz_cli_b.txt
+rm -f ci_fuzz_cli_a.txt ci_fuzz_cli_b.txt
+
+echo "== fuzz kill-and-resume smoke (SIGKILL mid-round; --resume must reproduce the clean JSON byte for byte) =="
+"$BENCH" fuzz --json ci_fuzz_clean.json >/dev/null
+rm -f ci_fuzz.journal ci_fuzz_killed.json
+"$BENCH" fuzz --json ci_fuzz_killed.json --journal ci_fuzz.journal >/dev/null &
+victim=$!
+sleep 0.5
+kill -9 "$victim" 2>/dev/null || true
+set +e; wait "$victim" >/dev/null 2>&1; set -e
+test -s ci_fuzz.journal
+"$BENCH" fuzz --json ci_fuzz_done.json --journal ci_fuzz.journal --resume
+# journaled execs replay, the rest recompute: same bytes either way
+diff ci_fuzz_clean.json ci_fuzz_done.json
+rm -f ci_fuzz_clean.json ci_fuzz_killed.json ci_fuzz_done.json ci_fuzz.journal
+
 echo "== clean shutdown: SIGTERM exits 143 and leaves no orphan workers =="
 "$BENCH" campaign --jobs 2 --json ci_term.json >/dev/null &
 victim=$!
@@ -212,6 +243,15 @@ grep -q 'escape' ci_serve_camp.txt
 "$CLI" submit topdown --socket "$SOCK" -w sjeng_like --max-cycles 200000 >ci_serve_td.txt 2>/dev/null
 "$CLI" submit topdown --cold             -w sjeng_like --max-cycles 200000 >ci_serve_td_cold.txt 2>/dev/null
 diff ci_serve_td.txt ci_serve_td_cold.txt
+# fuzz runs through the isolation pool but stays deterministic, so the
+# served reply must still match the cold in-process path byte for byte
+"$CLI" submit fuzz --socket "$SOCK" --seed 1 --rounds 2 --cands 3 >ci_serve_fuzz.txt 2>/dev/null
+"$CLI" submit fuzz --cold             --seed 1 --rounds 2 --cands 3 >ci_serve_fuzz_cold.txt 2>/dev/null
+diff ci_serve_fuzz.txt ci_serve_fuzz_cold.txt
+grep -q 'coverage point' ci_serve_fuzz.txt
+# the fuzz class reports its own per-class EWMA cost estimate
+"$CLI" submit stats --socket "$SOCK" >ci_serve_stats.txt 2>/dev/null
+grep -q 'ewma fuzz:' ci_serve_stats.txt
 # SIGTERM: supervised shutdown (exit 143), socket unlinked, no orphans
 kill -TERM "$server"
 set +e; wait "$server"; code=$?; set -e
@@ -228,6 +268,7 @@ if pgrep -x minjie_cli.exe >/dev/null; then
   exit 1
 fi
 rm -f ci_serve_run.txt ci_serve_run_warm.txt ci_serve_run_cold.txt \
-  ci_serve_camp.txt ci_serve_camp_cold.txt ci_serve_td.txt ci_serve_td_cold.txt
+  ci_serve_camp.txt ci_serve_camp_cold.txt ci_serve_td.txt ci_serve_td_cold.txt \
+  ci_serve_fuzz.txt ci_serve_fuzz_cold.txt ci_serve_stats.txt
 
 echo "CI OK"

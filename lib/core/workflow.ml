@@ -65,12 +65,33 @@ let restore_shared (dt : Difftest.t) (snap : Lightsss.snapshot) : Difftest.t =
     (Difftest.global_mem dt).Global_memory.words;
   dt'
 
+(* Per-hart counter snapshots merged by name (summed across harts) and
+   sorted: the interchange form the fuzzer's coverage map folds.  A
+   fresh SoC starts every counter at zero, so the final snapshot IS
+   the run's delta. *)
+let soc_counters (soc : Xiangshan.Soc.t) : (string * int) list =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun i _ ->
+      List.iter
+        (fun (k, v) ->
+          let prev = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
+          Hashtbl.replace tbl k (prev + v))
+        (Xiangshan.Soc.counter_snapshot soc ~hartid:i))
+    soc.Xiangshan.Soc.cores;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
 (* Run [prog] on a SoC built from [cfg] under DiffTest + LightSSS.
    [inject] can plant a fault after construction (used by the tests
-   and the debugging example). *)
-let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
+   and the debugging example).  [run_collect] additionally returns the
+   DUT's merged final counter snapshot (taken from the original
+   instance, not a debug replay). *)
+let run_collect ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
     ?(inject = fun (_ : Xiangshan.Soc.t) -> ()) ?ref_kind ?(perf = false)
-    ~(prog : Riscv.Asm.program) (cfg : Xiangshan.Config.t) : outcome =
+    ~(prog : Riscv.Asm.program) (cfg : Xiangshan.Config.t) :
+    outcome * (string * int) list =
   let soc = Xiangshan.Soc.create cfg in
   Xiangshan.Soc.load_program soc prog;
   inject soc;
@@ -91,7 +112,8 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
     Lightsss.tick mgr ~cycle:soc.Xiangshan.Soc.now;
     Difftest.tick dt
   done;
-  match Difftest.status dt with
+  let outcome =
+    match Difftest.status dt with
   | Difftest.Running | Difftest.Finished _ ->
       Verified
         (match Difftest.status dt with
@@ -172,3 +194,11 @@ let run_verified ?(snapshot_interval = 2000) ?(max_cycles = 20_000_000)
               snapshot_seconds = mgr.Lightsss.total_snapshot_seconds;
               replay_traces;
             })
+  in
+  (outcome, soc_counters soc)
+
+let run_verified ?snapshot_interval ?max_cycles ?inject ?ref_kind ?perf
+    ~(prog : Riscv.Asm.program) (cfg : Xiangshan.Config.t) : outcome =
+  fst
+    (run_collect ?snapshot_interval ?max_cycles ?inject ?ref_kind ?perf ~prog
+       cfg)

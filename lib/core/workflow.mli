@@ -56,3 +56,21 @@ val run_verified :
     [perf] (default false) attaches pipeline tracers whose windows
     are reported in [replay_traces] on failure; counters themselves
     are always on, and neither affects any verdict. *)
+
+val soc_counters : Xiangshan.Soc.t -> (string * int) list
+(** Per-hart counter snapshots merged by name (summed across harts),
+    sorted by name.  On a freshly created SoC every counter starts at
+    zero, so the final snapshot is the run's delta. *)
+
+val run_collect :
+  ?snapshot_interval:int ->
+  ?max_cycles:int ->
+  ?inject:(Xiangshan.Soc.t -> unit) ->
+  ?ref_kind:Ref_model.kind ->
+  ?perf:bool ->
+  prog:Riscv.Asm.program ->
+  Xiangshan.Config.t ->
+  outcome * (string * int) list
+(** Like {!run_verified}, additionally returning the DUT's merged
+    final counter snapshot ({!soc_counters} of the original instance,
+    not of a debug replay) -- the fuzzer's coverage feed. *)

@@ -1,0 +1,146 @@
+(* Size-bounded mutation corpus (see corpus.mli).
+
+   An entry is a recipe -- base generator seed plus mutation history --
+   never a materialized program, so the corpus file is tiny and a load
+   reconstructs bit-identical inputs through the deterministic
+   generator.  Ranking uses new-coverage-per-kilocycle, recomputed
+   from the persisted integers on load so a save/load round trip (and
+   a journal resume) ranks identically: no floats are ever parsed. *)
+
+type entry = {
+  en_id : int;
+  en_seed : int;
+  en_ops : Mutate.op list;
+  en_new_points : int;
+  en_cycles : int;
+  en_score : float;
+}
+
+type t = { cap : int; mutable entries : entry list (* sorted best-first *) }
+
+let score ~new_points ~cycles =
+  float_of_int new_points /. (float_of_int (max 1 cycles) /. 1000.)
+
+(* score desc, then id asc: total order, so eviction is deterministic *)
+let order a b =
+  match compare b.en_score a.en_score with
+  | 0 -> compare a.en_id b.en_id
+  | c -> c
+
+let create ~cap = { cap = max 1 cap; entries = [] }
+
+let size t = List.length t.entries
+
+let entries t = t.entries
+
+let mk_entry ~id ~seed ~ops ~new_points ~cycles =
+  {
+    en_id = id;
+    en_seed = seed;
+    en_ops = ops;
+    en_new_points = new_points;
+    en_cycles = cycles;
+    en_score = score ~new_points ~cycles;
+  }
+
+(* Insert if it earned new coverage; evict the worst beyond cap. *)
+let admit t (e : entry) : bool =
+  if e.en_new_points <= 0 then false
+  else begin
+    let merged = List.merge order [ e ] t.entries in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    t.entries <- take t.cap merged;
+    List.exists (fun x -> x.en_id = e.en_id) t.entries
+  end
+
+(* Rank-biased pick: entry at rank r is chosen with weight 1/(r+1),
+   via a single draw -- deterministic given the rng state. *)
+let pick t (r : Workloads.Testgen.rng) : entry option =
+  match t.entries with
+  | [] -> None
+  | es ->
+      let n = List.length es in
+      let weights = Array.init n (fun i -> 1000 / (i + 1)) in
+      let total = Array.fold_left ( + ) 0 weights in
+      let d = ref (Workloads.Testgen.rand r total) in
+      let chosen = ref 0 in
+      (try
+         Array.iteri
+           (fun i w ->
+             if !d < w then begin
+               chosen := i;
+               raise Exit
+             end
+             else d := !d - w)
+           weights
+       with Exit -> ());
+      Some (List.nth es !chosen)
+
+(* --- persistence ------------------------------------------------------ *)
+
+let magic = "MJCORP1"
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s cap=%d\n" magic t.cap);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %d %s\n" e.en_id e.en_seed e.en_new_points
+           e.en_cycles
+           (Mutate.ops_to_string e.en_ops)))
+    t.entries;
+  Buffer.contents buf
+
+let of_string s : t option =
+  match String.split_on_char '\n' s with
+  | hdr :: lines -> (
+      match String.split_on_char ' ' hdr with
+      | [ m; capf ] when m = magic && String.length capf > 4 -> (
+          try
+            let cap = int_of_string (String.sub capf 4 (String.length capf - 4)) in
+            let t = create ~cap in
+            let parsed =
+              List.filter_map
+                (fun line ->
+                  if line = "" then None
+                  else
+                    match String.split_on_char ' ' line with
+                    | [ id; seed; np; cyc ] | [ id; seed; np; cyc; "" ] ->
+                        Some
+                          (mk_entry ~id:(int_of_string id)
+                             ~seed:(int_of_string seed) ~ops:[]
+                             ~new_points:(int_of_string np)
+                             ~cycles:(int_of_string cyc))
+                    | [ id; seed; np; cyc; ops ] -> (
+                        match Mutate.ops_of_string ops with
+                        | Some ops ->
+                            Some
+                              (mk_entry ~id:(int_of_string id)
+                                 ~seed:(int_of_string seed) ~ops
+                                 ~new_points:(int_of_string np)
+                                 ~cycles:(int_of_string cyc))
+                        | None -> raise Exit)
+                    | _ -> raise Exit)
+                lines
+            in
+            t.entries <- List.sort order parsed;
+            Some t
+          with Exit | Failure _ -> None)
+      | _ -> None)
+  | [] -> None
+
+let save t ~path = Minjie.Journal.atomic_write_file ~path (to_string t)
+
+let load ~path : t option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      of_string s

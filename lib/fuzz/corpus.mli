@@ -1,0 +1,56 @@
+(** Size-bounded mutation corpus, ranked by new-coverage-per-cycle.
+
+    Entries are recipes (base generator seed + {!Mutate.op} history),
+    not materialized programs: reconstruction through the
+    deterministic generator yields bit-identical inputs, and the
+    persisted form stays a few bytes per entry.
+
+    Ranking is [new_points / (cycles / 1000)] -- coverage earned per
+    kilocycle of simulation -- with entry id as the deterministic
+    tiebreak, so eviction at the cap is a pure function of the
+    admitted set.  Scores are recomputed from the persisted integers
+    on load; no floats are serialized. *)
+
+type entry = {
+  en_id : int;  (** globally unique admission id (grid order) *)
+  en_seed : int;  (** base {!Workloads.Testgen.generate} seed *)
+  en_ops : Mutate.op list;  (** mutation history, applied in order *)
+  en_new_points : int;  (** coverage points this entry first earned *)
+  en_cycles : int;  (** cycles its run took *)
+  en_score : float;  (** derived: new_points per kilocycle *)
+}
+
+type t
+
+val create : cap:int -> t
+(** [cap] is clamped to at least 1. *)
+
+val score : new_points:int -> cycles:int -> float
+
+val mk_entry :
+  id:int -> seed:int -> ops:Mutate.op list -> new_points:int -> cycles:int ->
+  entry
+
+val admit : t -> entry -> bool
+(** Insert if the entry earned new coverage, evicting the worst-ranked
+    entry beyond the cap.  Returns whether the entry survived. *)
+
+val size : t -> int
+
+val entries : t -> entry list
+(** Best-first. *)
+
+val pick : t -> Workloads.Testgen.rng -> entry option
+(** Rank-biased parent selection (rank [r] has weight [1/(r+1)]);
+    consumes exactly one draw.  [None] on an empty corpus. *)
+
+(** {1 Persistence} *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val save : t -> path:string -> unit
+(** Via {!Minjie.Journal.atomic_write_file}: never leaves a torn
+    corpus file behind. *)
+
+val load : path:string -> t option

@@ -1,0 +1,275 @@
+(* Seed-deterministic structural mutations over Testgen IR (see
+   mutate.mli).
+
+   Every operator is total and closed over the generator's safety
+   invariants: scratch accesses stay aligned inside the s2 region (the
+   s2-relative guard means inserted sequences with other base
+   registers are never re-targeted), control flow stays either forward
+   or counter-bounded, and register choices come from the generator's
+   usable set.  [apply] therefore always yields an assemblable,
+   terminating program; the fuzz driver still belt-and-braces through
+   [apply_all]'s assembly check. *)
+
+open Riscv
+module Testgen = Workloads.Testgen
+
+type op =
+  | Splice of { at : int; donor_seed : int }
+  | Opcode of { block : int; index : int; pick : int }
+  | Operand of { block : int; index : int; pick : int }
+  | Branch_bias of { block : int; pick : int }
+  | Loop_bound of { block : int; bound : int }
+  | Page_boundary of { block : int; index : int; pick : int }
+  | Self_mod_store of { block : int; index : int; pick : int }
+
+let describe = function
+  | Splice _ -> "splice"
+  | Opcode _ -> "opcode"
+  | Operand _ -> "operand"
+  | Branch_bias _ -> "branch-bias"
+  | Loop_bound _ -> "loop-bound"
+  | Page_boundary _ -> "page-boundary"
+  | Self_mod_store _ -> "self-mod-store"
+
+(* --- serialization (corpus entries persist mutation histories) ------- *)
+
+let to_string = function
+  | Splice { at; donor_seed } -> Printf.sprintf "sp:%d:%d" at donor_seed
+  | Opcode { block; index; pick } -> Printf.sprintf "oc:%d:%d:%d" block index pick
+  | Operand { block; index; pick } -> Printf.sprintf "od:%d:%d:%d" block index pick
+  | Branch_bias { block; pick } -> Printf.sprintf "bb:%d:%d" block pick
+  | Loop_bound { block; bound } -> Printf.sprintf "lb:%d:%d" block bound
+  | Page_boundary { block; index; pick } ->
+      Printf.sprintf "pb:%d:%d:%d" block index pick
+  | Self_mod_store { block; index; pick } ->
+      Printf.sprintf "sm:%d:%d:%d" block index pick
+
+let of_string s : op option =
+  match String.split_on_char ':' s with
+  | [ "sp"; a; b ] -> (
+      try Some (Splice { at = int_of_string a; donor_seed = int_of_string b })
+      with Failure _ -> None)
+  | [ tag; a; b ] -> (
+      try
+        let a = int_of_string a and b = int_of_string b in
+        match tag with
+        | "bb" -> Some (Branch_bias { block = a; pick = b })
+        | "lb" -> Some (Loop_bound { block = a; bound = b })
+        | _ -> None
+      with Failure _ -> None)
+  | [ tag; a; b; c ] -> (
+      try
+        let block = int_of_string a
+        and index = int_of_string b
+        and pick = int_of_string c in
+        match tag with
+        | "oc" -> Some (Opcode { block; index; pick })
+        | "od" -> Some (Operand { block; index; pick })
+        | "pb" -> Some (Page_boundary { block; index; pick })
+        | "sm" -> Some (Self_mod_store { block; index; pick })
+        | _ -> None
+      with Failure _ -> None)
+  | _ -> None
+
+let ops_to_string ops = String.concat ";" (List.map to_string ops)
+
+let ops_of_string s : op list option =
+  if s = "" then Some []
+  else
+    let parts = String.split_on_char ';' s in
+    let parsed = List.map of_string parts in
+    if List.for_all Option.is_some parsed then
+      Some (List.map Option.get parsed)
+    else None
+
+(* --- planning --------------------------------------------------------- *)
+
+(* Draw one operator from a seeded rng; indices are drawn wide and
+   reduced modulo the program's actual shape at apply time, so a plan
+   is valid against any parent. *)
+let plan (r : Testgen.rng) : op =
+  let big () = Testgen.rand r 1_000_000 in
+  match Testgen.rand r 100 with
+  | n when n < 16 -> Splice { at = big (); donor_seed = big () }
+  | n when n < 40 -> Opcode { block = big (); index = big (); pick = big () }
+  | n when n < 64 -> Operand { block = big (); index = big (); pick = big () }
+  | n when n < 76 -> Branch_bias { block = big (); pick = big () }
+  | n when n < 86 -> Loop_bound { block = big (); bound = big () }
+  | n when n < 94 -> Page_boundary { block = big (); index = big (); pick = big () }
+  | _ -> Self_mod_store { block = big (); index = big (); pick = big () }
+
+(* --- application ------------------------------------------------------ *)
+
+let nregs = Array.length Testgen.usable_regs
+let ureg i = Testgen.usable_regs.(i mod nregs)
+
+let realign off w = Int64.of_int (Int64.to_int off / w * w)
+
+(* opcode swap within the instruction's own class; scratch accesses
+   (base s2) keep their offsets aligned for the new width *)
+let swap_opcode pick (insn : Insn.t) : Insn.t =
+  match insn with
+  | Insn.Op (_, rd, rs1, rs2) ->
+      Insn.Op (Testgen.alu_ops.(pick mod 10), rd, rs1, rs2)
+  | Insn.Op_imm (_, rd, rs1, imm) -> (
+      match Testgen.alu_ops.(pick mod 10) with
+      | Insn.SUB -> Insn.Op (SUB, rd, rs1, rs1)
+      | (Insn.SLL | Insn.SRL | Insn.SRA) as op ->
+          Insn.Op_imm (op, rd, rs1, Int64.logand imm 63L)
+      | op -> Insn.Op_imm (op, rd, rs1, imm))
+  | Insn.Op_w (_, rd, a, b) ->
+      Insn.Op_w (Testgen.alu_w_ops.(pick mod 5), rd, a, b)
+  | Insn.Mul (_, rd, a, b) -> Insn.Mul (Testgen.mul_ops.(pick mod 8), rd, a, b)
+  | Insn.Load (_, rd, rs1, off) when rs1 = Asm.s2 ->
+      let op = Testgen.load_ops.(pick mod 7) in
+      Insn.Load (op, rd, rs1, realign off (Testgen.load_width op))
+  | Insn.Store (_, rs2, rs1, off) when rs1 = Asm.s2 ->
+      let op = Testgen.store_ops.(pick mod 4) in
+      Insn.Store (op, rs2, rs1, realign off (Testgen.store_width op))
+  | other -> other
+
+(* operand perturbation: redirect one register field to another usable
+   register, or re-draw an immediate within its encodable range *)
+let perturb_operand pick (insn : Insn.t) : Insn.t =
+  let field = pick mod 3 in
+  let sub = pick / 3 in
+  let nr = ureg sub in
+  match insn with
+  | Insn.Op (op, rd, rs1, rs2) -> (
+      match field with
+      | 0 -> Insn.Op (op, nr, rs1, rs2)
+      | 1 -> Insn.Op (op, rd, nr, rs2)
+      | _ -> Insn.Op (op, rd, rs1, nr))
+  | Insn.Op_w (op, rd, rs1, rs2) -> (
+      match field with
+      | 0 -> Insn.Op_w (op, nr, rs1, rs2)
+      | 1 -> Insn.Op_w (op, rd, nr, rs2)
+      | _ -> Insn.Op_w (op, rd, rs1, nr))
+  | Insn.Mul (op, rd, rs1, rs2) -> (
+      match field with
+      | 0 -> Insn.Mul (op, nr, rs1, rs2)
+      | 1 -> Insn.Mul (op, rd, nr, rs2)
+      | _ -> Insn.Mul (op, rd, rs1, nr))
+  | Insn.Op_imm (op, rd, rs1, imm) -> (
+      match field with
+      | 0 -> Insn.Op_imm (op, nr, rs1, imm)
+      | 1 -> Insn.Op_imm (op, rd, nr, imm)
+      | _ ->
+          let imm' =
+            match op with
+            | Insn.SLL | Insn.SRL | Insn.SRA -> Int64.of_int (sub mod 64)
+            | _ -> Int64.of_int ((sub mod 4096) - 2048)
+          in
+          Insn.Op_imm (op, rd, rs1, imm'))
+  | Insn.Lui (rd, imm) ->
+      if field = 0 then Insn.Lui (nr, imm)
+      else Insn.Lui (rd, Int64.shift_left (Int64.of_int ((sub mod 4096) - 2048)) 12)
+  | Insn.Load (op, rd, rs1, _) when rs1 = Asm.s2 && field <> 0 ->
+      let w = Testgen.load_width op in
+      Insn.Load (op, rd, rs1, Int64.of_int (sub mod (2048 / w) * w))
+  | Insn.Load (op, _, rs1, off) when rs1 = Asm.s2 -> Insn.Load (op, nr, rs1, off)
+  | Insn.Store (op, _, rs1, off) when rs1 = Asm.s2 && field = 0 ->
+      Insn.Store (op, nr, rs1, off)
+  | Insn.Store (op, rs2, rs1, _) when rs1 = Asm.s2 ->
+      let w = Testgen.store_width op in
+      Insn.Store (op, rs2, rs1, Int64.of_int (sub mod (2048 / w) * w))
+  | other -> other
+
+let with_block (ir : Testgen.ir) b f : Testgen.ir =
+  let n = Array.length ir.Testgen.ir_blocks in
+  if n = 0 then ir
+  else begin
+    let b = b mod n in
+    let blocks = Array.copy ir.Testgen.ir_blocks in
+    blocks.(b) <- f blocks.(b);
+    { ir with Testgen.ir_blocks = blocks }
+  end
+
+let with_insn (ir : Testgen.ir) b i f : Testgen.ir =
+  with_block ir b (fun blk ->
+      let len = Array.length blk.Testgen.bb_insns in
+      if len = 0 then blk
+      else begin
+        let i = i mod len in
+        let insns = Array.copy blk.Testgen.bb_insns in
+        insns.(i) <- f insns.(i);
+        { blk with Testgen.bb_insns = insns }
+      end)
+
+let insert_insns (ir : Testgen.ir) b i (seq : Insn.t list) : Testgen.ir =
+  with_block ir b (fun blk ->
+      let len = Array.length blk.Testgen.bb_insns in
+      let i = if len = 0 then 0 else i mod (len + 1) in
+      let before = Array.sub blk.Testgen.bb_insns 0 i in
+      let after = Array.sub blk.Testgen.bb_insns i (len - i) in
+      {
+        blk with
+        Testgen.bb_insns =
+          Array.concat [ before; Array.of_list seq; after ];
+      })
+
+let apply (ir : Testgen.ir) (op : op) : Testgen.ir =
+  match op with
+  | Splice { at; donor_seed } ->
+      with_block ir at (fun blk ->
+          let len = max 1 (Array.length blk.Testgen.bb_insns) in
+          let donor =
+            Testgen.generate ~seed:donor_seed ~blocks:1 ~block_len:len ()
+          in
+          (match donor.Testgen.ir_blocks with
+          | [| d |] -> { blk with Testgen.bb_insns = d.Testgen.bb_insns }
+          | _ -> blk))
+  | Opcode { block; index; pick } ->
+      with_insn ir block index (swap_opcode pick)
+  | Operand { block; index; pick } ->
+      with_insn ir block index (perturb_operand pick)
+  | Branch_bias { block; pick } ->
+      with_block ir block (fun blk ->
+          let op' = Testgen.branch_ops.(pick mod 6) in
+          let _, rs1, rs2 = blk.Testgen.bb_branch in
+          let rs1, rs2 = if pick / 6 mod 2 = 1 then (rs2, rs1) else (rs1, rs2) in
+          let rs2 = if pick / 12 mod 4 = 0 then ureg (pick / 48) else rs2 in
+          { blk with Testgen.bb_branch = (op', rs1, rs2) })
+  | Loop_bound { block; bound } ->
+      with_block ir block (fun blk ->
+          { blk with Testgen.bb_loop = 1 + (bound mod 8) })
+  | Page_boundary { block; index; pick } ->
+      (* store/load pair straddling the scratch region's first page
+         edge: t = s2 + 4094, bytes at +1/+2 sit on each side of the
+         4KB boundary *)
+      let t = ureg pick and u = ureg (pick / nregs) in
+      insert_insns ir block index
+        [
+          Insn.Op_imm (ADD, t, Asm.s2, 2047L);
+          Insn.Op_imm (ADD, t, t, 2047L);
+          Insn.Store (SB, u, t, 1L);
+          Insn.Store (SB, u, t, 2L);
+          Insn.Load (LBU, u, t, 2L);
+        ]
+  | Self_mod_store { block; index; pick } ->
+      (* idempotent self-modifying store: read the auipc's own word
+         and write it back, then fence.i.  Architecturally a no-op,
+         but it drives the store-to-text / icache / decoded-code
+         invalidation paths in every engine. *)
+      let t = ureg pick in
+      let iu = pick / nregs mod nregs in
+      let u = Testgen.usable_regs.(if ureg iu = t then (iu + 1) mod nregs else iu) in
+      insert_insns ir block index
+        [
+          Insn.Auipc (t, 0L);
+          Insn.Load (LW, u, t, 0L);
+          Insn.Store (SW, u, t, 0L);
+          Insn.Fence_i;
+        ]
+
+(* Apply a mutation history, validating by assembling after each step:
+   an operator that somehow yields an unassemblable program is dropped
+   (deterministically) rather than propagated. *)
+let apply_all (ir : Testgen.ir) (ops : op list) : Testgen.ir =
+  List.fold_left
+    (fun acc op ->
+      let candidate = apply acc op in
+      match Testgen.to_asm candidate with
+      | (_ : Asm.program) -> candidate
+      | exception _ -> acc)
+    ir ops

@@ -1,0 +1,65 @@
+(** Structural mutations over {!Workloads.Testgen} IR.
+
+    Every operator is deterministic (a pure function of the [op]
+    value), total (indices are reduced modulo the program's actual
+    shape at apply time, so a plan drawn against one parent applies to
+    any other), and closed over the generator's safety invariants:
+
+    - scratch loads/stores keep base [s2] and width-aligned offsets
+      inside the per-hart 64KB window;
+    - control flow stays forward or counter-bounded (loop bounds are
+      clamped to 1..8 on the reserved [s3] counter);
+    - destination registers come from {!Workloads.Testgen.usable_regs}.
+
+    [apply] therefore never yields an unassemblable or non-terminating
+    program; {!apply_all} additionally assembles after each step and
+    drops (deterministically) any operator that fails, as a backstop. *)
+
+type op =
+  | Splice of { at : int; donor_seed : int }
+      (** Replace one block's straight-line body with a freshly
+          generated donor block of the same length. *)
+  | Opcode of { block : int; index : int; pick : int }
+      (** Swap an instruction's opcode within its own class (ALU, ALU-W,
+          MUL, load, store); scratch offsets are re-aligned for the new
+          access width. *)
+  | Operand of { block : int; index : int; pick : int }
+      (** Redirect one register field to another usable register, or
+          re-draw an immediate within its encodable range. *)
+  | Branch_bias of { block : int; pick : int }
+      (** Re-draw the block terminator's comparison op and/or swap or
+          replace its operands, shifting taken/not-taken bias. *)
+  | Loop_bound of { block : int; bound : int }
+      (** Make the block a counted loop (bound clamped to 1..8). *)
+  | Page_boundary of { block : int; index : int; pick : int }
+      (** Insert a byte store/load pair straddling the scratch
+          region's first 4KB page edge. *)
+  | Self_mod_store of { block : int; index : int; pick : int }
+      (** Insert an idempotent store to the instruction stream
+          ([auipc]; reload/rewrite its own word; [fence.i]) to drive
+          icache invalidation and DBT code-page flush paths. *)
+
+val describe : op -> string
+(** Short operator-class name for stats ("splice", "opcode", ...). *)
+
+val plan : Workloads.Testgen.rng -> op
+(** Draw one operator from the rng.  Consumes a bounded number of
+    draws; the resulting [op] is self-contained (applying it consumes
+    no further randomness beyond the donor generator's own seed). *)
+
+val apply : Workloads.Testgen.ir -> op -> Workloads.Testgen.ir
+(** Total; never raises on in-range constructor payloads. *)
+
+val apply_all : Workloads.Testgen.ir -> op list -> Workloads.Testgen.ir
+(** Left fold of {!apply}, assembling after each step and skipping any
+    operator whose result fails to assemble. *)
+
+(** {1 Serialization} (corpus entries persist mutation histories) *)
+
+val to_string : op -> string
+val of_string : string -> op option
+
+val ops_to_string : op list -> string
+(** [;]-separated {!to_string} forms; [""] for the empty history. *)
+
+val ops_of_string : string -> op list option

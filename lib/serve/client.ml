@@ -94,6 +94,13 @@ let render_result (r : Proto.job_result) =
       List.iter (fun line -> p "%s\n" line) c.rca_cells;
       p "campaign: %d cell(s), %d detected, %d escape(s)\n" c.rca_total
         c.rca_detected c.rca_escapes
+  | Proto.R_fuzz f ->
+      List.iter (fun line -> p "%s\n" line) f.rfz_round_lines;
+      p
+        "fuzz: %d round(s), %d exec(s), %d coverage point(s) over %d \
+         cell(s), corpus %d, %d mismatch(es)\n"
+        f.rfz_rounds f.rfz_execs f.rfz_points f.rfz_cells f.rfz_corpus
+        f.rfz_mismatches
   | Proto.R_topdown t ->
       p "topdown: %d cycles, %d instrs\n" t.rt_cycles t.rt_instrs;
       List.iter (fun (n, v) -> p "  %-28s %12d\n" n v) t.rt_counters;

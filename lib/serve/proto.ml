@@ -18,6 +18,12 @@ type job_spec =
       ck_measure : int;
     }
   | Campaign of { ca_faults : string list; ca_seeds : int list; ca_ref : string }
+  | Fuzz of {
+      fu_seed : int;
+      fu_rounds : int;
+      fu_cands : int;
+      fu_ref : string;
+    }
   | Topdown of { td_workload : string; td_config : string; td_max_cycles : int }
   | Sleep of { sl_seconds : float; sl_tag : string }
 
@@ -58,6 +64,15 @@ type job_result =
       rca_escapes : int;
       rca_cells : string list;
     }
+  | R_fuzz of {
+      rfz_rounds : int;
+      rfz_points : int;
+      rfz_cells : int;
+      rfz_corpus : int;
+      rfz_execs : int;
+      rfz_mismatches : int;
+      rfz_round_lines : string list;
+    }
   | R_topdown of {
       rt_cycles : int;
       rt_instrs : int;
@@ -92,6 +107,8 @@ let class_key = function
   | Engine e -> Printf.sprintf "engine:%s" e.en_workload
   | Checkpoint c -> Printf.sprintf "checkpoint:%s:%s" c.ck_workload c.ck_config
   | Campaign _ -> "campaign"
+  | Fuzz f ->
+      Printf.sprintf "fuzz:%s" (if f.fu_ref = "" then "both" else f.fu_ref)
   | Topdown t -> Printf.sprintf "topdown:%s:%s" t.td_workload t.td_config
   | Sleep _ -> "sleep"
 
@@ -101,7 +118,7 @@ let warm_key = function
   | Checkpoint c ->
       Some (Printf.sprintf "ckpt:%s:%d:%d" c.ck_workload c.ck_interval c.ck_max_k)
   | Topdown t -> Some ("prog:" ^ t.td_workload)
-  | Campaign _ | Sleep _ -> None
+  | Campaign _ | Fuzz _ | Sleep _ -> None
 
 let describe = function
   | Run r -> Printf.sprintf "run %s on %s (ref %s)" r.rn_workload r.rn_config r.rn_ref
@@ -116,6 +133,10 @@ let describe = function
         | [] -> "full-registry"
         | fs -> String.concat "," fs)
         (List.length c.ca_seeds)
+  | Fuzz f ->
+      Printf.sprintf "fuzz seed=%d %d round(s) x %d candidate(s) (ref %s)"
+        f.fu_seed f.fu_rounds f.fu_cands
+        (if f.fu_ref = "" then "both" else f.fu_ref)
   | Topdown t -> Printf.sprintf "topdown %s on %s" t.td_workload t.td_config
   | Sleep s -> Printf.sprintf "sleep %.3fs (%s)" s.sl_seconds s.sl_tag
 

@@ -42,6 +42,15 @@ type job_spec =
       ca_seeds : int list;
       ca_ref : string;
     }  (** a fault-injection campaign slice *)
+  | Fuzz of {
+      fu_seed : int;
+      fu_rounds : int;
+      fu_cands : int;  (** candidates per round *)
+      fu_ref : string;  (** "iss" | "nemu" | "" = both backends *)
+    }
+      (** a coverage-guided fuzz campaign ({!Fuzz.run}, smoke-sized
+          grid); deterministic, so warm/cold results are
+          [Marshal]-equal like every other class *)
   | Topdown of {
       td_workload : string;
       td_config : string;
@@ -87,6 +96,15 @@ type job_result =
       rca_detected : int;
       rca_escapes : int;
       rca_cells : string list;  (** {!Minjie.Campaign.string_of_cell} lines *)
+    }
+  | R_fuzz of {
+      rfz_rounds : int;
+      rfz_points : int;  (** final coverage points (monotone feed) *)
+      rfz_cells : int;
+      rfz_corpus : int;
+      rfz_execs : int;
+      rfz_mismatches : int;
+      rfz_round_lines : string list;  (** {!Fuzz.string_of_round} lines *)
     }
   | R_topdown of {
       rt_cycles : int;

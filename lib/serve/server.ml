@@ -126,6 +126,30 @@ let exec_spec cache ~jobs (spec : Proto.job_spec) : Proto.job_result =
           rca_cells =
             List.map Minjie.Campaign.string_of_cell s.Minjie.Campaign.cells;
         }
+  | Proto.Fuzz f ->
+      let p =
+        {
+          Fuzz.smoke with
+          Fuzz.fz_seed = f.fu_seed;
+          fz_rounds = max 1 f.fu_rounds;
+          fz_cands = max 1 f.fu_cands;
+          fz_refs =
+            (if f.fu_ref = "" then Fuzz.smoke.Fuzz.fz_refs
+             else [ ref_kind_of_string f.fu_ref ]);
+        }
+      in
+      let s = Fuzz.run ~p ~jobs () in
+      Proto.R_fuzz
+        {
+          rfz_rounds = List.length s.Fuzz.fz_round_stats;
+          rfz_points = s.Fuzz.fz_points;
+          rfz_cells = s.Fuzz.fz_cells;
+          rfz_corpus = s.Fuzz.fz_corpus;
+          rfz_execs = List.length s.Fuzz.fz_execs;
+          rfz_mismatches = s.Fuzz.fz_mismatches;
+          rfz_round_lines =
+            List.map Fuzz.string_of_round s.Fuzz.fz_round_stats;
+        }
   | Proto.Topdown t ->
       let prog = Warm_cache.program cache t.td_workload in
       let cfg =
@@ -166,7 +190,7 @@ let prefetch cache (spec : Proto.job_spec) =
       ignore
         (Warm_cache.checkpoints cache ~workload:c.ck_workload
            ~interval:c.ck_interval ~max_k:c.ck_max_k)
-  | Proto.Campaign _ | Proto.Sleep _ -> ());
+  | Proto.Campaign _ | Proto.Fuzz _ | Proto.Sleep _ -> ());
   Warm_cache.hits cache > h0 && Warm_cache.misses cache = m0
 
 (* --- server state ----------------------------------------------------- *)
@@ -249,6 +273,7 @@ let default_cost (spec : Proto.job_spec) =
      everything, checkpoint > run/topdown > engine > sleep *)
   match spec with
   | Proto.Campaign _ -> 64.0
+  | Proto.Fuzz _ -> 64.0
   | Proto.Checkpoint _ -> 16.0
   | Proto.Run _ -> 4.0
   | Proto.Topdown _ -> 4.0
@@ -273,7 +298,9 @@ let finish_job state (p : pending) ~warm ~secs (result : Proto.job_result) =
    everything else goes through the pool for crash isolation. *)
 let runs_in_parent = function
   | Proto.Engine _ | Proto.Checkpoint _ -> true
-  | Proto.Run _ | Proto.Campaign _ | Proto.Topdown _ | Proto.Sleep _ -> false
+  | Proto.Run _ | Proto.Campaign _ | Proto.Fuzz _ | Proto.Topdown _
+  | Proto.Sleep _ ->
+      false
 
 let run_batch state (batch : pending list) =
   (* coalesce: jobs sharing warm state run back-to-back *)

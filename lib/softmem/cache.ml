@@ -53,6 +53,13 @@ and t = {
   mutable s_refills : int;
   mutable s_probes : int;
   mutable s_evictions : int;
+  (* MSHR-saturation probe: [mshr_cap] outstanding fills are free; a
+     miss that begins while a fill window already holds [mshr_cap]
+     overlapping fills counts as a saturation event.  0 = untracked. *)
+  mutable mshr_cap : int;
+  mutable fill_win_until : int;
+  mutable fill_win_count : int;
+  mutable s_mshr_sat : int;
 }
 
 let line_bytes t = 1 lsl t.line_shift
@@ -94,6 +101,10 @@ let create ~name ~size_bytes ~ways ~line_shift ~hit_latency ~backing () =
     s_refills = 0;
     s_probes = 0;
     s_evictions = 0;
+    mshr_cap = 0;
+    fill_win_until = 0;
+    fill_win_count = 0;
+    s_mshr_sat = 0;
   }
 
 let set_parent child parent =
@@ -220,6 +231,20 @@ let release_to_parent (t : t) ~la =
           if pl.owner = t.child_id then pl.owner <- -1
       | None -> ())
 
+(* One more outstanding fill, completing at [until]: misses landing
+   inside a window where fills are still in flight model MSHR
+   occupancy; exceeding [mshr_cap] concurrent fills is a saturation
+   event (the D$ would have stalled the pipeline). *)
+let note_fill (t : t) ~until =
+  if t.mshr_cap > 0 then begin
+    if t.now < t.fill_win_until then begin
+      t.fill_win_count <- t.fill_win_count + 1;
+      if t.fill_win_count > t.mshr_cap then t.s_mshr_sat <- t.s_mshr_sat + 1
+    end
+    else t.fill_win_count <- 1;
+    if until > t.fill_win_until then t.fill_win_until <- until
+  end
+
 (* Make this node itself hold [la] with at least [want].
    Returns latency. *)
 let rec ensure (t : t) ~la ~(want : Perm.t) : int =
@@ -235,6 +260,7 @@ let rec ensure (t : t) ~la ~(want : Perm.t) : int =
       line.perm <- want;
       line.last_use <- t.now;
       line.inflight_until <- t.now + t.hit_latency + pl;
+      note_fill t ~until:line.inflight_until;
       t.hit_latency + pl
   | None ->
       t.s_misses <- t.s_misses + 1;
@@ -257,6 +283,7 @@ let rec ensure (t : t) ~la ~(want : Perm.t) : int =
       v.owner <- -1;
       v.last_use <- t.now;
       v.inflight_until <- t.now + t.hit_latency + pl;
+      note_fill t ~until:v.inflight_until;
       t.hit_latency + pl
 
 and acquire_from_parent (t : t) ~la ~want : int =
@@ -366,6 +393,7 @@ type stats = {
   refills : int; (* line installs; a permission-upgrade miss is not a refill *)
   probes : int;
   evictions : int;
+  mshr_saturated : int;
 }
 
 let stats t =
@@ -375,4 +403,7 @@ let stats t =
     refills = t.s_refills;
     probes = t.s_probes;
     evictions = t.s_evictions;
+    mshr_saturated = t.s_mshr_sat;
   }
+
+let set_mshrs t n = t.mshr_cap <- max 0 n

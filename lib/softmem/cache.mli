@@ -51,6 +51,10 @@ and t = {
       (** misses that installed a line (permission upgrades excluded) *)
   mutable s_probes : int;
   mutable s_evictions : int;
+  mutable mshr_cap : int;
+  mutable fill_win_until : int;
+  mutable fill_win_count : int;
+  mutable s_mshr_sat : int;
 }
 
 val create :
@@ -112,6 +116,15 @@ type stats = {
   refills : int;  (** line installs; a permission-upgrade miss is not a refill *)
   probes : int;
   evictions : int;
+  mshr_saturated : int;
+      (** misses that began while [mshr] fills were already outstanding
+          (see {!set_mshrs}); 0 when untracked *)
 }
 
 val stats : t -> stats
+
+val set_mshrs : t -> int -> unit
+(** Enable the MSHR-saturation probe with the given number of miss
+    slots (0 disables it, the default).  Purely observational: hit
+    and miss latencies are unchanged; a miss that begins while the
+    slots are exhausted increments [mshr_saturated]. *)

@@ -15,7 +15,16 @@
    - division corner cases (by zero, overflow) are *allowed* -- their
      semantics are defined and make good test cases;
    - a final checksum folds every written register into the exit
-     code. *)
+     code.
+
+   The generator is split into a typed IR ([generate]) and a lowering
+   ([to_asm]) so that the fuzzer can mutate programs structurally --
+   splice blocks, perturb opcodes/operands, add bounded loops --
+   without string manipulation, and re-assemble the result.  The
+   composition [to_asm (generate ~seed ...)] is byte-identical to what
+   the pre-IR generator emitted for the same seed (the PRNG draw
+   sequence is preserved exactly), which the seed-stability test
+   pins. *)
 
 open Riscv
 
@@ -33,8 +42,11 @@ let rand64 (r : rng) : int64 =
   ignore (rand r 2);
   r.s
 
+let rng_of_seed seed = { s = Int64.logor (Int64.of_int seed) 1L }
+
 (* registers the generator may use: avoid x0 (sink semantics tested
-   separately), s2 (scratch base), t5/t6 (exit helper) and sp/gp/tp *)
+   separately), s2 (scratch base), s3 (reserved loop counter for
+   mutated bounded loops), t5/t6 (exit helper) and sp/gp/tp *)
 let usable_regs =
   [| 1; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 28; 29 |]
 
@@ -49,6 +61,21 @@ let mul_ops =
   [| Insn.MUL; MULH; MULHSU; MULHU; DIV; DIVU; REM; REMU |]
 
 let branch_ops = [| Insn.BEQ; BNE; BLT; BGE; BLTU; BGEU |]
+
+let load_ops = [| Insn.LB; LH; LW; LD; LBU; LHU; LWU |]
+let store_ops = [| Insn.SB; SH; SW; SD |]
+
+let load_width = function
+  | Insn.LB | Insn.LBU -> 1
+  | Insn.LH | Insn.LHU -> 2
+  | Insn.LW | Insn.LWU -> 4
+  | Insn.LD -> 8
+
+let store_width = function
+  | Insn.SB -> 1
+  | Insn.SH -> 2
+  | Insn.SW -> 4
+  | Insn.SD -> 8
 
 let gen_insn (r : rng) : Insn.t =
   match rand r 100 with
@@ -71,40 +98,110 @@ let gen_insn (r : rng) : Insn.t =
       Insn.Lui (reg r, Int64.shift_left (Int64.of_int (rand r 4096 - 2048)) 12)
   | n when n < 88 ->
       (* aligned load from the scratch region *)
-      let ops = [| Insn.LB; LH; LW; LD; LBU; LHU; LWU |] in
-      let op = ops.(rand r 7) in
-      let w = match op with Insn.LB | LBU -> 1 | LH | LHU -> 2 | LW | LWU -> 4 | LD -> 8 in
+      let op = load_ops.(rand r 7) in
+      let w = load_width op in
       let off = rand r (2048 / w) * w in
       Insn.Load (op, reg r, Asm.s2, Int64.of_int off)
   | _ ->
-      let ops = [| Insn.SB; SH; SW; SD |] in
-      let op = ops.(rand r 4) in
-      let w = match op with Insn.SB -> 1 | SH -> 2 | SW -> 4 | SD -> 8 in
+      let op = store_ops.(rand r 4) in
+      let w = store_width op in
       let off = rand r (2048 / w) * w in
       Insn.Store (op, reg r, Asm.s2, Int64.of_int off)
 
-(* A random program: [blocks] straight-line blocks of [block_len]
+(* ---------------- typed IR ------------------------------------------- *)
+
+type block = {
+  bb_insns : Insn.t array;
+  bb_branch : Insn.branch_op * int * int; (* terminator: op, rs1, rs2 *)
+  bb_loop : int;
+      (* 0 = straight-line; n > 0 repeats the block body n times via
+         the reserved counter s3 (a backward branch, but bounded, so
+         termination is preserved) *)
+}
+
+type ir = {
+  ir_reg_init : int64 array; (* parallel to [usable_regs] *)
+  ir_blocks : block array;
+}
+
+(* A random program IR: [blocks] straight-line blocks of [block_len]
    instructions, each ended by a random forward conditional branch to
-   the next block (taken or not, both paths land on the next block). *)
-let program ~seed ?(blocks = 24) ?(block_len = 18) () : Asm.program =
-  let r = { s = Int64.logor (Int64.of_int seed) 1L } in
+   the next block (taken or not, both paths land on the next block).
+
+   PRNG discipline: the draw order below replicates the historical
+   emitter exactly -- register seeds first, then per block the body
+   instructions followed by the branch opcode and then rs2 BEFORE rs1
+   (the old code passed [reg r] twice as constructor arguments, which
+   OCaml evaluates right-to-left).  Do not reorder. *)
+let generate ~seed ?(blocks = 24) ?(block_len = 18) () : ir =
+  let r = rng_of_seed seed in
+  let nregs = Array.length usable_regs in
+  let reg_init = Array.make nregs 0L in
+  for k = 0 to nregs - 1 do
+    reg_init.(k) <- rand64 r
+  done;
+  let mk_block () =
+    let insns = Array.make block_len (Insn.Op_imm (ADD, 0, 0, 0L)) in
+    for k = 0 to block_len - 1 do
+      insns.(k) <- gen_insn r
+    done;
+    let op = branch_ops.(rand r 6) in
+    let rs2 = reg r in
+    let rs1 = reg r in
+    { bb_insns = insns; bb_branch = (op, rs1, rs2); bb_loop = 0 }
+  in
+  let blks =
+    if blocks <= 0 then [||]
+    else begin
+      let a = Array.make blocks (mk_block ()) in
+      for b = 1 to blocks - 1 do
+        a.(b) <- mk_block ()
+      done;
+      a
+    end
+  in
+  { ir_reg_init = reg_init; ir_blocks = blks }
+
+(* Lower the IR to an assembled program.  With [smp], each hart offsets
+   its scratch base by mhartid * 64KB so multi-hart runs of the same
+   image never race on the scratch region (mirrors the SMP workloads'
+   partitioning idiom). *)
+let to_asm ?(smp = false) (ir : ir) : Asm.program =
   let items = ref [ Asm.label "start"; Asm.li Asm.s2 Wl_common.data_base ] in
   let emit it = items := it :: !items in
-  (* seed registers with random values *)
-  Array.iter (fun x -> emit (Asm.li x (rand64 r))) usable_regs;
-  for b = 0 to blocks - 1 do
+  if smp then begin
+    emit (Asm.i (Insn.Csr (CSRRS, Asm.t5, 0, Csr.mhartid)));
+    emit (Asm.i (Insn.Op_imm (SLL, Asm.t5, Asm.t5, 16L)));
+    emit (Asm.i (Insn.Op (ADD, Asm.s2, Asm.s2, Asm.t5)))
+  end;
+  Array.iteri
+    (fun k v -> emit (Asm.li usable_regs.(k) v))
+    ir.ir_reg_init;
+  let nblocks = Array.length ir.ir_blocks in
+  for b = 0 to nblocks - 1 do
+    let blk = ir.ir_blocks.(b) in
     emit (Asm.label (Printf.sprintf "blk%d" b));
-    for _ = 1 to block_len do
-      emit (Asm.i (gen_insn r))
-    done;
-    let next = Printf.sprintf "blk%d" (b + 1) in
-    let op = branch_ops.(rand r 6) in
-    emit (Asm.branch_to op (reg r) (reg r) next);
-    (* fall-through also reaches [next] *)
+    if blk.bb_loop > 0 then begin
+      emit (Asm.li Asm.s3 (Int64.of_int blk.bb_loop));
+      emit (Asm.label (Printf.sprintf "blk%d_loop" b))
+    end;
+    Array.iter (fun insn -> emit (Asm.i insn)) blk.bb_insns;
+    if blk.bb_loop > 0 then begin
+      emit (Asm.i (Insn.Op_imm (ADD, Asm.s3, Asm.s3, -1L)));
+      emit
+        (Asm.branch_to Insn.BNE Asm.s3 Asm.zero
+           (Printf.sprintf "blk%d_loop" b))
+    end;
+    let op, rs1, rs2 = blk.bb_branch in
+    emit (Asm.branch_to op rs1 rs2 (Printf.sprintf "blk%d" (b + 1)))
+    (* fall-through also reaches the next block *)
   done;
-  emit (Asm.label (Printf.sprintf "blk%d" blocks));
+  emit (Asm.label (Printf.sprintf "blk%d" nblocks));
   (* checksum every usable register *)
   emit (Asm.li Asm.a0 0L);
   Array.iter (fun x -> emit (Wl_common.Ops.xor Asm.a0 Asm.a0 x)) usable_regs;
   let tail = Wl_common.exit_with Asm.a0 in
   Asm.assemble (List.rev !items @. tail)
+
+let program ~seed ?blocks ?block_len () : Asm.program =
+  to_asm (generate ~seed ?blocks ?block_len ())

@@ -8,7 +8,77 @@
     is a chain of blocks whose conditional branches only jump forward
     to the next block.  Each program ends by exiting with a checksum
     of every working register, so differential runs compare both the
-    exit code and the full register file. *)
+    exit code and the full register file.
+
+    The generator is exposed as a typed IR plus a lowering so the
+    fuzzer ({!Fuzz.Mutate}) can perform structural mutations --
+    splice blocks, swap opcodes, perturb operands, add bounded loops
+    -- and round-trip the result through [to_asm].
+    [to_asm (generate ~seed ())] is byte-identical to
+    [program ~seed ()] (same PRNG draw sequence), pinned by the
+    seed-stability regression test. *)
+
+(** {1 PRNG} *)
+
+type rng = { mutable s : int64 }
+(** xorshift64 state; exposed so mutations can share the generator's
+    draw discipline. *)
+
+val rng_of_seed : int -> rng
+(** Note: the seed is OR'd with 1 (xorshift must not start at 0), so
+    seeds [2k] and [2k+1] yield the same stream. *)
+
+val rand : rng -> int -> int
+(** [rand r bound] advances the state and returns a draw in
+    [\[0, bound)]. *)
+
+val rand64 : rng -> int64
+(** Advance and return the raw 64-bit state. *)
+
+(** {1 Instruction-class tables} *)
+
+val usable_regs : int array
+(** Registers the generator may read/write.  Excludes x0, s2 (scratch
+    base), s3 (reserved bounded-loop counter), t5/t6 (exit helper) and
+    sp/gp/tp. *)
+
+val alu_ops : Riscv.Insn.alu_op array
+val alu_w_ops : Riscv.Insn.alu_w_op array
+val mul_ops : Riscv.Insn.mul_op array
+val branch_ops : Riscv.Insn.branch_op array
+val load_ops : Riscv.Insn.load_op array
+val store_ops : Riscv.Insn.store_op array
+val load_width : Riscv.Insn.load_op -> int
+val store_width : Riscv.Insn.store_op -> int
+
+val gen_insn : rng -> Riscv.Insn.t
+(** Draw one instruction from the generator's class distribution
+    (scratch accesses are aligned offsets off s2). *)
+
+(** {1 Typed IR} *)
+
+type block = {
+  bb_insns : Riscv.Insn.t array;
+  bb_branch : Riscv.Insn.branch_op * int * int;
+      (** forward conditional terminator: op, rs1, rs2 *)
+  bb_loop : int;
+      (** 0 = straight-line; n > 0 repeats the block body n times via
+          the reserved counter s3 (bounded backward branch, so
+          termination is preserved) *)
+}
+
+type ir = {
+  ir_reg_init : int64 array;  (** parallel to {!usable_regs} *)
+  ir_blocks : block array;
+}
+
+val generate : seed:int -> ?blocks:int -> ?block_len:int -> unit -> ir
+
+val to_asm : ?smp:bool -> ir -> Riscv.Asm.program
+(** Lower and assemble.  With [smp] (default false), each hart offsets
+    its scratch base by [mhartid * 64KB] so multi-hart runs of the
+    same image never race on the scratch region. *)
 
 val program :
   seed:int -> ?blocks:int -> ?block_len:int -> unit -> Riscv.Asm.program
+(** [to_asm (generate ...)]. *)

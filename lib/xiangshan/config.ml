@@ -179,6 +179,10 @@ let nh =
 (* single-core NH for performance studies that do not need SMP *)
 let nh_single = { nh with cfg_name = "NH-1core"; n_cores = 1 }
 
+(* quad-core NH: the widest SMP configuration the fuzz campaign runs;
+   same per-core parameters, four private L2s under the shared L3 *)
+let nh4 = { nh with cfg_name = "NH-4core"; n_cores = 4 }
+
 (* Figure 12 variants *)
 let yqh_fpga_90c = { yqh with cfg_name = "YQH-FPGA-90C-AMAT"; dram = Fixed_amat 90 }
 
@@ -199,7 +203,7 @@ let nh_fpga_250c_2mb =
   }
 
 let all_presets =
-  [ yqh; nh; nh_single; yqh_fpga_90c; nh_fpga_250c_4mb; nh_fpga_250c_2mb ]
+  [ yqh; nh; nh_single; nh4; yqh_fpga_90c; nh_fpga_250c_4mb; nh_fpga_250c_2mb ]
 
 (* Table II printout for the bench harness. *)
 let table2_row feature f =

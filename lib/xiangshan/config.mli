@@ -97,6 +97,9 @@ val nh : t
 val nh_single : t
 (** NH with one core, for single-core performance studies. *)
 
+val nh4 : t
+(** Quad-core NH (fuzz campaign's widest SMP config). *)
+
 val yqh_fpga_90c : t
 val nh_fpga_250c_4mb : t
 val nh_fpga_250c_2mb : t

@@ -87,6 +87,14 @@ type ids = {
   i_icache_miss : Perf.Perf_counter.id;
   i_rob_walk : Perf.Perf_counter.id;
   i_commit_w : Perf.Perf_counter.id array; (* commit width 0..8+ *)
+  (* edge-style coverage probes (fed to the fuzzer's coverage map) *)
+  i_walk_depth : Perf.Perf_counter.id array; (* per-flush ROB walk depth, log2 buckets *)
+  i_flush_misp : Perf.Perf_counter.id;
+  i_flush_trap : Perf.Perf_counter.id;
+  i_flush_serial : Perf.Perf_counter.id;
+  i_sc_success : Perf.Perf_counter.id;
+  i_sc_fail : Perf.Perf_counter.id;
+  i_tlb_walk_flush : Perf.Perf_counter.id;
 }
 
 (* Phase-1 evaluation order.  [Default_order] runs the unit planners
@@ -148,6 +156,10 @@ type t = {
      evaluation order *)
   mutable flushed_at : int;
   mutable phase_order : phase_order;
+  (* PTW walks observed up to the end of the previous cycle; [apply]
+     charges the delta to tlb.walk_during_flush while inside a
+     flush-recovery window *)
+  mutable tlb_walk_seen : int;
 }
 
 let make_ids () =
@@ -173,6 +185,19 @@ let make_ids () =
   let i_commit_w =
     Array.init 9 (fun w -> reg (Printf.sprintf "commit.width_%d" w))
   in
+  (* edge probes: these exist for microarchitectural *coverage* --
+     each is an event class the fuzzer wants to know was reached, not
+     a performance account.  Incremented at the effect boundary
+     (flush/commit/apply), so they cost nothing on untaken paths. *)
+  let i_walk_depth =
+    Array.init 5 (fun b -> reg (Printf.sprintf "rob.walk_depth_b%d" b))
+  in
+  let i_flush_misp = reg "flush.mispredict" in
+  let i_flush_trap = reg "flush.trap" in
+  let i_flush_serial = reg "flush.serialize" in
+  let i_sc_success = reg "commit.sc_success" in
+  let i_sc_fail = reg "commit.sc_failures" in
+  let i_tlb_walk_flush = reg "tlb.walk_during_flush" in
   ( ctrs,
     {
       i_td;
@@ -187,6 +212,13 @@ let make_ids () =
       i_icache_miss;
       i_rob_walk;
       i_commit_w;
+      i_walk_depth;
+      i_flush_misp;
+      i_flush_trap;
+      i_flush_serial;
+      i_sc_success;
+      i_sc_fail;
+      i_tlb_walk_flush;
     } )
 
 let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
@@ -229,6 +261,7 @@ let create (cfg : Config.t) ~hartid ~(plat : Platform.t)
     on_store_drain = (fun _ _ -> ());
     bug_trust_bpu = 0;
     flushed_at = -1;
+    tlb_walk_seen = 0;
     phase_order = phase_order_of_env ();
   }
 
@@ -259,11 +292,28 @@ let mispredict_penalty = 6
    fetch at [target].  Records the flush cycle: plans computed in
    phase 1 of the same cycle are invalidated by it (apply skips
    dispatch outright and re-evaluates fetch live). *)
-let flush t ~after ~target =
+let flush ?(cause = `Other) t ~after ~target =
   t.perf.p_flushes <- t.perf.p_flushes + 1;
   t.flushed_at <- t.now;
+  (match cause with
+  | `Misp -> Perf.Perf_counter.incr t.ctrs t.ids.i_flush_misp
+  | `Trap -> Perf.Perf_counter.incr t.ctrs t.ids.i_flush_trap
+  | `Serial -> Perf.Perf_counter.incr t.ctrs t.ids.i_flush_serial
+  | `Other -> ());
   let squashed = Rob.squash_younger t.rob ~after in
-  Perf.Perf_counter.add t.ctrs t.ids.i_rob_walk (List.length squashed);
+  let depth = List.length squashed in
+  Perf.Perf_counter.add t.ctrs t.ids.i_rob_walk depth;
+  if depth > 0 then begin
+    (* log2 depth buckets: 1, 2-3, 4-7, 8-15, 16+ *)
+    let b =
+      if depth >= 16 then 4
+      else if depth >= 8 then 3
+      else if depth >= 4 then 2
+      else if depth >= 2 then 1
+      else 0
+    in
+    Perf.Perf_counter.incr t.ctrs t.ids.i_walk_depth.(b)
+  end;
   (match t.tracer with
   | Some tr ->
       List.iter
@@ -1010,7 +1060,7 @@ let apply_issue t (eff : issue_eff) =
          mispredict wins among this cycle's issues; commit already
          applied, so an older trap/serialise flush has squashed the
          issuing uop and suppressed the redirect via revalidation *)
-      flush t ~after:seq ~target;
+      flush ~cause:`Misp t ~after:seq ~target;
       t.recover_misp <- true;
       (* model the resolve + refill bubble *)
       t.inflight <-
@@ -1223,6 +1273,11 @@ let execute_at_head t (u : Uop.t) : unit =
 exception Stop_commit
 
 let emit_probe t (u : Uop.t) ~trap ~interrupt =
+  (match u.Uop.insn with
+  | Insn.Sc _ when trap = None && interrupt = None ->
+      Perf.Perf_counter.incr t.ctrs
+        (if u.Uop.sc_failed then t.ids.i_sc_fail else t.ids.i_sc_success)
+  | _ -> ());
   let load =
     if
       (Uop.is_load u || Insn.is_amo u.Uop.insn)
@@ -1299,7 +1354,7 @@ let apply_commit t (eff : commit_eff) =
         t.perf.p_interrupts <- t.perf.p_interrupts + 1;
         u.Uop.next_pc <- target;
         emit_probe t u ~trap:None ~interrupt:(Some irq);
-        flush t ~after:(t.rob.Rob.head - 1) ~target
+        flush ~cause:`Trap t ~after:(t.rob.Rob.head - 1) ~target
     | None -> (
         try
           let budget = ref t.cfg.decode_width in
@@ -1316,7 +1371,7 @@ let apply_commit t (eff : commit_eff) =
                         Trap.take_exception csr exc tval ~epc:u.Uop.pc
                       in
                       t.arch.Arch_state.pc <- target;
-                      flush t ~after:(u.Uop.seq - 1) ~target;
+                      flush ~cause:`Trap t ~after:(u.Uop.seq - 1) ~target;
                       raise Stop_commit
                   | None ->
                       (* stores need a store-buffer slot (or are MMIO) *)
@@ -1368,7 +1423,8 @@ let apply_commit t (eff : commit_eff) =
                       (* serialising instructions flush the pipeline *)
                       (match u.Uop.insn with
                       | Csr _ | Mret | Sret | Fence_i | Sfence_vma _ | Wfi ->
-                          flush t ~after:u.Uop.seq ~target:u.Uop.next_pc;
+                          flush ~cause:`Serial t ~after:u.Uop.seq
+                            ~target:u.Uop.next_pc;
                           raise Stop_commit
                       | _ -> ())
                 end
@@ -1527,7 +1583,14 @@ let apply t (e : effects) =
   if Queue.is_empty t.fetch_queue then
     Perf.Perf_counter.incr t.ctrs t.ids.i_fetch_bubble;
   apply_dispatch t e.ef_dispatch;
-  apply_fetch t e.ef_fetch
+  apply_fetch t e.ef_fetch;
+  (* edge probe: PTW walks performed while a flush-recovery window is
+     open (stale-translation refetch territory, the Figure 3 class) *)
+  let walks = t.tlb.Tlb.walks in
+  if t.now <= t.recover_until && walks > t.tlb_walk_seen then
+    Perf.Perf_counter.add t.ctrs t.ids.i_tlb_walk_flush
+      (walks - t.tlb_walk_seen);
+  t.tlb_walk_seen <- walks
 
 let cycle t = apply t (step t)
 
@@ -1552,6 +1615,7 @@ let counter_snapshot t : (string * int) list =
       (prefix ^ ".refills", s.Softmem.Cache.refills);
       (prefix ^ ".probes", s.Softmem.Cache.probes);
       (prefix ^ ".evictions", s.Softmem.Cache.evictions);
+      (prefix ^ ".mshr_saturated", s.Softmem.Cache.mshr_saturated);
     ]
   in
   Perf.Perf_counter.to_alist t.ctrs

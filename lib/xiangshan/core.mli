@@ -104,6 +104,10 @@ type t = {
       (** cycle of the most recent flush; [apply] uses it to cancel
           same-cycle plans that the redirect invalidated *)
   mutable phase_order : phase_order;
+  mutable tlb_walk_seen : int;
+      (** PTW walks observed up to the previous cycle's end; [apply]
+          charges the delta to the tlb.walk_during_flush edge probe
+          while inside a flush-recovery window *)
 }
 
 (** {1 Phase-1 effect records}
@@ -186,7 +190,12 @@ val sync_regfile_from_arch : t -> unit
 (** Copy the committed register values into the mapped physical
     registers (after restoring a checkpoint). *)
 
-val flush : t -> after:int -> target:int64 -> unit
+val flush :
+  ?cause:[ `Misp | `Trap | `Serial | `Other ] ->
+  t ->
+  after:int ->
+  target:int64 ->
+  unit
 (** Squash every uop with seq > [after], roll the rename state back,
     and restart fetch at [target].  Records [flushed_at] so [apply]
     cancels plans the redirect invalidated. *)

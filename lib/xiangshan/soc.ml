@@ -62,6 +62,8 @@ let create ?(dram_size = 64 * 1024 * 1024) (cfg : Config.t) : t =
         Softmem.Cache.set_parent l1i l2s.(i);
         Softmem.Cache.set_parent l1d l2s.(i);
         Softmem.Cache.set_parent ptw l2s.(i);
+        (* observational MSHR-saturation probe on the D-side *)
+        Softmem.Cache.set_mshrs l1d cfg.mshrs;
         Core.create cfg ~hartid:i ~plat ~l1i ~l1d ~ptw_port:ptw)
   in
   let t =

@@ -26,6 +26,7 @@ let () =
       ("backend", Test_backend.tests);
       ("determinism", Test_determinism.tests);
       ("fuzz", Test_fuzz.tests);
+      ("fuzz-cov", Test_fuzz_cov.tests);
       ("workloads", Test_workloads.tests);
       ("twophase", Test_twophase.tests);
       ("perf", Test_perf.tests);

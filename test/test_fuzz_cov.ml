@@ -1,0 +1,391 @@
+(* Coverage-guided fuzzing subsystem: the coverage map's lattice laws
+   (pool-worker merges must equal the sequential fold), mutation
+   determinism and assemblability, corpus ranking/eviction and
+   persistence, the generator's seed-stability pin, and campaign-level
+   same-seed / journal-resume reproducibility. *)
+
+module Cov = Fuzz.Coverage
+module Mut = Fuzz.Mutate
+module Corp = Fuzz.Corpus
+module Tg = Workloads.Testgen
+
+(* --- coverage map ------------------------------------------------- *)
+
+let cov_of pairs =
+  let c = Cov.create () in
+  List.iter (fun (k, v) -> Cov.note c k v) pairs;
+  c
+
+let copy c =
+  match Cov.of_string (Cov.to_string c) with
+  | Some c' -> c'
+  | None -> Alcotest.fail "coverage round-trip failed"
+
+let check_cov msg a b = Alcotest.(check string) msg (Cov.to_string a) (Cov.to_string b)
+
+let test_bucket () =
+  Alcotest.(check int) "0" 0 (Cov.bucket 0);
+  Alcotest.(check int) "negative" 0 (Cov.bucket (-3));
+  Alcotest.(check int) "1" 1 (Cov.bucket 1);
+  Alcotest.(check int) "2" 2 (Cov.bucket 2);
+  Alcotest.(check int) "3" 2 (Cov.bucket 3);
+  Alcotest.(check int) "4" 3 (Cov.bucket 4);
+  Alcotest.(check int) "127" 7 (Cov.bucket 127);
+  Alcotest.(check int) "128 saturates" Cov.max_bucket (Cov.bucket 128);
+  Alcotest.(check int) "max_int saturates" Cov.max_bucket (Cov.bucket max_int)
+
+(* three maps with overlapping and distinct cells at varied depths *)
+let sample_maps () =
+  ( cov_of [ ("A/x", 1); ("A/y", 40); ("B/z", 3) ],
+    cov_of [ ("A/x", 200); ("B/z", 1); ("C/w", 7) ],
+    cov_of [ ("A/y", 2); ("C/w", 90); ("D/v", 1) ] )
+
+let test_merge_laws () =
+  let a, b, c = sample_maps () in
+  (* commutative *)
+  let ab = copy a and ba = copy b in
+  Cov.merge_into ~into:ab b;
+  Cov.merge_into ~into:ba a;
+  check_cov "a+b = b+a" ab ba;
+  (* associative *)
+  let ab_c = copy a in
+  Cov.merge_into ~into:ab_c b;
+  Cov.merge_into ~into:ab_c c;
+  let bc = copy b in
+  Cov.merge_into ~into:bc c;
+  let a_bc = copy a in
+  Cov.merge_into ~into:a_bc bc;
+  check_cov "(a+b)+c = a+(b+c)" ab_c a_bc;
+  (* idempotent *)
+  let aa = copy a in
+  Cov.merge_into ~into:aa a;
+  check_cov "a+a = a" aa a;
+  Alcotest.(check bool) "equal agrees" true (Cov.equal aa a);
+  (* monotone *)
+  Alcotest.(check bool) "points grow under merge" true
+    (Cov.points ab >= Cov.points a && Cov.points ab >= Cov.points b)
+
+(* pool workers each fold a disjoint share of the runs into a private
+   map, then the shards merge in arbitrary order: the result must be
+   byte-identical to one map folding every run in sequence *)
+let test_worker_merge_equals_sequential () =
+  let r = Tg.rng_of_seed 99 in
+  let snapshots =
+    List.init 24 (fun i ->
+        let axis = [| "YQH"; "NH"; "NH-4core" |].(i mod 3) in
+        let counters =
+          List.init 8 (fun j ->
+              (Printf.sprintf "ctr.%d" (Tg.rand r 12), Tg.rand r 300 * j))
+        in
+        (axis, counters))
+  in
+  let seq = Cov.create () in
+  List.iter (fun (axis, cs) -> Cov.add_counters seq ~axis cs) snapshots;
+  let shards = Array.init 4 (fun _ -> Cov.create ()) in
+  List.iteri
+    (fun i (axis, cs) -> Cov.add_counters shards.(i mod 4) ~axis cs)
+    snapshots;
+  let merged = Cov.create () in
+  (* deliberately merge in non-submission order *)
+  List.iter
+    (fun i -> Cov.merge_into ~into:merged shards.(i))
+    [ 2; 0; 3; 1 ];
+  check_cov "4-way shard merge = sequential fold" merged seq
+
+let test_cov_serialization () =
+  let a, b, _ = sample_maps () in
+  Cov.merge_into ~into:a b;
+  check_cov "round-trip" (copy a) a;
+  Alcotest.(check bool) "empty round-trips" true
+    (match Cov.of_string (Cov.to_string (Cov.create ())) with
+    | Some e -> Cov.equal e (Cov.create ())
+    | None -> false);
+  Alcotest.(check bool) "garbage rejected" true
+    (Cov.of_string "not a coverage map" = None);
+  Alcotest.(check bool) "bad level rejected" true
+    (Cov.of_string "MJCOV1\nA/x nine\n" = None)
+
+(* --- mutation operators ------------------------------------------- *)
+
+let test_mutate_plan_determinism () =
+  let draw_ops seed n =
+    let r = Tg.rng_of_seed seed in
+    List.init n (fun _ -> Mut.plan r)
+  in
+  Alcotest.(check (list string))
+    "same seed, same plans"
+    (List.map Mut.to_string (draw_ops 5 32))
+    (List.map Mut.to_string (draw_ops 5 32));
+  Alcotest.(check bool) "different seed differs" true
+    (List.map Mut.to_string (draw_ops 5 32)
+    <> List.map Mut.to_string (draw_ops 9 32))
+
+let test_mutate_serialization () =
+  let r = Tg.rng_of_seed 17 in
+  for _ = 1 to 200 do
+    let op = Mut.plan r in
+    match Mut.of_string (Mut.to_string op) with
+    | Some op' ->
+        Alcotest.(check string) "round-trip" (Mut.to_string op)
+          (Mut.to_string op')
+    | None -> Alcotest.failf "unparseable op %s" (Mut.to_string op)
+  done;
+  let ops = List.init 7 (fun _ -> Mut.plan r) in
+  (match Mut.ops_of_string (Mut.ops_to_string ops) with
+  | Some ops' ->
+      Alcotest.(check string) "history round-trip" (Mut.ops_to_string ops)
+        (Mut.ops_to_string ops')
+  | None -> Alcotest.fail "unparseable history");
+  Alcotest.(check bool) "empty history" true (Mut.ops_of_string "" = Some []);
+  Alcotest.(check bool) "garbage op rejected" true
+    (Mut.of_string "zz:1:2" = None)
+
+(* every mutated program must still assemble: mutations are closed
+   over the generator's invariants, whatever the plan and parent *)
+let test_mutate_always_assembles () =
+  for seed = 1 to 15 do
+    let r = Tg.rng_of_seed (seed * 7919) in
+    let ir = Tg.generate ~seed ~blocks:4 ~block_len:6 () in
+    let ops = List.init (1 + (seed mod 5)) (fun _ -> Mut.plan r) in
+    let mutated = Mut.apply_all ir ops in
+    match Tg.to_asm mutated with
+    | (_ : Riscv.Asm.program) -> ()
+    | exception e ->
+        Alcotest.failf "seed %d ops [%s]: %s" seed (Mut.ops_to_string ops)
+          (Printexc.to_string e)
+  done
+
+(* plans drawn against one parent shape apply to any other: indices
+   reduce modulo the actual shape at apply time *)
+let test_mutate_total_on_any_shape () =
+  let ir = Tg.generate ~seed:3 ~blocks:2 ~block_len:3 () in
+  let wild =
+    [
+      Mut.Opcode { block = 999; index = 999; pick = 123456 };
+      Mut.Operand { block = -0x40; index = 777; pick = 999999 };
+      Mut.Branch_bias { block = 555; pick = 42 };
+      Mut.Loop_bound { block = 1000; bound = 1_000_000 };
+      Mut.Page_boundary { block = 88; index = 77; pick = 66 };
+      Mut.Self_mod_store { block = 12; index = 34; pick = 56 };
+      Mut.Splice { at = 400; donor_seed = 12345 };
+    ]
+  in
+  let mutated = List.fold_left Mut.apply ir wild in
+  match Tg.to_asm mutated with
+  | (_ : Riscv.Asm.program) -> ()
+  | exception e ->
+      Alcotest.failf "wild plan broke assembly: %s" (Printexc.to_string e)
+
+(* --- corpus -------------------------------------------------------- *)
+
+let ent ~id ~np ~cyc = Corp.mk_entry ~id ~seed:(100 + id) ~ops:[] ~new_points:np ~cycles:cyc
+
+let test_corpus_ranking_and_eviction () =
+  let c = Corp.create ~cap:3 in
+  Alcotest.(check bool) "no-coverage entry rejected" false
+    (Corp.admit c (ent ~id:0 ~np:0 ~cyc:100));
+  Alcotest.(check bool) "admit 1" true (Corp.admit c (ent ~id:1 ~np:10 ~cyc:1000));
+  Alcotest.(check bool) "admit 2" true (Corp.admit c (ent ~id:2 ~np:50 ~cyc:1000));
+  Alcotest.(check bool) "admit 3" true (Corp.admit c (ent ~id:3 ~np:30 ~cyc:1000));
+  (* better than the current worst: evicts id=1 *)
+  Alcotest.(check bool) "admit 4 evicts" true
+    (Corp.admit c (ent ~id:4 ~np:20 ~cyc:1000));
+  Alcotest.(check int) "cap held" 3 (Corp.size c);
+  Alcotest.(check (list int)) "best-first order"
+    [ 2; 3; 4 ]
+    (List.map (fun e -> e.Corp.en_id) (Corp.entries c));
+  (* worse than the worst survivor: bounces *)
+  Alcotest.(check bool) "admit 5 bounces" false
+    (Corp.admit c (ent ~id:5 ~np:10 ~cyc:1000));
+  Alcotest.(check (list int)) "order unchanged"
+    [ 2; 3; 4 ]
+    (List.map (fun e -> e.Corp.en_id) (Corp.entries c));
+  (* equal score: lower admission id ranks first *)
+  let c2 = Corp.create ~cap:2 in
+  ignore (Corp.admit c2 (ent ~id:7 ~np:10 ~cyc:1000));
+  ignore (Corp.admit c2 (ent ~id:6 ~np:10 ~cyc:1000));
+  Alcotest.(check (list int)) "id tiebreak"
+    [ 6; 7 ]
+    (List.map (fun e -> e.Corp.en_id) (Corp.entries c2))
+
+let test_corpus_persistence () =
+  let r = Tg.rng_of_seed 23 in
+  let c = Corp.create ~cap:8 in
+  for id = 1 to 12 do
+    let ops = List.init (id mod 3) (fun _ -> Mut.plan r) in
+    ignore
+      (Corp.admit c
+         (Corp.mk_entry ~id ~seed:(id * 31) ~ops
+            ~new_points:(1 + (id * 13 mod 40))
+            ~cycles:(500 + (id * 997 mod 3000))))
+  done;
+  (match Corp.of_string (Corp.to_string c) with
+  | Some c' ->
+      Alcotest.(check string) "round-trip" (Corp.to_string c)
+        (Corp.to_string c');
+      Alcotest.(check (list int)) "same ranking"
+        (List.map (fun e -> e.Corp.en_id) (Corp.entries c))
+        (List.map (fun e -> e.Corp.en_id) (Corp.entries c'))
+  | None -> Alcotest.fail "corpus round-trip failed");
+  let path = Filename.temp_file "minjie_corpus" ".txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Corp.save c ~path;
+  match Corp.load ~path with
+  | Some c' ->
+      Alcotest.(check string) "save/load round-trip" (Corp.to_string c)
+        (Corp.to_string c')
+  | None -> Alcotest.fail "corpus load failed"
+
+let test_corpus_pick_deterministic () =
+  let c = Corp.create ~cap:8 in
+  for id = 1 to 6 do
+    ignore (Corp.admit c (ent ~id ~np:(id * 5) ~cyc:1000))
+  done;
+  let picks seed =
+    let r = Tg.rng_of_seed seed in
+    List.init 20 (fun _ ->
+        match Corp.pick c r with Some e -> e.Corp.en_id | None -> -1)
+  in
+  Alcotest.(check (list int)) "same rng, same picks" (picks 11) (picks 11);
+  Alcotest.(check bool) "empty corpus picks nothing" true
+    (Corp.pick (Corp.create ~cap:4) (Tg.rng_of_seed 1) = None)
+
+(* --- generator seed stability ------------------------------------- *)
+
+(* pinned digests: any change to the generator's draw sequence or the
+   IR lowering shows up here before it silently invalidates every
+   recorded corpus entry and journal *)
+let test_testgen_seed_stability () =
+  List.iter
+    (fun (seed, expect_digest, expect_words) ->
+      let p = Tg.program ~seed () in
+      let d =
+        Digest.to_hex
+          (Digest.string
+             (String.concat ","
+                (Array.to_list
+                   (Array.map Int32.to_string p.Riscv.Asm.words))))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d word count" seed)
+        expect_words
+        (Array.length p.Riscv.Asm.words);
+      Alcotest.(check string) (Printf.sprintf "seed %d digest" seed)
+        expect_digest d)
+    [
+      (1, "5eb7397fad3cdb942e118d8cfa476999", 604);
+      (2, "d243ccf6a06c157b21e34edb2f6ba375", 606);
+      (7, "67d618db95683987297d7ddc9c671bd4", 606);
+      (42, "3be6efa6335d7ee6f3f3af8640a9a402", 606);
+      (1234567, "2b8834f0697bedf0f68b376fa2f23248", 608);
+    ]
+
+let test_testgen_ir_roundtrip () =
+  List.iter
+    (fun seed ->
+      let direct = Tg.program ~seed () in
+      let lowered = Tg.to_asm (Tg.generate ~seed ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d to_asm(generate) = program" seed)
+        true
+        (direct.Riscv.Asm.words = lowered.Riscv.Asm.words);
+      let smp = Tg.to_asm ~smp:true (Tg.generate ~seed ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d smp lowering differs" seed)
+        true
+        (direct.Riscv.Asm.words <> smp.Riscv.Asm.words))
+    [ 1; 7; 42 ]
+
+(* --- campaign reproducibility ------------------------------------- *)
+
+let tiny =
+  {
+    Fuzz.smoke with
+    Fuzz.fz_rounds = 2;
+    fz_cands = 2;
+    fz_blocks = 3;
+    fz_block_len = 4;
+    fz_max_cycles = 10_000;
+    fz_configs = [ "YQH" ];
+    fz_refs = [ Minjie.Ref_model.Iss ];
+  }
+
+let strip_summary (s : Fuzz.summary) =
+  (s.Fuzz.fz_round_stats, s.Fuzz.fz_execs, s.Fuzz.fz_coverage)
+
+let test_fuzz_same_seed_identical () =
+  let a = Fuzz.run ~p:tiny ~jobs:1 () in
+  let b = Fuzz.run ~p:tiny ~jobs:1 () in
+  Alcotest.(check bool) "same seed, same summary" true
+    (strip_summary a = strip_summary b);
+  let c = Fuzz.run ~p:{ tiny with Fuzz.fz_seed = 2 } ~jobs:1 () in
+  Alcotest.(check bool) "different seed differs" true
+    (strip_summary a <> strip_summary c)
+
+let test_fuzz_journal_resume () =
+  let path = Filename.temp_file "minjie_fuzz" ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let clean = Fuzz.run ~p:tiny ~jobs:1 ~journal:path () in
+  let resumed = Fuzz.run ~p:tiny ~jobs:1 ~journal:path ~resume:true () in
+  Alcotest.(check int) "every exec replayed from the journal"
+    (List.length clean.Fuzz.fz_execs)
+    resumed.Fuzz.fz_resumed;
+  Alcotest.(check bool) "resumed summary identical" true
+    (strip_summary clean = strip_summary resumed)
+
+(* a planted fault must surface as mismatch finds, every one of which
+   reproduces through the LightSSS replay *)
+let test_fuzz_find_replays () =
+  let p =
+    {
+      tiny with
+      Fuzz.fz_rounds = 1;
+      fz_max_cycles = 20_000;
+      fz_fault = Some "rob-commit-reorder";
+    }
+  in
+  let s = Fuzz.run ~p ~jobs:1 () in
+  Alcotest.(check bool) "the fault was found" true (s.Fuzz.fz_mismatches > 0);
+  List.iter
+    (fun (e : Fuzz.exec) ->
+      if Fuzz.is_mismatch e then
+        Alcotest.(check bool)
+          (Printf.sprintf "r%d.c%d find replays" e.Fuzz.x_round e.Fuzz.x_cand)
+          true e.Fuzz.x_replayed)
+    s.Fuzz.fz_execs
+
+let tests =
+  [
+    Alcotest.test_case "coverage buckets" `Quick test_bucket;
+    Alcotest.test_case "merge is commutative/associative/idempotent" `Quick
+      test_merge_laws;
+    Alcotest.test_case "worker shard merge = sequential fold" `Quick
+      test_worker_merge_equals_sequential;
+    Alcotest.test_case "coverage serialization" `Quick test_cov_serialization;
+    Alcotest.test_case "mutation planning is seed-deterministic" `Quick
+      test_mutate_plan_determinism;
+    Alcotest.test_case "mutation serialization round-trips" `Quick
+      test_mutate_serialization;
+    Alcotest.test_case "mutated programs always assemble" `Quick
+      test_mutate_always_assembles;
+    Alcotest.test_case "mutations are total on any parent shape" `Quick
+      test_mutate_total_on_any_shape;
+    Alcotest.test_case "corpus ranking and eviction" `Quick
+      test_corpus_ranking_and_eviction;
+    Alcotest.test_case "corpus persistence round-trips" `Quick
+      test_corpus_persistence;
+    Alcotest.test_case "corpus pick is deterministic" `Quick
+      test_corpus_pick_deterministic;
+    Alcotest.test_case "testgen seed stability (pinned digests)" `Quick
+      test_testgen_seed_stability;
+    Alcotest.test_case "testgen IR lowering round-trip" `Quick
+      test_testgen_ir_roundtrip;
+    Alcotest.test_case "same-seed campaigns are identical" `Slow
+      test_fuzz_same_seed_identical;
+    Alcotest.test_case "journal resume reproduces the campaign" `Slow
+      test_fuzz_journal_resume;
+    Alcotest.test_case "mismatch finds reproduce in replay" `Slow
+      test_fuzz_find_replays;
+  ]
